@@ -1,0 +1,69 @@
+//! Ablation E15 — the token-based engine itself: simulation rate of the
+//! lockstep harness (sequential vs parallel host scheduling), and the
+//! FireSim slowdown arithmetic from the paper's §3.2.2.
+
+use bsim_engine::{Harness, SimRateMeter, TickModel, Wire};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+struct Lfsr {
+    state: u64,
+}
+
+impl TickModel for Lfsr {
+    fn num_inputs(&self) -> usize {
+        1
+    }
+    fn num_outputs(&self) -> usize {
+        1
+    }
+    fn tick(&mut self, cycle: u64, inputs: &[u64], outputs: &mut [u64]) {
+        self.state = self
+            .state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(inputs[0] ^ cycle);
+        outputs[0] = self.state >> 13;
+    }
+}
+
+fn ring(n: usize) -> (Vec<Lfsr>, Vec<Wire>) {
+    let models = (0..n).map(|i| Lfsr { state: i as u64 + 1 }).collect();
+    let wires = (0..n)
+        .map(|i| Wire { from_model: i, from_port: 0, to_model: (i + 1) % n, to_port: 0, latency: 1 })
+        .collect();
+    (models, wires)
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("token_engine");
+    g.sample_size(10);
+    g.bench_function("sequential_4_models_10k_cycles", |b| {
+        b.iter(|| {
+            let (m, w) = ring(4);
+            Harness::new(m, w).run(10_000)
+        })
+    });
+    g.bench_function("parallel_4_models_10k_cycles", |b| {
+        b.iter(|| {
+            let (m, w) = ring(4);
+            Harness::new(m, w).run_parallel(10_000, 64)
+        })
+    });
+    g.finish();
+
+    // Print the simulation-rate comparison once.
+    let mut meter = SimRateMeter::start();
+    let (m, w) = ring(8);
+    let _ = Harness::new(m, w).run(200_000);
+    meter.add_cycles(200_000);
+    let rate = meter.finish();
+    println!(
+        "\n== Ablation: engine simulation rate ==\n\
+         software token engine: {:.2} MHz ({}x slowdown vs a 1.6 GHz target)\n\
+         paper's FireSim rates: Rocket ~60 MHz (~25x), BOOM ~15 MHz (~135x)",
+        rate.mhz(),
+        rate.slowdown(1.6) as u64
+    );
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

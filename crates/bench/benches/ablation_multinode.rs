@@ -1,0 +1,48 @@
+//! Ablation E14 — the paper's §7 future-work scaling study: EP and CG
+//! strong scaling across 1–8 ranks, shared-memory MPI inside a cluster
+//! and a 10 GbE-class interconnect beyond it.
+
+use bsim_mpi::NetConfig;
+use bsim_soc::configs;
+use bsim_workloads::npb::{cg, ep};
+
+fn main() {
+    bsim_bench::with_timer("ablation_multinode", || {
+        let s = bsim_bench::sizes();
+        println!("== Ablation: multi-node strong scaling (paper §7 future work) ==");
+        println!("{:>6} {:>14} {:>9} {:>14} {:>9}", "ranks", "EP cycles", "EP eff", "CG cycles", "CG eff");
+        let (mut ep1, mut cg1) = (0u64, 0u64);
+        for ranks in [1usize, 2, 4, 8] {
+            let net =
+                if ranks <= 4 { NetConfig::shared_memory() } else { NetConfig::ethernet_10g() };
+            let cfg = configs::large_boom(ranks);
+            let e = ep::run(
+                cfg.clone(),
+                ranks,
+                ep::EpConfig { pairs_per_rank: s.ep_pairs / ranks as u64 },
+                net,
+            )
+            .report
+            .run
+            .cycles;
+            let c = cg::run(
+                cfg,
+                ranks,
+                cg::CgConfig { n: s.cg_n, nnz_per_row: 11, iters: s.cg_iters },
+                net,
+            )
+            .report
+            .run
+            .cycles;
+            if ranks == 1 {
+                ep1 = e;
+                cg1 = c;
+            }
+            println!(
+                "{ranks:>6} {e:>14} {:>8.1}% {c:>14} {:>8.1}%",
+                ep1 as f64 / (e as f64 * ranks as f64) * 100.0,
+                cg1 as f64 / (c as f64 * ranks as f64) * 100.0
+            );
+        }
+    });
+}

@@ -1,0 +1,9 @@
+//! Figure 1: MicroBench relative performance of the Banana Pi Sim Model
+//! and the Fast Banana Pi Sim Model, normalized by Banana Pi hardware.
+
+fn main() {
+    bsim_bench::with_timer("fig1", || {
+        let fig = bsim_core::experiments::fig1_microbench_rocket(bsim_bench::micro_scale());
+        bsim_bench::emit(&fig);
+    });
+}

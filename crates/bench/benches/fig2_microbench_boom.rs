@@ -1,0 +1,9 @@
+//! Figure 2: MicroBench relative performance of Small/Medium/Large BOOM
+//! and the tuned MILK-V Sim Model, normalized by MILK-V hardware.
+
+fn main() {
+    bsim_bench::with_timer("fig2", || {
+        let fig = bsim_core::experiments::fig2_microbench_boom(bsim_bench::micro_scale());
+        bsim_bench::emit(&fig);
+    });
+}

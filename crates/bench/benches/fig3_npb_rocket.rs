@@ -1,0 +1,12 @@
+//! Figure 3: NPB relative speedups of the Rocket-family models vs the
+//! Banana Pi hardware, for 1 (3a) and 4 (3b) MPI ranks.
+
+fn main() {
+    bsim_bench::with_timer("fig3", || {
+        let sizes = bsim_bench::sizes();
+        for ranks in [1usize, 4] {
+            let fig = bsim_core::experiments::fig3_npb_rocket(ranks, sizes);
+            bsim_bench::emit(&fig);
+        }
+    });
+}

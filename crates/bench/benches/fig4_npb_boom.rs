@@ -1,0 +1,14 @@
+//! Figure 4: NPB relative speedups of the BOOM configurations (4a) and
+//! the tuned MILK-V Sim Model (4b) vs the MILK-V hardware, 1 and 4 ranks.
+
+fn main() {
+    bsim_bench::with_timer("fig4", || {
+        let sizes = bsim_bench::sizes();
+        let fig = bsim_core::experiments::fig4a_npb_boom(1, sizes);
+        bsim_bench::emit(&fig);
+        for ranks in [1usize, 4] {
+            let fig = bsim_core::experiments::fig4b_npb_boom(ranks, sizes);
+            bsim_bench::emit(&fig);
+        }
+    });
+}

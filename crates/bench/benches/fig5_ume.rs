@@ -1,0 +1,9 @@
+//! Figure 5: UME runtimes and relative speedups on both platform pairs,
+//! 1/2/4 MPI ranks.
+
+fn main() {
+    bsim_bench::with_timer("fig5", || {
+        let fig = bsim_core::experiments::fig5_ume(bsim_bench::sizes());
+        bsim_bench::emit(&fig);
+    });
+}

@@ -1,0 +1,9 @@
+//! Figure 7: LAMMPS polymer Chain runtimes and relative speedups on both
+//! platform pairs, 1/2/4 MPI ranks.
+
+fn main() {
+    bsim_bench::with_timer("fig7", || {
+        let fig = bsim_core::experiments::fig7_lammps_chain(bsim_bench::sizes());
+        bsim_bench::emit(&fig);
+    });
+}

@@ -1,0 +1,27 @@
+//! Table 1: the MicroBench suite — lists all 40 kernels with category
+//! and description, validates each one functionally, and reports its
+//! dynamic instruction count (the suite's "weight").
+
+use bsim_isa::{Cpu, RunResult};
+use bsim_workloads::microbench;
+
+fn main() {
+    bsim_bench::with_timer("table1", || {
+        println!("== Table 1: MicroBench kernels, categories, and descriptions ==");
+        println!("{:10} {:13} {:>12}  {}", "Name", "Category", "dyn. instrs", "Description");
+        for k in microbench::suite() {
+            let prog = k.build(1);
+            let mut cpu = Cpu::new(&prog);
+            let r = cpu.run(200_000_000);
+            assert!(matches!(r, RunResult::Exited(0)), "{} must run", k.name);
+            let excl = if k.excluded { " [excluded, as in the paper]" } else { "" };
+            println!(
+                "{:10} {:13} {:>12}  {}{excl}",
+                k.name,
+                k.category.name(),
+                cpu.instret,
+                k.description
+            );
+        }
+    });
+}

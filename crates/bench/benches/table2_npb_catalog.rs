@@ -1,0 +1,57 @@
+//! Table 2: the NPB kernels used, their characteristics, and a
+//! functional verification pass at smoke size.
+
+use bsim_core::experiments::Sizes;
+use bsim_mpi::NetConfig;
+use bsim_soc::configs;
+use bsim_workloads::npb::{cg, ep, is, mg};
+
+fn main() {
+    bsim_bench::with_timer("table2", || {
+        println!("== Table 2: NPB apps used in the experiments ==");
+        println!("{:10} {:24} {}", "Benchmark", "Characteristics", "Verification");
+        let s = Sizes::smoke();
+        let net = NetConfig::shared_memory();
+
+        let c = cg::run(
+            configs::rocket1(1),
+            1,
+            cg::CgConfig { n: s.cg_n, nnz_per_row: 11, iters: s.cg_iters },
+            net,
+        );
+        println!(
+            "{:10} {:24} residual {:.2e} -> {:.2e}",
+            "CG", "Memory Latency", c.initial_residual, c.residual
+        );
+
+        let e = ep::run(
+            configs::rocket1(1),
+            1,
+            ep::EpConfig { pairs_per_rank: s.ep_pairs },
+            net,
+        );
+        let (_, _, _, acc) = ep::reference(ep::EpConfig { pairs_per_rank: s.ep_pairs }, 1);
+        assert_eq!(e.accepted, acc);
+        println!("{:10} {:24} {} Gaussian pairs accepted (matches reference)", "EP", "Compute", e.accepted);
+
+        let i = is::run(
+            configs::rocket1(1),
+            1,
+            is::IsConfig { keys_per_rank: s.is_keys, max_key: 1 << 12, iterations: 1 },
+            net,
+        );
+        assert!(i.sorted);
+        println!("{:10} {:24} {} keys globally sorted", "IS", "Memory Latency, BW", i.total_keys);
+
+        let m = mg::run(
+            configs::rocket1(1),
+            1,
+            mg::MgConfig { n: s.mg_n, levels: 3, cycles: s.mg_cycles },
+            net,
+        );
+        println!(
+            "{:10} {:24} residual {:.2e} -> {:.2e}",
+            "MG", "Memory Latency, BW", m.initial_residual, m.final_residual
+        );
+    });
+}

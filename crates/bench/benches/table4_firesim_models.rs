@@ -1,0 +1,7 @@
+//! Table 4: the FireSim model catalog.
+
+fn main() {
+    bsim_bench::with_timer("table4", || {
+        print!("{}", bsim_core::experiments::table4());
+    });
+}

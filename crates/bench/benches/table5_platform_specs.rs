@@ -1,0 +1,7 @@
+//! Table 5: hardware vs simulation-model architectural specifications.
+
+fn main() {
+    bsim_bench::with_timer("table5", || {
+        print!("{}", bsim_core::experiments::table5());
+    });
+}

@@ -1,0 +1,495 @@
+//! One generator per paper table/figure.
+//!
+//! Every generator returns [`FigureData`]: labeled points per series,
+//! directly renderable with [`crate::table::render`] and serializable to
+//! JSON. The bench harnesses in `bsim-bench` call these and print the
+//! same rows/series the paper plots; EXPERIMENTS.md records the
+//! paper-vs-measured comparison.
+
+use crate::metrics::relative_speedup;
+use bsim_mpi::NetConfig;
+use bsim_soc::{configs, Soc, SocConfig};
+use bsim_workloads::md::chain::{self, ChainConfig};
+use bsim_workloads::md::lj::{self, LjConfig};
+use bsim_workloads::microbench;
+use bsim_workloads::npb::{cg, ep, is, mg};
+use bsim_workloads::ume::{self, UmeConfig};
+use serde::{Deserialize, Serialize};
+
+/// One plotted series.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend name (matches the paper's legends).
+    pub name: String,
+    /// `(x-label, value)` points.
+    pub points: Vec<(String, f64)>,
+}
+
+/// One figure or table worth of data.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FigureData {
+    /// Title (e.g. "Figure 1: MicroBench on Rocket models vs Banana Pi").
+    pub title: String,
+    /// Optional scaling/setup note.
+    pub note: Option<String>,
+    /// The series.
+    pub series: Vec<Series>,
+}
+
+/// Workload sizes for the figure generators (reduced, class-A-shaped;
+/// see DESIGN.md §5).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Sizes {
+    /// MicroBench iteration scale.
+    pub micro_scale: u32,
+    /// CG matrix dimension.
+    pub cg_n: usize,
+    /// CG iterations.
+    pub cg_iters: usize,
+    /// EP total pairs (split over ranks).
+    pub ep_pairs: u64,
+    /// IS total keys (split over ranks).
+    pub is_keys: usize,
+    /// MG grid edge.
+    pub mg_n: usize,
+    /// MG V-cycles.
+    pub mg_cycles: usize,
+    /// UME zones per edge (paper: 32).
+    pub ume_n: usize,
+    /// LJ FCC cells per edge (paper: 20 → 32k atoms).
+    pub lj_cells: usize,
+    /// MD timesteps (paper: 100).
+    pub md_steps: usize,
+    /// Chain beads per edge.
+    pub chain_cells: usize,
+}
+
+impl Default for Sizes {
+    fn default() -> Sizes {
+        Sizes {
+            micro_scale: 1,
+            cg_n: 1024,
+            cg_iters: 10,
+            ep_pairs: 1 << 16,
+            is_keys: 1 << 15,
+            mg_n: 32,
+            mg_cycles: 1,
+            ume_n: 10,
+            lj_cells: 5,
+            md_steps: 6,
+            chain_cells: 10,
+        }
+    }
+}
+
+impl Sizes {
+    /// Even smaller sizes for CI-grade smoke runs.
+    pub fn smoke() -> Sizes {
+        Sizes {
+            micro_scale: 1,
+            cg_n: 256,
+            cg_iters: 4,
+            ep_pairs: 1 << 13,
+            is_keys: 1 << 12,
+            mg_n: 16,
+            mg_cycles: 1,
+            ume_n: 6,
+            lj_cells: 3,
+            md_steps: 3,
+            chain_cells: 6,
+        }
+    }
+}
+
+fn run_kernel_seconds(cfg: SocConfig, prog: &bsim_isa::Program) -> f64 {
+    let mut soc = Soc::new(cfg);
+    let rep = soc.run_program(0, prog, u64::MAX);
+    assert_eq!(rep.exit_code, Some(0), "microbenchmark must exit cleanly");
+    rep.seconds
+}
+
+fn microbench_figure(
+    title: &str,
+    sim_models: Vec<SocConfig>,
+    hw: SocConfig,
+    scale: u32,
+) -> FigureData {
+    let kernels = microbench::evaluated();
+    let mut series: Vec<Series> =
+        sim_models.iter().map(|m| Series { name: m.name.clone(), points: Vec::new() }).collect();
+    for k in &kernels {
+        let prog = k.build(scale);
+        let t_hw = run_kernel_seconds(hw.clone(), &prog);
+        for (si, m) in sim_models.iter().enumerate() {
+            let t_sim = run_kernel_seconds(m.clone(), &prog);
+            series[si].points.push((k.name.to_string(), relative_speedup(t_hw, t_sim)));
+        }
+    }
+    FigureData {
+        title: title.to_string(),
+        note: Some(format!(
+            "39 kernels (CRm excluded, as in the paper); relative speedup vs {} (1.0 = match); scale {scale}",
+            hw.name
+        )),
+        series,
+    }
+}
+
+/// **Figure 1**: MicroBench relative performance of the Banana Pi Sim
+/// Model and Fast Banana Pi Sim Model, normalized by Banana Pi hardware.
+pub fn fig1_microbench_rocket(scale: u32) -> FigureData {
+    microbench_figure(
+        "Figure 1: MicroBench — Rocket models vs Banana Pi hardware",
+        vec![configs::banana_pi_sim(1), configs::fast_banana_pi_sim(1)],
+        configs::banana_pi_hw(1),
+        scale,
+    )
+}
+
+/// **Figure 2**: MicroBench relative performance of Small/Medium/Large
+/// BOOM and the tuned MILK-V Sim Model, normalized by MILK-V hardware.
+pub fn fig2_microbench_boom(scale: u32) -> FigureData {
+    microbench_figure(
+        "Figure 2: MicroBench — BOOM models vs MILK-V hardware",
+        vec![
+            configs::small_boom(1),
+            configs::medium_boom(1),
+            configs::large_boom(1),
+            configs::milkv_sim(1),
+        ],
+        configs::milkv_hw(1),
+        scale,
+    )
+}
+
+/// Runs the four NPB kernels on one platform, returning seconds per
+/// benchmark in `[CG, EP, IS, MG]` order.
+pub fn npb_seconds(cfg: SocConfig, ranks: usize, sizes: Sizes) -> [f64; 4] {
+    let net = NetConfig::shared_memory();
+    let freq = cfg.freq_ghz;
+    let sec = |cycles: u64| cycles as f64 / (freq * 1e9);
+    let cg_r = cg::run(
+        cfg.clone(),
+        ranks,
+        cg::CgConfig { n: sizes.cg_n, nnz_per_row: 11, iters: sizes.cg_iters },
+        net,
+    );
+    let ep_r = ep::run(
+        cfg.clone(),
+        ranks,
+        ep::EpConfig { pairs_per_rank: sizes.ep_pairs / ranks as u64 },
+        net,
+    );
+    let is_r = is::run(
+        cfg.clone(),
+        ranks,
+        is::IsConfig {
+            keys_per_rank: sizes.is_keys / ranks,
+            max_key: (sizes.is_keys as u32 / 2).max(1024),
+            iterations: 1,
+        },
+        net,
+    );
+    assert!(is_r.sorted, "IS must verify on {}", cfg.name);
+    let mg_r = mg::run(
+        cfg.clone(),
+        ranks,
+        mg::MgConfig { n: sizes.mg_n, levels: 3, cycles: sizes.mg_cycles },
+        net,
+    );
+    [
+        sec(cg_r.report.run.cycles),
+        sec(ep_r.report.run.cycles),
+        sec(is_r.report.run.cycles),
+        sec(mg_r.report.run.cycles),
+    ]
+}
+
+const NPB_NAMES: [&str; 4] = ["CG", "EP", "IS", "MG"];
+
+fn npb_figure(
+    title: &str,
+    sim_models: Vec<SocConfig>,
+    hw: SocConfig,
+    ranks: usize,
+    sizes: Sizes,
+) -> FigureData {
+    let hw_secs = npb_seconds(hw.clone(), ranks, sizes);
+    let series = sim_models
+        .into_iter()
+        .map(|m| {
+            let s = npb_seconds(m.clone(), ranks, sizes);
+            Series {
+                name: m.name.clone(),
+                points: NPB_NAMES
+                    .iter()
+                    .zip(s.iter().zip(hw_secs.iter()))
+                    .map(|(n, (sim, hw))| (n.to_string(), relative_speedup(*hw, *sim)))
+                    .collect(),
+            }
+        })
+        .collect();
+    FigureData {
+        title: title.to_string(),
+        note: Some(format!("{ranks} MPI rank(s); relative speedup vs {} (1.0 = match)", hw.name)),
+        series,
+    }
+}
+
+/// **Figure 3** (a: 1 rank, b: 4 ranks): NPB on the Rocket-family
+/// models vs Banana Pi hardware.
+pub fn fig3_npb_rocket(ranks: usize, sizes: Sizes) -> FigureData {
+    npb_figure(
+        &format!("Figure 3{}: NPB — Rocket models vs Banana Pi ({ranks} ranks)",
+                 if ranks == 1 { "a" } else { "b" }),
+        vec![
+            configs::rocket1(ranks),
+            configs::rocket2(ranks),
+            configs::banana_pi_sim(ranks),
+            configs::fast_banana_pi_sim(ranks),
+        ],
+        configs::banana_pi_hw(ranks),
+        ranks,
+        sizes,
+    )
+}
+
+/// **Figure 4a**: NPB on stock Small/Medium/Large BOOM vs MILK-V.
+pub fn fig4a_npb_boom(ranks: usize, sizes: Sizes) -> FigureData {
+    npb_figure(
+        &format!("Figure 4a: NPB — stock BOOM configs vs MILK-V ({ranks} ranks)"),
+        vec![configs::small_boom(ranks), configs::medium_boom(ranks), configs::large_boom(ranks)],
+        configs::milkv_hw(ranks),
+        ranks,
+        sizes,
+    )
+}
+
+/// **Figure 4b**: NPB on the tuned MILK-V Sim Model vs MILK-V.
+pub fn fig4b_npb_boom(ranks: usize, sizes: Sizes) -> FigureData {
+    npb_figure(
+        &format!("Figure 4b: NPB — tuned MILK-V Sim Model vs MILK-V ({ranks} ranks)"),
+        vec![configs::large_boom(ranks), configs::milkv_sim(ranks)],
+        configs::milkv_hw(ranks),
+        ranks,
+        sizes,
+    )
+}
+
+/// Runtime matrix for an app benchmark over 1/2/4 ranks on the two
+/// platform pairs, as Figures 5–7 report.
+fn app_figure(
+    title: &str,
+    note: &str,
+    mut run_on: impl FnMut(SocConfig, usize) -> f64,
+) -> FigureData {
+    let rank_counts = [1usize, 2, 4];
+    let mut series = Vec::new();
+    let platforms: [(&str, fn(usize) -> SocConfig); 4] = [
+        ("Banana Pi (hw)", configs::banana_pi_hw),
+        ("Banana Pi Sim Model", configs::banana_pi_sim),
+        ("MILK-V (hw)", configs::milkv_hw),
+        ("MILK-V Sim Model", configs::milkv_sim),
+    ];
+    let mut seconds = vec![Vec::new(); 4];
+    for (pi, (name, make)) in platforms.iter().enumerate() {
+        let mut points = Vec::new();
+        for &r in &rank_counts {
+            let s = run_on(make(r), r);
+            seconds[pi].push(s);
+            points.push((format!("{r} ranks"), s));
+        }
+        series.push(Series { name: format!("{name} runtime [s]"), points });
+    }
+    // Relative-speedup series per platform pair (the figures' y-axis).
+    for (hw_i, sim_i, pair) in [(0usize, 1usize, "Banana Pi"), (2, 3, "MILK-V")] {
+        let points = rank_counts
+            .iter()
+            .enumerate()
+            .map(|(k, r)| {
+                (format!("{r} ranks"), relative_speedup(seconds[hw_i][k], seconds[sim_i][k]))
+            })
+            .collect();
+        series.push(Series { name: format!("{pair} rel. speedup"), points });
+    }
+    FigureData { title: title.to_string(), note: Some(note.to_string()), series }
+}
+
+/// **Figure 5**: UME runtimes and relative speedups, 1/2/4 ranks.
+pub fn fig5_ume(sizes: Sizes) -> FigureData {
+    app_figure(
+        "Figure 5: UME — simulation models vs hardware",
+        &format!("{0}^3-zone mesh (paper: 32^3), kernels: gather + inverted + face-area", sizes.ume_n),
+        |cfg, ranks| {
+            let freq = cfg.freq_ghz;
+            let r = ume::run(
+                cfg,
+                ranks,
+                UmeConfig { n: sizes.ume_n, passes: 2 },
+                NetConfig::shared_memory(),
+            );
+            r.report.run.cycles as f64 / (freq * 1e9)
+        },
+    )
+}
+
+/// **Figure 6**: LAMMPS Lennard-Jones melt runtimes and relative
+/// speedups, 1/2/4 ranks.
+pub fn fig6_lammps_lj(sizes: Sizes) -> FigureData {
+    app_figure(
+        "Figure 6: LAMMPS LJ melt — simulation models vs hardware",
+        &format!(
+            "{} atoms, {} steps (paper: 32,000 atoms, 100 steps)",
+            4 * sizes.lj_cells.pow(3),
+            sizes.md_steps
+        ),
+        |cfg, ranks| {
+            let freq = cfg.freq_ghz;
+            let r = lj::run(
+                cfg,
+                ranks,
+                LjConfig { cells: sizes.lj_cells, steps: sizes.md_steps, ..LjConfig::default() },
+                NetConfig::shared_memory(),
+            );
+            r.report.run.cycles as f64 / (freq * 1e9)
+        },
+    )
+}
+
+/// **Figure 7**: LAMMPS polymer Chain runtimes and relative speedups,
+/// 1/2/4 ranks.
+pub fn fig7_lammps_chain(sizes: Sizes) -> FigureData {
+    app_figure(
+        "Figure 7: LAMMPS Chain — simulation models vs hardware",
+        &format!(
+            "{} beads, {} steps (paper: 32,000 atoms, 100 steps)",
+            sizes.chain_cells.pow(3),
+            sizes.md_steps
+        ),
+        |cfg, ranks| {
+            let freq = cfg.freq_ghz;
+            let r = chain::run(
+                cfg,
+                ranks,
+                ChainConfig {
+                    cells: sizes.chain_cells,
+                    chain_len: sizes.chain_cells,
+                    steps: sizes.md_steps,
+                    ..ChainConfig::default()
+                },
+                NetConfig::shared_memory(),
+            );
+            r.report.run.cycles as f64 / (freq * 1e9)
+        },
+    )
+}
+
+/// **Table 4**: the FireSim model catalog as a text table.
+pub fn table4() -> String {
+    let mut out = String::from(
+        "== Table 4: FireSim Models ==\n\
+         Model            Clock    Fetch/Decode  RoB   LSQ      L1 sets/ways  L2 banks  Bus\n",
+    );
+    let rows: Vec<(SocConfig, &str)> = vec![
+        (configs::rocket1(4), "N/A"),
+        (configs::rocket2(4), "N/A"),
+        (configs::small_boom(4), "32"),
+        (configs::medium_boom(4), "64"),
+        (configs::large_boom(4), "96"),
+    ];
+    for (cfg, rob) in rows {
+        let (fetch, decode, lsq) = match &cfg.core {
+            bsim_soc::CoreModel::InOrder(c) => (c.fetch_width, 1, "N/A".to_string()),
+            bsim_soc::CoreModel::Ooo(c) => {
+                (c.fetch_width, c.decode_width, format!("{}/{}", c.ldq, c.stq))
+            }
+        };
+        out.push_str(&format!(
+            "{:16} {:.1} GHz  {}/{:<11} {:<5} {:<8} {}x{:<10} {:<9} {}-bit\n",
+            cfg.name,
+            cfg.freq_ghz,
+            fetch,
+            decode,
+            rob,
+            lsq,
+            cfg.hierarchy.l1d.sets,
+            cfg.hierarchy.l1d.ways,
+            cfg.hierarchy.l2.banks,
+            cfg.hierarchy.bus.width_bits,
+        ));
+    }
+    out
+}
+
+/// **Table 5**: hardware vs simulation-model specs as a text table.
+pub fn table5() -> String {
+    let mut out = String::from("== Table 5: Platform specifications ==\n");
+    for cfg in [
+        configs::banana_pi_hw(4),
+        configs::banana_pi_sim(4),
+        configs::milkv_hw(4),
+        configs::milkv_sim(4),
+    ] {
+        let h = &cfg.hierarchy;
+        out.push_str(&format!(
+            "{:22} {} cores @ {:.1} GHz | L1 {} KiB | L2 {} KiB | LLC {} | bus {}-bit | {} | prefetch {}\n",
+            cfg.name,
+            cfg.cores,
+            cfg.freq_ghz,
+            h.l1d.capacity() / 1024,
+            h.l2.capacity() / 1024,
+            h.llc
+                .as_ref()
+                .map(|l| format!("{} MiB", l.geometry.capacity() * l.slices as u64 / (1 << 20)))
+                .unwrap_or_else(|| "none".into()),
+            h.bus.width_bits,
+            h.dram.name,
+            h.prefetch_degree,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_lists_all_five_models() {
+        let t = table4();
+        for name in ["Rocket 1", "Rocket 2", "Small BOOM", "Medium BOOM", "Large BOOM"] {
+            assert!(t.contains(name), "missing {name}:\n{t}");
+        }
+    }
+
+    #[test]
+    fn table5_shows_the_ddr_mismatch() {
+        let t = table5();
+        assert!(t.contains("DDR3-2000"));
+        assert!(t.contains("DDR4-3200"));
+        assert!(t.contains("LPDDR4-2666"));
+    }
+
+    #[test]
+    fn npb_smoke_runs_on_one_platform() {
+        let s = npb_seconds(configs::rocket1(1), 1, Sizes::smoke());
+        for (i, v) in s.iter().enumerate() {
+            assert!(*v > 0.0, "benchmark {i} produced no time");
+        }
+    }
+
+    #[test]
+    fn fig4b_shape_ep_is_closest_to_parity() {
+        // §5.2.2: "the EP benchmark demonstrated near performance parity"
+        // while CG/IS/MG run slower on the simulation model.
+        let fig = fig4b_npb_boom(1, Sizes::smoke());
+        let milkv = fig.series.iter().find(|s| s.name == "MILK-V Sim Model").unwrap();
+        let get = |n: &str| milkv.points.iter().find(|(l, _)| l == n).unwrap().1;
+        let (cg, ep) = (get("CG"), get("EP"));
+        assert!(
+            (ep.ln().abs()) < (cg.ln().abs()) + 0.35,
+            "EP ({ep:.2}) should be closer to 1.0 than CG ({cg:.2})"
+        );
+        assert!(ep > 0.4 && ep < 2.0, "EP must be near parity, got {ep:.2}");
+    }
+}

@@ -1,0 +1,74 @@
+//! Plain-text rendering for figure/table data.
+
+use crate::experiments::FigureData;
+use std::fmt::Write as _;
+
+/// Renders a figure as an aligned text table: one row per point label,
+/// one column per series.
+pub fn render(fig: &FigureData) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {} ==", fig.title);
+    if let Some(note) = &fig.note {
+        let _ = writeln!(out, "   ({note})");
+    }
+    let labels: Vec<&str> = fig
+        .series
+        .first()
+        .map(|s| s.points.iter().map(|(l, _)| l.as_str()).collect())
+        .unwrap_or_default();
+    let label_w = labels.iter().map(|l| l.len()).max().unwrap_or(8).max(8);
+    let col_w = fig.series.iter().map(|s| s.name.len()).max().unwrap_or(10).max(10);
+
+    let _ = write!(out, "{:label_w$}", "");
+    for s in &fig.series {
+        let _ = write!(out, "  {:>col_w$}", s.name);
+    }
+    let _ = writeln!(out);
+    for (i, label) in labels.iter().enumerate() {
+        let _ = write!(out, "{label:label_w$}");
+        for s in &fig.series {
+            match s.points.get(i) {
+                Some((_, v)) => {
+                    let _ = write!(out, "  {:>col_w$.3}", v);
+                }
+                None => {
+                    let _ = write!(out, "  {:>col_w$}", "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::Series;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let fig = FigureData {
+            title: "Demo".into(),
+            note: Some("x".into()),
+            series: vec![
+                Series {
+                    name: "A".into(),
+                    points: vec![("one".into(), 1.0), ("two".into(), 0.5)],
+                },
+                Series {
+                    name: "LongName".into(),
+                    points: vec![("one".into(), 2.0), ("two".into(), 0.25)],
+                },
+            ],
+        };
+        let s = render(&fig);
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("LongName"));
+        assert!(s.lines().count() >= 4);
+        // Every data row has both columns.
+        let row: Vec<&str> = s.lines().filter(|l| l.starts_with("one")).collect();
+        assert_eq!(row.len(), 1);
+        assert!(row[0].contains("1.000") && row[0].contains("2.000"));
+    }
+}

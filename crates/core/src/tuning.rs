@@ -1,0 +1,115 @@
+//! The paper's §4 tuning methodology, as a reusable loop.
+//!
+//! "We conducted empirical experiments using microbenchmarks to identify
+//! performance differences. Based on these insights, we tuned the
+//! micro-architectural parameters to more closely replicate the behavior
+//! of the target processor."
+//!
+//! [`choose_best_model`] runs a kernel set on a hardware target and on
+//! each candidate simulation model, scores each candidate by its mean
+//! log-deviation from parity, and returns the ranking — exactly the
+//! selection the paper performs between Small/Medium/Large BOOM before
+//! tuning Large into the MILK-V Simulation Model.
+
+use crate::metrics::{deviation_from_parity, relative_speedup};
+use bsim_soc::{Soc, SocConfig};
+use bsim_workloads::microbench::MicroKernel;
+use serde::{Deserialize, Serialize};
+
+/// Ranked outcome of a model-selection run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TuningOutcome {
+    /// Candidate names with their deviation scores, best (lowest) first.
+    pub ranking: Vec<(String, f64)>,
+    /// Per-candidate, per-kernel relative speedups.
+    pub details: Vec<(String, Vec<(String, f64)>)>,
+}
+
+impl TuningOutcome {
+    /// Name of the best-matching candidate.
+    pub fn best(&self) -> &str {
+        &self.ranking[0].0
+    }
+}
+
+/// Runs `kernels` on `target` and all `candidates`; ranks candidates by
+/// closeness to the target (mean |ln(relative speedup)|).
+pub fn choose_best_model(
+    candidates: &[SocConfig],
+    target: &SocConfig,
+    kernels: &[MicroKernel],
+    scale: u32,
+) -> TuningOutcome {
+    assert!(!candidates.is_empty() && !kernels.is_empty());
+    let mut target_secs = Vec::with_capacity(kernels.len());
+    let progs: Vec<_> = kernels.iter().map(|k| k.build(scale)).collect();
+    for prog in &progs {
+        let rep = Soc::new(target.clone()).run_program(0, prog, u64::MAX);
+        target_secs.push(rep.seconds);
+    }
+    let mut ranking = Vec::new();
+    let mut details = Vec::new();
+    for cand in candidates {
+        let mut rels = Vec::with_capacity(kernels.len());
+        let mut per_kernel = Vec::new();
+        for (ki, prog) in progs.iter().enumerate() {
+            let rep = Soc::new(cand.clone()).run_program(0, prog, u64::MAX);
+            let rel = relative_speedup(target_secs[ki], rep.seconds);
+            rels.push(rel);
+            per_kernel.push((kernels[ki].name.to_string(), rel));
+        }
+        ranking.push((cand.name.clone(), deviation_from_parity(&rels)));
+        details.push((cand.name.clone(), per_kernel));
+    }
+    ranking.sort_by(|a, b| a.1.total_cmp(&b.1));
+    TuningOutcome { ranking, details }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsim_soc::configs;
+    use bsim_workloads::microbench;
+
+    /// A small, fast kernel subset spanning the categories.
+    fn probe_kernels() -> Vec<MicroKernel> {
+        microbench::evaluated()
+            .into_iter()
+            .filter(|k| ["Cca", "ED1", "EI", "MD", "DP1d"].contains(&k.name))
+            .collect()
+    }
+
+    #[test]
+    fn identical_config_wins_trivially() {
+        let target = configs::large_boom(1);
+        let candidates =
+            vec![configs::small_boom(1), configs::large_boom(1), configs::medium_boom(1)];
+        let out = choose_best_model(&candidates, &target, &probe_kernels(), 1);
+        assert_eq!(out.best(), "Large BOOM");
+        let best_score = out.ranking[0].1;
+        assert!(best_score < 1e-9, "identical config must score ~0, got {best_score}");
+    }
+
+    #[test]
+    fn larger_boom_matches_the_wide_silicon_best() {
+        // The paper's §5.1 finding: among stock BOOMs, Large matches the
+        // MILK-V best on compute microbenchmarks.
+        let target = configs::milkv_hw(1);
+        let candidates =
+            vec![configs::small_boom(1), configs::medium_boom(1), configs::large_boom(1)];
+        let out = choose_best_model(&candidates, &target, &probe_kernels(), 1);
+        assert_eq!(out.best(), "Large BOOM", "ranking: {:?}", out.ranking);
+    }
+
+    #[test]
+    fn details_cover_every_candidate_and_kernel() {
+        let out = choose_best_model(
+            &[configs::rocket1(1)],
+            &configs::banana_pi_hw(1),
+            &probe_kernels(),
+            1,
+        );
+        assert_eq!(out.details.len(), 1);
+        assert_eq!(out.details[0].1.len(), 5);
+    }
+}

@@ -1,0 +1,160 @@
+//! Cycle-stamped token channels.
+//!
+//! A channel carries exactly one token per target cycle, in order. The
+//! producer may run ahead of the consumer by at most the channel
+//! capacity (FireSim's "channel depth"); attempts to run further ahead
+//! are refused, which is precisely the mechanism that decouples host
+//! scheduling from target time.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Error from token-channel operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChannelError {
+    /// Producer tried to push a token for the wrong cycle.
+    WrongCycle {
+        /// Cycle the channel expected next.
+        expected: u64,
+        /// Cycle the producer tried to push.
+        got: u64,
+    },
+    /// Producer is more than `capacity` cycles ahead of the consumer.
+    Full,
+    /// Consumer asked for a token the producer has not delivered yet.
+    Empty,
+}
+
+impl fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChannelError::WrongCycle { expected, got } => {
+                write!(f, "token for cycle {got} pushed, expected {expected}")
+            }
+            ChannelError::Full => write!(f, "channel full: producer too far ahead"),
+            ChannelError::Empty => write!(f, "channel empty: consumer too far ahead"),
+        }
+    }
+}
+
+impl std::error::Error for ChannelError {}
+
+/// A bounded token queue carrying one `T` per target cycle.
+#[derive(Debug)]
+pub struct TokenChannel<T> {
+    queue: VecDeque<T>,
+    capacity: usize,
+    next_push_cycle: u64,
+    next_pop_cycle: u64,
+}
+
+impl<T> TokenChannel<T> {
+    /// Builds an empty channel with `capacity` tokens of slack.
+    pub fn new(capacity: usize) -> TokenChannel<T> {
+        assert!(capacity >= 1);
+        TokenChannel {
+            queue: VecDeque::with_capacity(capacity),
+            capacity,
+            next_push_cycle: 0,
+            next_pop_cycle: 0,
+        }
+    }
+
+    /// Pushes the token for `cycle`. Tokens must be pushed for
+    /// consecutive cycles starting at 0.
+    pub fn push(&mut self, cycle: u64, token: T) -> Result<(), ChannelError> {
+        if cycle != self.next_push_cycle {
+            return Err(ChannelError::WrongCycle { expected: self.next_push_cycle, got: cycle });
+        }
+        if self.queue.len() >= self.capacity {
+            return Err(ChannelError::Full);
+        }
+        self.queue.push_back(token);
+        self.next_push_cycle += 1;
+        Ok(())
+    }
+
+    /// Pops the token for `cycle`, which must be the next unconsumed one.
+    pub fn pop(&mut self, cycle: u64) -> Result<T, ChannelError> {
+        if cycle != self.next_pop_cycle {
+            return Err(ChannelError::WrongCycle { expected: self.next_pop_cycle, got: cycle });
+        }
+        match self.queue.pop_front() {
+            Some(t) => {
+                self.next_pop_cycle += 1;
+                Ok(t)
+            }
+            None => Err(ChannelError::Empty),
+        }
+    }
+
+    /// How many cycles the producer may still run ahead.
+    pub fn slack(&self) -> usize {
+        self.capacity - self.queue.len()
+    }
+
+    /// Tokens currently buffered.
+    pub fn buffered(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The next cycle the consumer will pop.
+    pub fn consumer_cycle(&self) -> u64 {
+        self.next_pop_cycle
+    }
+
+    /// The next cycle the producer will push.
+    pub fn producer_cycle(&self) -> u64 {
+        self.next_push_cycle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_flow_in_cycle_order() {
+        let mut ch = TokenChannel::new(4);
+        ch.push(0, 10).unwrap();
+        ch.push(1, 11).unwrap();
+        assert_eq!(ch.pop(0), Ok(10));
+        assert_eq!(ch.pop(1), Ok(11));
+    }
+
+    #[test]
+    fn wrong_cycle_rejected() {
+        let mut ch = TokenChannel::new(4);
+        assert_eq!(ch.push(1, 0u64), Err(ChannelError::WrongCycle { expected: 0, got: 1 }));
+        ch.push(0, 1).unwrap();
+        assert_eq!(ch.pop(1), Err(ChannelError::WrongCycle { expected: 0, got: 1 }));
+    }
+
+    #[test]
+    fn producer_cannot_exceed_capacity() {
+        let mut ch = TokenChannel::new(2);
+        ch.push(0, 0u64).unwrap();
+        ch.push(1, 1).unwrap();
+        assert_eq!(ch.push(2, 2), Err(ChannelError::Full));
+        // Consuming frees a slot.
+        ch.pop(0).unwrap();
+        ch.push(2, 2).unwrap();
+    }
+
+    #[test]
+    fn consumer_stalls_on_empty() {
+        let mut ch = TokenChannel::<u64>::new(2);
+        assert_eq!(ch.pop(0), Err(ChannelError::Empty));
+    }
+
+    #[test]
+    fn slack_accounting() {
+        let mut ch = TokenChannel::new(3);
+        assert_eq!(ch.slack(), 3);
+        ch.push(0, 0u64).unwrap();
+        assert_eq!(ch.slack(), 2);
+        assert_eq!(ch.buffered(), 1);
+        assert_eq!(ch.producer_cycle(), 1);
+        assert_eq!(ch.consumer_cycle(), 0);
+    }
+}

@@ -1,0 +1,296 @@
+//! Lockstep execution of token-coupled target models.
+//!
+//! A [`Harness`] owns a set of [`TickModel`]s and the [`Wire`]s between
+//! them, and advances all models in target-cycle lockstep. Two host
+//! schedules are provided:
+//!
+//! * [`Harness::run`] — sequential, one host thread,
+//! * [`Harness::run_parallel`] — one host thread per model, synchronized
+//!   *only* through the token channels (models spin when a channel has
+//!   no token yet / no slack left).
+//!
+//! Because every inter-model value crosses a channel with ≥ 1 cycle of
+//! latency, the token protocol makes the computation independent of the
+//! host schedule: both entry points produce bit-identical model state.
+//! That property — host-time decoupling with target-time determinism —
+//! is the core of FireSim's simulation soundness, and is asserted by the
+//! tests here and by `ablation_engine` in the bench suite.
+
+use crate::channel::{ChannelError, TokenChannel};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A target model advanced one cycle at a time.
+pub trait TickModel: Send {
+    /// Number of input ports.
+    fn num_inputs(&self) -> usize;
+    /// Number of output ports.
+    fn num_outputs(&self) -> usize;
+    /// Consumes one token per input port, produces one per output port.
+    fn tick(&mut self, cycle: u64, inputs: &[u64], outputs: &mut [u64]);
+}
+
+/// A directed connection between two model ports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Wire {
+    /// Producing model index.
+    pub from_model: usize,
+    /// Producing port.
+    pub from_port: usize,
+    /// Consuming model index.
+    pub to_model: usize,
+    /// Consuming port.
+    pub to_port: usize,
+    /// Target-cycle latency (must be ≥ 1 to decouple the endpoints).
+    pub latency: u64,
+}
+
+/// The wired target graph.
+pub struct Harness<M: TickModel> {
+    models: Vec<M>,
+    wires: Vec<Wire>,
+}
+
+struct SharedChannel {
+    chan: Mutex<TokenChannel<u64>>,
+}
+
+impl<M: TickModel> Harness<M> {
+    /// Builds a harness, validating the wiring.
+    pub fn new(models: Vec<M>, wires: Vec<Wire>) -> Harness<M> {
+        for w in &wires {
+            assert!(w.latency >= 1, "token channels need >= 1 cycle latency");
+            assert!(w.from_model < models.len() && w.to_model < models.len());
+            assert!(w.from_port < models[w.from_model].num_outputs());
+            assert!(w.to_port < models[w.to_model].num_inputs());
+        }
+        // Every input port must be driven by exactly one wire.
+        for (mi, m) in models.iter().enumerate() {
+            for p in 0..m.num_inputs() {
+                let n = wires.iter().filter(|w| w.to_model == mi && w.to_port == p).count();
+                assert_eq!(n, 1, "model {mi} input {p} must have exactly one driver, has {n}");
+            }
+        }
+        Harness { models, wires }
+    }
+
+    fn make_channels(&self, quantum: usize) -> Vec<SharedChannel> {
+        self.wires
+            .iter()
+            .map(|w| {
+                let mut ch = TokenChannel::new(w.latency as usize + quantum);
+                // Reset tokens: the first `latency` cycles read zeros.
+                for c in 0..w.latency {
+                    ch.push(c, 0).expect("reset tokens fit by construction");
+                }
+                SharedChannel { chan: Mutex::new(ch) }
+            })
+            .collect()
+    }
+
+    /// Runs `cycles` target cycles sequentially and returns the models.
+    pub fn run(mut self, cycles: u64) -> Vec<M> {
+        let channels = self.make_channels(1);
+        let n = self.models.len();
+        let mut inputs: Vec<Vec<u64>> = self.models.iter().map(|m| vec![0; m.num_inputs()]).collect();
+        let mut outputs: Vec<Vec<u64>> =
+            self.models.iter().map(|m| vec![0; m.num_outputs()]).collect();
+        for cycle in 0..cycles {
+            for mi in 0..n {
+                for (wi, w) in self.wires.iter().enumerate() {
+                    if w.to_model == mi {
+                        inputs[mi][w.to_port] =
+                            channels[wi].chan.lock().pop(cycle).expect("sequential order is safe");
+                    }
+                }
+                self.models[mi].tick(cycle, &inputs[mi], &mut outputs[mi]);
+                for (wi, w) in self.wires.iter().enumerate() {
+                    if w.from_model == mi {
+                        channels[wi]
+                            .chan
+                            .lock()
+                            .push(cycle + w.latency, outputs[mi][w.from_port])
+                            .expect("sequential order is safe");
+                    }
+                }
+            }
+        }
+        self.models
+    }
+
+    /// Runs `cycles` target cycles with one host thread per model,
+    /// synchronized only through the token channels. `quantum` is the
+    /// channel slack in cycles — how far any model may run ahead of its
+    /// consumers (FireSim's channel depth).
+    pub fn run_parallel(mut self, cycles: u64, quantum: usize) -> Vec<M> {
+        let channels: Arc<Vec<SharedChannel>> = Arc::new(self.make_channels(quantum.max(1)));
+        let wires = self.wires.clone();
+        let models = std::mem::take(&mut self.models);
+
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (mi, mut model) in models.into_iter().enumerate() {
+                let channels = Arc::clone(&channels);
+                let my_in: Vec<(usize, usize)> = wires
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, w)| w.to_model == mi)
+                    .map(|(wi, w)| (wi, w.to_port))
+                    .collect();
+                let my_out: Vec<(usize, usize, u64)> = wires
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, w)| w.from_model == mi)
+                    .map(|(wi, w)| (wi, w.from_port, w.latency))
+                    .collect();
+                handles.push(scope.spawn(move |_| {
+                    let mut inputs = vec![0u64; model.num_inputs()];
+                    let mut outputs = vec![0u64; model.num_outputs()];
+                    for cycle in 0..cycles {
+                        for &(wi, port) in &my_in {
+                            loop {
+                                match channels[wi].chan.lock().pop(cycle) {
+                                    Ok(t) => {
+                                        inputs[port] = t;
+                                        break;
+                                    }
+                                    Err(ChannelError::Empty) => std::thread::yield_now(),
+                                    Err(e) => panic!("token protocol violation: {e}"),
+                                }
+                            }
+                        }
+                        model.tick(cycle, &inputs, &mut outputs);
+                        for &(wi, port, latency) in &my_out {
+                            loop {
+                                match channels[wi].chan.lock().push(cycle + latency, outputs[port])
+                                {
+                                    Ok(()) => break,
+                                    Err(ChannelError::Full) => std::thread::yield_now(),
+                                    Err(e) => panic!("token protocol violation: {e}"),
+                                }
+                            }
+                        }
+                    }
+                    model
+                }));
+            }
+            let mut out: Vec<M> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            self.models.append(&mut out);
+        })
+        .expect("model thread panicked");
+        std::mem::take(&mut self.models)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A little stateful model: accumulates a mix of its input and emits
+    /// a function of its state. Deliberately order-sensitive so that any
+    /// schedule dependence would corrupt the final state.
+    struct Mixer {
+        state: u64,
+        seed: u64,
+    }
+
+    impl Mixer {
+        fn new(seed: u64) -> Mixer {
+            Mixer { state: seed, seed }
+        }
+    }
+
+    impl TickModel for Mixer {
+        fn num_inputs(&self) -> usize {
+            1
+        }
+        fn num_outputs(&self) -> usize {
+            1
+        }
+        fn tick(&mut self, cycle: u64, inputs: &[u64], outputs: &mut [u64]) {
+            self.state = self
+                .state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(inputs[0] ^ cycle ^ self.seed);
+            outputs[0] = self.state >> 17;
+        }
+    }
+
+    fn ring(n: usize, latency: u64) -> (Vec<Mixer>, Vec<Wire>) {
+        let models: Vec<Mixer> = (0..n).map(|i| Mixer::new(0x9E37 + i as u64)).collect();
+        let wires: Vec<Wire> = (0..n)
+            .map(|i| Wire {
+                from_model: i,
+                from_port: 0,
+                to_model: (i + 1) % n,
+                to_port: 0,
+                latency,
+            })
+            .collect();
+        (models, wires)
+    }
+
+    #[test]
+    fn sequential_run_is_reproducible() {
+        let (m1, w1) = ring(4, 1);
+        let (m2, w2) = ring(4, 1);
+        let a = Harness::new(m1, w1).run(1000);
+        let b = Harness::new(m2, w2).run(1000);
+        let sa: Vec<u64> = a.iter().map(|m| m.state).collect();
+        let sb: Vec<u64> = b.iter().map(|m| m.state).collect();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        let (m1, w1) = ring(5, 2);
+        let (m2, w2) = ring(5, 2);
+        let seq = Harness::new(m1, w1).run(2000);
+        let par = Harness::new(m2, w2).run_parallel(2000, 8);
+        let ss: Vec<u64> = seq.iter().map(|m| m.state).collect();
+        let ps: Vec<u64> = par.iter().map(|m| m.state).collect();
+        assert_eq!(ss, ps, "token protocol must make host schedule invisible");
+    }
+
+    #[test]
+    fn parallel_determinism_across_quanta() {
+        // Different channel slack must not change target behavior.
+        let (m1, w1) = ring(3, 1);
+        let (m2, w2) = ring(3, 1);
+        let a = Harness::new(m1, w1).run_parallel(1500, 1);
+        let b = Harness::new(m2, w2).run_parallel(1500, 64);
+        assert_eq!(
+            a.iter().map(|m| m.state).collect::<Vec<_>>(),
+            b.iter().map(|m| m.state).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn latency_changes_target_behavior() {
+        // Unlike host scheduling, *target* latency is architectural:
+        // a 1-cycle ring and a 3-cycle ring are different machines.
+        let (m1, w1) = ring(4, 1);
+        let (m2, w2) = ring(4, 3);
+        let a = Harness::new(m1, w1).run(500);
+        let b = Harness::new(m2, w2).run(500);
+        assert_ne!(
+            a.iter().map(|m| m.state).collect::<Vec<_>>(),
+            b.iter().map(|m| m.state).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one driver")]
+    fn unwired_input_is_rejected() {
+        let (m, _) = ring(2, 1);
+        let _ = Harness::new(m, vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 1 cycle latency")]
+    fn zero_latency_wire_is_rejected() {
+        let (m, mut w) = ring(2, 1);
+        w[0].latency = 0;
+        let _ = Harness::new(m, w);
+    }
+}

@@ -1,0 +1,92 @@
+//! Simulation-rate accounting.
+//!
+//! The paper reports FireSim hosting the Rocket target at ~60 MHz
+//! (≈ 25× slower than the 1.6 GHz silicon) and the BOOM target at
+//! ~15 MHz (≈ 135× slower than 2.0 GHz), which is why class-A NPB runs
+//! "take on the order of few hours" in simulation. [`SimRateMeter`]
+//! performs the same arithmetic for our software host so the bench
+//! harnesses can report it alongside every experiment.
+
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Measures simulated target cycles against host wall-clock time.
+#[derive(Clone, Debug)]
+pub struct SimRateMeter {
+    started: Instant,
+    target_cycles: u64,
+}
+
+/// A finished rate measurement.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SimRate {
+    /// Simulated target cycles.
+    pub target_cycles: u64,
+    /// Host seconds spent.
+    pub host_seconds: f64,
+}
+
+impl SimRateMeter {
+    /// Starts the wall clock.
+    pub fn start() -> SimRateMeter {
+        SimRateMeter { started: Instant::now(), target_cycles: 0 }
+    }
+
+    /// Adds simulated cycles.
+    pub fn add_cycles(&mut self, cycles: u64) {
+        self.target_cycles += cycles;
+    }
+
+    /// Stops and reports.
+    pub fn finish(self) -> SimRate {
+        SimRate {
+            target_cycles: self.target_cycles,
+            host_seconds: self.started.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+impl SimRate {
+    /// Effective simulation rate in target-MHz.
+    pub fn mhz(&self) -> f64 {
+        if self.host_seconds <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.target_cycles as f64 / self.host_seconds / 1e6
+    }
+
+    /// Slowdown relative to a target running at `target_ghz`.
+    pub fn slowdown(&self, target_ghz: f64) -> f64 {
+        target_ghz * 1000.0 / self.mhz()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn firesim_arithmetic_from_the_paper() {
+        // 60 MHz hosting of a 1.6 GHz target is ~26.7x slowdown — the
+        // paper rounds to "approximately 25x".
+        let r = SimRate { target_cycles: 60_000_000, host_seconds: 1.0 };
+        assert!((r.mhz() - 60.0).abs() < 1e-9);
+        let slow = r.slowdown(1.6);
+        assert!((slow - 26.67).abs() < 0.1, "got {slow}");
+        // 15 MHz hosting of 2.0 GHz is ~133x — the paper says "around 135x".
+        let r2 = SimRate { target_cycles: 15_000_000, host_seconds: 1.0 };
+        let slow2 = r2.slowdown(2.0);
+        assert!((slow2 - 133.3).abs() < 0.5, "got {slow2}");
+    }
+
+    #[test]
+    fn meter_accumulates() {
+        let mut m = SimRateMeter::start();
+        m.add_cycles(500);
+        m.add_cycles(500);
+        let r = m.finish();
+        assert_eq!(r.target_cycles, 1000);
+        assert!(r.host_seconds >= 0.0);
+        assert!(r.mhz() > 0.0);
+    }
+}

@@ -1,0 +1,444 @@
+//! Set-associative, banked, write-back cache timing model.
+//!
+//! Models exactly the knobs the paper tunes in Table 4/5: sets, ways,
+//! line size, bank count (`L2 Banks` column), hit latency, and MSHR
+//! count. Replacement is true LRU. The model is timing-only — data
+//! values live in the functional interpreter — so a "hit" is a tag-array
+//! hit and an access returns when the data *would* be available.
+
+use serde::{Deserialize, Serialize};
+
+/// Static cache geometry and timing parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Number of sets (power of two).
+    pub sets: u32,
+    /// Associativity.
+    pub ways: u32,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u32,
+    /// Number of banks; consecutive lines are interleaved across banks.
+    pub banks: u32,
+    /// Hit latency in core cycles.
+    pub hit_latency: u32,
+    /// Outstanding-miss registers (0 = fully blocking).
+    pub mshrs: u32,
+}
+
+impl CacheConfig {
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.sets as u64 * self.ways as u64 * self.line_bytes as u64
+    }
+
+    fn validate(&self) {
+        assert!(self.sets.is_power_of_two(), "sets must be a power of two");
+        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(self.banks.is_power_of_two(), "banks must be a power of two");
+        assert!(self.ways >= 1, "need at least one way");
+    }
+}
+
+/// Result of a timing lookup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Lookup {
+    /// Tag hit?
+    pub hit: bool,
+    /// Cycle at which the bank accepted the access (>= issue cycle; later
+    /// under bank conflicts).
+    pub start: u64,
+    /// On a hit: the cycle the line's data is actually present (later
+    /// than `start` when the line is still in flight from a fill, e.g. a
+    /// prefetch that has not arrived yet).
+    pub ready_at: u64,
+    /// A dirty victim line's base address, if the fill evicted one.
+    pub writeback: Option<u64>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// LRU timestamp (monotone counter, larger = more recent).
+    lru: u64,
+    /// Cycle at which the line's data is present (fills in flight have
+    /// future ready times).
+    ready_at: u64,
+}
+
+const INVALID: Line = Line { tag: 0, valid: false, dirty: false, lru: 0, ready_at: 0 };
+
+/// A single cache instance (one level, one shared array).
+pub struct Cache {
+    cfg: CacheConfig,
+    lines: Vec<Line>, // sets * ways
+    bank_free_at: Vec<u64>,
+    lru_clock: u64,
+    offset_bits: u32,
+    index_mask: u64,
+}
+
+impl Cache {
+    /// Builds an empty (all-invalid) cache.
+    pub fn new(cfg: CacheConfig) -> Cache {
+        cfg.validate();
+        Cache {
+            lines: vec![INVALID; (cfg.sets * cfg.ways) as usize],
+            bank_free_at: vec![0; cfg.banks as usize],
+            lru_clock: 0,
+            offset_bits: cfg.line_bytes.trailing_zeros(),
+            index_mask: (cfg.sets - 1) as u64,
+            cfg,
+        }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    #[inline]
+    fn set_of(&self, addr: u64) -> u64 {
+        (addr >> self.offset_bits) & self.index_mask
+    }
+
+    #[inline]
+    fn tag_of(&self, addr: u64) -> u64 {
+        addr >> (self.offset_bits + self.cfg.sets.trailing_zeros())
+    }
+
+    #[inline]
+    fn bank_of(&self, addr: u64) -> usize {
+        ((addr >> self.offset_bits) & (self.cfg.banks as u64 - 1)) as usize
+    }
+
+    /// Base address of the line containing `addr`.
+    #[inline]
+    pub fn line_base(&self, addr: u64) -> u64 {
+        addr & !((self.cfg.line_bytes as u64) - 1)
+    }
+
+    /// Performs a timing access at cycle `now`.
+    ///
+    /// On a miss the line is *not* yet filled — call [`Cache::fill`] once
+    /// the lower level returns so the fill time ordering is honored.
+    /// On a hit the LRU state is updated and stores mark the line dirty.
+    pub fn access(&mut self, addr: u64, is_store: bool, now: u64) -> Lookup {
+        let bank = self.bank_of(addr);
+        let start = now.max(self.bank_free_at[bank]);
+        // The bank is busy for one cycle per access (tag + data array read).
+        self.bank_free_at[bank] = start + 1;
+        self.lookup(addr, is_store, start)
+    }
+
+    /// Like [`Cache::access`] but without occupying a bank — used by the
+    /// prefetcher, which probes tags opportunistically in idle slots.
+    pub fn access_quiet(&mut self, addr: u64, is_store: bool, now: u64) -> Lookup {
+        self.lookup(addr, is_store, now)
+    }
+
+    fn lookup(&mut self, addr: u64, is_store: bool, start: u64) -> Lookup {
+
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        self.lru_clock += 1;
+        let lru_now = self.lru_clock;
+
+        let base = (set * self.cfg.ways as u64) as usize;
+        for way in 0..self.cfg.ways as usize {
+            let line = &mut self.lines[base + way];
+            if line.valid && line.tag == tag {
+                line.lru = lru_now;
+                if is_store {
+                    line.dirty = true;
+                }
+                let ready_at = line.ready_at;
+                return Lookup { hit: true, start, ready_at, writeback: None };
+            }
+        }
+        Lookup { hit: false, start, ready_at: start, writeback: None }
+    }
+
+    /// Installs the line containing `addr`, whose data arrives at
+    /// `ready_at` (the fill may still be in flight — accesses that hit it
+    /// before then wait). Returns the base address of a dirty victim if
+    /// one was evicted.
+    pub fn fill(&mut self, addr: u64, is_store: bool, ready_at: u64) -> Option<u64> {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        self.lru_clock += 1;
+        let lru_now = self.lru_clock;
+
+        let base = (set * self.cfg.ways as u64) as usize;
+        // Already present (e.g. a racing fill from another core's miss)?
+        for way in 0..self.cfg.ways as usize {
+            let line = &mut self.lines[base + way];
+            if line.valid && line.tag == tag {
+                line.lru = lru_now;
+                if is_store {
+                    line.dirty = true;
+                }
+                line.ready_at = line.ready_at.min(ready_at);
+                return None;
+            }
+        }
+        // Choose victim: first invalid way, else LRU.
+        let mut victim = 0usize;
+        let mut best_lru = u64::MAX;
+        for way in 0..self.cfg.ways as usize {
+            let line = &self.lines[base + way];
+            if !line.valid {
+                victim = way;
+                break;
+            }
+            if line.lru < best_lru {
+                best_lru = line.lru;
+                victim = way;
+            }
+        }
+        let line = &mut self.lines[base + victim];
+        let evicted = if line.valid && line.dirty {
+            // Reconstruct the victim's base address from tag+set.
+            let set_bits = self.cfg.sets.trailing_zeros();
+            Some((line.tag << (self.offset_bits + set_bits) | set << self.offset_bits) as u64)
+        } else {
+            None
+        };
+        *line = Line { tag, valid: true, dirty: is_store, lru: lru_now, ready_at };
+        evicted
+    }
+
+    /// Invalidates the line containing `addr` (coherence downgrade),
+    /// returning true if a valid line was dropped.
+    pub fn invalidate(&mut self, addr: u64) -> bool {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        let base = (set * self.cfg.ways as u64) as usize;
+        for way in 0..self.cfg.ways as usize {
+            let line = &mut self.lines[base + way];
+            if line.valid && line.tag == tag {
+                line.valid = false;
+                line.dirty = false;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// True if the line containing `addr` is resident.
+    pub fn contains(&self, addr: u64) -> bool {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        let base = (set * self.cfg.ways as u64) as usize;
+        (0..self.cfg.ways as usize).any(|w| {
+            let l = &self.lines[base + w];
+            l.valid && l.tag == tag
+        })
+    }
+
+    /// Number of currently valid lines (for capacity invariants in tests).
+    pub fn valid_lines(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+
+    /// Hit latency in cycles.
+    pub fn hit_latency(&self) -> u32 {
+        self.cfg.hit_latency
+    }
+
+    /// MSHR count.
+    pub fn mshrs(&self) -> u32 {
+        self.cfg.mshrs
+    }
+}
+
+/// Tracks outstanding misses against a fixed MSHR budget.
+///
+/// Each MSHR is a slot that is *reserved* at [`MshrFile::admit`] and
+/// released when the recorded completion time passes. A miss that finds
+/// every slot reserved is delayed to the earliest slot-free time — the
+/// "higher cache MSHRs" limitation §5.2.2 of the paper points at for
+/// IS/MG.
+#[derive(Clone, Debug)]
+pub struct MshrFile {
+    slots: Vec<u64>,
+}
+
+/// Handle for a reserved MSHR slot (pass back to [`MshrFile::record`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MshrSlot(usize);
+
+impl MshrFile {
+    /// An MSHR file with `capacity` entries (`0` is clamped to 1:
+    /// a fully blocking cache still has one outstanding miss).
+    pub fn new(capacity: u32) -> MshrFile {
+        MshrFile { slots: vec![0; capacity.max(1) as usize] }
+    }
+
+    /// Reserves a slot for a miss issued at `now`; returns the slot and
+    /// the (possibly delayed) start cycle.
+    pub fn admit(&mut self, now: u64) -> (MshrSlot, u64) {
+        let (idx, &free) = self
+            .slots
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &f)| f)
+            .expect("MSHR file is never empty");
+        let start = now.max(free);
+        self.slots[idx] = u64::MAX; // reserved until record()
+        (MshrSlot(idx), start)
+    }
+
+    /// Records the completion time of an admitted miss, freeing its slot
+    /// at that time.
+    pub fn record(&mut self, slot: MshrSlot, completes: u64) {
+        self.slots[slot.0] = completes;
+    }
+
+    /// Number of slots still reserved or completing after `now`.
+    pub fn outstanding(&self, now: u64) -> usize {
+        self.slots.iter().filter(|&&c| c > now).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CacheConfig {
+        CacheConfig { sets: 4, ways: 2, line_bytes: 64, banks: 2, hit_latency: 2, mshrs: 4 }
+    }
+
+    #[test]
+    fn capacity_math() {
+        assert_eq!(small().capacity(), 4 * 2 * 64);
+        let rocket_l1 =
+            CacheConfig { sets: 64, ways: 8, line_bytes: 64, banks: 1, hit_latency: 2, mshrs: 2 };
+        assert_eq!(rocket_l1.capacity(), 32 * 1024); // Table 5: 32 KiB
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = Cache::new(small());
+        let a = 0x1000;
+        assert!(!c.access(a, false, 0).hit);
+        assert_eq!(c.fill(a, false, 0), None);
+        assert!(c.access(a, false, 10).hit);
+        assert!(c.contains(a));
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = Cache::new(small());
+        // Three lines mapping to the same set (set stride = sets*line = 256B).
+        let (a, b, d) = (0x0u64, 0x100u64, 0x200u64);
+        for addr in [a, b, d] {
+            c.access(addr, false, 0);
+            c.fill(addr, false, 0);
+        }
+        // 2 ways: `a` (oldest) must be gone, `b` and `d` resident.
+        assert!(!c.contains(a));
+        assert!(c.contains(b));
+        assert!(c.contains(d));
+    }
+
+    #[test]
+    fn touching_refreshes_lru() {
+        let mut c = Cache::new(small());
+        let (a, b, d) = (0x0u64, 0x100u64, 0x200u64);
+        c.access(a, false, 0);
+        c.fill(a, false, 0);
+        c.access(b, false, 1);
+        c.fill(b, false, 0);
+        c.access(a, false, 2); // refresh a
+        c.access(d, false, 3);
+        c.fill(d, false, 0); // should evict b, not a
+        assert!(c.contains(a));
+        assert!(!c.contains(b));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = Cache::new(small());
+        let (a, b, d) = (0x0u64, 0x100u64, 0x200u64);
+        c.access(a, true, 0);
+        c.fill(a, true, 0); // dirty
+        c.access(b, false, 1);
+        c.fill(b, false, 0);
+        c.access(d, false, 2);
+        let wb = c.fill(d, false, 0);
+        assert_eq!(wb, Some(a), "dirty line a must be written back");
+    }
+
+    #[test]
+    fn store_hit_marks_dirty() {
+        let mut c = Cache::new(small());
+        let (a, b, d) = (0x0u64, 0x100u64, 0x200u64);
+        c.access(a, false, 0);
+        c.fill(a, false, 0); // clean fill
+        c.access(a, true, 1); // store hit dirties it
+        c.access(b, false, 2);
+        c.fill(b, false, 0);
+        c.access(d, false, 3);
+        assert_eq!(c.fill(d, false, 0), Some(a));
+    }
+
+    #[test]
+    fn bank_conflicts_serialize() {
+        let mut c = Cache::new(small());
+        // Two addresses on the same bank (banks=2; lines 0 and 2 share bank 0).
+        let (a, b) = (0x0u64, 0x80u64);
+        assert_eq!(c.bank_of(a), c.bank_of(b));
+        let l1 = c.access(a, false, 5);
+        let l2 = c.access(b, false, 5);
+        assert_eq!(l1.start, 5);
+        assert_eq!(l2.start, 6, "same-bank access must wait for the bank");
+        // Different bank proceeds in parallel.
+        let l3 = c.access(0x40, false, 5);
+        assert_eq!(l3.start, 5);
+    }
+
+    #[test]
+    fn invalidate_drops_line() {
+        let mut c = Cache::new(small());
+        c.access(0x40, false, 0);
+        c.fill(0x40, false, 0);
+        assert!(c.invalidate(0x40));
+        assert!(!c.contains(0x40));
+        assert!(!c.invalidate(0x40));
+    }
+
+    #[test]
+    fn valid_lines_never_exceed_capacity() {
+        let mut c = Cache::new(small());
+        for i in 0..1000u64 {
+            let addr = i * 64;
+            if !c.access(addr, i % 3 == 0, i).hit {
+                c.fill(addr, i % 3 == 0, i);
+            }
+        }
+        assert!(c.valid_lines() <= (small().sets * small().ways) as usize);
+    }
+
+    #[test]
+    fn mshr_file_limits_overlap() {
+        let mut m = MshrFile::new(2);
+        let (s1, t1) = m.admit(0);
+        assert_eq!(t1, 0);
+        m.record(s1, 100);
+        let (s2, t2) = m.admit(1);
+        assert_eq!(t2, 1);
+        m.record(s2, 200);
+        // Both MSHRs busy: next miss waits for the earliest completion (100).
+        let (s3, t3) = m.admit(2);
+        assert_eq!(t3, 100);
+        m.record(s3, 300);
+        assert_eq!(m.outstanding(150), 2); // 200 and 300 still in flight
+        // A reserved (not yet recorded) slot blocks admission forever
+        // until recorded.
+        let (s4, t4) = m.admit(250);
+        assert_eq!(t4, 250); // the 200-slot freed
+        m.record(s4, 400);
+    }
+}

@@ -1,0 +1,36 @@
+//! # bsim-mem — memory-system timing substrate
+//!
+//! Cycle-level timing models for every level of the memory system the
+//! paper configures in its FireSim targets and measures on silicon:
+//!
+//! * [`cache`] — set-associative, banked, write-back caches with MSHRs
+//!   (L1I, L1D and the shared L2 of a Rocket/BOOM tile),
+//! * [`bus`] — the system bus between the tile and the outer memory
+//!   system (the 64-bit vs. 128-bit knob of Table 4),
+//! * [`llc`] — two last-level-cache models: FireSim's *simplified
+//!   SRAM-like* LLC (explicitly called out in §4 of the paper as ignoring
+//!   tag/data latency) and a latency-accurate silicon LLC,
+//! * [`dram`] — an FR-FCFS bank/rank/row DRAM timing model with presets
+//!   for the paper's three memory systems: DDR3-2000 quad-rank (the only
+//!   model FireSim supports), 4-channel DDR4-3200 (MILK-V Pioneer) and
+//!   dual 32-bit LPDDR4-2666 (Banana Pi BPI-F3),
+//! * [`hierarchy`] — glues the levels into a per-SoC [`MemoryHierarchy`]
+//!   that cores call with `(core, addr, kind, issue_cycle)` and get back a
+//!   completion cycle plus which level served the access.
+//!
+//! All externally visible times are **core clock cycles**; DRAM timing is
+//! specified in nanoseconds and converted at the configured core clock.
+
+pub mod bus;
+pub mod cache;
+pub mod dram;
+pub mod hierarchy;
+pub mod llc;
+pub mod stats;
+
+pub use bus::{Bus, BusConfig};
+pub use cache::{Cache, CacheConfig};
+pub use dram::{DramConfig, DramModel};
+pub use hierarchy::{AccessKind, AccessOutcome, HierarchyConfig, HitLevel, MemoryHierarchy};
+pub use llc::{LlcConfig, LlcModel};
+pub use stats::MemStats;

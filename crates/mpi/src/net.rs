@@ -1,0 +1,84 @@
+//! Communication cost model (LogGP-flavoured).
+
+use serde::{Deserialize, Serialize};
+
+/// Network/transport parameters, in core cycles of the host SoC.
+///
+/// The defaults model shared-memory MPI between cores of one cluster:
+/// sub-microsecond latency dominated by the MPI software stack, with
+/// bandwidth bounded by cache-to-cache copies.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NetConfig {
+    /// One-way message latency (software stack + interconnect), cycles.
+    pub latency: u64,
+    /// Streaming bandwidth for message payloads, bytes per cycle.
+    pub bytes_per_cycle: f64,
+    /// Sender-side overhead per message, cycles.
+    pub o_send: u64,
+    /// Receiver-side overhead per message, cycles.
+    pub o_recv: u64,
+}
+
+impl NetConfig {
+    /// Shared-memory MPI within one cluster (the paper's configuration).
+    pub fn shared_memory() -> NetConfig {
+        NetConfig { latency: 700, bytes_per_cycle: 8.0, o_send: 250, o_recv: 250 }
+    }
+
+    /// A multi-node interconnect (for the future-work §7 scaling study):
+    /// ~1.5 µs latency at 2 GHz and ~10 GB/s effective bandwidth.
+    pub fn ethernet_10g() -> NetConfig {
+        NetConfig { latency: 3000, bytes_per_cycle: 5.0, o_send: 800, o_recv: 800 }
+    }
+
+    /// Cycles to stream `bytes` of payload.
+    pub fn transfer_cycles(&self, bytes: usize) -> u64 {
+        (bytes as f64 / self.bytes_per_cycle).ceil() as u64
+    }
+
+    /// Arrival time of a message sent at `send_time`.
+    pub fn arrival(&self, send_time: u64, bytes: usize) -> u64 {
+        send_time + self.o_send + self.transfer_cycles(bytes) + self.latency
+    }
+
+    /// Completion time of a collective entered by all ranks by `max_entry`,
+    /// with `ranks` participants moving `bytes` each (binary-tree cost).
+    pub fn collective_cost(&self, max_entry: u64, ranks: usize, bytes: usize) -> u64 {
+        if ranks <= 1 {
+            return max_entry;
+        }
+        let stages = (ranks as f64).log2().ceil() as u64;
+        max_entry
+            + stages * (self.latency + self.o_send + self.o_recv)
+            + stages * self.transfer_cycles(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bigger_messages_take_longer() {
+        let n = NetConfig::shared_memory();
+        assert!(n.arrival(0, 1 << 20) > n.arrival(0, 64));
+    }
+
+    #[test]
+    fn collective_scales_logarithmically() {
+        let n = NetConfig::shared_memory();
+        let c2 = n.collective_cost(0, 2, 8);
+        let c4 = n.collective_cost(0, 4, 8);
+        let c8 = n.collective_cost(0, 8, 8);
+        assert_eq!(c4 - c2, c8 - c4, "each doubling adds one stage");
+        assert_eq!(n.collective_cost(123, 1, 8), 123, "one rank is free");
+    }
+
+    #[test]
+    fn transfer_rounds_up() {
+        let n = NetConfig { latency: 0, bytes_per_cycle: 8.0, o_send: 0, o_recv: 0 };
+        assert_eq!(n.transfer_cycles(1), 1);
+        assert_eq!(n.transfer_cycles(16), 2);
+        assert_eq!(n.transfer_cycles(17), 3);
+    }
+}

@@ -1,0 +1,609 @@
+//! Rank execution, turn-taking scheduler, matching and collectives.
+
+use crate::net::NetConfig;
+use bsim_soc::{RunReport, Soc, SocConfig};
+use bsim_uarch::MicroOp;
+use parking_lot::{Condvar, Mutex};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Reduction operators for [`RankCtx::allreduce_f64`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Element-wise sum.
+    Sum,
+    /// Element-wise maximum.
+    Max,
+    /// Element-wise minimum.
+    Min,
+}
+
+/// Result of a complete MPI run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WorldReport {
+    /// SoC-level report (cycles = slowest rank, drained).
+    pub run: RunReport,
+    /// Final virtual time of each rank.
+    pub rank_cycles: Vec<u64>,
+    /// Point-to-point messages sent.
+    pub messages: u64,
+    /// Point-to-point payload bytes sent.
+    pub bytes: u64,
+}
+
+struct Msg {
+    arrival: u64,
+    payload: Vec<u8>,
+}
+
+#[derive(Clone)]
+enum CollResult {
+    None,
+    F64s(Vec<f64>),
+    /// Per-destination-rank payloads (alltoall).
+    PerRank(Vec<Vec<u8>>),
+}
+
+struct CollState {
+    generation: u64,
+    arrived: usize,
+    entries: Vec<u64>,
+    reduce: Vec<f64>,
+    matrix: Vec<Vec<Vec<u8>>>, // [src][dst]
+    bytes: usize,
+    // Published (completed) collective:
+    done_generation: u64, // = generation of the finished collective + 1
+    release: u64,
+    result: CollResult,
+}
+
+struct Sched {
+    current: usize,
+    finished: Vec<bool>,
+    poisoned: bool,
+    coll: CollState,
+}
+
+struct Shared {
+    soc: Mutex<Soc>,
+    mail: Mutex<HashMap<(usize, usize, u32), VecDeque<Msg>>>,
+    sched: Mutex<Sched>,
+    cv: Condvar,
+    net: NetConfig,
+    ranks: usize,
+    progress: AtomicU64,
+    messages: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl Shared {
+    fn acquire_turn(&self, rank: usize) {
+        let mut s = self.sched.lock();
+        while s.current != rank && !s.poisoned {
+            self.cv.wait(&mut s);
+        }
+        if s.poisoned {
+            // A sibling rank panicked; unwind this thread too so the
+            // world's scope can report the original failure.
+            drop(s);
+            panic!("MPI world poisoned by a failing rank");
+        }
+    }
+
+    /// Marks the world failed and wakes every waiting rank.
+    fn poison(&self) {
+        self.sched.lock().poisoned = true;
+        self.cv.notify_all();
+    }
+
+    fn pass_turn(&self, rank: usize) {
+        let mut s = self.sched.lock();
+        debug_assert!(s.current == rank || s.poisoned, "only the turn holder may pass");
+        let n = self.ranks;
+        let mut next = rank;
+        for step in 1..=n {
+            let cand = (rank + step) % n;
+            if !s.finished[cand] {
+                next = cand;
+                break;
+            }
+        }
+        s.current = next;
+        drop(s);
+        self.cv.notify_all();
+    }
+
+    /// Gives every other rank a chance to run, then returns with the turn.
+    fn yield_turn(&self, rank: usize) {
+        self.pass_turn(rank);
+        self.acquire_turn(rank);
+    }
+
+    fn bump(&self) {
+        self.progress.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The per-rank handle passed to the rank program.
+pub struct RankCtx {
+    shared: Arc<Shared>,
+    rank: usize,
+    simd_lanes: u32,
+    compiler_overhead: u32,
+    /// Spin counter for deadlock detection.
+    stalls: u64,
+}
+
+impl RankCtx {
+    /// This rank's id (0-based).
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    pub fn size(&self) -> usize {
+        self.shared.ranks
+    }
+
+    /// The platform's vector width in f64 lanes (1 = scalar; the
+    /// FireSim targets run without vector units, §3.1.1).
+    pub fn simd_lanes(&self) -> u32 {
+        self.simd_lanes
+    }
+
+    /// Extra dynamic ops per 1000 from the platform's compiler
+    /// generation (Table 3: GCC 9.4.0 on FireSim vs 13.2 on silicon).
+    pub fn compiler_overhead_per_mille(&self) -> u32 {
+        self.compiler_overhead
+    }
+
+    /// Current virtual time (cycles) of this rank's core.
+    pub fn time(&self) -> u64 {
+        self.shared.soc.lock().core_cycles(self.rank)
+    }
+
+    /// Feeds one micro-op to this rank's simulated core.
+    pub fn consume(&mut self, uop: &MicroOp) {
+        self.shared.soc.lock().consume(self.rank, uop);
+    }
+
+    /// Feeds a batch of micro-ops under one lock acquisition.
+    pub fn consume_batch(&mut self, uops: &[MicroOp]) {
+        let mut soc = self.shared.soc.lock();
+        for u in uops {
+            soc.consume(self.rank, u);
+        }
+    }
+
+    /// Advances this rank's clock by `cycles` of opaque work (used for
+    /// costs that are modeled analytically rather than per-op).
+    pub fn charge(&mut self, cycles: u64) {
+        let mut soc = self.shared.soc.lock();
+        let t = soc.core_cycles(self.rank) + cycles;
+        soc.advance_core(self.rank, t);
+    }
+
+    fn stall_check(&mut self, last_progress: u64, what: &str) {
+        if self.shared.progress.load(Ordering::Relaxed) != last_progress {
+            self.stalls = 0;
+            return;
+        }
+        self.stalls += 1;
+        if self.stalls > 8 * self.shared.ranks as u64 + 64 {
+            self.shared.poison();
+            panic!("MPI deadlock: rank {} stuck in {what}", self.rank);
+        }
+    }
+
+    /// Sends `payload` to `dst` with `tag`. Non-blocking in virtual time
+    /// beyond the sender-side overhead and copy cost.
+    pub fn send(&mut self, dst: usize, tag: u32, payload: Vec<u8>) {
+        assert!(dst < self.shared.ranks && dst != self.rank, "invalid destination {dst}");
+        let nbytes = payload.len();
+        let arrival;
+        {
+            let mut soc = self.shared.soc.lock();
+            let local = soc.core_cycles(self.rank);
+            let busy = self.shared.net.o_send + self.shared.net.transfer_cycles(nbytes);
+            soc.advance_core(self.rank, local + busy);
+            arrival = self.shared.net.arrival(local, nbytes);
+        }
+        self.shared
+            .mail
+            .lock()
+            .entry((self.rank, dst, tag))
+            .or_default()
+            .push_back(Msg { arrival, payload });
+        self.shared.messages.fetch_add(1, Ordering::Relaxed);
+        self.shared.bytes.fetch_add(nbytes as u64, Ordering::Relaxed);
+        self.shared.bump();
+    }
+
+    /// Receives the next message from `src` with `tag`, blocking in both
+    /// host time (turn-yielding) and virtual time (clock advance).
+    pub fn recv(&mut self, src: usize, tag: u32) -> Vec<u8> {
+        assert!(src < self.shared.ranks && src != self.rank, "invalid source {src}");
+        self.stalls = 0;
+        loop {
+            let last = self.shared.progress.load(Ordering::Relaxed);
+            let msg = self.shared.mail.lock().get_mut(&(src, self.rank, tag)).and_then(
+                |q: &mut VecDeque<Msg>| q.pop_front(),
+            );
+            if let Some(m) = msg {
+                let mut soc = self.shared.soc.lock();
+                let local = soc.core_cycles(self.rank);
+                let done = m.arrival.max(local) + self.shared.net.o_recv;
+                soc.advance_core(self.rank, done);
+                self.shared.bump();
+                return m.payload;
+            }
+            self.shared.yield_turn(self.rank);
+            self.stall_check(last, "recv");
+        }
+    }
+
+    /// Sends a slice of f64s (little-endian payload).
+    pub fn send_f64s(&mut self, dst: usize, tag: u32, vals: &[f64]) {
+        let mut payload = Vec::with_capacity(vals.len() * 8);
+        for v in vals {
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+        self.send(dst, tag, payload);
+    }
+
+    /// Receives a slice of f64s.
+    pub fn recv_f64s(&mut self, src: usize, tag: u32) -> Vec<f64> {
+        let raw = self.recv(src, tag);
+        raw.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect()
+    }
+
+    /// Core of every collective: deposit a contribution, wait for all
+    /// ranks, pick up the published result and the release time.
+    fn collective(
+        &mut self,
+        bytes: usize,
+        deposit: impl FnOnce(&mut CollState, usize),
+    ) -> CollResult {
+        let my_gen;
+        {
+            let my_time = self.time();
+            let mut s = self.shared.sched.lock();
+            my_gen = s.coll.generation;
+            s.coll.entries[self.rank] = my_time;
+            deposit(&mut s.coll, self.rank);
+            s.coll.bytes = s.coll.bytes.max(bytes);
+            s.coll.arrived += 1;
+            if s.coll.arrived == self.shared.ranks {
+                // Last arriver publishes.
+                let max_entry = *s.coll.entries.iter().max().expect("non-empty");
+                let release =
+                    self.shared.net.collective_cost(max_entry, self.shared.ranks, s.coll.bytes);
+                s.coll.release = release;
+                s.coll.result = if !s.coll.matrix.iter().all(|m| m.is_empty()) {
+                    // alltoall: transpose the matrix into per-destination rows.
+                    let n = self.shared.ranks;
+                    let mut per_rank: Vec<Vec<u8>> = vec![Vec::new(); n * n];
+                    for (src, row) in s.coll.matrix.iter_mut().enumerate() {
+                        for (dst, payload) in row.drain(..).enumerate() {
+                            per_rank[dst * n + src] = payload;
+                        }
+                    }
+                    CollResult::PerRank(per_rank)
+                } else if s.coll.reduce.is_empty() {
+                    CollResult::None
+                } else {
+                    CollResult::F64s(std::mem::take(&mut s.coll.reduce))
+                };
+                s.coll.done_generation = my_gen + 1;
+                s.coll.generation += 1;
+                s.coll.arrived = 0;
+                s.coll.bytes = 0;
+                for m in &mut s.coll.matrix {
+                    m.clear();
+                }
+                self.shared.bump();
+            }
+        }
+        // Wait for publication.
+        self.stalls = 0;
+        loop {
+            let last = self.shared.progress.load(Ordering::Relaxed);
+            {
+                let s = self.shared.sched.lock();
+                if s.coll.done_generation > my_gen {
+                    let release = s.coll.release;
+                    let result = s.coll.result.clone();
+                    drop(s);
+                    let mut soc = self.shared.soc.lock();
+                    soc.advance_core(self.rank, release);
+                    return result;
+                }
+            }
+            self.shared.yield_turn(self.rank);
+            self.stall_check(last, "collective");
+        }
+    }
+
+    /// Barrier: all ranks leave at `max(entry) + cost`.
+    pub fn barrier(&mut self) {
+        let _ = self.collective(0, |_, _| {});
+    }
+
+    /// Element-wise allreduce over f64 vectors.
+    pub fn allreduce_f64(&mut self, vals: &[f64], op: ReduceOp) -> Vec<f64> {
+        let n = vals.len();
+        let r = self.collective(n * 8, |c, _| {
+            if c.reduce.is_empty() {
+                c.reduce = vals.to_vec();
+            } else {
+                assert_eq!(c.reduce.len(), n, "allreduce length mismatch across ranks");
+                for (acc, v) in c.reduce.iter_mut().zip(vals) {
+                    *acc = match op {
+                        ReduceOp::Sum => *acc + v,
+                        ReduceOp::Max => acc.max(*v),
+                        ReduceOp::Min => acc.min(*v),
+                    };
+                }
+            }
+        });
+        match r {
+            CollResult::F64s(v) => v,
+            _ => unreachable!("allreduce publishes F64s"),
+        }
+    }
+
+    /// Personalized all-to-all: `sends[d]` goes to rank `d`; returns the
+    /// payloads received from every rank (index = source).
+    pub fn alltoallv(&mut self, sends: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+        assert_eq!(sends.len(), self.shared.ranks, "one payload per destination");
+        let total: usize = sends.iter().map(Vec::len).sum();
+        self.shared.bytes.fetch_add(total as u64, Ordering::Relaxed);
+        self.shared.messages.fetch_add(self.shared.ranks as u64 - 1, Ordering::Relaxed);
+        let rank = self.rank;
+        let n = self.shared.ranks;
+        let r = self.collective(total, move |c, _| {
+            c.matrix[rank] = sends;
+        });
+        match r {
+            CollResult::PerRank(flat) => {
+                flat[rank * n..(rank + 1) * n].to_vec()
+            }
+            _ => unreachable!("alltoall publishes PerRank"),
+        }
+    }
+}
+
+/// The MPI world: builds the SoC, spawns rank threads, runs `program` on
+/// each, and reports.
+pub struct MpiWorld;
+
+impl MpiWorld {
+    /// Runs `program` on `ranks` ranks over a fresh SoC built from `cfg`.
+    ///
+    /// `program` is invoked once per rank with that rank's [`RankCtx`].
+    /// Execution is deterministic: a rank runs until it blocks (recv,
+    /// collective) and the turn passes to the next runnable rank in
+    /// round-robin order.
+    pub fn run<F>(cfg: SocConfig, ranks: usize, net: NetConfig, program: F) -> WorldReport
+    where
+        F: Fn(&mut RankCtx) + Sync,
+    {
+        assert!(ranks >= 1 && ranks <= cfg.cores, "ranks must fit the SoC cores");
+        let simd_lanes = cfg.simd_lanes;
+        let compiler_overhead = cfg.compiler_overhead_per_mille;
+        let shared = Arc::new(Shared {
+            soc: Mutex::new(Soc::new(cfg)),
+            mail: Mutex::new(HashMap::new()),
+            sched: Mutex::new(Sched {
+                current: 0,
+                finished: vec![false; ranks],
+                poisoned: false,
+                coll: CollState {
+                    generation: 0,
+                    arrived: 0,
+                    entries: vec![0; ranks],
+                    reduce: Vec::new(),
+                    matrix: vec![Vec::new(); ranks],
+                    bytes: 0,
+                    done_generation: 0,
+                    release: 0,
+                    result: CollResult::None,
+                },
+            }),
+            cv: Condvar::new(),
+            net,
+            ranks,
+            progress: AtomicU64::new(0),
+            messages: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+        });
+
+        crossbeam::thread::scope(|scope| {
+            for rank in 0..ranks {
+                let shared = Arc::clone(&shared);
+                let program = &program;
+                scope.spawn(move |_| {
+                    shared.acquire_turn(rank);
+                    let mut ctx = RankCtx {
+                        shared: Arc::clone(&shared),
+                        rank,
+                        simd_lanes,
+                        compiler_overhead,
+                        stalls: 0,
+                    };
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        program(&mut ctx)
+                    }));
+                    if outcome.is_err() {
+                        shared.poison();
+                        std::panic::resume_unwind(outcome.unwrap_err());
+                    }
+                    {
+                        let mut s = shared.sched.lock();
+                        s.finished[rank] = true;
+                    }
+                    shared.bump();
+                    shared.pass_turn(rank);
+                });
+            }
+        })
+        .unwrap_or_else(|_| panic!("MPI deadlock or rank failure (world poisoned)"));
+
+        let mut soc = shared.soc.lock();
+        let rank_cycles: Vec<u64> = (0..ranks).map(|r| soc.core_cycles(r)).collect();
+        let run = soc.report(None);
+        WorldReport {
+            run,
+            rank_cycles,
+            messages: shared.messages.load(Ordering::Relaxed),
+            bytes: shared.bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsim_soc::configs;
+
+    fn world<F: Fn(&mut RankCtx) + Sync>(ranks: usize, f: F) -> WorldReport {
+        MpiWorld::run(configs::rocket1(ranks.max(1)), ranks, NetConfig::shared_memory(), f)
+    }
+
+    #[test]
+    fn ping_pong_orders_virtual_time() {
+        let rep = world(2, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 7, vec![1, 2, 3]);
+                let back = ctx.recv(1, 8);
+                assert_eq!(back, vec![4, 5]);
+            } else {
+                let msg = ctx.recv(0, 7);
+                assert_eq!(msg, vec![1, 2, 3]);
+                ctx.send(0, 8, vec![4, 5]);
+            }
+        });
+        assert_eq!(rep.messages, 2);
+        assert_eq!(rep.bytes, 5);
+        // Round trip must cost at least two one-way latencies.
+        let net = NetConfig::shared_memory();
+        assert!(rep.rank_cycles[0] >= 2 * net.latency);
+    }
+
+    #[test]
+    fn recv_waits_for_sender_virtual_time() {
+        let rep = world(2, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.charge(100_000); // sender is busy for a long time first
+                ctx.send(1, 0, vec![9]);
+            } else {
+                let _ = ctx.recv(0, 0); // posted at t≈0
+            }
+        });
+        assert!(
+            rep.rank_cycles[1] >= 100_000,
+            "receiver must wait for the sender's virtual send time: {:?}",
+            rep.rank_cycles
+        );
+    }
+
+    #[test]
+    fn messages_match_fifo_per_tag() {
+        world(2, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 1, vec![1]);
+                ctx.send(1, 1, vec![2]);
+                ctx.send(1, 2, vec![3]);
+            } else {
+                assert_eq!(ctx.recv(0, 2), vec![3], "tags are independent queues");
+                assert_eq!(ctx.recv(0, 1), vec![1], "FIFO within a tag");
+                assert_eq!(ctx.recv(0, 1), vec![2]);
+            }
+        });
+    }
+
+    #[test]
+    fn barrier_aligns_clocks() {
+        let rep = world(4, |ctx| {
+            ctx.charge(1000 * (ctx.rank() as u64 + 1)); // skewed work
+            ctx.barrier();
+        });
+        let max = *rep.rank_cycles.iter().max().unwrap();
+        let min = *rep.rank_cycles.iter().min().unwrap();
+        assert_eq!(max, min, "all ranks leave a barrier at the same time");
+        assert!(max >= 4000, "slowest rank dominates");
+    }
+
+    #[test]
+    fn allreduce_sums_across_ranks() {
+        let rep = world(4, |ctx| {
+            let mine = vec![ctx.rank() as f64, 1.0];
+            let total = ctx.allreduce_f64(&mine, ReduceOp::Sum);
+            assert_eq!(total, vec![0.0 + 1.0 + 2.0 + 3.0, 4.0]);
+            let mx = ctx.allreduce_f64(&[ctx.rank() as f64], ReduceOp::Max);
+            assert_eq!(mx, vec![3.0]);
+        });
+        assert_eq!(rep.messages, 0, "collectives are modeled natively");
+    }
+
+    #[test]
+    fn alltoallv_transposes() {
+        world(3, |ctx| {
+            let me = ctx.rank() as u8;
+            let sends: Vec<Vec<u8>> =
+                (0..3).map(|d| if d == ctx.rank() { vec![] } else { vec![me * 10 + d as u8] }).collect();
+            let got = ctx.alltoallv(sends);
+            for (src, payload) in got.iter().enumerate() {
+                if src == ctx.rank() {
+                    assert!(payload.is_empty());
+                } else {
+                    assert_eq!(payload, &vec![src as u8 * 10 + me]);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let f = |ctx: &mut RankCtx| {
+            let n = ctx.size();
+            for round in 0..5u32 {
+                let next = (ctx.rank() + 1) % n;
+                let prev = (ctx.rank() + n - 1) % n;
+                ctx.charge(123 + ctx.rank() as u64 * 7);
+                ctx.send(next, round, vec![ctx.rank() as u8]);
+                let _ = ctx.recv(prev, round);
+                ctx.barrier();
+            }
+        };
+        let a = world(4, f);
+        let b = world(4, f);
+        assert_eq!(a.rank_cycles, b.rank_cycles, "turn-taking must be deterministic");
+        assert_eq!(a.run.cycles, b.run.cycles);
+    }
+
+    #[test]
+    fn compute_feeds_the_shared_soc() {
+        let rep = world(2, |ctx| {
+            let uop = MicroOp::alu(0x1_0000, Some(5), [None; 3]);
+            for _ in 0..500 {
+                ctx.consume(&uop);
+            }
+            ctx.barrier();
+        });
+        assert!(rep.run.retired >= 1000, "both ranks' uops must be counted");
+        assert!(rep.run.cycles >= 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "MPI deadlock")]
+    fn deadlock_is_detected() {
+        world(2, |ctx| {
+            // Both ranks receive first: classic deadlock.
+            let other = 1 - ctx.rank();
+            let _ = ctx.recv(other, 0);
+        });
+    }
+}

@@ -1,0 +1,100 @@
+//! Functional-unit latencies.
+
+use bsim_isa::OpClass;
+use serde::{Deserialize, Serialize};
+
+/// Execution latency (issue → result ready) per operation class, cycles.
+///
+/// Defaults follow the published Rocket/BOOM numbers: pipelined 3-cycle
+/// integer multiply, iterative ~64-cycle divide, 4-cycle FMA pipeline,
+/// iterative FP divide. `fsin` stands in for a software `sin()` call
+/// (~50–80 instructions of polynomial evaluation on these cores).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpLatencies {
+    /// Integer ALU.
+    pub int_alu: u32,
+    /// Integer multiply (pipelined).
+    pub int_mul: u32,
+    /// Integer divide (unpipelined).
+    pub int_div: u32,
+    /// FP add/compare/convert/move.
+    pub fp_alu: u32,
+    /// FP multiply / FMA (pipelined).
+    pub fp_mul: u32,
+    /// FP divide / sqrt (unpipelined).
+    pub fp_div: u32,
+    /// Transcendental stand-in (unpipelined).
+    pub fp_transcendental: u32,
+}
+
+impl OpLatencies {
+    /// Rocket-like defaults.
+    pub fn rocket() -> OpLatencies {
+        OpLatencies {
+            int_alu: 1,
+            int_mul: 4,
+            int_div: 34,
+            fp_alu: 4,
+            fp_mul: 4,
+            fp_div: 22,
+            fp_transcendental: 70,
+        }
+    }
+
+    /// BOOM-like defaults (shorter FP pipes, faster divider).
+    pub fn boom() -> OpLatencies {
+        OpLatencies {
+            int_alu: 1,
+            int_mul: 3,
+            int_div: 20,
+            fp_alu: 3,
+            fp_mul: 4,
+            fp_div: 15,
+            fp_transcendental: 55,
+        }
+    }
+
+    /// Latency for `class` (memory classes return 0 — the hierarchy is
+    /// authoritative for those; control flow executes in the ALU).
+    pub fn of(&self, class: OpClass) -> u32 {
+        match class {
+            OpClass::IntAlu | OpClass::Branch | OpClass::Jump | OpClass::System => self.int_alu,
+            OpClass::IntMul => self.int_mul,
+            OpClass::IntDiv => self.int_div,
+            OpClass::FpAlu => self.fp_alu,
+            OpClass::FpMul => self.fp_mul,
+            OpClass::FpDiv => self.fp_div,
+            OpClass::FpTranscendental => self.fp_transcendental,
+            OpClass::Load | OpClass::Store => 0,
+        }
+    }
+
+    /// True when the unit blocks until the result is produced.
+    pub fn unpipelined(class: OpClass) -> bool {
+        matches!(class, OpClass::IntDiv | OpClass::FpDiv | OpClass::FpTranscendental)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn div_slower_than_mul() {
+        let l = OpLatencies::rocket();
+        assert!(l.of(OpClass::IntDiv) > l.of(OpClass::IntMul));
+        assert!(l.of(OpClass::FpDiv) > l.of(OpClass::FpMul));
+    }
+
+    #[test]
+    fn unpipelined_classes() {
+        assert!(OpLatencies::unpipelined(OpClass::IntDiv));
+        assert!(OpLatencies::unpipelined(OpClass::FpTranscendental));
+        assert!(!OpLatencies::unpipelined(OpClass::IntMul));
+    }
+
+    #[test]
+    fn boom_div_faster_than_rocket() {
+        assert!(OpLatencies::boom().int_div < OpLatencies::rocket().int_div);
+    }
+}

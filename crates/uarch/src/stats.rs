@@ -1,0 +1,60 @@
+//! Per-core timing statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated by a timing core.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CoreStats {
+    /// Total cycles.
+    pub cycles: u64,
+    /// Retired micro-ops.
+    pub retired: u64,
+    /// Conditional branches seen.
+    pub branches: u64,
+    /// Mispredicted control-flow ops (any class).
+    pub mispredicts: u64,
+    /// Cycles the front-end was stalled on instruction fetch.
+    pub fetch_stall_cycles: u64,
+    /// Cycles lost waiting on operands (scoreboard / IQ wait).
+    pub data_stall_cycles: u64,
+    /// Cycles lost waiting for structural resources (ROB/LSQ/store buffer).
+    pub structural_stall_cycles: u64,
+    /// Extra cycles paid to the TLB.
+    pub tlb_stall_cycles: u64,
+    /// Loads issued.
+    pub loads: u64,
+    /// Stores issued.
+    pub stores: u64,
+}
+
+impl CoreStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired as f64 / self.cycles as f64
+        }
+    }
+
+    /// Branch misprediction rate over conditional branches.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.branches as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_handles_zero() {
+        assert_eq!(CoreStats::default().ipc(), 0.0);
+        let s = CoreStats { cycles: 100, retired: 150, ..Default::default() };
+        assert!((s.ipc() - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,27 @@
+//! # bsim-workloads — every workload the paper runs
+//!
+//! * [`microbench`] — the 40-kernel MicroBench suite of Table 1
+//!   (Desikan/Burger/Keckler-style single-feature kernels across five
+//!   categories), written as RV64 assembly against `bsim-isa` and
+//!   executed instruction-by-instruction through the timing cores;
+//! * [`npb`] — CG, EP, IS and MG from the NAS Parallel Benchmarks
+//!   (Table 2), as real Rust computations that emit micro-op traces and
+//!   MPI traffic shaped like the originals (class-A geometry, size
+//!   scaled — see DESIGN.md §5);
+//! * [`ume`] — the UME unstructured-mesh proxy app: a 3-D hexahedral
+//!   mesh with explicit zone/face/point/corner connectivity, running the
+//!   paper's three kernels (original gather, inverted gather, face-area)
+//!   with the multi-level indirection that gives UME its high
+//!   load-to-flop ratio;
+//! * [`md`] — LAMMPS-style molecular dynamics: the Lennard-Jones melt
+//!   and bead-spring polymer Chain benchmarks with cell lists, Verlet
+//!   integration and spatial domain decomposition over MPI.
+
+pub mod md;
+pub mod microbench;
+pub mod npb;
+pub mod trace;
+pub mod ume;
+
+pub use microbench::{suite, Category, MicroKernel};
+pub use trace::TraceGen;

@@ -1,0 +1,17 @@
+//! LAMMPS-style molecular dynamics (§3.2.4).
+//!
+//! Two benchmarks, both 32,000-atom / 100-timestep shaped in the paper
+//! and size-scaled here (DESIGN.md §5):
+//!
+//! * [`lj`] — the *Lennard-Jones melt*: an FCC lattice of LJ particles
+//!   at reduced density 0.8442, cell lists, velocity-Verlet integration,
+//! * [`chain`] — the *polymer Chain* benchmark: bead-spring chains with
+//!   FENE bonds and purely repulsive (WCA) pair interactions.
+//!
+//! Parallelization is LAMMPS-style spatial domain decomposition: slabs
+//! along x, per-step halo exchange of boundary-cell positions, and
+//! migration of atoms that cross slab boundaries.
+
+pub mod chain;
+pub mod common;
+pub mod lj;

@@ -1,0 +1,10 @@
+//! NAS Parallel Benchmarks (Table 2): CG, EP, IS, MG.
+//!
+//! Real computations with class-A-shaped geometry at reduced size (see
+//! DESIGN.md §5); each emits its micro-op and MPI traffic through the
+//! rank's simulated core.
+
+pub mod cg;
+pub mod ep;
+pub mod is;
+pub mod mg;

@@ -1,0 +1,72 @@
+//! Property tests for the workloads: scale monotonicity of every
+//! microbenchmark, MD physics invariants, and sort correctness across
+//! random IS configurations.
+
+use bsim_isa::{Cpu, RunResult};
+use bsim_mpi::NetConfig;
+use bsim_soc::configs;
+use bsim_workloads::md::common::{fcc_lattice, CellList};
+use bsim_workloads::microbench;
+use bsim_workloads::npb::is;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn every_kernel_scales_monotonically(idx in 0usize..40) {
+        let k = &microbench::suite()[idx];
+        let run = |s| {
+            let mut cpu = Cpu::new(&k.build(s));
+            prop_assert!(matches!(cpu.run(400_000_000), RunResult::Exited(0)));
+            Ok(cpu.instret)
+        };
+        let a = run(1)?;
+        let b = run(2)?;
+        prop_assert!(b >= a, "{}: scale 2 must not shrink work ({a} -> {b})", k.name);
+    }
+
+    #[test]
+    fn is_sorts_for_random_shapes(
+        keys_exp in 9u32..12,
+        max_key_exp in 8u32..13,
+        ranks in 1usize..5,
+    ) {
+        let cfg = is::IsConfig {
+            keys_per_rank: 1 << keys_exp,
+            max_key: 1 << max_key_exp,
+            iterations: 1,
+        };
+        let r = is::run(configs::rocket1(ranks.max(1)), ranks.max(1), cfg, NetConfig::shared_memory());
+        prop_assert!(r.sorted, "IS must sort for keys=2^{keys_exp}, max=2^{max_key_exp}, ranks={ranks}");
+        prop_assert_eq!(r.total_keys, (ranks.max(1)) << keys_exp);
+    }
+
+    #[test]
+    fn cell_list_is_a_partition(cells in 2usize..5, density in 0.4f64..1.2) {
+        let sys = fcc_lattice(cells, density);
+        let cl = CellList::build(&sys, 2.5);
+        let total: usize = cl.cells.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, sys.len());
+        // Every id appears exactly once.
+        let mut seen = vec![false; sys.len()];
+        for c in &cl.cells {
+            for &j in c {
+                prop_assert!(!seen[j as usize], "atom {j} binned twice");
+                seen[j as usize] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn minimum_image_symmetry(cells in 2usize..4, i in 0usize..32, j in 0usize..32) {
+        let sys = fcc_lattice(cells, 0.8442);
+        let i = i % sys.len();
+        let j = j % sys.len();
+        let dij = sys.delta(i, j);
+        let dji = sys.delta(j, i);
+        for k in 0..3 {
+            prop_assert!((dij[k] + dji[k]).abs() < 1e-9, "delta must be antisymmetric");
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Quickstart: model a FireSim target and the silicon it approximates,
+//! run one microbenchmark and one NPB kernel on both, and print the
+//! paper's relative-speedup metric.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use silicon_bridge::core::metrics::relative_speedup;
+use silicon_bridge::mpi::NetConfig;
+use silicon_bridge::soc::{configs, Soc};
+use silicon_bridge::workloads::npb::ep;
+use silicon_bridge::workloads::microbench;
+
+fn main() {
+    // ---- 1. Pick a platform pair from the paper's catalog -------------
+    // FireSim's "Banana Pi Sim Model" (Rocket cores + DDR3, Table 4/5)
+    // and the Banana Pi hardware reference it approximates.
+    let sim_cfg = configs::banana_pi_sim(1);
+    let hw_cfg = configs::banana_pi_hw(1);
+    println!("simulation model: {}", sim_cfg.name);
+    println!("hardware target : {}\n", hw_cfg.name);
+
+    // ---- 2. Run a microbenchmark on both -------------------------------
+    // "Cca" is Table 1's completely-biased-branch kernel.
+    let kernel = microbench::suite().into_iter().find(|k| k.name == "Cca").unwrap();
+    let prog = kernel.build(1);
+
+    let sim = Soc::new(sim_cfg.clone()).run_program(0, &prog, u64::MAX);
+    let hw = Soc::new(hw_cfg.clone()).run_program(0, &prog, u64::MAX);
+
+    println!("Cca ({}):", kernel.description);
+    println!("  {:24} {:>12} cycles  IPC {:.3}", sim.platform, sim.cycles, sim.ipc());
+    println!("  {:24} {:>12} cycles  IPC {:.3}", hw.platform, hw.cycles, hw.ipc());
+    println!(
+        "  relative speedup (1.0 = perfect match): {:.3}\n",
+        relative_speedup(hw.seconds, sim.seconds)
+    );
+
+    // ---- 3. Run an MPI workload on both ----------------------------------
+    // NPB EP on 4 ranks of each platform's 4-core cluster.
+    let ep_cfg = ep::EpConfig { pairs_per_rank: 4096 };
+    let net = NetConfig::shared_memory();
+    let sim_ep = ep::run(configs::banana_pi_sim(4), 4, ep_cfg, net);
+    let hw_ep = ep::run(configs::banana_pi_hw(4), 4, ep_cfg, net);
+
+    println!("NPB EP, 4 MPI ranks ({} Gaussian pairs/rank):", ep_cfg.pairs_per_rank);
+    println!(
+        "  {:24} {:>12} cycles   ({} accepted)",
+        "Banana Pi Sim Model", sim_ep.report.run.cycles, sim_ep.accepted
+    );
+    println!(
+        "  {:24} {:>12} cycles   ({} accepted)",
+        "Banana Pi", hw_ep.report.run.cycles, hw_ep.accepted
+    );
+    assert_eq!(sim_ep.accepted, hw_ep.accepted, "same program, same answer");
+    let rel = relative_speedup(
+        hw_ep.report.run.cycles as f64 / (hw_cfg.freq_ghz * 1e9),
+        sim_ep.report.run.cycles as f64 / (sim_cfg.freq_ghz * 1e9),
+    );
+    println!("  relative speedup: {rel:.3}");
+}

@@ -1,0 +1,54 @@
+//! The paper's §4 methodology, end to end: use microbenchmarks to pick
+//! the stock core configuration that best matches a hardware target,
+//! then show what the cache-hierarchy tuning buys.
+//!
+//! This is the workflow behind Figure 2 and the creation of the "MILK-V
+//! Simulation Model": run Small/Medium/Large BOOM against the MILK-V,
+//! select the closest (Large), then modify its caches to match Table 5.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example tune_model
+//! ```
+
+use silicon_bridge::core::tuning::choose_best_model;
+use silicon_bridge::soc::configs;
+use silicon_bridge::workloads::microbench;
+
+fn main() {
+    // A category-spanning probe set (fast subset of Table 1).
+    let probes: Vec<_> = microbench::evaluated()
+        .into_iter()
+        .filter(|k| {
+            ["Cca", "CCh", "CS1", "ED1", "EI", "EM5", "MD", "ML2", "MC", "DP1d", "DPT"]
+                .contains(&k.name)
+        })
+        .collect();
+    println!("probe kernels: {:?}\n", probes.iter().map(|k| k.name).collect::<Vec<_>>());
+
+    // ---- stage 1: pick the stock BOOM closest to the MILK-V -----------
+    let target = configs::milkv_hw(1);
+    let stock = vec![configs::small_boom(1), configs::medium_boom(1), configs::large_boom(1)];
+    let stage1 = choose_best_model(&stock, &target, &probes, 1);
+    println!("stage 1 — stock BOOM ranking vs {} (lower = closer):", target.name);
+    for (name, score) in &stage1.ranking {
+        println!("  {name:12} deviation {score:.4}");
+    }
+    println!("  selected: {}\n", stage1.best());
+
+    // ---- stage 2: does the cache-tuned model improve on the winner? ----
+    let tuned = vec![configs::large_boom(1), configs::milkv_sim(1)];
+    let stage2 = choose_best_model(&tuned, &target, &probes, 1);
+    println!("stage 2 — stock Large BOOM vs the tuned MILK-V Sim Model:");
+    for (name, score) in &stage2.ranking {
+        println!("  {name:18} deviation {score:.4}");
+    }
+    println!("  selected: {}\n", stage2.best());
+
+    // ---- detail: the per-kernel relative speedups of the final model ---
+    let detail = stage2.details.iter().find(|(n, _)| n == stage2.best()).unwrap();
+    println!("per-kernel relative speedup of {} (1.0 = match):", detail.0);
+    for (kernel, rel) in &detail.1 {
+        println!("  {kernel:8} {rel:.3}");
+    }
+}

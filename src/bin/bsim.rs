@@ -1,0 +1,160 @@
+//! `bsim` — command-line front end for the silicon-bridge experiments.
+//!
+//! ```text
+//! bsim list                         # platforms + experiments
+//! bsim table 1|2|4|5                # print a paper table
+//! bsim fig 1|2|3|4|5|6|7 [--smoke]  # regenerate a paper figure
+//! bsim micro <kernel> [platform]    # run one microbenchmark
+//! bsim tune                         # the §4 model-selection loop
+//! ```
+
+use silicon_bridge::core::experiments::{self, Sizes};
+use silicon_bridge::core::table;
+use silicon_bridge::core::tuning::choose_best_model;
+use silicon_bridge::soc::{configs, Soc, SocConfig};
+use silicon_bridge::workloads::microbench;
+
+fn platforms() -> Vec<SocConfig> {
+    vec![
+        configs::rocket1(1),
+        configs::rocket2(1),
+        configs::banana_pi_sim(1),
+        configs::fast_banana_pi_sim(1),
+        configs::small_boom(1),
+        configs::medium_boom(1),
+        configs::large_boom(1),
+        configs::milkv_sim(1),
+        configs::banana_pi_hw(1),
+        configs::milkv_hw(1),
+    ]
+}
+
+fn platform_by_name(name: &str) -> Option<SocConfig> {
+    platforms().into_iter().find(|p| p.name.eq_ignore_ascii_case(name))
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  bsim list\n  bsim table <1|2|4|5>\n  bsim fig <1..7> [--smoke]\n  \
+         bsim micro <kernel> [platform]\n  bsim tune"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("");
+    match cmd {
+        "list" => {
+            println!("platforms:");
+            for p in platforms() {
+                println!(
+                    "  {:26} {} GHz  {}  [{}]",
+                    p.name,
+                    p.freq_ghz,
+                    p.hierarchy.dram.name,
+                    if p.is_simulation { "FireSim model" } else { "silicon reference" }
+                );
+            }
+            println!("\nmicrobenchmarks (Table 1):");
+            for k in microbench::suite() {
+                println!("  {:10} {:13} {}", k.name, k.category.name(), k.description);
+            }
+            println!("\nfigures: 1 2 3 4 5 6 7   tables: 1 2 4 5");
+        }
+        "table" => {
+            match args.get(1).map(String::as_str) {
+                Some("4") => print!("{}", experiments::table4()),
+                Some("5") => print!("{}", experiments::table5()),
+                Some("1") => {
+                    for k in microbench::suite() {
+                        println!("{:10} {:13} {}", k.name, k.category.name(), k.description);
+                    }
+                }
+                Some("2") => {
+                    for (n, c) in [
+                        ("CG", "Memory Latency"),
+                        ("EP", "Compute"),
+                        ("IS", "Memory Latency, BW"),
+                        ("MG", "Memory Latency, BW"),
+                    ] {
+                        println!("{n:10} class A (size-scaled)  {c}");
+                    }
+                }
+                _ => usage(),
+            };
+        }
+        "fig" => {
+            let sizes =
+                if args.iter().any(|a| a == "--smoke") { Sizes::smoke() } else { Sizes::default() };
+            let figs: Vec<experiments::FigureData> = match args.get(1).map(String::as_str) {
+                Some("1") => vec![experiments::fig1_microbench_rocket(sizes.micro_scale)],
+                Some("2") => vec![experiments::fig2_microbench_boom(sizes.micro_scale)],
+                Some("3") => vec![
+                    experiments::fig3_npb_rocket(1, sizes),
+                    experiments::fig3_npb_rocket(4, sizes),
+                ],
+                Some("4") => vec![
+                    experiments::fig4a_npb_boom(1, sizes),
+                    experiments::fig4b_npb_boom(1, sizes),
+                    experiments::fig4b_npb_boom(4, sizes),
+                ],
+                Some("5") => vec![experiments::fig5_ume(sizes)],
+                Some("6") => vec![experiments::fig6_lammps_lj(sizes)],
+                Some("7") => vec![experiments::fig7_lammps_chain(sizes)],
+                _ => usage(),
+            };
+            for f in figs {
+                println!("{}", table::render(&f));
+            }
+        }
+        "micro" => {
+            let Some(kname) = args.get(1) else { usage() };
+            let Some(kernel) = microbench::suite().into_iter().find(|k| &k.name == kname) else {
+                eprintln!("unknown kernel {kname}; try `bsim list`");
+                std::process::exit(2);
+            };
+            let prog = kernel.build(1);
+            let targets: Vec<SocConfig> = match args.get(2) {
+                Some(p) => vec![platform_by_name(p).unwrap_or_else(|| {
+                    eprintln!("unknown platform {p}; try `bsim list`");
+                    std::process::exit(2);
+                })],
+                None => platforms(),
+            };
+            println!(
+                "{:26} {:>14} {:>10} {:>12}",
+                "platform", "cycles", "IPC", "seconds"
+            );
+            for cfg in targets {
+                let mut soc = Soc::new(cfg);
+                let rep = soc.run_program(0, &prog, u64::MAX);
+                println!(
+                    "{:26} {:>14} {:>10.3} {:>12.3e}",
+                    rep.platform,
+                    rep.cycles,
+                    rep.ipc(),
+                    rep.seconds
+                );
+            }
+        }
+        "tune" => {
+            let probes: Vec<_> = microbench::evaluated()
+                .into_iter()
+                .filter(|k| ["Cca", "CCh", "ED1", "EI", "EM5", "MD", "ML2", "DP1d"].contains(&k.name))
+                .collect();
+            let out = choose_best_model(
+                &[configs::small_boom(1), configs::medium_boom(1), configs::large_boom(1)],
+                &configs::milkv_hw(1),
+                &probes,
+                1,
+            );
+            println!("model ranking vs MILK-V Pioneer (lower deviation = closer):");
+            for (name, score) in &out.ranking {
+                println!("  {name:12} {score:.4}");
+            }
+            println!("selected: {}", out.best());
+        }
+        _ => usage(),
+    }
+}

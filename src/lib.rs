@@ -1,0 +1,50 @@
+//! # silicon-bridge
+//!
+//! A pure-Rust reproduction of *"Bridging Simulation and Silicon: A
+//! Study of RISC-V Hardware and FireSim Simulation"* (SC 2025): a
+//! token-based cycle-coupled simulation stack that models the paper's
+//! FireSim targets (Rocket and BOOM SoCs with the DDR3-only FireSim
+//! memory system) and its silicon references (Banana Pi BPI-F3 /
+//! SpacemiT K1 and MILK-V Pioneer / SG2042), runs the paper's workloads
+//! (the 40-kernel MicroBench suite, NPB CG/EP/IS/MG, the UME proxy app,
+//! LAMMPS-style LJ and Chain), and regenerates every table and figure of
+//! the evaluation.
+//!
+//! The crates re-exported here form the layering described in DESIGN.md:
+//!
+//! | Module | Crate | Role |
+//! |---|---|---|
+//! | [`isa`] | `bsim-isa` | RV64IM(+D) encoder/decoder, assembler, interpreter |
+//! | [`uarch`] | `bsim-uarch` | in-order (Rocket-like) and OoO (BOOM-like) timing cores |
+//! | [`mem`] | `bsim-mem` | caches, bus, LLC models, FR-FCFS DRAM timing |
+//! | [`engine`] | `bsim-engine` | token channels, lockstep harness, sim-rate meter |
+//! | [`soc`] | `bsim-soc` | platform catalog (Tables 4/5) and the runnable SoC |
+//! | [`mpi`] | `bsim-mpi` | deterministic virtual-time MPI over simulated cores |
+//! | [`workloads`] | `bsim-workloads` | MicroBench, NPB, UME, MD |
+//! | [`core`] | `bsim-core` | relative-speedup metrics, figure generators, tuning |
+//!
+//! See `examples/quickstart.rs` for a five-minute tour, and the
+//! `bsim-bench` crate for the harnesses that regenerate Figures 1–7 and
+//! Tables 4/5.
+
+pub use bsim_core as core;
+pub use bsim_engine as engine;
+pub use bsim_isa as isa;
+pub use bsim_mem as mem;
+pub use bsim_mpi as mpi;
+pub use bsim_soc as soc;
+pub use bsim_uarch as uarch;
+pub use bsim_workloads as workloads;
+
+/// Crate version, for reports.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn reexports_link() {
+        let cfg = crate::soc::configs::rocket1(1);
+        assert_eq!(cfg.name, "Rocket 1");
+        assert!(!crate::VERSION.is_empty());
+    }
+}
