@@ -24,7 +24,11 @@ fn run_all(cfg: SocConfig, ranks: usize) -> (f64, f64, f64) {
     let cg_c = cg::run(
         cfg.clone(),
         ranks,
-        cg::CgConfig { n: s.cg_n, nnz_per_row: 11, iters: s.cg_iters },
+        cg::CgConfig {
+            n: s.cg_n,
+            nnz_per_row: 11,
+            iters: s.cg_iters,
+        },
         net,
     )
     .report
@@ -33,16 +37,29 @@ fn run_all(cfg: SocConfig, ranks: usize) -> (f64, f64, f64) {
     let is_c = is::run(
         cfg.clone(),
         ranks,
-        is::IsConfig { keys_per_rank: s.is_keys / ranks, max_key: 1 << 13, iterations: 1 },
+        is::IsConfig {
+            keys_per_rank: s.is_keys / ranks,
+            max_key: 1 << 13,
+            iterations: 1,
+        },
         net,
     )
     .report
     .run
     .cycles as f64;
-    let mg_c = mg::run(cfg, ranks, mg::MgConfig { n: s.mg_n, levels: 3, cycles: s.mg_cycles }, net)
-        .report
-        .run
-        .cycles as f64;
+    let mg_c = mg::run(
+        cfg,
+        ranks,
+        mg::MgConfig {
+            n: s.mg_n,
+            levels: 3,
+            cycles: s.mg_cycles,
+        },
+        net,
+    )
+    .report
+    .run
+    .cycles as f64;
     (cg_c, is_c, mg_c)
 }
 
@@ -57,9 +74,7 @@ fn main() {
                 run_all(cfg, ranks)
             };
             let full = run_all(configs::milkv_sim(ranks), ranks);
-            println!(
-                "== Ablation: Large BOOM -> MILK-V tuning, {ranks} rank(s) (paper §5.2.2) =="
-            );
+            println!("== Ablation: Large BOOM -> MILK-V tuning, {ranks} rank(s) (paper §5.2.2) ==");
             println!(
                 "{:6} {:>14} {:>12} {:>12}",
                 "bench", "stock cycles", "L1 64KiB", "full tuning"

@@ -26,9 +26,19 @@ impl TickModel for Lfsr {
 }
 
 fn ring(n: usize) -> (Vec<Lfsr>, Vec<Wire>) {
-    let models = (0..n).map(|i| Lfsr { state: i as u64 + 1 }).collect();
+    let models = (0..n)
+        .map(|i| Lfsr {
+            state: i as u64 + 1,
+        })
+        .collect();
     let wires = (0..n)
-        .map(|i| Wire { from_model: i, from_port: 0, to_model: (i + 1) % n, to_port: 0, latency: 1 })
+        .map(|i| Wire {
+            from_model: i,
+            from_port: 0,
+            to_model: (i + 1) % n,
+            to_port: 0,
+            latency: 1,
+        })
         .collect();
     (models, wires)
 }

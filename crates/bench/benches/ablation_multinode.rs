@@ -10,16 +10,24 @@ fn main() {
     bsim_bench::with_timer("ablation_multinode", || {
         let s = bsim_bench::sizes();
         println!("== Ablation: multi-node strong scaling (paper §7 future work) ==");
-        println!("{:>6} {:>14} {:>9} {:>14} {:>9}", "ranks", "EP cycles", "EP eff", "CG cycles", "CG eff");
+        println!(
+            "{:>6} {:>14} {:>9} {:>14} {:>9}",
+            "ranks", "EP cycles", "EP eff", "CG cycles", "CG eff"
+        );
         let (mut ep1, mut cg1) = (0u64, 0u64);
         for ranks in [1usize, 2, 4, 8] {
-            let net =
-                if ranks <= 4 { NetConfig::shared_memory() } else { NetConfig::ethernet_10g() };
+            let net = if ranks <= 4 {
+                NetConfig::shared_memory()
+            } else {
+                NetConfig::ethernet_10g()
+            };
             let cfg = configs::large_boom(ranks);
             let e = ep::run(
                 cfg.clone(),
                 ranks,
-                ep::EpConfig { pairs_per_rank: s.ep_pairs / ranks as u64 },
+                ep::EpConfig {
+                    pairs_per_rank: s.ep_pairs / ranks as u64,
+                },
                 net,
             )
             .report
@@ -28,7 +36,11 @@ fn main() {
             let c = cg::run(
                 cfg,
                 ranks,
-                cg::CgConfig { n: s.cg_n, nnz_per_row: 11, iters: s.cg_iters },
+                cg::CgConfig {
+                    n: s.cg_n,
+                    nnz_per_row: 11,
+                    iters: s.cg_iters,
+                },
                 net,
             )
             .report

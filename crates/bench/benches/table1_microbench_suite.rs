@@ -8,13 +8,20 @@ use bsim_workloads::microbench;
 fn main() {
     bsim_bench::with_timer("table1", || {
         println!("== Table 1: MicroBench kernels, categories, and descriptions ==");
-        println!("{:10} {:13} {:>12}  {}", "Name", "Category", "dyn. instrs", "Description");
+        println!(
+            "{:10} {:13} {:>12}  Description",
+            "Name", "Category", "dyn. instrs"
+        );
         for k in microbench::suite() {
             let prog = k.build(1);
             let mut cpu = Cpu::new(&prog);
             let r = cpu.run(200_000_000);
             assert!(matches!(r, RunResult::Exited(0)), "{} must run", k.name);
-            let excl = if k.excluded { " [excluded, as in the paper]" } else { "" };
+            let excl = if k.excluded {
+                " [excluded, as in the paper]"
+            } else {
+                ""
+            };
             println!(
                 "{:10} {:13} {:>12}  {}{excl}",
                 k.name,

@@ -9,14 +9,18 @@ use bsim_workloads::npb::{cg, ep, is, mg};
 fn main() {
     bsim_bench::with_timer("table2", || {
         println!("== Table 2: NPB apps used in the experiments ==");
-        println!("{:10} {:24} {}", "Benchmark", "Characteristics", "Verification");
+        println!("{:10} {:24} Verification", "Benchmark", "Characteristics");
         let s = Sizes::smoke();
         let net = NetConfig::shared_memory();
 
         let c = cg::run(
             configs::rocket1(1),
             1,
-            cg::CgConfig { n: s.cg_n, nnz_per_row: 11, iters: s.cg_iters },
+            cg::CgConfig {
+                n: s.cg_n,
+                nnz_per_row: 11,
+                iters: s.cg_iters,
+            },
             net,
         );
         println!(
@@ -27,26 +31,47 @@ fn main() {
         let e = ep::run(
             configs::rocket1(1),
             1,
-            ep::EpConfig { pairs_per_rank: s.ep_pairs },
+            ep::EpConfig {
+                pairs_per_rank: s.ep_pairs,
+            },
             net,
         );
-        let (_, _, _, acc) = ep::reference(ep::EpConfig { pairs_per_rank: s.ep_pairs }, 1);
+        let (_, _, _, acc) = ep::reference(
+            ep::EpConfig {
+                pairs_per_rank: s.ep_pairs,
+            },
+            1,
+        );
         assert_eq!(e.accepted, acc);
-        println!("{:10} {:24} {} Gaussian pairs accepted (matches reference)", "EP", "Compute", e.accepted);
+        println!(
+            "{:10} {:24} {} Gaussian pairs accepted (matches reference)",
+            "EP", "Compute", e.accepted
+        );
 
         let i = is::run(
             configs::rocket1(1),
             1,
-            is::IsConfig { keys_per_rank: s.is_keys, max_key: 1 << 12, iterations: 1 },
+            is::IsConfig {
+                keys_per_rank: s.is_keys,
+                max_key: 1 << 12,
+                iterations: 1,
+            },
             net,
         );
         assert!(i.sorted);
-        println!("{:10} {:24} {} keys globally sorted", "IS", "Memory Latency, BW", i.total_keys);
+        println!(
+            "{:10} {:24} {} keys globally sorted",
+            "IS", "Memory Latency, BW", i.total_keys
+        );
 
         let m = mg::run(
             configs::rocket1(1),
             1,
-            mg::MgConfig { n: s.mg_n, levels: 3, cycles: s.mg_cycles },
+            mg::MgConfig {
+                n: s.mg_n,
+                levels: 3,
+                cycles: s.mg_cycles,
+            },
             net,
         );
         println!(

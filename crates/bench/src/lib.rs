@@ -41,7 +41,10 @@ pub fn micro_scale() -> u32 {
 pub fn emit(fig: &FigureData) {
     println!("{}", table::render(fig));
     if std::env::var("BSIM_JSON").as_deref() == Ok("1") {
-        println!("{}", serde_json::to_string_pretty(fig).expect("figure serializes"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(fig).expect("figure serializes")
+        );
     }
 }
 
@@ -49,5 +52,8 @@ pub fn emit(fig: &FigureData) {
 pub fn with_timer(name: &str, f: impl FnOnce()) {
     let t0 = std::time::Instant::now();
     f();
-    println!("[{name}: completed in {:.1} s]\n", t0.elapsed().as_secs_f64());
+    println!(
+        "[{name}: completed in {:.1} s]\n",
+        t0.elapsed().as_secs_f64()
+    );
 }

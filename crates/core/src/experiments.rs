@@ -9,6 +9,7 @@
 use crate::metrics::relative_speedup;
 use bsim_mpi::NetConfig;
 use bsim_soc::{configs, Soc, SocConfig};
+use bsim_telemetry::{TelemetryConfig, TelemetrySnapshot};
 use bsim_workloads::md::chain::{self, ChainConfig};
 use bsim_workloads::md::lj::{self, LjConfig};
 use bsim_workloads::microbench;
@@ -115,14 +116,21 @@ fn microbench_figure(
     scale: u32,
 ) -> FigureData {
     let kernels = microbench::evaluated();
-    let mut series: Vec<Series> =
-        sim_models.iter().map(|m| Series { name: m.name.clone(), points: Vec::new() }).collect();
+    let mut series: Vec<Series> = sim_models
+        .iter()
+        .map(|m| Series {
+            name: m.name.clone(),
+            points: Vec::new(),
+        })
+        .collect();
     for k in &kernels {
         let prog = k.build(scale);
         let t_hw = run_kernel_seconds(hw.clone(), &prog);
         for (si, m) in sim_models.iter().enumerate() {
             let t_sim = run_kernel_seconds(m.clone(), &prog);
-            series[si].points.push((k.name.to_string(), relative_speedup(t_hw, t_sim)));
+            series[si]
+                .points
+                .push((k.name.to_string(), relative_speedup(t_hw, t_sim)));
         }
     }
     FigureData {
@@ -171,13 +179,19 @@ pub fn npb_seconds(cfg: SocConfig, ranks: usize, sizes: Sizes) -> [f64; 4] {
     let cg_r = cg::run(
         cfg.clone(),
         ranks,
-        cg::CgConfig { n: sizes.cg_n, nnz_per_row: 11, iters: sizes.cg_iters },
+        cg::CgConfig {
+            n: sizes.cg_n,
+            nnz_per_row: 11,
+            iters: sizes.cg_iters,
+        },
         net,
     );
     let ep_r = ep::run(
         cfg.clone(),
         ranks,
-        ep::EpConfig { pairs_per_rank: sizes.ep_pairs / ranks as u64 },
+        ep::EpConfig {
+            pairs_per_rank: sizes.ep_pairs / ranks as u64,
+        },
         net,
     );
     let is_r = is::run(
@@ -194,7 +208,11 @@ pub fn npb_seconds(cfg: SocConfig, ranks: usize, sizes: Sizes) -> [f64; 4] {
     let mg_r = mg::run(
         cfg.clone(),
         ranks,
-        mg::MgConfig { n: sizes.mg_n, levels: 3, cycles: sizes.mg_cycles },
+        mg::MgConfig {
+            n: sizes.mg_n,
+            levels: 3,
+            cycles: sizes.mg_cycles,
+        },
         net,
     );
     [
@@ -203,6 +221,28 @@ pub fn npb_seconds(cfg: SocConfig, ranks: usize, sizes: Sizes) -> [f64; 4] {
         sec(is_r.report.run.cycles),
         sec(mg_r.report.run.cycles),
     ]
+}
+
+/// **E8 (Figure 4), instrumented**: runs NPB CG on `cfg` with telemetry
+/// enabled and returns the full out-of-band export — branch, cache, DRAM,
+/// token-stall and per-rank MPI counters plus the sampled timeline. This
+/// is the observability path behind `examples/telemetry_gap.rs`.
+pub fn cg_telemetry(cfg: SocConfig, ranks: usize, sizes: Sizes) -> TelemetrySnapshot {
+    let cfg = cfg.with_telemetry(TelemetryConfig::counters());
+    let r = cg::run(
+        cfg,
+        ranks,
+        cg::CgConfig {
+            n: sizes.cg_n,
+            nnz_per_row: 11,
+            iters: sizes.cg_iters,
+        },
+        NetConfig::shared_memory(),
+    );
+    r.report
+        .run
+        .telemetry
+        .expect("telemetry enabled on the SoC config")
 }
 
 const NPB_NAMES: [&str; 4] = ["CG", "EP", "IS", "MG"];
@@ -231,7 +271,10 @@ fn npb_figure(
         .collect();
     FigureData {
         title: title.to_string(),
-        note: Some(format!("{ranks} MPI rank(s); relative speedup vs {} (1.0 = match)", hw.name)),
+        note: Some(format!(
+            "{ranks} MPI rank(s); relative speedup vs {} (1.0 = match)",
+            hw.name
+        )),
         series,
     }
 }
@@ -240,8 +283,10 @@ fn npb_figure(
 /// models vs Banana Pi hardware.
 pub fn fig3_npb_rocket(ranks: usize, sizes: Sizes) -> FigureData {
     npb_figure(
-        &format!("Figure 3{}: NPB — Rocket models vs Banana Pi ({ranks} ranks)",
-                 if ranks == 1 { "a" } else { "b" }),
+        &format!(
+            "Figure 3{}: NPB — Rocket models vs Banana Pi ({ranks} ranks)",
+            if ranks == 1 { "a" } else { "b" }
+        ),
         vec![
             configs::rocket1(ranks),
             configs::rocket2(ranks),
@@ -258,7 +303,11 @@ pub fn fig3_npb_rocket(ranks: usize, sizes: Sizes) -> FigureData {
 pub fn fig4a_npb_boom(ranks: usize, sizes: Sizes) -> FigureData {
     npb_figure(
         &format!("Figure 4a: NPB — stock BOOM configs vs MILK-V ({ranks} ranks)"),
-        vec![configs::small_boom(ranks), configs::medium_boom(ranks), configs::large_boom(ranks)],
+        vec![
+            configs::small_boom(ranks),
+            configs::medium_boom(ranks),
+            configs::large_boom(ranks),
+        ],
         configs::milkv_hw(ranks),
         ranks,
         sizes,
@@ -285,7 +334,8 @@ fn app_figure(
 ) -> FigureData {
     let rank_counts = [1usize, 2, 4];
     let mut series = Vec::new();
-    let platforms: [(&str, fn(usize) -> SocConfig); 4] = [
+    type PlatformMaker = (&'static str, fn(usize) -> SocConfig);
+    let platforms: [PlatformMaker; 4] = [
         ("Banana Pi (hw)", configs::banana_pi_hw),
         ("Banana Pi Sim Model", configs::banana_pi_sim),
         ("MILK-V (hw)", configs::milkv_hw),
@@ -299,7 +349,10 @@ fn app_figure(
             seconds[pi].push(s);
             points.push((format!("{r} ranks"), s));
         }
-        series.push(Series { name: format!("{name} runtime [s]"), points });
+        series.push(Series {
+            name: format!("{name} runtime [s]"),
+            points,
+        });
     }
     // Relative-speedup series per platform pair (the figures' y-axis).
     for (hw_i, sim_i, pair) in [(0usize, 1usize, "Banana Pi"), (2, 3, "MILK-V")] {
@@ -307,25 +360,41 @@ fn app_figure(
             .iter()
             .enumerate()
             .map(|(k, r)| {
-                (format!("{r} ranks"), relative_speedup(seconds[hw_i][k], seconds[sim_i][k]))
+                (
+                    format!("{r} ranks"),
+                    relative_speedup(seconds[hw_i][k], seconds[sim_i][k]),
+                )
             })
             .collect();
-        series.push(Series { name: format!("{pair} rel. speedup"), points });
+        series.push(Series {
+            name: format!("{pair} rel. speedup"),
+            points,
+        });
     }
-    FigureData { title: title.to_string(), note: Some(note.to_string()), series }
+    FigureData {
+        title: title.to_string(),
+        note: Some(note.to_string()),
+        series,
+    }
 }
 
 /// **Figure 5**: UME runtimes and relative speedups, 1/2/4 ranks.
 pub fn fig5_ume(sizes: Sizes) -> FigureData {
     app_figure(
         "Figure 5: UME — simulation models vs hardware",
-        &format!("{0}^3-zone mesh (paper: 32^3), kernels: gather + inverted + face-area", sizes.ume_n),
+        &format!(
+            "{0}^3-zone mesh (paper: 32^3), kernels: gather + inverted + face-area",
+            sizes.ume_n
+        ),
         |cfg, ranks| {
             let freq = cfg.freq_ghz;
             let r = ume::run(
                 cfg,
                 ranks,
-                UmeConfig { n: sizes.ume_n, passes: 2 },
+                UmeConfig {
+                    n: sizes.ume_n,
+                    passes: 2,
+                },
                 NetConfig::shared_memory(),
             );
             r.report.run.cycles as f64 / (freq * 1e9)
@@ -348,7 +417,11 @@ pub fn fig6_lammps_lj(sizes: Sizes) -> FigureData {
             let r = lj::run(
                 cfg,
                 ranks,
-                LjConfig { cells: sizes.lj_cells, steps: sizes.md_steps, ..LjConfig::default() },
+                LjConfig {
+                    cells: sizes.lj_cells,
+                    steps: sizes.md_steps,
+                    ..LjConfig::default()
+                },
                 NetConfig::shared_memory(),
             );
             r.report.run.cycles as f64 / (freq * 1e9)
@@ -400,9 +473,11 @@ pub fn table4() -> String {
     for (cfg, rob) in rows {
         let (fetch, decode, lsq) = match &cfg.core {
             bsim_soc::CoreModel::InOrder(c) => (c.fetch_width, 1, "N/A".to_string()),
-            bsim_soc::CoreModel::Ooo(c) => {
-                (c.fetch_width, c.decode_width, format!("{}/{}", c.ldq, c.stq))
-            }
+            bsim_soc::CoreModel::Ooo(c) => (
+                c.fetch_width,
+                c.decode_width,
+                format!("{}/{}", c.ldq, c.stq),
+            ),
         };
         out.push_str(&format!(
             "{:16} {:.1} GHz  {}/{:<11} {:<5} {:<8} {}x{:<10} {:<9} {}-bit\n",
@@ -457,7 +532,13 @@ mod tests {
     #[test]
     fn table4_lists_all_five_models() {
         let t = table4();
-        for name in ["Rocket 1", "Rocket 2", "Small BOOM", "Medium BOOM", "Large BOOM"] {
+        for name in [
+            "Rocket 1",
+            "Rocket 2",
+            "Small BOOM",
+            "Medium BOOM",
+            "Large BOOM",
+        ] {
             assert!(t.contains(name), "missing {name}:\n{t}");
         }
     }
@@ -479,11 +560,42 @@ mod tests {
     }
 
     #[test]
+    fn cg_telemetry_exports_every_counter_family() {
+        // Acceptance check for the instrumented E8 path: CG on a FireSim
+        // BOOM config must export non-zero branch, cache, DRAM,
+        // token-stall and MPI counters, and serialize to JSON.
+        let snap = cg_telemetry(configs::large_boom(2), 2, Sizes::smoke());
+        let nz = |n: &str| snap.counter(n).unwrap_or(0) > 0;
+        assert!(nz("tile0.branch.lookups"), "branch counters");
+        assert!(
+            nz("mem.l1d.accesses") && nz("mem.l1d.misses"),
+            "cache counters"
+        );
+        assert!(nz("mem.dram.reads"), "DRAM counters");
+        assert!(
+            nz("mem.dram.token_stall_cycles"),
+            "token quantization stalls"
+        );
+        assert!(nz("mpi.wait_cycles"), "MPI wait counters");
+        assert!(
+            snap.counter("mpi.rank1.wait_cycles").is_some(),
+            "per-rank MPI counters"
+        );
+        let json = snap.to_json();
+        assert!(json.contains("mem.dram.token_stall_cycles"));
+        assert!(json.contains("mpi.rank0.wait_cycles"));
+    }
+
+    #[test]
     fn fig4b_shape_ep_is_closest_to_parity() {
         // §5.2.2: "the EP benchmark demonstrated near performance parity"
         // while CG/IS/MG run slower on the simulation model.
         let fig = fig4b_npb_boom(1, Sizes::smoke());
-        let milkv = fig.series.iter().find(|s| s.name == "MILK-V Sim Model").unwrap();
+        let milkv = fig
+            .series
+            .iter()
+            .find(|s| s.name == "MILK-V Sim Model")
+            .unwrap();
         let get = |n: &str| milkv.points.iter().find(|(l, _)| l == n).unwrap().1;
         let (cg, ep) = (get("CG"), get("EP"));
         assert!(

@@ -17,7 +17,13 @@ pub fn render(fig: &FigureData) -> String {
         .map(|s| s.points.iter().map(|(l, _)| l.as_str()).collect())
         .unwrap_or_default();
     let label_w = labels.iter().map(|l| l.len()).max().unwrap_or(8).max(8);
-    let col_w = fig.series.iter().map(|s| s.name.len()).max().unwrap_or(10).max(10);
+    let col_w = fig
+        .series
+        .iter()
+        .map(|s| s.name.len())
+        .max()
+        .unwrap_or(10)
+        .max(10);
 
     let _ = write!(out, "{:label_w$}", "");
     for s in &fig.series {

@@ -64,7 +64,10 @@ impl<T> TokenChannel<T> {
     /// consecutive cycles starting at 0.
     pub fn push(&mut self, cycle: u64, token: T) -> Result<(), ChannelError> {
         if cycle != self.next_push_cycle {
-            return Err(ChannelError::WrongCycle { expected: self.next_push_cycle, got: cycle });
+            return Err(ChannelError::WrongCycle {
+                expected: self.next_push_cycle,
+                got: cycle,
+            });
         }
         if self.queue.len() >= self.capacity {
             return Err(ChannelError::Full);
@@ -77,7 +80,10 @@ impl<T> TokenChannel<T> {
     /// Pops the token for `cycle`, which must be the next unconsumed one.
     pub fn pop(&mut self, cycle: u64) -> Result<T, ChannelError> {
         if cycle != self.next_pop_cycle {
-            return Err(ChannelError::WrongCycle { expected: self.next_pop_cycle, got: cycle });
+            return Err(ChannelError::WrongCycle {
+                expected: self.next_pop_cycle,
+                got: cycle,
+            });
         }
         match self.queue.pop_front() {
             Some(t) => {
@@ -125,9 +131,21 @@ mod tests {
     #[test]
     fn wrong_cycle_rejected() {
         let mut ch = TokenChannel::new(4);
-        assert_eq!(ch.push(1, 0u64), Err(ChannelError::WrongCycle { expected: 0, got: 1 }));
+        assert_eq!(
+            ch.push(1, 0u64),
+            Err(ChannelError::WrongCycle {
+                expected: 0,
+                got: 1
+            })
+        );
         ch.push(0, 1).unwrap();
-        assert_eq!(ch.pop(1), Err(ChannelError::WrongCycle { expected: 0, got: 1 }));
+        assert_eq!(
+            ch.pop(1),
+            Err(ChannelError::WrongCycle {
+                expected: 0,
+                got: 1
+            })
+        );
     }
 
     #[test]

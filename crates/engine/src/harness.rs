@@ -17,6 +17,7 @@
 //! tests here and by `ablation_engine` in the bench suite.
 
 use crate::channel::{ChannelError, TokenChannel};
+use bsim_telemetry::CounterBlock;
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -67,8 +68,14 @@ impl<M: TickModel> Harness<M> {
         // Every input port must be driven by exactly one wire.
         for (mi, m) in models.iter().enumerate() {
             for p in 0..m.num_inputs() {
-                let n = wires.iter().filter(|w| w.to_model == mi && w.to_port == p).count();
-                assert_eq!(n, 1, "model {mi} input {p} must have exactly one driver, has {n}");
+                let n = wires
+                    .iter()
+                    .filter(|w| w.to_model == mi && w.to_port == p)
+                    .count();
+                assert_eq!(
+                    n, 1,
+                    "model {mi} input {p} must have exactly one driver, has {n}"
+                );
             }
         }
         Harness { models, wires }
@@ -83,24 +90,58 @@ impl<M: TickModel> Harness<M> {
                 for c in 0..w.latency {
                     ch.push(c, 0).expect("reset tokens fit by construction");
                 }
-                SharedChannel { chan: Mutex::new(ch) }
+                SharedChannel {
+                    chan: Mutex::new(ch),
+                }
             })
             .collect()
     }
 
+    /// Target-deterministic per-channel counters: token and latency
+    /// figures are functions of the target graph only, so sequential and
+    /// parallel schedules export identical values. Host-schedule figures
+    /// (quantum, spin counts) go under the reserved `host.` prefix.
+    fn publish_target_counters(&self, tel: &mut CounterBlock, cycles: u64, tokens: &[u64]) {
+        tel.set_named("engine.cycles", cycles);
+        tel.set_named("engine.models", self.models.len() as u64);
+        for (wi, w) in self.wires.iter().enumerate() {
+            tel.set_named(&format!("engine.chan.{wi}.tokens"), tokens[wi]);
+            tel.set_named(&format!("engine.chan.{wi}.latency"), w.latency);
+        }
+    }
+
     /// Runs `cycles` target cycles sequentially and returns the models.
-    pub fn run(mut self, cycles: u64) -> Vec<M> {
+    pub fn run(self, cycles: u64) -> Vec<M> {
+        self.run_with_telemetry(cycles, &mut CounterBlock::new(false))
+    }
+
+    /// [`Harness::run`], additionally publishing `engine.*` counters
+    /// (cycles, per-channel tokens/latency) and `host.engine.*` schedule
+    /// figures into `tel`.
+    pub fn run_with_telemetry(mut self, cycles: u64, tel: &mut CounterBlock) -> Vec<M> {
         let channels = self.make_channels(1);
         let n = self.models.len();
-        let mut inputs: Vec<Vec<u64>> = self.models.iter().map(|m| vec![0; m.num_inputs()]).collect();
-        let mut outputs: Vec<Vec<u64>> =
-            self.models.iter().map(|m| vec![0; m.num_outputs()]).collect();
+        let mut tokens = vec![0u64; self.wires.len()];
+        let mut inputs: Vec<Vec<u64>> = self
+            .models
+            .iter()
+            .map(|m| vec![0; m.num_inputs()])
+            .collect();
+        let mut outputs: Vec<Vec<u64>> = self
+            .models
+            .iter()
+            .map(|m| vec![0; m.num_outputs()])
+            .collect();
         for cycle in 0..cycles {
             for mi in 0..n {
                 for (wi, w) in self.wires.iter().enumerate() {
                     if w.to_model == mi {
-                        inputs[mi][w.to_port] =
-                            channels[wi].chan.lock().pop(cycle).expect("sequential order is safe");
+                        inputs[mi][w.to_port] = channels[wi]
+                            .chan
+                            .lock()
+                            .pop(cycle)
+                            .expect("sequential order is safe");
+                        tokens[wi] += 1;
                     }
                 }
                 self.models[mi].tick(cycle, &inputs[mi], &mut outputs[mi]);
@@ -115,6 +156,10 @@ impl<M: TickModel> Harness<M> {
                 }
             }
         }
+        self.publish_target_counters(tel, cycles, &tokens);
+        tel.set_named("host.engine.threads", 1);
+        tel.set_named("host.engine.quantum", 1);
+        tel.set_named("host.engine.quanta", cycles);
         self.models
     }
 
@@ -122,10 +167,26 @@ impl<M: TickModel> Harness<M> {
     /// synchronized only through the token channels. `quantum` is the
     /// channel slack in cycles — how far any model may run ahead of its
     /// consumers (FireSim's channel depth).
-    pub fn run_parallel(mut self, cycles: u64, quantum: usize) -> Vec<M> {
+    pub fn run_parallel(self, cycles: u64, quantum: usize) -> Vec<M> {
+        self.run_parallel_with_telemetry(cycles, quantum, &mut CounterBlock::new(false))
+    }
+
+    /// [`Harness::run_parallel`] with counters. Target counters
+    /// (`engine.*`) are identical to the sequential schedule's; spin
+    /// counts per channel land under `host.engine.chan.*.stall_spins`
+    /// because they depend on the host scheduler.
+    pub fn run_parallel_with_telemetry(
+        mut self,
+        cycles: u64,
+        quantum: usize,
+        tel: &mut CounterBlock,
+    ) -> Vec<M> {
         let channels: Arc<Vec<SharedChannel>> = Arc::new(self.make_channels(quantum.max(1)));
         let wires = self.wires.clone();
         let models = std::mem::take(&mut self.models);
+        let nthreads = models.len() as u64;
+        let mut tokens = vec![0u64; wires.len()];
+        let mut spins = vec![0u64; wires.len()];
 
         crossbeam::thread::scope(|scope| {
             let mut handles = Vec::new();
@@ -146,38 +207,66 @@ impl<M: TickModel> Harness<M> {
                 handles.push(scope.spawn(move |_| {
                     let mut inputs = vec![0u64; model.num_inputs()];
                     let mut outputs = vec![0u64; model.num_outputs()];
+                    // (wire, tokens moved, spins) for this thread's channels.
+                    let mut chan_counts: Vec<(usize, u64, u64)> =
+                        my_in.iter().map(|&(wi, _)| (wi, 0, 0)).collect();
+                    let out_base = chan_counts.len();
+                    chan_counts.extend(my_out.iter().map(|&(wi, _, _)| (wi, 0, 0)));
                     for cycle in 0..cycles {
-                        for &(wi, port) in &my_in {
+                        for (ii, &(wi, port)) in my_in.iter().enumerate() {
                             loop {
                                 match channels[wi].chan.lock().pop(cycle) {
                                     Ok(t) => {
                                         inputs[port] = t;
+                                        chan_counts[ii].1 += 1;
                                         break;
                                     }
-                                    Err(ChannelError::Empty) => std::thread::yield_now(),
+                                    Err(ChannelError::Empty) => {
+                                        chan_counts[ii].2 += 1;
+                                        std::thread::yield_now();
+                                    }
                                     Err(e) => panic!("token protocol violation: {e}"),
                                 }
                             }
                         }
                         model.tick(cycle, &inputs, &mut outputs);
-                        for &(wi, port, latency) in &my_out {
+                        for (oi, &(wi, port, latency)) in my_out.iter().enumerate() {
                             loop {
-                                match channels[wi].chan.lock().push(cycle + latency, outputs[port])
+                                match channels[wi]
+                                    .chan
+                                    .lock()
+                                    .push(cycle + latency, outputs[port])
                                 {
                                     Ok(()) => break,
-                                    Err(ChannelError::Full) => std::thread::yield_now(),
+                                    Err(ChannelError::Full) => {
+                                        chan_counts[out_base + oi].2 += 1;
+                                        std::thread::yield_now();
+                                    }
                                     Err(e) => panic!("token protocol violation: {e}"),
                                 }
                             }
                         }
                     }
-                    model
+                    (model, chan_counts)
                 }));
             }
-            let mut out: Vec<M> = handles.into_iter().map(|h| h.join().unwrap()).collect();
-            self.models.append(&mut out);
+            for h in handles {
+                let (model, chan_counts) = h.join().unwrap();
+                self.models.push(model);
+                for (wi, t, s) in chan_counts {
+                    tokens[wi] += t;
+                    spins[wi] += s;
+                }
+            }
         })
         .expect("model thread panicked");
+        self.publish_target_counters(tel, cycles, &tokens);
+        tel.set_named("host.engine.threads", nthreads);
+        tel.set_named("host.engine.quantum", quantum.max(1) as u64);
+        tel.set_named("host.engine.quanta", cycles.div_ceil(quantum.max(1) as u64));
+        for (wi, s) in spins.iter().enumerate() {
+            tel.set_named(&format!("host.engine.chan.{wi}.stall_spins"), *s);
+        }
         std::mem::take(&mut self.models)
     }
 }
@@ -276,6 +365,49 @@ mod tests {
         assert_ne!(
             a.iter().map(|m| m.state).collect::<Vec<_>>(),
             b.iter().map(|m| m.state).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn telemetry_target_counters_are_schedule_invariant() {
+        let (m1, w1) = ring(4, 2);
+        let (m2, w2) = ring(4, 2);
+        let mut seq_tel = CounterBlock::new(true);
+        let mut par_tel = CounterBlock::new(true);
+        let seq = Harness::new(m1, w1).run_with_telemetry(800, &mut seq_tel);
+        let par = Harness::new(m2, w2).run_parallel_with_telemetry(800, 16, &mut par_tel);
+        assert_eq!(
+            seq.iter().map(|m| m.state).collect::<Vec<_>>(),
+            par.iter().map(|m| m.state).collect::<Vec<_>>()
+        );
+        assert_eq!(seq_tel.get("engine.cycles"), Some(800));
+        assert_eq!(seq_tel.get("engine.chan.0.tokens"), Some(800));
+        // Deterministic (non-host) counters must match across schedules.
+        assert_eq!(
+            seq_tel.deterministic_counters().collect::<Vec<_>>(),
+            par_tel.deterministic_counters().collect::<Vec<_>>()
+        );
+        // Host figures legitimately differ (thread count, quantum).
+        assert_eq!(seq_tel.get("host.engine.threads"), Some(1));
+        assert_eq!(par_tel.get("host.engine.threads"), Some(4));
+        assert!(par_tel.get("host.engine.chan.0.stall_spins").is_some());
+    }
+
+    #[test]
+    fn disabled_telemetry_run_matches_plain_run() {
+        let (m1, w1) = ring(3, 1);
+        let (m2, w2) = ring(3, 1);
+        let mut off = CounterBlock::new(false);
+        let a = Harness::new(m1, w1).run(600);
+        let b = Harness::new(m2, w2).run_with_telemetry(600, &mut off);
+        assert_eq!(
+            a.iter().map(|m| m.state).collect::<Vec<_>>(),
+            b.iter().map(|m| m.state).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            off.counters().count(),
+            0,
+            "disabled block must export nothing"
         );
     }
 

@@ -28,4 +28,4 @@ pub mod rate;
 
 pub use channel::{ChannelError, TokenChannel};
 pub use harness::{Harness, TickModel, Wire};
-pub use rate::SimRateMeter;
+pub use rate::{SimRate, SimRateMeter};

@@ -6,15 +6,34 @@
 //! "take on the order of few hours" in simulation. [`SimRateMeter`]
 //! performs the same arithmetic for our software host so the bench
 //! harnesses can report it alongside every experiment.
+//!
+//! The accounting itself lives in a telemetry [`CounterBlock`]: cycle
+//! accumulation goes through a registered counter, and
+//! [`SimRateMeter::finish_into`] publishes the result under the
+//! `host.rate.*` prefix so E15's 60 MHz/15 MHz discussion is
+//! reproducible from exported telemetry. Everything here is wall-clock
+//! derived and therefore host-dependent, hence the reserved `host.`
+//! prefix — deterministic exports and gap reports exclude it. The
+//! pre-telemetry `start`/`add_cycles`/`finish` API survives as a thin
+//! wrapper over the registry.
 
+use bsim_telemetry::{CounterBlock, CounterId};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
+
+/// Counter name for accumulated target cycles.
+pub const RATE_TARGET_CYCLES: &str = "host.rate.target_cycles";
+/// Counter name for elapsed host time, microseconds.
+pub const RATE_HOST_MICROS: &str = "host.rate.host_micros";
+/// Counter name for the effective rate in milli-MHz (kHz).
+pub const RATE_MILLI_MHZ: &str = "host.rate.milli_mhz";
 
 /// Measures simulated target cycles against host wall-clock time.
 #[derive(Clone, Debug)]
 pub struct SimRateMeter {
     started: Instant,
-    target_cycles: u64,
+    counters: CounterBlock,
+    cycles_id: CounterId,
 }
 
 /// A finished rate measurement.
@@ -29,20 +48,38 @@ pub struct SimRate {
 impl SimRateMeter {
     /// Starts the wall clock.
     pub fn start() -> SimRateMeter {
-        SimRateMeter { started: Instant::now(), target_cycles: 0 }
+        let mut counters = CounterBlock::new(true);
+        let cycles_id = counters.register(RATE_TARGET_CYCLES);
+        SimRateMeter {
+            started: Instant::now(),
+            counters,
+            cycles_id,
+        }
     }
 
     /// Adds simulated cycles.
     pub fn add_cycles(&mut self, cycles: u64) {
-        self.target_cycles += cycles;
+        self.counters.add(self.cycles_id, cycles);
+    }
+
+    /// The meter's own counter registry (holds `host.rate.target_cycles`).
+    pub fn counters(&self) -> &CounterBlock {
+        &self.counters
     }
 
     /// Stops and reports.
     pub fn finish(self) -> SimRate {
         SimRate {
-            target_cycles: self.target_cycles,
+            target_cycles: self.counters.get(RATE_TARGET_CYCLES).unwrap_or(0),
             host_seconds: self.started.elapsed().as_secs_f64(),
         }
+    }
+
+    /// Stops, publishes `host.rate.*` into `block`, and reports.
+    pub fn finish_into(self, block: &mut CounterBlock) -> SimRate {
+        let rate = self.finish();
+        rate.publish(block);
+        rate
     }
 }
 
@@ -59,6 +96,16 @@ impl SimRate {
     pub fn slowdown(&self, target_ghz: f64) -> f64 {
         target_ghz * 1000.0 / self.mhz()
     }
+
+    /// Publishes this measurement under `host.rate.*`.
+    pub fn publish(&self, block: &mut CounterBlock) {
+        block.set_named(RATE_TARGET_CYCLES, self.target_cycles);
+        block.set_named(RATE_HOST_MICROS, (self.host_seconds * 1e6) as u64);
+        let mhz = self.mhz();
+        if mhz.is_finite() {
+            block.set_named(RATE_MILLI_MHZ, (mhz * 1000.0) as u64);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -69,12 +116,18 @@ mod tests {
     fn firesim_arithmetic_from_the_paper() {
         // 60 MHz hosting of a 1.6 GHz target is ~26.7x slowdown — the
         // paper rounds to "approximately 25x".
-        let r = SimRate { target_cycles: 60_000_000, host_seconds: 1.0 };
+        let r = SimRate {
+            target_cycles: 60_000_000,
+            host_seconds: 1.0,
+        };
         assert!((r.mhz() - 60.0).abs() < 1e-9);
         let slow = r.slowdown(1.6);
         assert!((slow - 26.67).abs() < 0.1, "got {slow}");
         // 15 MHz hosting of 2.0 GHz is ~133x — the paper says "around 135x".
-        let r2 = SimRate { target_cycles: 15_000_000, host_seconds: 1.0 };
+        let r2 = SimRate {
+            target_cycles: 15_000_000,
+            host_seconds: 1.0,
+        };
         let slow2 = r2.slowdown(2.0);
         assert!((slow2 - 133.3).abs() < 0.5, "got {slow2}");
     }
@@ -84,9 +137,34 @@ mod tests {
         let mut m = SimRateMeter::start();
         m.add_cycles(500);
         m.add_cycles(500);
+        assert_eq!(m.counters().get(RATE_TARGET_CYCLES), Some(1000));
         let r = m.finish();
         assert_eq!(r.target_cycles, 1000);
         assert!(r.host_seconds >= 0.0);
         assert!(r.mhz() > 0.0);
+    }
+
+    #[test]
+    fn finish_into_publishes_host_rate_counters() {
+        let mut m = SimRateMeter::start();
+        m.add_cycles(12345);
+        let mut block = CounterBlock::new(true);
+        let r = m.finish_into(&mut block);
+        assert_eq!(block.get(RATE_TARGET_CYCLES), Some(12345));
+        assert!(block.get(RATE_HOST_MICROS).is_some());
+        assert_eq!(r.target_cycles, 12345);
+        // Host-dependent by construction: excluded from deterministic views.
+        assert_eq!(block.deterministic_counters().count(), 0);
+    }
+
+    #[test]
+    fn published_rate_arithmetic_round_trips() {
+        let r = SimRate {
+            target_cycles: 60_000_000,
+            host_seconds: 1.0,
+        };
+        let mut block = CounterBlock::new(true);
+        r.publish(&mut block);
+        assert_eq!(block.get(RATE_MILLI_MHZ), Some(60_000));
     }
 }

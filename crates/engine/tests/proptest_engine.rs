@@ -1,7 +1,8 @@
 //! Property tests for the token engine: host-schedule invisibility over
-//! random model graphs.
+//! random model graphs, including the telemetry export.
 
 use bsim_engine::{Harness, TickModel, Wire};
+use bsim_telemetry::{CounterBlock, Sampler, TelemetrySnapshot, TraceRing};
 use proptest::prelude::*;
 
 struct Mixer {
@@ -80,4 +81,86 @@ proptest! {
         let b: Vec<u64> = build().run_parallel(cycles, 8).iter().map(|m| m.state).collect();
         prop_assert_eq!(a, b);
     }
+
+    #[test]
+    fn telemetry_deterministic_export_is_byte_identical_across_schedules(
+        n in 2usize..6,
+        latency in 1u64..4,
+        cycles in 10u64..400,
+        seed in any::<u64>(),
+        quantum in 2usize..32,
+    ) {
+        // One host thread (sequential), n host threads with quantum 1,
+        // and n host threads with a random quantum must all export the
+        // same deterministic counter JSON, byte for byte. Host-dependent
+        // `host.*` counters (spins, quanta, threads) are stripped by
+        // `deterministic()` — everything else may not move.
+        let build = || {
+            let models: Vec<Mixer> =
+                (0..n).map(|i| Mixer { state: seed ^ (i as u64) << 8, inputs: 1 }).collect();
+            let wires: Vec<Wire> = (0..n)
+                .map(|i| Wire {
+                    from_model: i,
+                    from_port: 0,
+                    to_model: (i + 1) % n,
+                    to_port: 0,
+                    latency,
+                })
+                .collect();
+            Harness::new(models, wires)
+        };
+        let export = |block: &CounterBlock| {
+            TelemetrySnapshot::capture(block, &Sampler::new(0), &TraceRing::off())
+                .deterministic()
+                .to_json()
+        };
+        let mut seq = CounterBlock::new(true);
+        build().run_with_telemetry(cycles, &mut seq);
+        let mut par1 = CounterBlock::new(true);
+        build().run_parallel_with_telemetry(cycles, 1, &mut par1);
+        let mut parq = CounterBlock::new(true);
+        build().run_parallel_with_telemetry(cycles, quantum, &mut parq);
+        let j = export(&seq);
+        prop_assert!(j.contains("engine.cycles"));
+        prop_assert_eq!(&j, &export(&par1));
+        prop_assert_eq!(&j, &export(&parq));
+    }
+}
+
+#[test]
+fn disabled_telemetry_records_nothing_and_preserves_results() {
+    let build = || {
+        let models: Vec<Mixer> = (0..3)
+            .map(|i| Mixer {
+                state: 7 ^ (i as u64) << 8,
+                inputs: 1,
+            })
+            .collect();
+        let wires: Vec<Wire> = (0..3)
+            .map(|i| Wire {
+                from_model: i,
+                from_port: 0,
+                to_model: (i + 1) % 3,
+                to_port: 0,
+                latency: 1,
+            })
+            .collect();
+        Harness::new(models, wires)
+    };
+    let plain: Vec<u64> = build().run(200).iter().map(|m| m.state).collect();
+    let mut off = CounterBlock::new(false);
+    let instrumented: Vec<u64> = build()
+        .run_with_telemetry(200, &mut off)
+        .iter()
+        .map(|m| m.state)
+        .collect();
+    assert_eq!(
+        plain, instrumented,
+        "disabled telemetry must not change simulation results"
+    );
+    assert!(
+        off.is_empty(),
+        "a disabled block registers and exports nothing"
+    );
+    assert_eq!(off.counters().count(), 0);
 }

@@ -93,12 +93,26 @@ impl std::error::Error for AsmError {}
 
 enum Slot {
     Done(Inst),
-    BranchTo { kind: BranchKind, rs1: Reg, rs2: Reg, label: String },
-    JalTo { rd: Reg, label: String },
+    BranchTo {
+        kind: BranchKind,
+        rs1: Reg,
+        rs2: Reg,
+        label: String,
+    },
+    JalTo {
+        rd: Reg,
+        label: String,
+    },
     /// `lui+addiw` pair materializing the absolute address of a data symbol
     /// (all our images sit below 2^31, so two instructions always suffice).
-    LaHi { rd: Reg, sym: String },
-    LaLo { rd: Reg, sym: String },
+    LaHi {
+        rd: Reg,
+        sym: String,
+    },
+    LaLo {
+        rd: Reg,
+        sym: String,
+    },
 }
 
 /// Programmatic assembler. See the module docs for an overview.
@@ -148,7 +162,7 @@ impl Asm {
     /// Pads the data section to `align` bytes (power of two).
     pub fn data_align(&mut self, align: usize) -> &mut Self {
         debug_assert!(align.is_power_of_two());
-        while self.data.len() % align != 0 {
+        while !self.data.len().is_multiple_of(align) {
             self.data.push(0);
         }
         self
@@ -192,7 +206,10 @@ impl Asm {
 
     /// Address of a previously defined data symbol.
     pub fn sym(&self, name: &str) -> u64 {
-        *self.syms.get(name).unwrap_or_else(|| panic!("undefined data symbol `{name}`"))
+        *self
+            .syms
+            .get(name)
+            .unwrap_or_else(|| panic!("undefined data symbol `{name}`"))
     }
 
     // ---- raw emit ------------------------------------------------------
@@ -207,7 +224,12 @@ impl Asm {
 
     /// `addi rd, rs1, imm`
     pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
-        self.inst(Inst::OpImm { op: AluOp::Add, rd, rs1, imm })
+        self.inst(Inst::OpImm {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            imm,
+        })
     }
     /// `addiw rd, rs1, imm`
     pub fn addiw(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
@@ -215,107 +237,237 @@ impl Asm {
     }
     /// `andi rd, rs1, imm`
     pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
-        self.inst(Inst::OpImm { op: AluOp::And, rd, rs1, imm })
+        self.inst(Inst::OpImm {
+            op: AluOp::And,
+            rd,
+            rs1,
+            imm,
+        })
     }
     /// `ori rd, rs1, imm`
     pub fn ori(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
-        self.inst(Inst::OpImm { op: AluOp::Or, rd, rs1, imm })
+        self.inst(Inst::OpImm {
+            op: AluOp::Or,
+            rd,
+            rs1,
+            imm,
+        })
     }
     /// `xori rd, rs1, imm`
     pub fn xori(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
-        self.inst(Inst::OpImm { op: AluOp::Xor, rd, rs1, imm })
+        self.inst(Inst::OpImm {
+            op: AluOp::Xor,
+            rd,
+            rs1,
+            imm,
+        })
     }
     /// `slti rd, rs1, imm`
     pub fn slti(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
-        self.inst(Inst::OpImm { op: AluOp::Slt, rd, rs1, imm })
+        self.inst(Inst::OpImm {
+            op: AluOp::Slt,
+            rd,
+            rs1,
+            imm,
+        })
     }
     /// `sltiu rd, rs1, imm`
     pub fn sltiu(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
-        self.inst(Inst::OpImm { op: AluOp::Sltu, rd, rs1, imm })
+        self.inst(Inst::OpImm {
+            op: AluOp::Sltu,
+            rd,
+            rs1,
+            imm,
+        })
     }
     /// `slli rd, rs1, shamt`
     pub fn slli(&mut self, rd: Reg, rs1: Reg, shamt: u8) -> &mut Self {
-        self.inst(Inst::OpImmShift { op: AluOp::Sll, rd, rs1, shamt })
+        self.inst(Inst::OpImmShift {
+            op: AluOp::Sll,
+            rd,
+            rs1,
+            shamt,
+        })
     }
     /// `srli rd, rs1, shamt`
     pub fn srli(&mut self, rd: Reg, rs1: Reg, shamt: u8) -> &mut Self {
-        self.inst(Inst::OpImmShift { op: AluOp::Srl, rd, rs1, shamt })
+        self.inst(Inst::OpImmShift {
+            op: AluOp::Srl,
+            rd,
+            rs1,
+            shamt,
+        })
     }
     /// `srai rd, rs1, shamt`
     pub fn srai(&mut self, rd: Reg, rs1: Reg, shamt: u8) -> &mut Self {
-        self.inst(Inst::OpImmShift { op: AluOp::Sra, rd, rs1, shamt })
+        self.inst(Inst::OpImmShift {
+            op: AluOp::Sra,
+            rd,
+            rs1,
+            shamt,
+        })
     }
     /// `add rd, rs1, rs2`
     pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
-        self.inst(Inst::Op { op: AluOp::Add, rd, rs1, rs2 })
+        self.inst(Inst::Op {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            rs2,
+        })
     }
     /// `sub rd, rs1, rs2`
     pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
-        self.inst(Inst::Op { op: AluOp::Sub, rd, rs1, rs2 })
+        self.inst(Inst::Op {
+            op: AluOp::Sub,
+            rd,
+            rs1,
+            rs2,
+        })
     }
     /// `and rd, rs1, rs2`
     pub fn and(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
-        self.inst(Inst::Op { op: AluOp::And, rd, rs1, rs2 })
+        self.inst(Inst::Op {
+            op: AluOp::And,
+            rd,
+            rs1,
+            rs2,
+        })
     }
     /// `or rd, rs1, rs2`
     pub fn or(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
-        self.inst(Inst::Op { op: AluOp::Or, rd, rs1, rs2 })
+        self.inst(Inst::Op {
+            op: AluOp::Or,
+            rd,
+            rs1,
+            rs2,
+        })
     }
     /// `xor rd, rs1, rs2`
     pub fn xor(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
-        self.inst(Inst::Op { op: AluOp::Xor, rd, rs1, rs2 })
+        self.inst(Inst::Op {
+            op: AluOp::Xor,
+            rd,
+            rs1,
+            rs2,
+        })
     }
     /// `sll rd, rs1, rs2`
     pub fn sll(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
-        self.inst(Inst::Op { op: AluOp::Sll, rd, rs1, rs2 })
+        self.inst(Inst::Op {
+            op: AluOp::Sll,
+            rd,
+            rs1,
+            rs2,
+        })
     }
     /// `srl rd, rs1, rs2`
     pub fn srl(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
-        self.inst(Inst::Op { op: AluOp::Srl, rd, rs1, rs2 })
+        self.inst(Inst::Op {
+            op: AluOp::Srl,
+            rd,
+            rs1,
+            rs2,
+        })
     }
     /// `sra rd, rs1, rs2`
     pub fn sra(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
-        self.inst(Inst::Op { op: AluOp::Sra, rd, rs1, rs2 })
+        self.inst(Inst::Op {
+            op: AluOp::Sra,
+            rd,
+            rs1,
+            rs2,
+        })
     }
     /// `slt rd, rs1, rs2`
     pub fn slt(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
-        self.inst(Inst::Op { op: AluOp::Slt, rd, rs1, rs2 })
+        self.inst(Inst::Op {
+            op: AluOp::Slt,
+            rd,
+            rs1,
+            rs2,
+        })
     }
     /// `sltu rd, rs1, rs2`
     pub fn sltu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
-        self.inst(Inst::Op { op: AluOp::Sltu, rd, rs1, rs2 })
+        self.inst(Inst::Op {
+            op: AluOp::Sltu,
+            rd,
+            rs1,
+            rs2,
+        })
     }
     /// `addw rd, rs1, rs2`
     pub fn addw(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
-        self.inst(Inst::Op32 { op: AluOp::Add, rd, rs1, rs2 })
+        self.inst(Inst::Op32 {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            rs2,
+        })
     }
     /// `subw rd, rs1, rs2`
     pub fn subw(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
-        self.inst(Inst::Op32 { op: AluOp::Sub, rd, rs1, rs2 })
+        self.inst(Inst::Op32 {
+            op: AluOp::Sub,
+            rd,
+            rs1,
+            rs2,
+        })
     }
     /// `mul rd, rs1, rs2`
     pub fn mul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
-        self.inst(Inst::MulDiv { op: MulOp::Mul, rd, rs1, rs2 })
+        self.inst(Inst::MulDiv {
+            op: MulOp::Mul,
+            rd,
+            rs1,
+            rs2,
+        })
     }
     /// `mulhu rd, rs1, rs2`
     pub fn mulhu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
-        self.inst(Inst::MulDiv { op: MulOp::Mulhu, rd, rs1, rs2 })
+        self.inst(Inst::MulDiv {
+            op: MulOp::Mulhu,
+            rd,
+            rs1,
+            rs2,
+        })
     }
     /// `div rd, rs1, rs2`
     pub fn div(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
-        self.inst(Inst::MulDiv { op: MulOp::Div, rd, rs1, rs2 })
+        self.inst(Inst::MulDiv {
+            op: MulOp::Div,
+            rd,
+            rs1,
+            rs2,
+        })
     }
     /// `divu rd, rs1, rs2`
     pub fn divu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
-        self.inst(Inst::MulDiv { op: MulOp::Divu, rd, rs1, rs2 })
+        self.inst(Inst::MulDiv {
+            op: MulOp::Divu,
+            rd,
+            rs1,
+            rs2,
+        })
     }
     /// `rem rd, rs1, rs2`
     pub fn rem(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
-        self.inst(Inst::MulDiv { op: MulOp::Rem, rd, rs1, rs2 })
+        self.inst(Inst::MulDiv {
+            op: MulOp::Rem,
+            rd,
+            rs1,
+            rs2,
+        })
     }
     /// `remu rd, rs1, rs2`
     pub fn remu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
-        self.inst(Inst::MulDiv { op: MulOp::Remu, rd, rs1, rs2 })
+        self.inst(Inst::MulDiv {
+            op: MulOp::Remu,
+            rd,
+            rs1,
+            rs2,
+        })
     }
     /// `lui rd, imm` (imm is the full shifted value, 4 KiB aligned)
     pub fn lui(&mut self, rd: Reg, imm: i64) -> &mut Self {
@@ -330,47 +482,102 @@ impl Asm {
 
     /// `ld rd, offset(rs1)`
     pub fn ld(&mut self, rd: Reg, offset: i32, rs1: Reg) -> &mut Self {
-        self.inst(Inst::Load { kind: LoadKind::D, rd, rs1, offset })
+        self.inst(Inst::Load {
+            kind: LoadKind::D,
+            rd,
+            rs1,
+            offset,
+        })
     }
     /// `lw rd, offset(rs1)`
     pub fn lw(&mut self, rd: Reg, offset: i32, rs1: Reg) -> &mut Self {
-        self.inst(Inst::Load { kind: LoadKind::W, rd, rs1, offset })
+        self.inst(Inst::Load {
+            kind: LoadKind::W,
+            rd,
+            rs1,
+            offset,
+        })
     }
     /// `lwu rd, offset(rs1)`
     pub fn lwu(&mut self, rd: Reg, offset: i32, rs1: Reg) -> &mut Self {
-        self.inst(Inst::Load { kind: LoadKind::Wu, rd, rs1, offset })
+        self.inst(Inst::Load {
+            kind: LoadKind::Wu,
+            rd,
+            rs1,
+            offset,
+        })
     }
     /// `lh rd, offset(rs1)`
     pub fn lh(&mut self, rd: Reg, offset: i32, rs1: Reg) -> &mut Self {
-        self.inst(Inst::Load { kind: LoadKind::H, rd, rs1, offset })
+        self.inst(Inst::Load {
+            kind: LoadKind::H,
+            rd,
+            rs1,
+            offset,
+        })
     }
     /// `lhu rd, offset(rs1)`
     pub fn lhu(&mut self, rd: Reg, offset: i32, rs1: Reg) -> &mut Self {
-        self.inst(Inst::Load { kind: LoadKind::Hu, rd, rs1, offset })
+        self.inst(Inst::Load {
+            kind: LoadKind::Hu,
+            rd,
+            rs1,
+            offset,
+        })
     }
     /// `lb rd, offset(rs1)`
     pub fn lb(&mut self, rd: Reg, offset: i32, rs1: Reg) -> &mut Self {
-        self.inst(Inst::Load { kind: LoadKind::B, rd, rs1, offset })
+        self.inst(Inst::Load {
+            kind: LoadKind::B,
+            rd,
+            rs1,
+            offset,
+        })
     }
     /// `lbu rd, offset(rs1)`
     pub fn lbu(&mut self, rd: Reg, offset: i32, rs1: Reg) -> &mut Self {
-        self.inst(Inst::Load { kind: LoadKind::Bu, rd, rs1, offset })
+        self.inst(Inst::Load {
+            kind: LoadKind::Bu,
+            rd,
+            rs1,
+            offset,
+        })
     }
     /// `sd rs2, offset(rs1)`
     pub fn sd(&mut self, rs2: Reg, offset: i32, rs1: Reg) -> &mut Self {
-        self.inst(Inst::Store { kind: StoreKind::D, rs1, rs2, offset })
+        self.inst(Inst::Store {
+            kind: StoreKind::D,
+            rs1,
+            rs2,
+            offset,
+        })
     }
     /// `sw rs2, offset(rs1)`
     pub fn sw(&mut self, rs2: Reg, offset: i32, rs1: Reg) -> &mut Self {
-        self.inst(Inst::Store { kind: StoreKind::W, rs1, rs2, offset })
+        self.inst(Inst::Store {
+            kind: StoreKind::W,
+            rs1,
+            rs2,
+            offset,
+        })
     }
     /// `sh rs2, offset(rs1)`
     pub fn sh(&mut self, rs2: Reg, offset: i32, rs1: Reg) -> &mut Self {
-        self.inst(Inst::Store { kind: StoreKind::H, rs1, rs2, offset })
+        self.inst(Inst::Store {
+            kind: StoreKind::H,
+            rs1,
+            rs2,
+            offset,
+        })
     }
     /// `sb rs2, offset(rs1)`
     pub fn sb(&mut self, rs2: Reg, offset: i32, rs1: Reg) -> &mut Self {
-        self.inst(Inst::Store { kind: StoreKind::B, rs1, rs2, offset })
+        self.inst(Inst::Store {
+            kind: StoreKind::B,
+            rs1,
+            rs2,
+            offset,
+        })
     }
     /// `fld rd, offset(rs1)`
     pub fn fld(&mut self, rd: FReg, offset: i32, rs1: Reg) -> &mut Self {
@@ -385,32 +592,62 @@ impl Asm {
 
     /// `beq rs1, rs2, label`
     pub fn beq(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
-        self.slots.push(Slot::BranchTo { kind: BranchKind::Eq, rs1, rs2, label: label.into() });
+        self.slots.push(Slot::BranchTo {
+            kind: BranchKind::Eq,
+            rs1,
+            rs2,
+            label: label.into(),
+        });
         self
     }
     /// `bne rs1, rs2, label`
     pub fn bne(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
-        self.slots.push(Slot::BranchTo { kind: BranchKind::Ne, rs1, rs2, label: label.into() });
+        self.slots.push(Slot::BranchTo {
+            kind: BranchKind::Ne,
+            rs1,
+            rs2,
+            label: label.into(),
+        });
         self
     }
     /// `blt rs1, rs2, label`
     pub fn blt(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
-        self.slots.push(Slot::BranchTo { kind: BranchKind::Lt, rs1, rs2, label: label.into() });
+        self.slots.push(Slot::BranchTo {
+            kind: BranchKind::Lt,
+            rs1,
+            rs2,
+            label: label.into(),
+        });
         self
     }
     /// `bge rs1, rs2, label`
     pub fn bge(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
-        self.slots.push(Slot::BranchTo { kind: BranchKind::Ge, rs1, rs2, label: label.into() });
+        self.slots.push(Slot::BranchTo {
+            kind: BranchKind::Ge,
+            rs1,
+            rs2,
+            label: label.into(),
+        });
         self
     }
     /// `bltu rs1, rs2, label`
     pub fn bltu(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
-        self.slots.push(Slot::BranchTo { kind: BranchKind::Ltu, rs1, rs2, label: label.into() });
+        self.slots.push(Slot::BranchTo {
+            kind: BranchKind::Ltu,
+            rs1,
+            rs2,
+            label: label.into(),
+        });
         self
     }
     /// `bgeu rs1, rs2, label`
     pub fn bgeu(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
-        self.slots.push(Slot::BranchTo { kind: BranchKind::Geu, rs1, rs2, label: label.into() });
+        self.slots.push(Slot::BranchTo {
+            kind: BranchKind::Geu,
+            rs1,
+            rs2,
+            label: label.into(),
+        });
         self
     }
     /// `beqz rs1, label`
@@ -423,7 +660,10 @@ impl Asm {
     }
     /// `jal rd, label`
     pub fn jal(&mut self, rd: Reg, label: &str) -> &mut Self {
-        self.slots.push(Slot::JalTo { rd, label: label.into() });
+        self.slots.push(Slot::JalTo {
+            rd,
+            label: label.into(),
+        });
         self
     }
     /// `j label` (jal zero)
@@ -451,19 +691,39 @@ impl Asm {
 
     /// `fadd.d rd, rs1, rs2`
     pub fn fadd_d(&mut self, rd: FReg, rs1: FReg, rs2: FReg) -> &mut Self {
-        self.inst(Inst::FpOp { op: FpOp::Add, rd, rs1, rs2 })
+        self.inst(Inst::FpOp {
+            op: FpOp::Add,
+            rd,
+            rs1,
+            rs2,
+        })
     }
     /// `fsub.d rd, rs1, rs2`
     pub fn fsub_d(&mut self, rd: FReg, rs1: FReg, rs2: FReg) -> &mut Self {
-        self.inst(Inst::FpOp { op: FpOp::Sub, rd, rs1, rs2 })
+        self.inst(Inst::FpOp {
+            op: FpOp::Sub,
+            rd,
+            rs1,
+            rs2,
+        })
     }
     /// `fmul.d rd, rs1, rs2`
     pub fn fmul_d(&mut self, rd: FReg, rs1: FReg, rs2: FReg) -> &mut Self {
-        self.inst(Inst::FpOp { op: FpOp::Mul, rd, rs1, rs2 })
+        self.inst(Inst::FpOp {
+            op: FpOp::Mul,
+            rd,
+            rs1,
+            rs2,
+        })
     }
     /// `fdiv.d rd, rs1, rs2`
     pub fn fdiv_d(&mut self, rd: FReg, rs1: FReg, rs2: FReg) -> &mut Self {
-        self.inst(Inst::FpOp { op: FpOp::Div, rd, rs1, rs2 })
+        self.inst(Inst::FpOp {
+            op: FpOp::Div,
+            rd,
+            rs1,
+            rs2,
+        })
     }
     /// `fmadd.d rd, rs1, rs2, rs3`
     pub fn fmadd_d(&mut self, rd: FReg, rs1: FReg, rs2: FReg, rs3: FReg) -> &mut Self {
@@ -475,23 +735,48 @@ impl Asm {
     }
     /// `fmv.d rd, rs1` (fsgnj.d rd, rs1, rs1)
     pub fn fmv_d(&mut self, rd: FReg, rs1: FReg) -> &mut Self {
-        self.inst(Inst::FpOp { op: FpOp::Sgnj, rd, rs1, rs2: rs1 })
+        self.inst(Inst::FpOp {
+            op: FpOp::Sgnj,
+            rd,
+            rs1,
+            rs2: rs1,
+        })
     }
     /// `fneg.d rd, rs1` (fsgnjn.d rd, rs1, rs1)
     pub fn fneg_d(&mut self, rd: FReg, rs1: FReg) -> &mut Self {
-        self.inst(Inst::FpOp { op: FpOp::Sgnjn, rd, rs1, rs2: rs1 })
+        self.inst(Inst::FpOp {
+            op: FpOp::Sgnjn,
+            rd,
+            rs1,
+            rs2: rs1,
+        })
     }
     /// `feq.d rd, rs1, rs2`
     pub fn feq_d(&mut self, rd: Reg, rs1: FReg, rs2: FReg) -> &mut Self {
-        self.inst(Inst::FpCmp { cmp: FpCmp::Eq, rd, rs1, rs2 })
+        self.inst(Inst::FpCmp {
+            cmp: FpCmp::Eq,
+            rd,
+            rs1,
+            rs2,
+        })
     }
     /// `flt.d rd, rs1, rs2`
     pub fn flt_d(&mut self, rd: Reg, rs1: FReg, rs2: FReg) -> &mut Self {
-        self.inst(Inst::FpCmp { cmp: FpCmp::Lt, rd, rs1, rs2 })
+        self.inst(Inst::FpCmp {
+            cmp: FpCmp::Lt,
+            rd,
+            rs1,
+            rs2,
+        })
     }
     /// `fle.d rd, rs1, rs2`
     pub fn fle_d(&mut self, rd: Reg, rs1: FReg, rs2: FReg) -> &mut Self {
-        self.inst(Inst::FpCmp { cmp: FpCmp::Le, rd, rs1, rs2 })
+        self.inst(Inst::FpCmp {
+            cmp: FpCmp::Le,
+            rd,
+            rs1,
+            rs2,
+        })
     }
     /// `fcvt.d.l rd, rs1`
     pub fn fcvt_d_l(&mut self, rd: FReg, rs1: Reg) -> &mut Self {
@@ -578,7 +863,7 @@ impl Asm {
             let hi = (imm - lo as i64) & 0xFFFF_F000;
             // `hi` as computed can be 0x8000_0000 for imm near i32::MAX;
             // sign-extend it through the 32-bit LUI semantics.
-            let hi_sext = ((hi as i64) << 32) >> 32;
+            let hi_sext = (hi << 32) >> 32;
             self.lui(rd, hi_sext);
             if lo != 0 {
                 self.addiw(rd, rd, lo);
@@ -601,8 +886,14 @@ impl Asm {
     /// (always a 2-instruction lui/addiw pair; symbols may be defined
     /// after the reference).
     pub fn la(&mut self, rd: Reg, sym: &str) -> &mut Self {
-        self.slots.push(Slot::LaHi { rd, sym: sym.into() });
-        self.slots.push(Slot::LaLo { rd, sym: sym.into() });
+        self.slots.push(Slot::LaHi {
+            rd,
+            sym: sym.into(),
+        });
+        self.slots.push(Slot::LaLo {
+            rd,
+            sym: sym.into(),
+        });
         self
     }
 
@@ -622,21 +913,40 @@ impl Asm {
             let pc = CODE_BASE + 4 * idx as u64;
             let inst = match slot {
                 Slot::Done(i) => *i,
-                Slot::BranchTo { kind, rs1, rs2, label } => {
+                Slot::BranchTo {
+                    kind,
+                    rs1,
+                    rs2,
+                    label,
+                } => {
                     let target = self.resolve_label(label)?;
                     let offset = target as i64 - pc as i64;
                     if !(-4096..=4094).contains(&offset) {
-                        return Err(AsmError::BranchOutOfRange { label: label.clone(), offset });
+                        return Err(AsmError::BranchOutOfRange {
+                            label: label.clone(),
+                            offset,
+                        });
                     }
-                    Inst::Branch { kind: *kind, rs1: *rs1, rs2: *rs2, offset: offset as i32 }
+                    Inst::Branch {
+                        kind: *kind,
+                        rs1: *rs1,
+                        rs2: *rs2,
+                        offset: offset as i32,
+                    }
                 }
                 Slot::JalTo { rd, label } => {
                     let target = self.resolve_label(label)?;
                     let offset = target as i64 - pc as i64;
                     if !(-(1 << 20)..(1 << 20)).contains(&offset) {
-                        return Err(AsmError::JumpOutOfRange { label: label.clone(), offset });
+                        return Err(AsmError::JumpOutOfRange {
+                            label: label.clone(),
+                            offset,
+                        });
                     }
-                    Inst::Jal { rd: *rd, offset: offset as i32 }
+                    Inst::Jal {
+                        rd: *rd,
+                        offset: offset as i32,
+                    }
                 }
                 Slot::LaHi { rd, sym } => {
                     let (hi, _) = self.resolve_sym_parts(sym)?;
@@ -644,7 +954,11 @@ impl Asm {
                 }
                 Slot::LaLo { rd, sym } => {
                     let (_, lo) = self.resolve_sym_parts(sym)?;
-                    Inst::OpImm32 { rd: *rd, rs1: *rd, imm: lo }
+                    Inst::OpImm32 {
+                        rd: *rd,
+                        rs1: *rd,
+                        imm: lo,
+                    }
                 }
             };
             code.push(inst.encode());
@@ -666,8 +980,10 @@ impl Asm {
     }
 
     fn resolve_sym_parts(&self, sym: &str) -> Result<(i64, i32), AsmError> {
-        let addr =
-            *self.syms.get(sym).ok_or_else(|| AsmError::UndefinedSymbol(sym.to_string()))? as i64;
+        let addr = *self
+            .syms
+            .get(sym)
+            .ok_or_else(|| AsmError::UndefinedSymbol(sym.to_string()))? as i64;
         debug_assert!(addr < (1 << 31), "data addresses must fit lui/addiw");
         let lo = ((addr << 52) >> 52) as i32;
         let hi = (addr - lo as i64) & 0xFFFF_F000;
@@ -764,7 +1080,10 @@ mod tests {
     fn undefined_label_is_an_error() {
         let mut a = Asm::new();
         a.j("nowhere");
-        assert_eq!(a.assemble().unwrap_err(), AsmError::UndefinedLabel("nowhere".into()));
+        assert_eq!(
+            a.assemble().unwrap_err(),
+            AsmError::UndefinedLabel("nowhere".into())
+        );
     }
 
     #[test]

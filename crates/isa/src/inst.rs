@@ -278,39 +278,104 @@ pub enum Inst {
     /// JALR rd, rs1, offset.
     Jalr { rd: Reg, rs1: Reg, offset: i32 },
     /// Conditional branch.
-    Branch { kind: BranchKind, rs1: Reg, rs2: Reg, offset: i32 },
+    Branch {
+        kind: BranchKind,
+        rs1: Reg,
+        rs2: Reg,
+        offset: i32,
+    },
     /// Integer load.
-    Load { kind: LoadKind, rd: Reg, rs1: Reg, offset: i32 },
+    Load {
+        kind: LoadKind,
+        rd: Reg,
+        rs1: Reg,
+        offset: i32,
+    },
     /// Integer store.
-    Store { kind: StoreKind, rs1: Reg, rs2: Reg, offset: i32 },
+    Store {
+        kind: StoreKind,
+        rs1: Reg,
+        rs2: Reg,
+        offset: i32,
+    },
     /// OP-IMM: ADDI/SLTI/SLTIU/XORI/ORI/ANDI.
-    OpImm { op: AluOp, rd: Reg, rs1: Reg, imm: i32 },
+    OpImm {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
     /// OP-IMM shift: SLLI/SRLI/SRAI (6-bit shamt on RV64).
-    OpImmShift { op: AluOp, rd: Reg, rs1: Reg, shamt: u8 },
+    OpImmShift {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        shamt: u8,
+    },
     /// OP-IMM-32: ADDIW.
     OpImm32 { rd: Reg, rs1: Reg, imm: i32 },
     /// OP-IMM-32 shift: SLLIW/SRLIW/SRAIW (5-bit shamt).
-    OpImm32Shift { op: AluOp, rd: Reg, rs1: Reg, shamt: u8 },
+    OpImm32Shift {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        shamt: u8,
+    },
     /// OP: register-register ALU.
-    Op { op: AluOp, rd: Reg, rs1: Reg, rs2: Reg },
+    Op {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     /// OP-32: register-register ALU on the low 32 bits (ADDW/SUBW/SLLW/SRLW/SRAW).
-    Op32 { op: AluOp, rd: Reg, rs1: Reg, rs2: Reg },
+    Op32 {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     /// M extension on 64-bit operands.
-    MulDiv { op: MulOp, rd: Reg, rs1: Reg, rs2: Reg },
+    MulDiv {
+        op: MulOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     /// M extension on 32-bit operands (MULW/DIVW/DIVUW/REMW/REMUW).
-    MulDiv32 { op: MulOp, rd: Reg, rs1: Reg, rs2: Reg },
+    MulDiv32 {
+        op: MulOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     /// FLD rd, offset(rs1).
     Fld { rd: FReg, rs1: Reg, offset: i32 },
     /// FSD rs2, offset(rs1).
     Fsd { rs1: Reg, rs2: FReg, offset: i32 },
     /// Double-precision register-register arithmetic.
-    FpOp { op: FpOp, rd: FReg, rs1: FReg, rs2: FReg },
+    FpOp {
+        op: FpOp,
+        rd: FReg,
+        rs1: FReg,
+        rs2: FReg,
+    },
     /// FSQRT.D rd, rs1.
     Fsqrt { rd: FReg, rs1: FReg },
     /// FMADD.D rd, rs1, rs2, rs3 → rd = rs1*rs2 + rs3.
-    Fmadd { rd: FReg, rs1: FReg, rs2: FReg, rs3: FReg },
+    Fmadd {
+        rd: FReg,
+        rs1: FReg,
+        rs2: FReg,
+        rs3: FReg,
+    },
     /// FP comparison into an integer register.
-    FpCmp { cmp: FpCmp, rd: Reg, rs1: FReg, rs2: FReg },
+    FpCmp {
+        cmp: FpCmp,
+        rd: Reg,
+        rs1: FReg,
+        rs2: FReg,
+    },
     /// FCVT.D.L rd, rs1 — signed 64-bit int to double.
     FcvtDL { rd: FReg, rs1: Reg },
     /// FCVT.D.W rd, rs1 — signed 32-bit int to double.
@@ -488,26 +553,44 @@ impl Inst {
     /// Panics (in debug builds) if an immediate is out of the encodable
     /// range; the assembler validates ranges before calling this.
     pub fn encode(self) -> u32 {
+        use crate::inst::{FpCmp as FCmp, FpOp as FOp};
         use Inst::*;
-        use crate::inst::{FpOp as FOp, FpCmp as FCmp};
         match self {
             Lui { rd, imm } => u_type(OPC_LUI, rd.0 as u32, imm),
             Auipc { rd, imm } => u_type(OPC_AUIPC, rd.0 as u32, imm),
             Jal { rd, offset } => j_type(OPC_JAL, rd.0 as u32, offset),
             Jalr { rd, rs1, offset } => i_type(OPC_JALR, rd.0 as u32, 0, rs1.0 as u32, offset),
-            Branch { kind, rs1, rs2, offset } => {
-                b_type(OPC_BRANCH, kind.funct3(), rs1.0 as u32, rs2.0 as u32, offset)
-            }
-            Load { kind, rd, rs1, offset } => {
-                i_type(OPC_LOAD, rd.0 as u32, kind.funct3(), rs1.0 as u32, offset)
-            }
-            Store { kind, rs1, rs2, offset } => {
-                s_type(OPC_STORE, kind.funct3(), rs1.0 as u32, rs2.0 as u32, offset)
-            }
+            Branch {
+                kind,
+                rs1,
+                rs2,
+                offset,
+            } => b_type(
+                OPC_BRANCH,
+                kind.funct3(),
+                rs1.0 as u32,
+                rs2.0 as u32,
+                offset,
+            ),
+            Load {
+                kind,
+                rd,
+                rs1,
+                offset,
+            } => i_type(OPC_LOAD, rd.0 as u32, kind.funct3(), rs1.0 as u32, offset),
+            Store {
+                kind,
+                rs1,
+                rs2,
+                offset,
+            } => s_type(OPC_STORE, kind.funct3(), rs1.0 as u32, rs2.0 as u32, offset),
             OpImm { op, rd, rs1, imm } => {
                 let (f3, _) = op.f3_f7();
                 debug_assert!(
-                    matches!(op, AluOp::Add | AluOp::Slt | AluOp::Sltu | AluOp::Xor | AluOp::Or | AluOp::And),
+                    matches!(
+                        op,
+                        AluOp::Add | AluOp::Slt | AluOp::Sltu | AluOp::Xor | AluOp::Or | AluOp::And
+                    ),
                     "OP-IMM does not encode {op:?}"
                 );
                 i_type(OPC_OP_IMM, rd.0 as u32, f3, rs1.0 as u32, imm)
@@ -516,14 +599,28 @@ impl Inst {
                 debug_assert!(shamt < 64);
                 let (f3, f7) = op.f3_f7();
                 debug_assert!(matches!(op, AluOp::Sll | AluOp::Srl | AluOp::Sra));
-                r_type(OPC_OP_IMM, rd.0 as u32, f3, rs1.0 as u32, (shamt & 0x1F) as u32, f7 | ((shamt as u32) >> 5))
+                r_type(
+                    OPC_OP_IMM,
+                    rd.0 as u32,
+                    f3,
+                    rs1.0 as u32,
+                    (shamt & 0x1F) as u32,
+                    f7 | ((shamt as u32) >> 5),
+                )
             }
             OpImm32 { rd, rs1, imm } => i_type(OPC_OP_IMM_32, rd.0 as u32, 0, rs1.0 as u32, imm),
             OpImm32Shift { op, rd, rs1, shamt } => {
                 debug_assert!(shamt < 32);
                 let (f3, f7) = op.f3_f7();
                 debug_assert!(matches!(op, AluOp::Sll | AluOp::Srl | AluOp::Sra));
-                r_type(OPC_OP_IMM_32, rd.0 as u32, f3, rs1.0 as u32, shamt as u32, f7)
+                r_type(
+                    OPC_OP_IMM_32,
+                    rd.0 as u32,
+                    f3,
+                    rs1.0 as u32,
+                    shamt as u32,
+                    f7,
+                )
             }
             Op { op, rd, rs1, rs2 } => {
                 let (f3, f7) = op.f3_f7();
@@ -531,21 +628,43 @@ impl Inst {
             }
             Op32 { op, rd, rs1, rs2 } => {
                 let (f3, f7) = op.f3_f7();
-                debug_assert!(matches!(op, AluOp::Add | AluOp::Sub | AluOp::Sll | AluOp::Srl | AluOp::Sra));
+                debug_assert!(matches!(
+                    op,
+                    AluOp::Add | AluOp::Sub | AluOp::Sll | AluOp::Srl | AluOp::Sra
+                ));
                 r_type(OPC_OP_32, rd.0 as u32, f3, rs1.0 as u32, rs2.0 as u32, f7)
             }
-            MulDiv { op, rd, rs1, rs2 } => {
-                r_type(OPC_OP, rd.0 as u32, op.funct3(), rs1.0 as u32, rs2.0 as u32, 1)
-            }
+            MulDiv { op, rd, rs1, rs2 } => r_type(
+                OPC_OP,
+                rd.0 as u32,
+                op.funct3(),
+                rs1.0 as u32,
+                rs2.0 as u32,
+                1,
+            ),
             MulDiv32 { op, rd, rs1, rs2 } => {
                 debug_assert!(
-                    matches!(op, MulOp::Mul | MulOp::Div | MulOp::Divu | MulOp::Rem | MulOp::Remu),
+                    matches!(
+                        op,
+                        MulOp::Mul | MulOp::Div | MulOp::Divu | MulOp::Rem | MulOp::Remu
+                    ),
                     "OP-32 does not encode {op:?}"
                 );
-                r_type(OPC_OP_32, rd.0 as u32, op.funct3(), rs1.0 as u32, rs2.0 as u32, 1)
+                r_type(
+                    OPC_OP_32,
+                    rd.0 as u32,
+                    op.funct3(),
+                    rs1.0 as u32,
+                    rs2.0 as u32,
+                    1,
+                )
             }
-            Fld { rd, rs1, offset } => i_type(OPC_LOAD_FP, rd.0 as u32, 0b011, rs1.0 as u32, offset),
-            Fsd { rs1, rs2, offset } => s_type(OPC_STORE_FP, 0b011, rs1.0 as u32, rs2.0 as u32, offset),
+            Fld { rd, rs1, offset } => {
+                i_type(OPC_LOAD_FP, rd.0 as u32, 0b011, rs1.0 as u32, offset)
+            }
+            Fsd { rs1, rs2, offset } => {
+                s_type(OPC_STORE_FP, 0b011, rs1.0 as u32, rs2.0 as u32, offset)
+            }
             FpOp { op, rd, rs1, rs2 } => {
                 let (f7hi, f3) = match op {
                     FOp::Add => (0b00000, RM_DYN),
@@ -558,11 +677,23 @@ impl Inst {
                     FOp::Min => (0b00101, 0b000),
                     FOp::Max => (0b00101, 0b001),
                 };
-                r_type(OPC_OP_FP, rd.0 as u32, f3, rs1.0 as u32, rs2.0 as u32, (f7hi << 2) | FMT_D)
+                r_type(
+                    OPC_OP_FP,
+                    rd.0 as u32,
+                    f3,
+                    rs1.0 as u32,
+                    rs2.0 as u32,
+                    (f7hi << 2) | FMT_D,
+                )
             }
-            Fsqrt { rd, rs1 } => {
-                r_type(OPC_OP_FP, rd.0 as u32, RM_DYN, rs1.0 as u32, 0, (0b01011 << 2) | FMT_D)
-            }
+            Fsqrt { rd, rs1 } => r_type(
+                OPC_OP_FP,
+                rd.0 as u32,
+                RM_DYN,
+                rs1.0 as u32,
+                0,
+                (0b01011 << 2) | FMT_D,
+            ),
             Fmadd { rd, rs1, rs2, rs3 } => {
                 OPC_MADD
                     | ((rd.0 as u32) << 7)
@@ -578,26 +709,63 @@ impl Inst {
                     FCmp::Lt => 0b001,
                     FCmp::Eq => 0b010,
                 };
-                r_type(OPC_OP_FP, rd.0 as u32, f3, rs1.0 as u32, rs2.0 as u32, (0b10100 << 2) | FMT_D)
+                r_type(
+                    OPC_OP_FP,
+                    rd.0 as u32,
+                    f3,
+                    rs1.0 as u32,
+                    rs2.0 as u32,
+                    (0b10100 << 2) | FMT_D,
+                )
             }
-            FcvtDL { rd, rs1 } => {
-                r_type(OPC_OP_FP, rd.0 as u32, RM_DYN, rs1.0 as u32, 0b00010, (0b11010 << 2) | FMT_D)
-            }
-            FcvtDW { rd, rs1 } => {
-                r_type(OPC_OP_FP, rd.0 as u32, RM_DYN, rs1.0 as u32, 0b00000, (0b11010 << 2) | FMT_D)
-            }
-            FcvtLD { rd, rs1 } => {
-                r_type(OPC_OP_FP, rd.0 as u32, 0b001, rs1.0 as u32, 0b00010, (0b11000 << 2) | FMT_D)
-            }
-            FcvtWD { rd, rs1 } => {
-                r_type(OPC_OP_FP, rd.0 as u32, 0b001, rs1.0 as u32, 0b00000, (0b11000 << 2) | FMT_D)
-            }
-            FmvXD { rd, rs1 } => {
-                r_type(OPC_OP_FP, rd.0 as u32, 0b000, rs1.0 as u32, 0, (0b11100 << 2) | FMT_D)
-            }
-            FmvDX { rd, rs1 } => {
-                r_type(OPC_OP_FP, rd.0 as u32, 0b000, rs1.0 as u32, 0, (0b11110 << 2) | FMT_D)
-            }
+            FcvtDL { rd, rs1 } => r_type(
+                OPC_OP_FP,
+                rd.0 as u32,
+                RM_DYN,
+                rs1.0 as u32,
+                0b00010,
+                (0b11010 << 2) | FMT_D,
+            ),
+            FcvtDW { rd, rs1 } => r_type(
+                OPC_OP_FP,
+                rd.0 as u32,
+                RM_DYN,
+                rs1.0 as u32,
+                0b00000,
+                (0b11010 << 2) | FMT_D,
+            ),
+            FcvtLD { rd, rs1 } => r_type(
+                OPC_OP_FP,
+                rd.0 as u32,
+                0b001,
+                rs1.0 as u32,
+                0b00010,
+                (0b11000 << 2) | FMT_D,
+            ),
+            FcvtWD { rd, rs1 } => r_type(
+                OPC_OP_FP,
+                rd.0 as u32,
+                0b001,
+                rs1.0 as u32,
+                0b00000,
+                (0b11000 << 2) | FMT_D,
+            ),
+            FmvXD { rd, rs1 } => r_type(
+                OPC_OP_FP,
+                rd.0 as u32,
+                0b000,
+                rs1.0 as u32,
+                0,
+                (0b11100 << 2) | FMT_D,
+            ),
+            FmvDX { rd, rs1 } => r_type(
+                OPC_OP_FP,
+                rd.0 as u32,
+                0b000,
+                rs1.0 as u32,
+                0,
+                (0b11110 << 2) | FMT_D,
+            ),
             Fsin { rd, rs1 } => r_type(OPC_CUSTOM0, rd.0 as u32, 0, rs1.0 as u32, 0, 0),
             Fence => i_type(OPC_MISC_MEM, 0, 0, 0, 0x0FF),
             Ecall => OPC_SYSTEM,
@@ -614,8 +782,8 @@ impl Inst {
 
     /// Decodes a 32-bit machine word.
     pub fn decode(w: u32) -> Result<Inst, DecodeError> {
+        use crate::inst::{FpCmp as FCmp, FpOp as FOp};
         use Inst::*;
-        use crate::inst::{FpOp as FOp, FpCmp as FCmp};
         let err = Err(DecodeError { word: w });
         let opc = w & 0x7F;
         let rd = Reg(rd_of(w) as u8);
@@ -629,8 +797,15 @@ impl Inst {
         Ok(match opc {
             OPC_LUI => Lui { rd, imm: u_imm(w) },
             OPC_AUIPC => Auipc { rd, imm: u_imm(w) },
-            OPC_JAL => Jal { rd, offset: j_imm(w) },
-            OPC_JALR if f3 == 0 => Jalr { rd, rs1, offset: i_imm(w) },
+            OPC_JAL => Jal {
+                rd,
+                offset: j_imm(w),
+            },
+            OPC_JALR if f3 == 0 => Jalr {
+                rd,
+                rs1,
+                offset: i_imm(w),
+            },
             OPC_BRANCH => {
                 let kind = match f3 {
                     0b000 => BranchKind::Eq,
@@ -641,7 +816,12 @@ impl Inst {
                     0b111 => BranchKind::Geu,
                     _ => return err,
                 };
-                Branch { kind, rs1, rs2, offset: b_imm(w) }
+                Branch {
+                    kind,
+                    rs1,
+                    rs2,
+                    offset: b_imm(w),
+                }
             }
             OPC_LOAD => {
                 let kind = match f3 {
@@ -654,7 +834,12 @@ impl Inst {
                     0b110 => LoadKind::Wu,
                     _ => return err,
                 };
-                Load { kind, rd, rs1, offset: i_imm(w) }
+                Load {
+                    kind,
+                    rd,
+                    rs1,
+                    offset: i_imm(w),
+                }
             }
             OPC_STORE => {
                 let kind = match f3 {
@@ -664,33 +849,94 @@ impl Inst {
                     0b011 => StoreKind::D,
                     _ => return err,
                 };
-                Store { kind, rs1, rs2, offset: s_imm(w) }
+                Store {
+                    kind,
+                    rs1,
+                    rs2,
+                    offset: s_imm(w),
+                }
             }
             OPC_OP_IMM => match f3 {
-                0b000 => OpImm { op: AluOp::Add, rd, rs1, imm: i_imm(w) },
-                0b010 => OpImm { op: AluOp::Slt, rd, rs1, imm: i_imm(w) },
-                0b011 => OpImm { op: AluOp::Sltu, rd, rs1, imm: i_imm(w) },
-                0b100 => OpImm { op: AluOp::Xor, rd, rs1, imm: i_imm(w) },
-                0b110 => OpImm { op: AluOp::Or, rd, rs1, imm: i_imm(w) },
-                0b111 => OpImm { op: AluOp::And, rd, rs1, imm: i_imm(w) },
-                0b001 if f7 >> 1 == 0 => {
-                    OpImmShift { op: AluOp::Sll, rd, rs1, shamt: (rs2_of(w) | ((f7 & 1) << 5)) as u8 }
-                }
-                0b101 if f7 >> 1 == 0 => {
-                    OpImmShift { op: AluOp::Srl, rd, rs1, shamt: (rs2_of(w) | ((f7 & 1) << 5)) as u8 }
-                }
-                0b101 if f7 >> 1 == 0b010000 => {
-                    OpImmShift { op: AluOp::Sra, rd, rs1, shamt: (rs2_of(w) | ((f7 & 1) << 5)) as u8 }
-                }
+                0b000 => OpImm {
+                    op: AluOp::Add,
+                    rd,
+                    rs1,
+                    imm: i_imm(w),
+                },
+                0b010 => OpImm {
+                    op: AluOp::Slt,
+                    rd,
+                    rs1,
+                    imm: i_imm(w),
+                },
+                0b011 => OpImm {
+                    op: AluOp::Sltu,
+                    rd,
+                    rs1,
+                    imm: i_imm(w),
+                },
+                0b100 => OpImm {
+                    op: AluOp::Xor,
+                    rd,
+                    rs1,
+                    imm: i_imm(w),
+                },
+                0b110 => OpImm {
+                    op: AluOp::Or,
+                    rd,
+                    rs1,
+                    imm: i_imm(w),
+                },
+                0b111 => OpImm {
+                    op: AluOp::And,
+                    rd,
+                    rs1,
+                    imm: i_imm(w),
+                },
+                0b001 if f7 >> 1 == 0 => OpImmShift {
+                    op: AluOp::Sll,
+                    rd,
+                    rs1,
+                    shamt: (rs2_of(w) | ((f7 & 1) << 5)) as u8,
+                },
+                0b101 if f7 >> 1 == 0 => OpImmShift {
+                    op: AluOp::Srl,
+                    rd,
+                    rs1,
+                    shamt: (rs2_of(w) | ((f7 & 1) << 5)) as u8,
+                },
+                0b101 if f7 >> 1 == 0b010000 => OpImmShift {
+                    op: AluOp::Sra,
+                    rd,
+                    rs1,
+                    shamt: (rs2_of(w) | ((f7 & 1) << 5)) as u8,
+                },
                 _ => return err,
             },
             OPC_OP_IMM_32 => match (f3, f7) {
-                (0b000, _) => OpImm32 { rd, rs1, imm: i_imm(w) },
-                (0b001, 0) => OpImm32Shift { op: AluOp::Sll, rd, rs1, shamt: rs2_of(w) as u8 },
-                (0b101, 0) => OpImm32Shift { op: AluOp::Srl, rd, rs1, shamt: rs2_of(w) as u8 },
-                (0b101, 0b0100000) => {
-                    OpImm32Shift { op: AluOp::Sra, rd, rs1, shamt: rs2_of(w) as u8 }
-                }
+                (0b000, _) => OpImm32 {
+                    rd,
+                    rs1,
+                    imm: i_imm(w),
+                },
+                (0b001, 0) => OpImm32Shift {
+                    op: AluOp::Sll,
+                    rd,
+                    rs1,
+                    shamt: rs2_of(w) as u8,
+                },
+                (0b101, 0) => OpImm32Shift {
+                    op: AluOp::Srl,
+                    rd,
+                    rs1,
+                    shamt: rs2_of(w) as u8,
+                },
+                (0b101, 0b0100000) => OpImm32Shift {
+                    op: AluOp::Sra,
+                    rd,
+                    rs1,
+                    shamt: rs2_of(w) as u8,
+                },
                 _ => return err,
             },
             OPC_OP => {
@@ -747,20 +993,51 @@ impl Inst {
                     Op32 { op, rd, rs1, rs2 }
                 }
             }
-            OPC_LOAD_FP if f3 == 0b011 => Fld { rd: frd, rs1, offset: i_imm(w) },
-            OPC_STORE_FP if f3 == 0b011 => Fsd { rs1, rs2: frs2, offset: s_imm(w) },
-            OPC_MADD if (w >> 25) & 0b11 == FMT_D && f3 == RM_DYN => {
-                Fmadd { rd: frd, rs1: frs1, rs2: frs2, rs3: FReg((w >> 27) as u8 & 0x1F) }
-            }
+            OPC_LOAD_FP if f3 == 0b011 => Fld {
+                rd: frd,
+                rs1,
+                offset: i_imm(w),
+            },
+            OPC_STORE_FP if f3 == 0b011 => Fsd {
+                rs1,
+                rs2: frs2,
+                offset: s_imm(w),
+            },
+            OPC_MADD if (w >> 25) & 0b11 == FMT_D && f3 == RM_DYN => Fmadd {
+                rd: frd,
+                rs1: frs1,
+                rs2: frs2,
+                rs3: FReg((w >> 27) as u8 & 0x1F),
+            },
             OPC_OP_FP if f7 & 0b11 == FMT_D => {
                 let f7hi = f7 >> 2;
                 match f7hi {
                     // Arithmetic ops are canonical only with rm = DYN,
                     // the encoding this crate emits.
-                    0b00000 if f3 == RM_DYN => FpOp { op: FOp::Add, rd: frd, rs1: frs1, rs2: frs2 },
-                    0b00001 if f3 == RM_DYN => FpOp { op: FOp::Sub, rd: frd, rs1: frs1, rs2: frs2 },
-                    0b00010 if f3 == RM_DYN => FpOp { op: FOp::Mul, rd: frd, rs1: frs1, rs2: frs2 },
-                    0b00011 if f3 == RM_DYN => FpOp { op: FOp::Div, rd: frd, rs1: frs1, rs2: frs2 },
+                    0b00000 if f3 == RM_DYN => FpOp {
+                        op: FOp::Add,
+                        rd: frd,
+                        rs1: frs1,
+                        rs2: frs2,
+                    },
+                    0b00001 if f3 == RM_DYN => FpOp {
+                        op: FOp::Sub,
+                        rd: frd,
+                        rs1: frs1,
+                        rs2: frs2,
+                    },
+                    0b00010 if f3 == RM_DYN => FpOp {
+                        op: FOp::Mul,
+                        rd: frd,
+                        rs1: frs1,
+                        rs2: frs2,
+                    },
+                    0b00011 if f3 == RM_DYN => FpOp {
+                        op: FOp::Div,
+                        rd: frd,
+                        rs1: frs1,
+                        rs2: frs2,
+                    },
                     0b00100 => {
                         let op = match f3 {
                             0b000 => FOp::Sgnj,
@@ -768,7 +1045,12 @@ impl Inst {
                             0b010 => FOp::Sgnjx,
                             _ => return err,
                         };
-                        FpOp { op, rd: frd, rs1: frs1, rs2: frs2 }
+                        FpOp {
+                            op,
+                            rd: frd,
+                            rs1: frs1,
+                            rs2: frs2,
+                        }
                     }
                     0b00101 => {
                         let op = match f3 {
@@ -776,7 +1058,12 @@ impl Inst {
                             0b001 => FOp::Max,
                             _ => return err,
                         };
-                        FpOp { op, rd: frd, rs1: frs1, rs2: frs2 }
+                        FpOp {
+                            op,
+                            rd: frd,
+                            rs1: frs1,
+                            rs2: frs2,
+                        }
                     }
                     0b01011 if rs2_of(w) == 0 && f3 == RM_DYN => Fsqrt { rd: frd, rs1: frs1 },
                     0b10100 => {
@@ -786,7 +1073,12 @@ impl Inst {
                             0b010 => FCmp::Eq,
                             _ => return err,
                         };
-                        FpCmp { cmp, rd, rs1: frs1, rs2: frs2 }
+                        FpCmp {
+                            cmp,
+                            rd,
+                            rs1: frs1,
+                            rs2: frs2,
+                        }
                     }
                     0b11010 if f3 == RM_DYN => match rs2_of(w) {
                         0b00010 => FcvtDL { rd: frd, rs1 },
@@ -811,7 +1103,11 @@ impl Inst {
             OPC_SYSTEM => match (f3, w >> 20) {
                 (0, 0) if rd_of(w) == 0 && rs1_of(w) == 0 => Ecall,
                 (0, 1) if rd_of(w) == 0 && rs1_of(w) == 0 => Ebreak,
-                (0b010, csr) => Csrrs { rd, csr: csr as u16, rs1 },
+                (0b010, csr) => Csrrs {
+                    rd,
+                    csr: csr as u16,
+                    rs1,
+                },
                 _ => return err,
             },
             _ => return err,
@@ -820,11 +1116,17 @@ impl Inst {
 
     /// The coarse operation class (used for functional unit selection).
     pub fn class(self) -> OpClass {
-        use Inst::*;
         use crate::inst::FpOp as FOp;
+        use Inst::*;
         match self {
-            Lui { .. } | Auipc { .. } | OpImm { .. } | OpImmShift { .. } | OpImm32 { .. }
-            | OpImm32Shift { .. } | Op { .. } | Op32 { .. } => OpClass::IntAlu,
+            Lui { .. }
+            | Auipc { .. }
+            | OpImm { .. }
+            | OpImmShift { .. }
+            | OpImm32 { .. }
+            | OpImm32Shift { .. }
+            | Op { .. }
+            | Op32 { .. } => OpClass::IntAlu,
             MulDiv { op, .. } | MulDiv32 { op, .. } => {
                 if op.is_div() {
                     OpClass::IntDiv
@@ -843,8 +1145,13 @@ impl Inst {
             },
             Fsqrt { .. } => OpClass::FpDiv,
             Fmadd { .. } => OpClass::FpMul,
-            FpCmp { .. } | FcvtDL { .. } | FcvtDW { .. } | FcvtLD { .. } | FcvtWD { .. }
-            | FmvXD { .. } | FmvDX { .. } => OpClass::FpAlu,
+            FpCmp { .. }
+            | FcvtDL { .. }
+            | FcvtDW { .. }
+            | FcvtLD { .. }
+            | FcvtWD { .. }
+            | FmvXD { .. }
+            | FmvDX { .. } => OpClass::FpAlu,
             Fsin { .. } => OpClass::FpTranscendental,
             Fence | Ecall | Ebreak | Csrrs { .. } => OpClass::System,
         }
@@ -857,13 +1164,32 @@ impl Inst {
         let ireg = |r: Reg| if r.0 == 0 { None } else { Some(r.0) };
         let freg = |r: FReg| Some(32 + r.0);
         match self {
-            Lui { rd, .. } | Auipc { rd, .. } | Jal { rd, .. } | Jalr { rd, .. }
-            | Load { rd, .. } | OpImm { rd, .. } | OpImmShift { rd, .. } | OpImm32 { rd, .. }
-            | OpImm32Shift { rd, .. } | Op { rd, .. } | Op32 { rd, .. } | MulDiv { rd, .. }
-            | MulDiv32 { rd, .. } | FpCmp { rd, .. } | FcvtLD { rd, .. } | FcvtWD { rd, .. }
-            | FmvXD { rd, .. } | Csrrs { rd, .. } => ireg(rd),
-            Fld { rd, .. } | FpOp { rd, .. } | Fsqrt { rd, .. } | Fmadd { rd, .. }
-            | FcvtDL { rd, .. } | FcvtDW { rd, .. } | FmvDX { rd, .. } | Fsin { rd, .. } => freg(rd),
+            Lui { rd, .. }
+            | Auipc { rd, .. }
+            | Jal { rd, .. }
+            | Jalr { rd, .. }
+            | Load { rd, .. }
+            | OpImm { rd, .. }
+            | OpImmShift { rd, .. }
+            | OpImm32 { rd, .. }
+            | OpImm32Shift { rd, .. }
+            | Op { rd, .. }
+            | Op32 { rd, .. }
+            | MulDiv { rd, .. }
+            | MulDiv32 { rd, .. }
+            | FpCmp { rd, .. }
+            | FcvtLD { rd, .. }
+            | FcvtWD { rd, .. }
+            | FmvXD { rd, .. }
+            | Csrrs { rd, .. } => ireg(rd),
+            Fld { rd, .. }
+            | FpOp { rd, .. }
+            | Fsqrt { rd, .. }
+            | Fmadd { rd, .. }
+            | FcvtDL { rd, .. }
+            | FcvtDW { rd, .. }
+            | FmvDX { rd, .. }
+            | Fsin { rd, .. } => freg(rd),
             Branch { .. } | Store { .. } | Fsd { .. } | Fence | Ecall | Ebreak => None,
         }
     }
@@ -875,11 +1201,18 @@ impl Inst {
         let freg = |r: FReg| Some(32 + r.0);
         match self {
             Lui { .. } | Auipc { .. } | Jal { .. } | Fence | Ecall | Ebreak => [None; 3],
-            Jalr { rs1, .. } | Load { rs1, .. } | OpImm { rs1, .. } | OpImmShift { rs1, .. }
-            | OpImm32 { rs1, .. } | OpImm32Shift { rs1, .. } | Fld { rs1, .. }
+            Jalr { rs1, .. }
+            | Load { rs1, .. }
+            | OpImm { rs1, .. }
+            | OpImmShift { rs1, .. }
+            | OpImm32 { rs1, .. }
+            | OpImm32Shift { rs1, .. }
+            | Fld { rs1, .. }
             | Csrrs { rs1, .. } => [ireg(rs1), None, None],
             Branch { rs1, rs2, .. } | Store { rs1, rs2, .. } => [ireg(rs1), ireg(rs2), None],
-            Op { rs1, rs2, .. } | Op32 { rs1, rs2, .. } | MulDiv { rs1, rs2, .. }
+            Op { rs1, rs2, .. }
+            | Op32 { rs1, rs2, .. }
+            | MulDiv { rs1, rs2, .. }
             | MulDiv32 { rs1, rs2, .. } => [ireg(rs1), ireg(rs2), None],
             Fsd { rs1, rs2, .. } => [ireg(rs1), freg(rs2), None],
             FpOp { rs1, rs2, .. } => [freg(rs1), freg(rs2), None],
@@ -911,17 +1244,65 @@ mod tests {
 
     #[test]
     fn roundtrip_basic_alu() {
-        rt(Inst::Lui { rd: A0, imm: 0x12345 << 12 });
-        rt(Inst::Lui { rd: A0, imm: -(0x800i64 << 12) });
-        rt(Inst::Auipc { rd: T0, imm: 0x7FFFF << 12 });
-        rt(Inst::OpImm { op: AluOp::Add, rd: A0, rs1: A1, imm: -2048 });
-        rt(Inst::OpImm { op: AluOp::And, rd: A0, rs1: A1, imm: 2047 });
-        rt(Inst::OpImmShift { op: AluOp::Sra, rd: T1, rs1: T2, shamt: 63 });
-        rt(Inst::OpImmShift { op: AluOp::Sll, rd: T1, rs1: T2, shamt: 1 });
-        rt(Inst::OpImm32 { rd: S3, rs1: S4, imm: -1 });
-        rt(Inst::OpImm32Shift { op: AluOp::Srl, rd: S3, rs1: S4, shamt: 31 });
-        rt(Inst::Op { op: AluOp::Sub, rd: A0, rs1: A1, rs2: A2 });
-        rt(Inst::Op32 { op: AluOp::Sra, rd: A0, rs1: A1, rs2: A2 });
+        rt(Inst::Lui {
+            rd: A0,
+            imm: 0x12345 << 12,
+        });
+        rt(Inst::Lui {
+            rd: A0,
+            imm: -(0x800i64 << 12),
+        });
+        rt(Inst::Auipc {
+            rd: T0,
+            imm: 0x7FFFF << 12,
+        });
+        rt(Inst::OpImm {
+            op: AluOp::Add,
+            rd: A0,
+            rs1: A1,
+            imm: -2048,
+        });
+        rt(Inst::OpImm {
+            op: AluOp::And,
+            rd: A0,
+            rs1: A1,
+            imm: 2047,
+        });
+        rt(Inst::OpImmShift {
+            op: AluOp::Sra,
+            rd: T1,
+            rs1: T2,
+            shamt: 63,
+        });
+        rt(Inst::OpImmShift {
+            op: AluOp::Sll,
+            rd: T1,
+            rs1: T2,
+            shamt: 1,
+        });
+        rt(Inst::OpImm32 {
+            rd: S3,
+            rs1: S4,
+            imm: -1,
+        });
+        rt(Inst::OpImm32Shift {
+            op: AluOp::Srl,
+            rd: S3,
+            rs1: S4,
+            shamt: 31,
+        });
+        rt(Inst::Op {
+            op: AluOp::Sub,
+            rd: A0,
+            rs1: A1,
+            rs2: A2,
+        });
+        rt(Inst::Op32 {
+            op: AluOp::Sra,
+            rd: A0,
+            rs1: A1,
+            rs2: A2,
+        });
     }
 
     #[test]
@@ -936,10 +1317,20 @@ mod tests {
             MulOp::Rem,
             MulOp::Remu,
         ] {
-            rt(Inst::MulDiv { op, rd: A0, rs1: A1, rs2: A2 });
+            rt(Inst::MulDiv {
+                op,
+                rd: A0,
+                rs1: A1,
+                rs2: A2,
+            });
         }
         for op in [MulOp::Mul, MulOp::Div, MulOp::Divu, MulOp::Rem, MulOp::Remu] {
-            rt(Inst::MulDiv32 { op, rd: A0, rs1: A1, rs2: A2 });
+            rt(Inst::MulDiv32 {
+                op,
+                rd: A0,
+                rs1: A1,
+                rs2: A2,
+            });
         }
     }
 
@@ -954,10 +1345,20 @@ mod tests {
             LoadKind::Hu,
             LoadKind::Wu,
         ] {
-            rt(Inst::Load { kind, rd: A0, rs1: SP, offset: -8 });
+            rt(Inst::Load {
+                kind,
+                rd: A0,
+                rs1: SP,
+                offset: -8,
+            });
         }
         for kind in [StoreKind::B, StoreKind::H, StoreKind::W, StoreKind::D] {
-            rt(Inst::Store { kind, rs1: SP, rs2: A0, offset: 2040 });
+            rt(Inst::Store {
+                kind,
+                rs1: SP,
+                rs2: A0,
+                offset: 2040,
+            });
         }
         for kind in [
             BranchKind::Eq,
@@ -967,12 +1368,32 @@ mod tests {
             BranchKind::Ltu,
             BranchKind::Geu,
         ] {
-            rt(Inst::Branch { kind, rs1: A0, rs2: A1, offset: -4096 });
-            rt(Inst::Branch { kind, rs1: A0, rs2: A1, offset: 4094 });
+            rt(Inst::Branch {
+                kind,
+                rs1: A0,
+                rs2: A1,
+                offset: -4096,
+            });
+            rt(Inst::Branch {
+                kind,
+                rs1: A0,
+                rs2: A1,
+                offset: 4094,
+            });
         }
-        rt(Inst::Jal { rd: RA, offset: -(1 << 20) });
-        rt(Inst::Jal { rd: ZERO, offset: (1 << 20) - 2 });
-        rt(Inst::Jalr { rd: RA, rs1: T0, offset: 16 });
+        rt(Inst::Jal {
+            rd: RA,
+            offset: -(1 << 20),
+        });
+        rt(Inst::Jal {
+            rd: ZERO,
+            offset: (1 << 20) - 2,
+        });
+        rt(Inst::Jalr {
+            rd: RA,
+            rs1: T0,
+            offset: 16,
+        });
     }
 
     #[test]
@@ -988,14 +1409,37 @@ mod tests {
             FpOp::Sgnjn,
             FpOp::Sgnjx,
         ] {
-            rt(Inst::FpOp { op, rd: FA0, rs1: FA1, rs2: FA2 });
+            rt(Inst::FpOp {
+                op,
+                rd: FA0,
+                rs1: FA1,
+                rs2: FA2,
+            });
         }
-        rt(Inst::Fld { rd: FT0, rs1: SP, offset: 8 });
-        rt(Inst::Fsd { rs1: SP, rs2: FT1, offset: -16 });
+        rt(Inst::Fld {
+            rd: FT0,
+            rs1: SP,
+            offset: 8,
+        });
+        rt(Inst::Fsd {
+            rs1: SP,
+            rs2: FT1,
+            offset: -16,
+        });
         rt(Inst::Fsqrt { rd: FT0, rs1: FT1 });
-        rt(Inst::Fmadd { rd: FT0, rs1: FT1, rs2: FT2, rs3: FT3 });
+        rt(Inst::Fmadd {
+            rd: FT0,
+            rs1: FT1,
+            rs2: FT2,
+            rs3: FT3,
+        });
         for cmp in [FpCmp::Eq, FpCmp::Lt, FpCmp::Le] {
-            rt(Inst::FpCmp { cmp, rd: A0, rs1: FA0, rs2: FA1 });
+            rt(Inst::FpCmp {
+                cmp,
+                rd: A0,
+                rs1: FA0,
+                rs2: FA1,
+            });
         }
         rt(Inst::FcvtDL { rd: FT0, rs1: A0 });
         rt(Inst::FcvtDW { rd: FT0, rs1: A0 });
@@ -1011,7 +1455,11 @@ mod tests {
         rt(Inst::Fence);
         rt(Inst::Ecall);
         rt(Inst::Ebreak);
-        rt(Inst::Csrrs { rd: A0, csr: 0xC00, rs1: ZERO });
+        rt(Inst::Csrrs {
+            rd: A0,
+            csr: 0xC00,
+            rs1: ZERO,
+        });
     }
 
     #[test]
@@ -1024,9 +1472,18 @@ mod tests {
 
     #[test]
     fn x0_dest_is_discarded() {
-        let i = Inst::OpImm { op: AluOp::Add, rd: ZERO, rs1: A0, imm: 1 };
+        let i = Inst::OpImm {
+            op: AluOp::Add,
+            rd: ZERO,
+            rs1: A0,
+            imm: 1,
+        };
         assert_eq!(i.dest(), None);
-        let i = Inst::Fld { rd: FReg(0), rs1: SP, offset: 0 };
+        let i = Inst::Fld {
+            rd: FReg(0),
+            rs1: SP,
+            offset: 0,
+        };
         assert_eq!(i.dest(), Some(32));
     }
 
@@ -1034,42 +1491,107 @@ mod tests {
     fn classes_are_sensible() {
         assert_eq!(Inst::Ecall.class(), OpClass::System);
         assert_eq!(
-            Inst::MulDiv { op: MulOp::Div, rd: A0, rs1: A1, rs2: A2 }.class(),
+            Inst::MulDiv {
+                op: MulOp::Div,
+                rd: A0,
+                rs1: A1,
+                rs2: A2
+            }
+            .class(),
             OpClass::IntDiv
         );
-        assert_eq!(Inst::Fsin { rd: FT0, rs1: FT0 }.class(), OpClass::FpTranscendental);
-        assert!(Inst::Jal { rd: ZERO, offset: 8 }.is_control_flow());
+        assert_eq!(
+            Inst::Fsin { rd: FT0, rs1: FT0 }.class(),
+            OpClass::FpTranscendental
+        );
+        assert!(Inst::Jal {
+            rd: ZERO,
+            offset: 8
+        }
+        .is_control_flow());
     }
 
     #[test]
     fn known_encodings_match_gnu_as() {
         // Cross-checked against `riscv64-unknown-elf-as` output.
         // addi a0, a0, 1  => 0x00150513
-        assert_eq!(Inst::OpImm { op: AluOp::Add, rd: A0, rs1: A0, imm: 1 }.encode(), 0x00150513);
+        assert_eq!(
+            Inst::OpImm {
+                op: AluOp::Add,
+                rd: A0,
+                rs1: A0,
+                imm: 1
+            }
+            .encode(),
+            0x00150513
+        );
         // add a0, a1, a2  => 0x00c58533
-        assert_eq!(Inst::Op { op: AluOp::Add, rd: A0, rs1: A1, rs2: A2 }.encode(), 0x00c58533);
+        assert_eq!(
+            Inst::Op {
+                op: AluOp::Add,
+                rd: A0,
+                rs1: A1,
+                rs2: A2
+            }
+            .encode(),
+            0x00c58533
+        );
         // ld a0, 0(sp)    => 0x00013503
         assert_eq!(
-            Inst::Load { kind: LoadKind::D, rd: A0, rs1: SP, offset: 0 }.encode(),
+            Inst::Load {
+                kind: LoadKind::D,
+                rd: A0,
+                rs1: SP,
+                offset: 0
+            }
+            .encode(),
             0x00013503
         );
         // sd a0, 8(sp)    => 0x00a13423
         assert_eq!(
-            Inst::Store { kind: StoreKind::D, rs1: SP, rs2: A0, offset: 8 }.encode(),
+            Inst::Store {
+                kind: StoreKind::D,
+                rs1: SP,
+                rs2: A0,
+                offset: 8
+            }
+            .encode(),
             0x00a13423
         );
         // beq a0, a1, +8  => 0x00b50463
         assert_eq!(
-            Inst::Branch { kind: BranchKind::Eq, rs1: A0, rs2: A1, offset: 8 }.encode(),
+            Inst::Branch {
+                kind: BranchKind::Eq,
+                rs1: A0,
+                rs2: A1,
+                offset: 8
+            }
+            .encode(),
             0x00b50463
         );
         // jal ra, +16     => 0x010000ef
         assert_eq!(Inst::Jal { rd: RA, offset: 16 }.encode(), 0x010000ef);
         // lui a0, 0x12345 => 0x12345537
-        assert_eq!(Inst::Lui { rd: A0, imm: 0x12345 << 12 }.encode(), 0x12345537);
+        assert_eq!(
+            Inst::Lui {
+                rd: A0,
+                imm: 0x12345 << 12
+            }
+            .encode(),
+            0x12345537
+        );
         // ecall           => 0x00000073
         assert_eq!(Inst::Ecall.encode(), 0x00000073);
         // mul a0, a1, a2  => 0x02c58533
-        assert_eq!(Inst::MulDiv { op: MulOp::Mul, rd: A0, rs1: A1, rs2: A2 }.encode(), 0x02c58533);
+        assert_eq!(
+            Inst::MulDiv {
+                op: MulOp::Mul,
+                rd: A0,
+                rs1: A1,
+                rs2: A2
+            }
+            .encode(),
+            0x02c58533
+        );
     }
 }

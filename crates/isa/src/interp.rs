@@ -136,12 +136,15 @@ impl Cpu {
     #[inline]
     fn fetch(&self, pc: u64) -> Result<Inst, Trap> {
         let off = pc.wrapping_sub(self.code_base);
-        if off % 4 == 0 {
+        if off.is_multiple_of(4) {
             if let Some(slot) = self.decoded.get((off / 4) as usize) {
                 if let Some(i) = slot {
                     return Ok(*i);
                 }
-                return Err(Trap::IllegalInstruction { pc, word: self.mem.read_u32(pc) });
+                return Err(Trap::IllegalInstruction {
+                    pc,
+                    word: self.mem.read_u32(pc),
+                });
             }
         }
         // Outside the preloaded image: decode from memory (self-modifying
@@ -174,7 +177,12 @@ impl Cpu {
                 next_pc = target;
                 taken = true;
             }
-            Inst::Branch { kind, rs1, rs2, offset } => {
+            Inst::Branch {
+                kind,
+                rs1,
+                rs2,
+                offset,
+            } => {
                 let a = self.x(rs1);
                 let b = self.x(rs2);
                 taken = match kind {
@@ -189,7 +197,12 @@ impl Cpu {
                     next_pc = pc.wrapping_add(offset as i64 as u64);
                 }
             }
-            Inst::Load { kind, rd, rs1, offset } => {
+            Inst::Load {
+                kind,
+                rd,
+                rs1,
+                offset,
+            } => {
                 let addr = self.x(rs1).wrapping_add(offset as i64 as u64);
                 let v = match kind {
                     LoadKind::B => self.mem.read_u8(addr) as i8 as i64 as u64,
@@ -204,7 +217,12 @@ impl Cpu {
                 mem_addr = Some(addr);
                 mem_size = kind.size();
             }
-            Inst::Store { kind, rs1, rs2, offset } => {
+            Inst::Store {
+                kind,
+                rs1,
+                rs2,
+                offset,
+            } => {
                 let addr = self.x(rs1).wrapping_add(offset as i64 as u64);
                 let v = self.x(rs2);
                 match kind {
@@ -285,11 +303,7 @@ impl Cpu {
                     }
                     MulOp::Divu => {
                         let (a, b) = (a as u32, b as u32);
-                        if b == 0 {
-                            u32::MAX as i32
-                        } else {
-                            (a / b) as i32
-                        }
+                        a.checked_div(b).unwrap_or(u32::MAX) as i32
                     }
                     MulOp::Rem => {
                         if b == 0 {
@@ -338,9 +352,7 @@ impl Cpu {
                     FpOp::Max => a.max(b),
                     FpOp::Sgnj => a.copysign(b),
                     FpOp::Sgnjn => a.copysign(-b),
-                    FpOp::Sgnjx => {
-                        f64::from_bits(a.to_bits() ^ (b.to_bits() & (1u64 << 63)))
-                    }
+                    FpOp::Sgnjx => f64::from_bits(a.to_bits() ^ (b.to_bits() & (1u64 << 63))),
                 };
                 self.set_freg(rd.0, v);
             }
@@ -415,7 +427,15 @@ impl Cpu {
 
         self.pc = next_pc;
         self.instret += 1;
-        Ok(Retired { pc, inst, next_pc, mem_addr, mem_size, is_store, taken })
+        Ok(Retired {
+            pc,
+            inst,
+            next_pc,
+            mem_addr,
+            mem_size,
+            is_store,
+            taken,
+        })
     }
 
     /// Runs until exit, trap, or `fuel` retired instructions.
@@ -471,13 +491,7 @@ fn muldiv64(op: MulOp, a: u64, b: u64) -> u64 {
                 a.wrapping_div(b) as u64
             }
         }
-        MulOp::Divu => {
-            if b == 0 {
-                u64::MAX
-            } else {
-                a / b
-            }
-        }
+        MulOp::Divu => a.checked_div(b).unwrap_or(u64::MAX),
         MulOp::Rem => {
             let (a, b) = (a as i64, b as i64);
             if b == 0 {
@@ -551,8 +565,18 @@ mod tests {
     fn mulh_variants() {
         let mut a = Asm::new();
         a.li(T0, -2).li(T1, 3);
-        a.inst(Inst::MulDiv { op: MulOp::Mulh, rd: T2, rs1: T0, rs2: T1 });
-        a.inst(Inst::MulDiv { op: MulOp::Mulhu, rd: T3, rs1: T0, rs2: T1 });
+        a.inst(Inst::MulDiv {
+            op: MulOp::Mulh,
+            rd: T2,
+            rs1: T0,
+            rs2: T1,
+        });
+        a.inst(Inst::MulDiv {
+            op: MulOp::Mulhu,
+            rd: T3,
+            rs1: T0,
+            rs2: T1,
+        });
         a.exit(0);
         let (cpu, _) = exec(&a);
         assert_eq!(cpu.x(T2) as i64, -1); // high bits of -6

@@ -42,7 +42,12 @@ pub struct Bus {
 impl Bus {
     /// Builds an idle bus.
     pub fn new(cfg: BusConfig) -> Bus {
-        Bus { cfg, req_free_at: 0, resp_free_at: 0, busy_cycles: 0 }
+        Bus {
+            cfg,
+            req_free_at: 0,
+            resp_free_at: 0,
+            busy_cycles: 0,
+        }
     }
 
     /// The configuration of this bus.
@@ -85,15 +90,24 @@ mod tests {
 
     #[test]
     fn wider_bus_needs_fewer_beats() {
-        let narrow = BusConfig { width_bits: 64, latency: 4 };
-        let wide = BusConfig { width_bits: 128, latency: 4 };
+        let narrow = BusConfig {
+            width_bits: 64,
+            latency: 4,
+        };
+        let wide = BusConfig {
+            width_bits: 128,
+            latency: 4,
+        };
         assert_eq!(narrow.beats(64), 8);
         assert_eq!(wide.beats(64), 4);
     }
 
     #[test]
     fn transfers_serialize_within_a_channel() {
-        let mut bus = Bus::new(BusConfig { width_bits: 64, latency: 2 });
+        let mut bus = Bus::new(BusConfig {
+            width_bits: 64,
+            latency: 2,
+        });
         let (g1, d1) = bus.respond(64, 0);
         assert_eq!((g1, d1), (0, 10)); // 2 latency + 8 beats
         let (g2, d2) = bus.respond(64, 0);
@@ -103,7 +117,10 @@ mod tests {
 
     #[test]
     fn request_and_response_channels_are_independent() {
-        let mut bus = Bus::new(BusConfig { width_bits: 64, latency: 2 });
+        let mut bus = Bus::new(BusConfig {
+            width_bits: 64,
+            latency: 2,
+        });
         // A response far in the future must not delay an earlier request.
         let (_, _) = bus.respond(64, 1000);
         let (g, _) = bus.request(8, 5);
@@ -112,7 +129,10 @@ mod tests {
 
     #[test]
     fn idle_bus_grants_immediately() {
-        let mut bus = Bus::new(BusConfig { width_bits: 128, latency: 1 });
+        let mut bus = Bus::new(BusConfig {
+            width_bits: 128,
+            latency: 1,
+        });
         let (g, d) = bus.respond(64, 100);
         assert_eq!(g, 100);
         assert_eq!(d, 105); // 1 + 4 beats
@@ -120,7 +140,10 @@ mod tests {
 
     #[test]
     fn partial_line_rounds_up() {
-        let cfg = BusConfig { width_bits: 128, latency: 0 };
+        let cfg = BusConfig {
+            width_bits: 128,
+            latency: 0,
+        };
         assert_eq!(cfg.beats(1), 1);
         assert_eq!(cfg.beats(17), 2);
     }

@@ -33,7 +33,10 @@ impl CacheConfig {
 
     fn validate(&self) {
         assert!(self.sets.is_power_of_two(), "sets must be a power of two");
-        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            self.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(self.banks.is_power_of_two(), "banks must be a power of two");
         assert!(self.ways >= 1, "need at least one way");
     }
@@ -67,7 +70,13 @@ struct Line {
     ready_at: u64,
 }
 
-const INVALID: Line = Line { tag: 0, valid: false, dirty: false, lru: 0, ready_at: 0 };
+const INVALID: Line = Line {
+    tag: 0,
+    valid: false,
+    dirty: false,
+    lru: 0,
+    ready_at: 0,
+};
 
 /// A single cache instance (one level, one shared array).
 pub struct Cache {
@@ -139,7 +148,6 @@ impl Cache {
     }
 
     fn lookup(&mut self, addr: u64, is_store: bool, start: u64) -> Lookup {
-
         let set = self.set_of(addr);
         let tag = self.tag_of(addr);
         self.lru_clock += 1;
@@ -154,10 +162,20 @@ impl Cache {
                     line.dirty = true;
                 }
                 let ready_at = line.ready_at;
-                return Lookup { hit: true, start, ready_at, writeback: None };
+                return Lookup {
+                    hit: true,
+                    start,
+                    ready_at,
+                    writeback: None,
+                };
             }
         }
-        Lookup { hit: false, start, ready_at: start, writeback: None }
+        Lookup {
+            hit: false,
+            start,
+            ready_at: start,
+            writeback: None,
+        }
     }
 
     /// Installs the line containing `addr`, whose data arrives at
@@ -201,11 +219,17 @@ impl Cache {
         let evicted = if line.valid && line.dirty {
             // Reconstruct the victim's base address from tag+set.
             let set_bits = self.cfg.sets.trailing_zeros();
-            Some((line.tag << (self.offset_bits + set_bits) | set << self.offset_bits) as u64)
+            Some(line.tag << (self.offset_bits + set_bits) | set << self.offset_bits)
         } else {
             None
         };
-        *line = Line { tag, valid: true, dirty: is_store, lru: lru_now, ready_at };
+        *line = Line {
+            tag,
+            valid: true,
+            dirty: is_store,
+            lru: lru_now,
+            ready_at,
+        };
         evicted
     }
 
@@ -273,7 +297,9 @@ impl MshrFile {
     /// An MSHR file with `capacity` entries (`0` is clamped to 1:
     /// a fully blocking cache still has one outstanding miss).
     pub fn new(capacity: u32) -> MshrFile {
-        MshrFile { slots: vec![0; capacity.max(1) as usize] }
+        MshrFile {
+            slots: vec![0; capacity.max(1) as usize],
+        }
     }
 
     /// Reserves a slot for a miss issued at `now`; returns the slot and
@@ -307,14 +333,27 @@ mod tests {
     use super::*;
 
     fn small() -> CacheConfig {
-        CacheConfig { sets: 4, ways: 2, line_bytes: 64, banks: 2, hit_latency: 2, mshrs: 4 }
+        CacheConfig {
+            sets: 4,
+            ways: 2,
+            line_bytes: 64,
+            banks: 2,
+            hit_latency: 2,
+            mshrs: 4,
+        }
     }
 
     #[test]
     fn capacity_math() {
         assert_eq!(small().capacity(), 4 * 2 * 64);
-        let rocket_l1 =
-            CacheConfig { sets: 64, ways: 8, line_bytes: 64, banks: 1, hit_latency: 2, mshrs: 2 };
+        let rocket_l1 = CacheConfig {
+            sets: 64,
+            ways: 8,
+            line_bytes: 64,
+            banks: 1,
+            hit_latency: 2,
+            mshrs: 2,
+        };
         assert_eq!(rocket_l1.capacity(), 32 * 1024); // Table 5: 32 KiB
     }
 
@@ -435,8 +474,8 @@ mod tests {
         assert_eq!(t3, 100);
         m.record(s3, 300);
         assert_eq!(m.outstanding(150), 2); // 200 and 300 still in flight
-        // A reserved (not yet recorded) slot blocks admission forever
-        // until recorded.
+                                           // A reserved (not yet recorded) slot blocks admission forever
+                                           // until recorded.
         let (s4, t4) = m.admit(250);
         assert_eq!(t4, 250); // the 200-slot freed
         m.record(s4, 400);

@@ -143,6 +143,7 @@ pub struct DramModel {
     reads: u64,
     writes: u64,
     row_hits: u64,
+    token_stall_cycles: u64,
 }
 
 impl DramModel {
@@ -152,12 +153,19 @@ impl DramModel {
         let nbanks = (cfg.channels * cfg.ranks * cfg.banks) as usize;
         DramModel {
             channel_free_ns: vec![0.0; cfg.channels as usize],
-            banks: vec![BankState { open_row: None, ready_ns: 0.0 }; nbanks],
+            banks: vec![
+                BankState {
+                    open_row: None,
+                    ready_ns: 0.0
+                };
+                nbanks
+            ],
             cfg,
             core_freq_ghz,
             reads: 0,
             writes: 0,
             row_hits: 0,
+            token_stall_cycles: 0,
         }
     }
 
@@ -169,6 +177,12 @@ impl DramModel {
     /// (reads, writes, row_hits) counters.
     pub fn counters(&self) -> (u64, u64, u64) {
         (self.reads, self.writes, self.row_hits)
+    }
+
+    /// Cumulative cycles completions lost to token-quantum rounding —
+    /// the §3.2.2 quantization cost (always 0 when the quantum is 1).
+    pub fn token_stall_cycles(&self) -> u64 {
+        self.token_stall_cycles
     }
 
     #[inline]
@@ -205,7 +219,10 @@ impl DramModel {
         let start_ns = (now_ns + self.cfg.ctrl_latency_ns).max(bank.ready_ns);
         let (cmd_ns, row_hit) = match bank.open_row {
             Some(open) if open == row => (self.cfg.t_cas_ns, true),
-            Some(_) => (self.cfg.t_rp_ns + self.cfg.t_rcd_ns + self.cfg.t_cas_ns, false),
+            Some(_) => (
+                self.cfg.t_rp_ns + self.cfg.t_rcd_ns + self.cfg.t_cas_ns,
+                false,
+            ),
             None => (self.cfg.t_rcd_ns + self.cfg.t_cas_ns, false),
         };
         bank.open_row = Some(row);
@@ -229,7 +246,9 @@ impl DramModel {
         let mut done = self.cycles_of(done_ns).max(now + 1);
         let q = self.cfg.token_quantum_cycles as u64;
         if q > 1 {
-            done = done.div_ceil(q) * q;
+            let rounded = done.div_ceil(q) * q;
+            self.token_stall_cycles += rounded - done;
+            done = rounded;
         }
         DramOutcome { done, row_hit }
     }
@@ -275,7 +294,10 @@ mod tests {
         // Two accesses to different banks at the same instant share one bus.
         let a = d.access(0x0, false, 0);
         let b = d.access(0x40, false, 0); // next line → same channel, next bank
-        assert!(b.done >= a.done + (burst as u64) - 1, "second burst must queue on the channel");
+        assert!(
+            b.done >= a.done + (burst as u64) - 1,
+            "second burst must queue on the channel"
+        );
     }
 
     #[test]
@@ -306,7 +328,10 @@ mod tests {
             t3 = ddr3.access(i * 64, false, t3).done;
             t4 = ddr4.access(i * 64, false, t4).done;
         }
-        assert!(t3 > t4, "DDR3-2000 stream must be slower than DDR4-3200 ({t3} vs {t4})");
+        assert!(
+            t3 > t4,
+            "DDR3-2000 stream must be slower than DDR4-3200 ({t3} vs {t4})"
+        );
     }
 
     #[test]

@@ -109,7 +109,9 @@ impl MemoryHierarchy {
         MemoryHierarchy {
             l1i: (0..cfg.cores).map(|_| Cache::new(cfg.l1i)).collect(),
             l1d: (0..cfg.cores).map(|_| Cache::new(cfg.l1d)).collect(),
-            l1d_mshrs: (0..cfg.cores).map(|_| MshrFile::new(cfg.l1d.mshrs)).collect(),
+            l1d_mshrs: (0..cfg.cores)
+                .map(|_| MshrFile::new(cfg.l1d.mshrs))
+                .collect(),
             l2: Cache::new(cfg.l2),
             l2_mshrs: MshrFile::new(cfg.l2.mshrs),
             prefetcher: vec![StrideState::default(); cfg.cores],
@@ -133,6 +135,9 @@ impl MemoryHierarchy {
         s.dram_reads = r;
         s.dram_writes = w;
         s.dram_row_hits = h;
+        s.dram_row_misses = (r + w).saturating_sub(h);
+        s.dram_token_stall_cycles = self.dram.token_stall_cycles();
+        s.bus_busy_cycles = self.bus.busy_cycles();
         s
     }
 
@@ -161,7 +166,10 @@ impl MemoryHierarchy {
             if is_store {
                 self.invalidate_other_l1ds(core, line);
             }
-            return AccessOutcome { complete_at, level: HitLevel::L1 };
+            return AccessOutcome {
+                complete_at,
+                level: HitLevel::L1,
+            };
         }
         if is_ifetch {
             self.stats.l1i_misses += 1;
@@ -189,7 +197,11 @@ impl MemoryHierarchy {
         }
 
         // Fill L1 and handle its victim.
-        let l1 = if is_ifetch { &mut self.l1i[core] } else { &mut self.l1d[core] };
+        let l1 = if is_ifetch {
+            &mut self.l1i[core]
+        } else {
+            &mut self.l1d[core]
+        };
         if let Some(victim) = l1.fill(addr, is_store, data_at) {
             self.stats.writebacks += 1;
             self.writeback_to_l2(victim, data_at);
@@ -200,7 +212,10 @@ impl MemoryHierarchy {
         if is_store {
             self.invalidate_other_l1ds(core, line);
         }
-        AccessOutcome { complete_at: data_at + hit_lat, level }
+        AccessOutcome {
+            complete_at: data_at + hit_lat,
+            level,
+        }
     }
 
     /// L2 → (bus) → LLC → DRAM refill path; returns when the line reaches
@@ -356,8 +371,22 @@ mod tests {
     fn rocket_like(cores: usize) -> HierarchyConfig {
         HierarchyConfig {
             cores,
-            l1i: CacheConfig { sets: 64, ways: 8, line_bytes: 64, banks: 1, hit_latency: 1, mshrs: 1 },
-            l1d: CacheConfig { sets: 64, ways: 8, line_bytes: 64, banks: 1, hit_latency: 2, mshrs: 2 },
+            l1i: CacheConfig {
+                sets: 64,
+                ways: 8,
+                line_bytes: 64,
+                banks: 1,
+                hit_latency: 1,
+                mshrs: 1,
+            },
+            l1d: CacheConfig {
+                sets: 64,
+                ways: 8,
+                line_bytes: 64,
+                banks: 1,
+                hit_latency: 2,
+                mshrs: 2,
+            },
             l2: CacheConfig {
                 sets: 1024,
                 ways: 8,
@@ -366,7 +395,10 @@ mod tests {
                 hit_latency: 12,
                 mshrs: 8,
             },
-            bus: BusConfig { width_bits: 64, latency: 4 },
+            bus: BusConfig {
+                width_bits: 64,
+                latency: 4,
+            },
             llc: None,
             dram: DramConfig::ddr3_2000(1),
             core_freq_ghz: 1.6,
@@ -395,10 +427,16 @@ mod tests {
         // Evict from L1 by filling its set (64-set, 8-way: stride 4096).
         let mut t = l1.complete_at;
         for i in 1..=8u64 {
-            t = h.access(0, a + i * 4096, AccessKind::Load, t + 1).complete_at;
+            t = h
+                .access(0, a + i * 4096, AccessKind::Load, t + 1)
+                .complete_at;
         }
         let l2 = h.access(0, a, AccessKind::Load, t + 100);
-        assert_eq!(l2.level, HitLevel::L2, "line evicted from L1 must still be in L2");
+        assert_eq!(
+            l2.level,
+            HitLevel::L2,
+            "line evicted from L1 must still be in L2"
+        );
         let l1_lat = l1.complete_at - t1;
         let l2_lat = l2.complete_at - (t + 100);
         let dram_lat = dram.complete_at;
@@ -417,9 +455,15 @@ mod tests {
         let hit = h.access(1, a, AccessKind::Load, t + 1);
         assert_eq!(hit.level, HitLevel::L1);
         // Core 0 stores: core 1's copy must die.
-        let t = h.access(0, a, AccessKind::Store, hit.complete_at).complete_at;
+        let t = h
+            .access(0, a, AccessKind::Store, hit.complete_at)
+            .complete_at;
         let after = h.access(1, a, AccessKind::Load, t + 1);
-        assert_ne!(after.level, HitLevel::L1, "invalidated line cannot hit in L1");
+        assert_ne!(
+            after.level,
+            HitLevel::L1,
+            "invalidated line cannot hit in L1"
+        );
     }
 
     #[test]
@@ -458,7 +502,9 @@ mod tests {
         // mapping to the same L2 set (L2: 1024 sets → stride 64 KiB).
         let mut t = first.complete_at;
         for i in 1..=8u64 {
-            t = h.access(0, a + i * 65536, AccessKind::Load, t + 1).complete_at;
+            t = h
+                .access(0, a + i * 65536, AccessKind::Load, t + 1)
+                .complete_at;
         }
         // Also flush L1 set (stride 4 KiB) — the L2 evictions above happen
         // to map to the same L1 set too (65536 % 4096 == 0), so done.
@@ -490,10 +536,12 @@ mod tests {
         let mut hf = MemoryHierarchy::new(few);
         let mut hm = MemoryHierarchy::new(many);
         // Issue 8 independent misses at the same cycle.
-        let f_done =
-            (0..8u64).map(|i| hf.access(0, i * 4096, AccessKind::Load, 0).complete_at).max();
-        let m_done =
-            (0..8u64).map(|i| hm.access(0, i * 4096, AccessKind::Load, 0).complete_at).max();
+        let f_done = (0..8u64)
+            .map(|i| hf.access(0, i * 4096, AccessKind::Load, 0).complete_at)
+            .max();
+        let m_done = (0..8u64)
+            .map(|i| hm.access(0, i * 4096, AccessKind::Load, 0).complete_at)
+            .max();
         assert!(
             f_done.unwrap() > m_done.unwrap(),
             "1 MSHR must serialize misses: {f_done:?} vs {m_done:?}"

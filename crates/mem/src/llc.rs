@@ -58,7 +58,10 @@ pub struct LlcModel {
 impl LlcModel {
     /// Builds an empty LLC with `cfg.slices` slices.
     pub fn new(cfg: LlcConfig) -> LlcModel {
-        assert!(cfg.slices.is_power_of_two(), "slice count must be a power of two");
+        assert!(
+            cfg.slices.is_power_of_two(),
+            "slice count must be a power of two"
+        );
         let slices = (0..cfg.slices).map(|_| Cache::new(cfg.geometry)).collect();
         LlcModel { cfg, slices }
     }
@@ -97,7 +100,11 @@ impl LlcModel {
             (LlcStyle::Silicon, false) => tag_latency,
         };
         let ready_at = (look.start + latency).max(look.ready_at);
-        LlcOutcome { hit: look.hit, ready_at, writeback: None }
+        LlcOutcome {
+            hit: look.hit,
+            ready_at,
+            writeback: None,
+        }
     }
 
     /// Installs a line whose DRAM data arrives at `ready_at`; returns a
@@ -119,11 +126,23 @@ mod tests {
 
     fn milkv_slice() -> CacheConfig {
         // 16 MiB slice: 16384 sets * 16 ways * 64 B.
-        CacheConfig { sets: 16384, ways: 16, line_bytes: 64, banks: 4, hit_latency: 8, mshrs: 16 }
+        CacheConfig {
+            sets: 16384,
+            ways: 16,
+            line_bytes: 64,
+            banks: 4,
+            hit_latency: 8,
+            mshrs: 16,
+        }
     }
 
     fn llc(style: LlcStyle) -> LlcModel {
-        LlcModel::new(LlcConfig { geometry: milkv_slice(), slices: 4, data_latency: 18, style })
+        LlcModel::new(LlcConfig {
+            geometry: milkv_slice(),
+            slices: 4,
+            data_latency: 18,
+            style,
+        })
     }
 
     #[test]

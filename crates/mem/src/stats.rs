@@ -1,5 +1,6 @@
 //! Aggregate memory-system statistics.
 
+use bsim_telemetry::CounterBlock;
 use serde::{Deserialize, Serialize};
 
 /// Hit/miss and traffic counters for one simulated memory hierarchy.
@@ -31,12 +32,19 @@ pub struct MemStats {
     pub dram_writes: u64,
     /// DRAM row-buffer hits (subset of `dram_reads + dram_writes`).
     pub dram_row_hits: u64,
+    /// DRAM row-buffer misses (precharge/activate paid).
+    pub dram_row_misses: u64,
+    /// Extra cycles DRAM completions spent rounded up to FireSim token
+    /// quantum boundaries (0 on silicon-like models with quantum 1).
+    pub dram_token_stall_cycles: u64,
     /// Dirty-line write-backs generated anywhere in the hierarchy.
     pub writebacks: u64,
     /// Cycles lost to cache bank conflicts.
     pub bank_conflict_cycles: u64,
     /// Cycles lost waiting for a free MSHR.
     pub mshr_stall_cycles: u64,
+    /// Busy beats on the system bus (request + response channels).
+    pub bus_busy_cycles: u64,
     /// Prefetch line fetches issued.
     pub prefetches: u64,
 }
@@ -71,11 +79,38 @@ impl MemStats {
             dram_reads: self.dram_reads - earlier.dram_reads,
             dram_writes: self.dram_writes - earlier.dram_writes,
             dram_row_hits: self.dram_row_hits - earlier.dram_row_hits,
+            dram_row_misses: self.dram_row_misses - earlier.dram_row_misses,
+            dram_token_stall_cycles: self.dram_token_stall_cycles - earlier.dram_token_stall_cycles,
             writebacks: self.writebacks - earlier.writebacks,
             bank_conflict_cycles: self.bank_conflict_cycles - earlier.bank_conflict_cycles,
             mshr_stall_cycles: self.mshr_stall_cycles - earlier.mshr_stall_cycles,
+            bus_busy_cycles: self.bus_busy_cycles - earlier.bus_busy_cycles,
             prefetches: self.prefetches - earlier.prefetches,
         }
+    }
+
+    /// Publishes every counter into `block` under `prefix` (use `"mem"`,
+    /// or a tile/cluster name in multi-hierarchy setups).
+    pub fn publish(&self, prefix: &str, block: &mut CounterBlock) {
+        let mut put = |name: &str, v: u64| block.set_named(&format!("{prefix}.{name}"), v);
+        put("l1d.accesses", self.l1d_accesses);
+        put("l1d.misses", self.l1d_misses);
+        put("l1i.accesses", self.l1i_accesses);
+        put("l1i.misses", self.l1i_misses);
+        put("l2.accesses", self.l2_accesses);
+        put("l2.misses", self.l2_misses);
+        put("llc.accesses", self.llc_accesses);
+        put("llc.misses", self.llc_misses);
+        put("dram.reads", self.dram_reads);
+        put("dram.writes", self.dram_writes);
+        put("dram.row_hits", self.dram_row_hits);
+        put("dram.row_misses", self.dram_row_misses);
+        put("dram.token_stall_cycles", self.dram_token_stall_cycles);
+        put("writebacks", self.writebacks);
+        put("bank_conflict_cycles", self.bank_conflict_cycles);
+        put("mshr_stall_cycles", self.mshr_stall_cycles);
+        put("bus.busy_cycles", self.bus_busy_cycles);
+        put("prefetches", self.prefetches);
     }
 }
 
@@ -100,11 +135,34 @@ mod tests {
 
     #[test]
     fn delta_subtracts() {
-        let a = MemStats { l1d_accesses: 10, l1d_misses: 2, ..Default::default() };
-        let b = MemStats { l1d_accesses: 25, l1d_misses: 5, ..Default::default() };
+        let a = MemStats {
+            l1d_accesses: 10,
+            l1d_misses: 2,
+            ..Default::default()
+        };
+        let b = MemStats {
+            l1d_accesses: 25,
+            l1d_misses: 5,
+            ..Default::default()
+        };
         let d = b.delta(&a);
         assert_eq!(d.l1d_accesses, 15);
         assert_eq!(d.l1d_misses, 3);
         assert!((d.l1d_miss_rate() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn publish_covers_dram_and_bus() {
+        let s = MemStats {
+            dram_reads: 10,
+            dram_row_misses: 4,
+            bus_busy_cycles: 123,
+            ..Default::default()
+        };
+        let mut block = CounterBlock::new(true);
+        s.publish("mem", &mut block);
+        assert_eq!(block.get("mem.dram.reads"), Some(10));
+        assert_eq!(block.get("mem.dram.row_misses"), Some(4));
+        assert_eq!(block.get("mem.bus.busy_cycles"), Some(123));
     }
 }

@@ -6,7 +6,14 @@ use bsim_mem::{AccessKind, DramConfig, DramModel, HierarchyConfig, MemoryHierarc
 use proptest::prelude::*;
 
 fn small_cache() -> CacheConfig {
-    CacheConfig { sets: 8, ways: 2, line_bytes: 64, banks: 2, hit_latency: 2, mshrs: 4 }
+    CacheConfig {
+        sets: 8,
+        ways: 2,
+        line_bytes: 64,
+        banks: 2,
+        hit_latency: 2,
+        mshrs: 4,
+    }
 }
 
 fn hierarchy() -> MemoryHierarchy {
@@ -14,8 +21,18 @@ fn hierarchy() -> MemoryHierarchy {
         cores: 2,
         l1i: small_cache(),
         l1d: small_cache(),
-        l2: CacheConfig { sets: 64, ways: 4, line_bytes: 64, banks: 2, hit_latency: 10, mshrs: 8 },
-        bus: bsim_mem::BusConfig { width_bits: 64, latency: 4 },
+        l2: CacheConfig {
+            sets: 64,
+            ways: 4,
+            line_bytes: 64,
+            banks: 2,
+            hit_latency: 10,
+            mshrs: 8,
+        },
+        bus: bsim_mem::BusConfig {
+            width_bits: 64,
+            latency: 4,
+        },
         llc: None,
         dram: DramConfig::ddr3_2000(1),
         core_freq_ghz: 1.6,

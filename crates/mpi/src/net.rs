@@ -22,13 +22,23 @@ pub struct NetConfig {
 impl NetConfig {
     /// Shared-memory MPI within one cluster (the paper's configuration).
     pub fn shared_memory() -> NetConfig {
-        NetConfig { latency: 700, bytes_per_cycle: 8.0, o_send: 250, o_recv: 250 }
+        NetConfig {
+            latency: 700,
+            bytes_per_cycle: 8.0,
+            o_send: 250,
+            o_recv: 250,
+        }
     }
 
     /// A multi-node interconnect (for the future-work §7 scaling study):
     /// ~1.5 µs latency at 2 GHz and ~10 GB/s effective bandwidth.
     pub fn ethernet_10g() -> NetConfig {
-        NetConfig { latency: 3000, bytes_per_cycle: 5.0, o_send: 800, o_recv: 800 }
+        NetConfig {
+            latency: 3000,
+            bytes_per_cycle: 5.0,
+            o_send: 800,
+            o_recv: 800,
+        }
     }
 
     /// Cycles to stream `bytes` of payload.
@@ -76,7 +86,12 @@ mod tests {
 
     #[test]
     fn transfer_rounds_up() {
-        let n = NetConfig { latency: 0, bytes_per_cycle: 8.0, o_send: 0, o_recv: 0 };
+        let n = NetConfig {
+            latency: 0,
+            bytes_per_cycle: 8.0,
+            o_send: 0,
+            o_recv: 0,
+        };
         assert_eq!(n.transfer_cycles(1), 1);
         assert_eq!(n.transfer_cycles(16), 2);
         assert_eq!(n.transfer_cycles(17), 3);

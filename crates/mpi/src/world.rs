@@ -100,7 +100,10 @@ impl Shared {
 
     fn pass_turn(&self, rank: usize) {
         let mut s = self.sched.lock();
-        debug_assert!(s.current == rank || s.poisoned, "only the turn holder may pass");
+        debug_assert!(
+            s.current == rank || s.poisoned,
+            "only the turn holder may pass"
+        );
         let n = self.ranks;
         let mut next = rank;
         for step in 1..=n {
@@ -134,6 +137,14 @@ pub struct RankCtx {
     compiler_overhead: u32,
     /// Spin counter for deadlock detection.
     stalls: u64,
+    /// Virtual-time telemetry accumulators, published into the SoC's
+    /// counter registry when the rank program completes. All four are
+    /// derived from virtual time only, so they are identical across
+    /// hosts and thread interleavings.
+    tel_messages: u64,
+    tel_bytes: u64,
+    tel_send_cycles: u64,
+    tel_wait_cycles: u64,
 }
 
 impl RankCtx {
@@ -200,7 +211,10 @@ impl RankCtx {
     /// Sends `payload` to `dst` with `tag`. Non-blocking in virtual time
     /// beyond the sender-side overhead and copy cost.
     pub fn send(&mut self, dst: usize, tag: u32, payload: Vec<u8>) {
-        assert!(dst < self.shared.ranks && dst != self.rank, "invalid destination {dst}");
+        assert!(
+            dst < self.shared.ranks && dst != self.rank,
+            "invalid destination {dst}"
+        );
         let nbytes = payload.len();
         let arrival;
         {
@@ -209,7 +223,10 @@ impl RankCtx {
             let busy = self.shared.net.o_send + self.shared.net.transfer_cycles(nbytes);
             soc.advance_core(self.rank, local + busy);
             arrival = self.shared.net.arrival(local, nbytes);
+            self.tel_send_cycles += busy;
         }
+        self.tel_messages += 1;
+        self.tel_bytes += nbytes as u64;
         self.shared
             .mail
             .lock()
@@ -217,25 +234,34 @@ impl RankCtx {
             .or_default()
             .push_back(Msg { arrival, payload });
         self.shared.messages.fetch_add(1, Ordering::Relaxed);
-        self.shared.bytes.fetch_add(nbytes as u64, Ordering::Relaxed);
+        self.shared
+            .bytes
+            .fetch_add(nbytes as u64, Ordering::Relaxed);
         self.shared.bump();
     }
 
     /// Receives the next message from `src` with `tag`, blocking in both
     /// host time (turn-yielding) and virtual time (clock advance).
     pub fn recv(&mut self, src: usize, tag: u32) -> Vec<u8> {
-        assert!(src < self.shared.ranks && src != self.rank, "invalid source {src}");
+        assert!(
+            src < self.shared.ranks && src != self.rank,
+            "invalid source {src}"
+        );
         self.stalls = 0;
         loop {
             let last = self.shared.progress.load(Ordering::Relaxed);
-            let msg = self.shared.mail.lock().get_mut(&(src, self.rank, tag)).and_then(
-                |q: &mut VecDeque<Msg>| q.pop_front(),
-            );
+            let msg = self
+                .shared
+                .mail
+                .lock()
+                .get_mut(&(src, self.rank, tag))
+                .and_then(|q: &mut VecDeque<Msg>| q.pop_front());
             if let Some(m) = msg {
                 let mut soc = self.shared.soc.lock();
                 let local = soc.core_cycles(self.rank);
                 let done = m.arrival.max(local) + self.shared.net.o_recv;
                 soc.advance_core(self.rank, done);
+                self.tel_wait_cycles += done.saturating_sub(local);
                 self.shared.bump();
                 return m.payload;
             }
@@ -256,7 +282,9 @@ impl RankCtx {
     /// Receives a slice of f64s.
     pub fn recv_f64s(&mut self, src: usize, tag: u32) -> Vec<f64> {
         let raw = self.recv(src, tag);
-        raw.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect()
+        raw.chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect()
     }
 
     /// Core of every collective: deposit a contribution, wait for all
@@ -279,7 +307,9 @@ impl RankCtx {
                 // Last arriver publishes.
                 let max_entry = *s.coll.entries.iter().max().expect("non-empty");
                 let release =
-                    self.shared.net.collective_cost(max_entry, self.shared.ranks, s.coll.bytes);
+                    self.shared
+                        .net
+                        .collective_cost(max_entry, self.shared.ranks, s.coll.bytes);
                 s.coll.release = release;
                 s.coll.result = if !s.coll.matrix.iter().all(|m| m.is_empty()) {
                     // alltoall: transpose the matrix into per-destination rows.
@@ -317,7 +347,9 @@ impl RankCtx {
                     let result = s.coll.result.clone();
                     drop(s);
                     let mut soc = self.shared.soc.lock();
+                    let local = soc.core_cycles(self.rank);
                     soc.advance_core(self.rank, release);
+                    self.tel_wait_cycles += release.saturating_sub(local);
                     return result;
                 }
             }
@@ -354,22 +386,49 @@ impl RankCtx {
         }
     }
 
+    /// Publishes this rank's accumulated `mpi.rank{r}.*` counters into
+    /// the SoC's telemetry registry (no-op when telemetry is disabled).
+    /// Called once per rank, while the rank still holds the turn, so the
+    /// registration order is as deterministic as the schedule itself.
+    fn publish_telemetry(&mut self) {
+        let mut soc = self.shared.soc.lock();
+        let tel = soc.telemetry_mut();
+        if !tel.enabled() {
+            return;
+        }
+        let b = tel.counters_mut();
+        let r = self.rank;
+        b.set_named(&format!("mpi.rank{r}.messages"), self.tel_messages);
+        b.set_named(&format!("mpi.rank{r}.bytes"), self.tel_bytes);
+        b.set_named(&format!("mpi.rank{r}.send_cycles"), self.tel_send_cycles);
+        b.set_named(&format!("mpi.rank{r}.wait_cycles"), self.tel_wait_cycles);
+        b.add_named("mpi.messages", self.tel_messages);
+        b.add_named("mpi.bytes", self.tel_bytes);
+        b.add_named("mpi.wait_cycles", self.tel_wait_cycles);
+    }
+
     /// Personalized all-to-all: `sends[d]` goes to rank `d`; returns the
     /// payloads received from every rank (index = source).
     pub fn alltoallv(&mut self, sends: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
-        assert_eq!(sends.len(), self.shared.ranks, "one payload per destination");
+        assert_eq!(
+            sends.len(),
+            self.shared.ranks,
+            "one payload per destination"
+        );
         let total: usize = sends.iter().map(Vec::len).sum();
         self.shared.bytes.fetch_add(total as u64, Ordering::Relaxed);
-        self.shared.messages.fetch_add(self.shared.ranks as u64 - 1, Ordering::Relaxed);
+        self.shared
+            .messages
+            .fetch_add(self.shared.ranks as u64 - 1, Ordering::Relaxed);
+        self.tel_messages += self.shared.ranks as u64 - 1;
+        self.tel_bytes += total as u64;
         let rank = self.rank;
         let n = self.shared.ranks;
         let r = self.collective(total, move |c, _| {
             c.matrix[rank] = sends;
         });
         match r {
-            CollResult::PerRank(flat) => {
-                flat[rank * n..(rank + 1) * n].to_vec()
-            }
+            CollResult::PerRank(flat) => flat[rank * n..(rank + 1) * n].to_vec(),
             _ => unreachable!("alltoall publishes PerRank"),
         }
     }
@@ -390,7 +449,10 @@ impl MpiWorld {
     where
         F: Fn(&mut RankCtx) + Sync,
     {
-        assert!(ranks >= 1 && ranks <= cfg.cores, "ranks must fit the SoC cores");
+        assert!(
+            ranks >= 1 && ranks <= cfg.cores,
+            "ranks must fit the SoC cores"
+        );
         let simd_lanes = cfg.simd_lanes;
         let compiler_overhead = cfg.compiler_overhead_per_mille;
         let shared = Arc::new(Shared {
@@ -432,14 +494,19 @@ impl MpiWorld {
                         simd_lanes,
                         compiler_overhead,
                         stalls: 0,
+                        tel_messages: 0,
+                        tel_bytes: 0,
+                        tel_send_cycles: 0,
+                        tel_wait_cycles: 0,
                     };
                     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         program(&mut ctx)
                     }));
-                    if outcome.is_err() {
+                    if let Err(payload) = outcome {
                         shared.poison();
-                        std::panic::resume_unwind(outcome.unwrap_err());
+                        std::panic::resume_unwind(payload);
                     }
+                    ctx.publish_telemetry();
                     {
                         let mut s = shared.sched.lock();
                         s.finished[rank] = true;
@@ -469,7 +536,12 @@ mod tests {
     use bsim_soc::configs;
 
     fn world<F: Fn(&mut RankCtx) + Sync>(ranks: usize, f: F) -> WorldReport {
-        MpiWorld::run(configs::rocket1(ranks.max(1)), ranks, NetConfig::shared_memory(), f)
+        MpiWorld::run(
+            configs::rocket1(ranks.max(1)),
+            ranks,
+            NetConfig::shared_memory(),
+            f,
+        )
     }
 
     #[test]
@@ -552,8 +624,15 @@ mod tests {
     fn alltoallv_transposes() {
         world(3, |ctx| {
             let me = ctx.rank() as u8;
-            let sends: Vec<Vec<u8>> =
-                (0..3).map(|d| if d == ctx.rank() { vec![] } else { vec![me * 10 + d as u8] }).collect();
+            let sends: Vec<Vec<u8>> = (0..3)
+                .map(|d| {
+                    if d == ctx.rank() {
+                        vec![]
+                    } else {
+                        vec![me * 10 + d as u8]
+                    }
+                })
+                .collect();
             let got = ctx.alltoallv(sends);
             for (src, payload) in got.iter().enumerate() {
                 if src == ctx.rank() {
@@ -580,7 +659,10 @@ mod tests {
         };
         let a = world(4, f);
         let b = world(4, f);
-        assert_eq!(a.rank_cycles, b.rank_cycles, "turn-taking must be deterministic");
+        assert_eq!(
+            a.rank_cycles, b.rank_cycles,
+            "turn-taking must be deterministic"
+        );
         assert_eq!(a.run.cycles, b.run.cycles);
     }
 
@@ -595,6 +677,34 @@ mod tests {
         });
         assert!(rep.run.retired >= 1000, "both ranks' uops must be counted");
         assert!(rep.run.cycles >= 500);
+    }
+
+    #[test]
+    fn telemetry_reports_per_rank_mpi_counters() {
+        let cfg = configs::rocket1(2).with_telemetry(bsim_soc::TelemetryConfig::counters());
+        let rep = MpiWorld::run(cfg, 2, NetConfig::shared_memory(), |ctx| {
+            if ctx.rank() == 0 {
+                ctx.charge(50_000); // make the receiver demonstrably wait
+                ctx.send(1, 0, vec![0u8; 256]);
+            } else {
+                let _ = ctx.recv(0, 0);
+            }
+            ctx.barrier();
+        });
+        let snap = rep
+            .run
+            .telemetry
+            .expect("telemetry enabled on the SoC config");
+        assert_eq!(snap.counter("mpi.rank0.messages"), Some(1));
+        assert_eq!(snap.counter("mpi.rank0.bytes"), Some(256));
+        assert!(snap.counter("mpi.rank0.send_cycles").unwrap_or(0) > 0);
+        assert_eq!(snap.counter("mpi.rank1.messages"), Some(0));
+        assert!(
+            snap.counter("mpi.rank1.wait_cycles").unwrap_or(0) >= 50_000,
+            "receiver waits out the sender's head start"
+        );
+        assert_eq!(snap.counter("mpi.messages"), Some(rep.messages));
+        assert_eq!(snap.counter("mpi.bytes"), Some(rep.bytes));
     }
 
     #[test]

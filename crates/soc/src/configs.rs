@@ -3,6 +3,7 @@
 use bsim_mem::cache::CacheConfig;
 use bsim_mem::llc::{LlcConfig, LlcStyle};
 use bsim_mem::{BusConfig, DramConfig, HierarchyConfig};
+use bsim_telemetry::TelemetryConfig;
 use bsim_uarch::{InOrderConfig, OooConfig};
 use serde::{Deserialize, Serialize};
 
@@ -44,6 +45,10 @@ pub struct SocConfig {
     /// older codegen retires measurably more instructions on the same
     /// C/C++ kernels.
     pub compiler_overhead_per_mille: u32,
+    /// Out-of-band telemetry (AutoCounter/TracerV analogue). Disabled by
+    /// default in every named config; enable with
+    /// [`SocConfig::with_telemetry`]. Never affects simulated timing.
+    pub telemetry: TelemetryConfig,
 }
 
 impl SocConfig {
@@ -51,48 +56,110 @@ impl SocConfig {
     pub fn seconds(&self, cycles: u64) -> f64 {
         cycles as f64 / (self.freq_ghz * 1e9)
     }
+
+    /// The same platform with the given telemetry configuration.
+    pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> SocConfig {
+        self.telemetry = telemetry;
+        self
+    }
 }
 
 // ---- shared cache geometries -------------------------------------------------
 
 /// Rocket L1 (Table 5: 32 KiB, 64 sets / 8 ways).
 fn rocket_l1() -> CacheConfig {
-    CacheConfig { sets: 64, ways: 8, line_bytes: 64, banks: 1, hit_latency: 2, mshrs: 2 }
+    CacheConfig {
+        sets: 64,
+        ways: 8,
+        line_bytes: 64,
+        banks: 1,
+        hit_latency: 2,
+        mshrs: 2,
+    }
 }
 
 /// Rocket-tile shared L2 (512 KiB, 1024 sets / 8 ways), bank count varies.
 fn rocket_l2(banks: u32) -> CacheConfig {
-    CacheConfig { sets: 1024, ways: 8, line_bytes: 64, banks, hit_latency: 14, mshrs: 8 }
+    CacheConfig {
+        sets: 1024,
+        ways: 8,
+        line_bytes: 64,
+        banks,
+        hit_latency: 14,
+        mshrs: 8,
+    }
 }
 
 /// Small/Medium BOOM L1 (Table 4: 64 sets / 4 ways = 16 KiB).
 fn boom_small_l1() -> CacheConfig {
-    CacheConfig { sets: 64, ways: 4, line_bytes: 64, banks: 4, hit_latency: 3, mshrs: 4 }
+    CacheConfig {
+        sets: 64,
+        ways: 4,
+        line_bytes: 64,
+        banks: 4,
+        hit_latency: 3,
+        mshrs: 4,
+    }
 }
 
 /// Large BOOM L1 (Table 4: 64 sets / 8 ways = 32 KiB).
 fn boom_large_l1() -> CacheConfig {
-    CacheConfig { sets: 64, ways: 8, line_bytes: 64, banks: 4, hit_latency: 3, mshrs: 8 }
+    CacheConfig {
+        sets: 64,
+        ways: 8,
+        line_bytes: 64,
+        banks: 4,
+        hit_latency: 3,
+        mshrs: 8,
+    }
 }
 
 /// MILK-V-tuned L1 (Table 5: 64 KiB, 128 sets / 8 ways).
 fn milkv_l1() -> CacheConfig {
-    CacheConfig { sets: 128, ways: 8, line_bytes: 64, banks: 4, hit_latency: 3, mshrs: 8 }
+    CacheConfig {
+        sets: 128,
+        ways: 8,
+        line_bytes: 64,
+        banks: 4,
+        hit_latency: 3,
+        mshrs: 8,
+    }
 }
 
 /// BOOM-tile shared L2 (512 KiB), 4 banks.
 fn boom_l2() -> CacheConfig {
-    CacheConfig { sets: 1024, ways: 8, line_bytes: 64, banks: 4, hit_latency: 14, mshrs: 16 }
+    CacheConfig {
+        sets: 1024,
+        ways: 8,
+        line_bytes: 64,
+        banks: 4,
+        hit_latency: 14,
+        mshrs: 16,
+    }
 }
 
 /// MILK-V-tuned L2 (Table 5: 1 MiB / 4 cores, 2048 sets / 8 ways).
 fn milkv_l2() -> CacheConfig {
-    CacheConfig { sets: 2048, ways: 8, line_bytes: 64, banks: 4, hit_latency: 16, mshrs: 16 }
+    CacheConfig {
+        sets: 2048,
+        ways: 8,
+        line_bytes: 64,
+        banks: 4,
+        hit_latency: 16,
+        mshrs: 16,
+    }
 }
 
 /// One 16 MiB LLC slice (16384 sets / 16 ways); the paper uses four.
 fn llc_slice() -> CacheConfig {
-    CacheConfig { sets: 16384, ways: 16, line_bytes: 64, banks: 4, hit_latency: 10, mshrs: 32 }
+    CacheConfig {
+        sets: 16384,
+        ways: 16,
+        line_bytes: 64,
+        banks: 4,
+        hit_latency: 10,
+        mshrs: 32,
+    }
 }
 
 // ---- FireSim-hosted models -----------------------------------------------------
@@ -110,7 +177,10 @@ pub fn rocket1(cores: usize) -> SocConfig {
             l1i: rocket_l1(),
             l1d: rocket_l1(),
             l2: rocket_l2(1),
-            bus: BusConfig { width_bits: 64, latency: 4 },
+            bus: BusConfig {
+                width_bits: 64,
+                latency: 4,
+            },
             llc: None,
             dram: DramConfig::ddr3_2000(1),
             core_freq_ghz: 1.6,
@@ -120,6 +190,7 @@ pub fn rocket1(cores: usize) -> SocConfig {
         is_simulation: true,
         simd_lanes: 1,
         compiler_overhead_per_mille: 200, // GCC 9.4 vs 13.2 (Table 3)
+        telemetry: TelemetryConfig::disabled(),
     }
 }
 
@@ -135,7 +206,10 @@ pub fn rocket2(cores: usize) -> SocConfig {
 pub fn banana_pi_sim(cores: usize) -> SocConfig {
     let mut c = rocket2(cores);
     c.name = "Banana Pi Sim Model".into();
-    c.hierarchy.bus = BusConfig { width_bits: 128, latency: 4 };
+    c.hierarchy.bus = BusConfig {
+        width_bits: 128,
+        latency: 4,
+    };
     c
 }
 
@@ -162,7 +236,10 @@ fn boom_soc(name: &str, cores: usize, core: OooConfig, l1: CacheConfig) -> SocCo
             l1i: l1,
             l1d: l1,
             l2: boom_l2(),
-            bus: BusConfig { width_bits: 128, latency: 4 },
+            bus: BusConfig {
+                width_bits: 128,
+                latency: 4,
+            },
             llc: None,
             dram: DramConfig::ddr3_2000(1),
             core_freq_ghz: 2.0,
@@ -172,29 +249,50 @@ fn boom_soc(name: &str, cores: usize, core: OooConfig, l1: CacheConfig) -> SocCo
         is_simulation: true,
         simd_lanes: 1,
         compiler_overhead_per_mille: 200, // GCC 9.4 vs 13.2 (Table 3)
+        telemetry: TelemetryConfig::disabled(),
     }
 }
 
 /// Table 4 "Small BOOM".
 pub fn small_boom(cores: usize) -> SocConfig {
-    boom_soc("Small BOOM", cores, OooConfig::small_boom(), boom_small_l1())
+    boom_soc(
+        "Small BOOM",
+        cores,
+        OooConfig::small_boom(),
+        boom_small_l1(),
+    )
 }
 
 /// Table 4 "Medium BOOM".
 pub fn medium_boom(cores: usize) -> SocConfig {
-    boom_soc("Medium BOOM", cores, OooConfig::medium_boom(), boom_small_l1())
+    boom_soc(
+        "Medium BOOM",
+        cores,
+        OooConfig::medium_boom(),
+        boom_small_l1(),
+    )
 }
 
 /// Table 4 "Large BOOM".
 pub fn large_boom(cores: usize) -> SocConfig {
-    boom_soc("Large BOOM", cores, OooConfig::large_boom(), boom_large_l1())
+    boom_soc(
+        "Large BOOM",
+        cores,
+        OooConfig::large_boom(),
+        boom_large_l1(),
+    )
 }
 
 /// §4 "MILK-V Simulation Model": Large BOOM with the MILK-V cache
 /// hierarchy — 64 KiB L1s, 1 MiB L2, and a 64 MiB LLC modeled as four
 /// 16 MiB SRAM-like slices on FireSim's four memory channels.
 pub fn milkv_sim(cores: usize) -> SocConfig {
-    let mut c = boom_soc("MILK-V Sim Model", cores, OooConfig::large_boom(), milkv_l1());
+    let mut c = boom_soc(
+        "MILK-V Sim Model",
+        cores,
+        OooConfig::large_boom(),
+        milkv_l1(),
+    );
     c.hierarchy.l2 = milkv_l2();
     c.hierarchy.llc = Some(LlcConfig {
         geometry: llc_slice(),
@@ -219,10 +317,27 @@ pub fn banana_pi_hw(cores: usize) -> SocConfig {
         core: CoreModel::InOrder(InOrderConfig::spacemit_k1()),
         hierarchy: HierarchyConfig {
             cores,
-            l1i: CacheConfig { sets: 64, ways: 8, line_bytes: 64, banks: 2, hit_latency: 2, mshrs: 4 },
-            l1d: CacheConfig { sets: 64, ways: 8, line_bytes: 64, banks: 2, hit_latency: 2, mshrs: 4 },
+            l1i: CacheConfig {
+                sets: 64,
+                ways: 8,
+                line_bytes: 64,
+                banks: 2,
+                hit_latency: 2,
+                mshrs: 4,
+            },
+            l1d: CacheConfig {
+                sets: 64,
+                ways: 8,
+                line_bytes: 64,
+                banks: 2,
+                hit_latency: 2,
+                mshrs: 4,
+            },
             l2: rocket_l2(4),
-            bus: BusConfig { width_bits: 128, latency: 3 },
+            bus: BusConfig {
+                width_bits: 128,
+                latency: 3,
+            },
             llc: None,
             dram: DramConfig::lpddr4_2666(),
             core_freq_ghz: 1.6,
@@ -232,6 +347,7 @@ pub fn banana_pi_hw(cores: usize) -> SocConfig {
         is_simulation: false,
         simd_lanes: 4, // RVV 1.0, 256-bit
         compiler_overhead_per_mille: 0,
+        telemetry: TelemetryConfig::disabled(),
     }
 }
 
@@ -249,7 +365,10 @@ pub fn milkv_hw(cores: usize) -> SocConfig {
             l1i: milkv_l1(),
             l1d: milkv_l1(),
             l2: milkv_l2(),
-            bus: BusConfig { width_bits: 128, latency: 3 },
+            bus: BusConfig {
+                width_bits: 128,
+                latency: 3,
+            },
             llc: Some(LlcConfig {
                 geometry: llc_slice(),
                 slices: 4,
@@ -264,17 +383,28 @@ pub fn milkv_hw(cores: usize) -> SocConfig {
         is_simulation: false,
         simd_lanes: 2, // XuanTie C920: 128-bit vector
         compiler_overhead_per_mille: 0,
+        telemetry: TelemetryConfig::disabled(),
     }
 }
 
 /// All FireSim Rocket-side configs of Figure 1/3, in figure order.
 pub fn rocket_family(cores: usize) -> Vec<SocConfig> {
-    vec![rocket1(cores), rocket2(cores), banana_pi_sim(cores), fast_banana_pi_sim(cores)]
+    vec![
+        rocket1(cores),
+        rocket2(cores),
+        banana_pi_sim(cores),
+        fast_banana_pi_sim(cores),
+    ]
 }
 
 /// All FireSim BOOM-side configs of Figure 2/4, in figure order.
 pub fn boom_family(cores: usize) -> Vec<SocConfig> {
-    vec![small_boom(cores), medium_boom(cores), large_boom(cores), milkv_sim(cores)]
+    vec![
+        small_boom(cores),
+        medium_boom(cores),
+        large_boom(cores),
+        milkv_sim(cores),
+    ]
 }
 
 #[cfg(test)]
@@ -340,7 +470,10 @@ mod tests {
     #[test]
     fn milkv_llc_styles_differ() {
         use bsim_mem::llc::LlcStyle;
-        assert_eq!(milkv_sim(4).hierarchy.llc.unwrap().style, LlcStyle::FiresimSram);
+        assert_eq!(
+            milkv_sim(4).hierarchy.llc.unwrap().style,
+            LlcStyle::FiresimSram
+        );
         assert_eq!(milkv_hw(4).hierarchy.llc.unwrap().style, LlcStyle::Silicon);
     }
 
@@ -354,10 +487,14 @@ mod tests {
 
     #[test]
     fn hardware_k1_is_dual_issue() {
-        let CoreModel::InOrder(k1) = banana_pi_hw(4).core else { panic!() };
+        let CoreModel::InOrder(k1) = banana_pi_hw(4).core else {
+            panic!()
+        };
         assert_eq!(k1.issue_width, 2);
         assert_eq!(k1.pipeline_depth, 8);
-        let CoreModel::InOrder(rk) = rocket1(4).core else { panic!() };
+        let CoreModel::InOrder(rk) = rocket1(4).core else {
+            panic!()
+        };
         assert_eq!(rk.issue_width, 1);
         assert_eq!(rk.pipeline_depth, 5);
     }

@@ -23,5 +23,6 @@
 pub mod configs;
 pub mod runner;
 
+pub use bsim_telemetry::{GapReport, TelemetryConfig, TelemetrySnapshot};
 pub use configs::{CoreModel, SocConfig};
 pub use runner::{CoreInst, RunReport, Soc};

@@ -3,6 +3,7 @@
 use crate::configs::{CoreModel, SocConfig};
 use bsim_isa::{Cpu, Program, RunResult};
 use bsim_mem::{MemStats, MemoryHierarchy};
+use bsim_telemetry::{Telemetry, TelemetrySnapshot};
 use bsim_uarch::{CoreStats, InOrderCore, MicroOp, OooCore, TimingCore};
 use serde::{Deserialize, Serialize};
 
@@ -70,6 +71,9 @@ pub struct RunReport {
     pub mem_stats: MemStats,
     /// Functional exit code, when the workload was an ISA program.
     pub exit_code: Option<i64>,
+    /// Out-of-band telemetry export; `None` unless the platform config
+    /// enabled it (see [`SocConfig::with_telemetry`]).
+    pub telemetry: Option<TelemetrySnapshot>,
 }
 
 impl RunReport {
@@ -88,6 +92,7 @@ pub struct Soc {
     cfg: SocConfig,
     cores: Vec<CoreInst>,
     hierarchy: MemoryHierarchy,
+    telemetry: Telemetry,
 }
 
 impl Soc {
@@ -100,7 +105,13 @@ impl Soc {
             })
             .collect();
         let hierarchy = MemoryHierarchy::new(cfg.hierarchy.clone());
-        Soc { cfg, cores, hierarchy }
+        let telemetry = Telemetry::new(cfg.telemetry);
+        Soc {
+            cfg,
+            cores,
+            hierarchy,
+            telemetry,
+        }
     }
 
     /// The platform configuration.
@@ -108,9 +119,26 @@ impl Soc {
         &self.cfg
     }
 
+    /// The run's telemetry state, for out-of-band counters owned by
+    /// layers above the SoC (MPI ranks, the engine harness).
+    pub fn telemetry_mut(&mut self) -> &mut Telemetry {
+        &mut self.telemetry
+    }
+
     /// Feeds one micro-op to core `core_id`.
     pub fn consume(&mut self, core_id: usize, uop: &MicroOp) {
         self.cores[core_id].consume(uop, &mut self.hierarchy, core_id);
+        if self.telemetry.enabled() {
+            let cycle = self.cores[core_id].cycles();
+            observe_retire(
+                &mut self.telemetry,
+                &self.cores[core_id],
+                &self.hierarchy,
+                core_id,
+                uop,
+                cycle,
+            );
+        }
     }
 
     /// Current cycle count of core `core_id`.
@@ -134,14 +162,29 @@ impl Soc {
             retired += c.retired();
             core_stats.push(c.stats());
         }
+        let mem_stats = self.hierarchy.stats();
+        if self.telemetry.enabled() {
+            for (i, s) in core_stats.iter().enumerate() {
+                s.publish(&format!("tile{i}"), self.telemetry.counters_mut());
+            }
+            mem_stats.publish("mem", self.telemetry.counters_mut());
+            self.telemetry
+                .counters_mut()
+                .set_named("soc.cycles", cycles);
+            self.telemetry
+                .counters_mut()
+                .set_named("soc.retired", retired);
+            self.telemetry.tick(cycles);
+        }
         RunReport {
             platform: self.cfg.name.clone(),
             cycles,
             retired,
             seconds: self.cfg.seconds(cycles),
             core_stats,
-            mem_stats: self.hierarchy.stats(),
+            mem_stats,
             exit_code,
+            telemetry: self.telemetry.snapshot(),
         }
     }
 
@@ -155,9 +198,14 @@ impl Soc {
         let mut cpu = Cpu::new(prog);
         let core = &mut self.cores[core_id];
         let hierarchy = &mut self.hierarchy;
+        let telemetry = &mut self.telemetry;
         let result = cpu.run_traced(fuel, |ret| {
             let uop = MicroOp::from_retired(ret);
             core.consume(&uop, hierarchy, core_id);
+            if telemetry.enabled() {
+                let cycle = core.cycles();
+                observe_retire(telemetry, core, hierarchy, core_id, &uop, cycle);
+            }
         });
         let exit = match result {
             RunResult::Exited(code) => Some(code),
@@ -165,6 +213,28 @@ impl Soc {
             RunResult::Trapped(t) => panic!("workload trapped on {}: {t:?}", self.cfg.name),
         };
         self.report(exit)
+    }
+}
+
+/// Records one committed instruction into the trace ring and, when a
+/// sample window boundary is crossed, refreshes the published counters so
+/// the timeline snapshot sees current values. Takes shared borrows of the
+/// core and hierarchy so it is callable from inside `run_traced`'s retire
+/// closure, where both are already mutably borrowed by the timing path.
+fn observe_retire(
+    telemetry: &mut Telemetry,
+    core: &CoreInst,
+    hierarchy: &MemoryHierarchy,
+    core_id: usize,
+    uop: &MicroOp,
+    cycle: u64,
+) {
+    telemetry.trace_mut().record(uop.pc, uop.class as u8, cycle);
+    if telemetry.sample_due(cycle) {
+        core.stats()
+            .publish(&format!("tile{core_id}"), telemetry.counters_mut());
+        hierarchy.stats().publish("mem", telemetry.counters_mut());
+        telemetry.tick(cycle);
     }
 }
 
@@ -194,7 +264,10 @@ mod tests {
         let rep = soc.run_program(0, &kernel(1000), 1_000_000);
         assert_eq!(rep.exit_code, Some(0));
         assert!(rep.retired > 4000);
-        assert!(rep.cycles > rep.retired, "single-issue cannot exceed IPC 1 on this kernel");
+        assert!(
+            rep.cycles > rep.retired,
+            "single-issue cannot exceed IPC 1 on this kernel"
+        );
         assert!(rep.seconds > 0.0);
     }
 
@@ -235,6 +308,49 @@ mod tests {
         let rep = soc.run_program(0, &kernel(100), 1_000_000);
         assert!(rep.mem_stats.l1i_accesses > 0);
         assert_eq!(rep.platform, "MILK-V Sim Model");
+    }
+
+    #[test]
+    fn telemetry_export_has_nonzero_counters_timeline_and_trace() {
+        use bsim_telemetry::TelemetryConfig;
+        let tcfg = TelemetryConfig {
+            enabled: true,
+            sample_interval_cycles: 500,
+            trace_capacity: 64,
+            trace_sample_period: 1,
+        };
+        let mut soc = Soc::new(configs::rocket1(1).with_telemetry(tcfg));
+        let rep = soc.run_program(0, &kernel(1000), 1_000_000);
+        let snap = rep.telemetry.expect("enabled telemetry exports a snapshot");
+        assert!(snap.counter("tile0.retired").unwrap_or(0) > 0);
+        assert!(snap.counter("tile0.branch.lookups").unwrap_or(0) > 0);
+        assert!(snap.counter("mem.l1i.accesses").unwrap_or(0) > 0);
+        assert_eq!(snap.counter("soc.cycles"), Some(rep.cycles));
+        assert!(
+            !snap.timeline.is_empty(),
+            "sampler should fire within {} cycles",
+            rep.cycles
+        );
+        assert_eq!(snap.trace.len(), 64, "period-1 trace fills its ring");
+        assert!(snap.to_json().contains("tile0.retired"));
+    }
+
+    #[test]
+    fn disabled_telemetry_is_absent_and_cycle_neutral() {
+        use bsim_telemetry::TelemetryConfig;
+        let prog = kernel(800);
+        let mut off = Soc::new(configs::rocket1(1));
+        let mut on = Soc::new(configs::rocket1(1).with_telemetry(TelemetryConfig::full()));
+        let ro = off.run_program(0, &prog, 10_000_000);
+        let rn = on.run_program(0, &prog, 10_000_000);
+        assert!(ro.telemetry.is_none());
+        assert!(rn.telemetry.is_some());
+        assert_eq!(
+            ro.cycles, rn.cycles,
+            "telemetry must not change simulated timing"
+        );
+        assert_eq!(ro.retired, rn.retired);
+        assert_eq!(ro.mem_stats, rn.mem_stats);
     }
 
     #[test]

@@ -66,12 +66,24 @@ fn simulation_flags_partition_the_catalog() {
     assert_eq!(sims.len(), 8);
     assert_eq!(hws.len(), 2);
     for s in &sims {
-        assert_eq!(s.simd_lanes, 1, "{}: FireSim targets run without vector units", s.name);
-        assert_eq!(s.hierarchy.prefetch_degree, 0, "{}: stock Rocket/BOOM lack prefetchers", s.name);
+        assert_eq!(
+            s.simd_lanes, 1,
+            "{}: FireSim targets run without vector units",
+            s.name
+        );
+        assert_eq!(
+            s.hierarchy.prefetch_degree, 0,
+            "{}: stock Rocket/BOOM lack prefetchers",
+            s.name
+        );
     }
     for h in &hws {
         assert!(h.simd_lanes > 1, "{}: silicon has RVV", h.name);
-        assert!(h.hierarchy.prefetch_degree > 0, "{}: silicon prefetches", h.name);
+        assert!(
+            h.hierarchy.prefetch_degree > 0,
+            "{}: silicon prefetches",
+            h.name
+        );
     }
 }
 

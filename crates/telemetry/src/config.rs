@@ -1,0 +1,72 @@
+//! Telemetry configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Controls what a simulation records out-of-band.
+///
+/// With `enabled: false` every telemetry call is a no-op against a single
+/// scratch cell, nothing is named, and exports are empty — the timing model
+/// itself never observes the difference (see the disabled-path tests in
+/// `bsim-soc`).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TelemetryConfig {
+    /// Master switch. Off ⇒ no counters, no timeline, no trace.
+    pub enabled: bool,
+    /// AutoCounter-style sampling window in target cycles; 0 disables the
+    /// timeline (cumulative counters are still recorded).
+    pub sample_interval_cycles: u64,
+    /// TracerV-lite ring-buffer capacity in entries; 0 disables tracing.
+    pub trace_capacity: usize,
+    /// Record every Nth committed instruction; 0 disables tracing.
+    pub trace_sample_period: u64,
+}
+
+impl TelemetryConfig {
+    /// Everything off (the default).
+    pub fn disabled() -> TelemetryConfig {
+        TelemetryConfig {
+            enabled: false,
+            sample_interval_cycles: 0,
+            trace_capacity: 0,
+            trace_sample_period: 0,
+        }
+    }
+
+    /// Cumulative counters plus a timeline sampled every 10k cycles.
+    pub fn counters() -> TelemetryConfig {
+        TelemetryConfig {
+            enabled: true,
+            sample_interval_cycles: 10_000,
+            trace_capacity: 0,
+            trace_sample_period: 0,
+        }
+    }
+
+    /// Counters, timeline, and a sampled committed-instruction trace.
+    pub fn full() -> TelemetryConfig {
+        TelemetryConfig {
+            enabled: true,
+            sample_interval_cycles: 10_000,
+            trace_capacity: 4096,
+            trace_sample_period: 64,
+        }
+    }
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> TelemetryConfig {
+        TelemetryConfig::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_disabled() {
+        let cfg = TelemetryConfig::default();
+        assert!(!cfg.enabled);
+        assert_eq!(cfg, TelemetryConfig::disabled());
+    }
+}

@@ -1,0 +1,124 @@
+//! TracerV-lite: a sampled committed-instruction trace ring buffer.
+//!
+//! FireSim's TracerV streams the PC of every committed instruction off
+//! the FPGA out-of-band. We keep the spirit at simulation speed: the
+//! retire stage calls [`TraceRing::record`] for every committed µop, the
+//! ring keeps every Nth one (PC, opcode class, retire cycle), and old
+//! entries are overwritten once the capacity wraps.
+
+use serde::{Deserialize, Serialize};
+
+/// One sampled committed instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// Program counter of the committed µop.
+    pub pc: u64,
+    /// Opcode class (the `OpClass` discriminant, kept as a raw `u8` so the
+    /// telemetry crate stays independent of `bsim-isa`).
+    pub op_class: u8,
+    /// Target cycle at which the µop retired.
+    pub retire_cycle: u64,
+}
+
+/// Fixed-capacity ring buffer keeping every Nth committed instruction.
+#[derive(Clone, Debug)]
+pub struct TraceRing {
+    capacity: usize,
+    period: u64,
+    seen: u64,
+    head: usize,
+    entries: Vec<TraceEntry>,
+}
+
+impl TraceRing {
+    /// `capacity == 0` or `period == 0` disables the trace.
+    pub fn new(capacity: usize, period: u64) -> TraceRing {
+        TraceRing {
+            capacity,
+            period,
+            seen: 0,
+            head: 0,
+            entries: Vec::new(),
+        }
+    }
+
+    /// A disabled ring (records nothing).
+    pub fn off() -> TraceRing {
+        TraceRing::new(0, 0)
+    }
+
+    /// Whether this ring records anything.
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0 && self.period > 0
+    }
+
+    /// Total committed instructions observed (recorded or not).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Records one committed µop; keeps every `period`-th one.
+    #[inline]
+    pub fn record(&mut self, pc: u64, op_class: u8, retire_cycle: u64) {
+        if self.capacity == 0 || self.period == 0 {
+            return;
+        }
+        if self.seen.is_multiple_of(self.period) {
+            let e = TraceEntry {
+                pc,
+                op_class,
+                retire_cycle,
+            };
+            if self.entries.len() < self.capacity {
+                self.entries.push(e);
+            } else {
+                self.entries[self.head] = e;
+                self.head = (self.head + 1) % self.capacity;
+            }
+        }
+        self.seen += 1;
+    }
+
+    /// Entries in retirement order (oldest first).
+    pub fn entries(&self) -> Vec<TraceEntry> {
+        let mut out = Vec::with_capacity(self.entries.len());
+        out.extend_from_slice(&self.entries[self.head..]);
+        out.extend_from_slice(&self.entries[..self.head]);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_every_nth() {
+        let mut r = TraceRing::new(16, 4);
+        for i in 0..12u64 {
+            r.record(0x1000 + i * 4, 0, i);
+        }
+        let pcs: Vec<u64> = r.entries().iter().map(|e| e.pc).collect();
+        assert_eq!(pcs, vec![0x1000, 0x1010, 0x1020]);
+        assert_eq!(r.seen(), 12);
+    }
+
+    #[test]
+    fn wraps_and_keeps_newest() {
+        let mut r = TraceRing::new(2, 1);
+        for i in 0..5u64 {
+            r.record(i, 0, i);
+        }
+        let pcs: Vec<u64> = r.entries().iter().map(|e| e.pc).collect();
+        assert_eq!(pcs, vec![3, 4]);
+    }
+
+    #[test]
+    fn disabled_ring_records_nothing() {
+        let mut r = TraceRing::off();
+        r.record(0x1000, 1, 5);
+        assert!(!r.enabled());
+        assert!(r.entries().is_empty());
+        assert_eq!(r.seen(), 0);
+    }
+}

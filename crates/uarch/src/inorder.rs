@@ -137,16 +137,22 @@ impl TimingCore for InOrderCore {
         let line = uop.pc & LINE_MASK;
         if line != self.cur_fetch_line || self.refetch {
             let out = mem.access(core_id, uop.pc, AccessKind::Ifetch, self.cycle);
-            let extra = out.complete_at.saturating_sub(self.cycle + self.l1i_hit_latency);
+            let extra = out
+                .complete_at
+                .saturating_sub(self.cycle + self.l1i_hit_latency);
             if extra > 0 {
                 if std::env::var_os("BSIM_DEBUG_FETCH").is_some() && extra > 1000 {
-                    eprintln!("ifetch stall: pc={:#x} cycle={} complete={} extra={}", uop.pc, self.cycle, out.complete_at, extra);
+                    eprintln!(
+                        "ifetch stall: pc={:#x} cycle={} complete={} extra={}",
+                        uop.pc, self.cycle, out.complete_at, extra
+                    );
                 }
                 self.stats.fetch_stall_cycles += extra;
                 self.stall_to(self.cycle + extra);
             }
             self.cur_fetch_line = line;
             self.refetch = false;
+            self.stats.fetch_lines += 1;
         }
 
         // ---- issue slot ----------------------------------------------
@@ -200,6 +206,10 @@ impl TimingCore for InOrderCore {
                 }
                 let out = mem.access(core_id, addr, AccessKind::Store, self.cycle + 1 + tlb_extra);
                 self.store_buffer.push(out.complete_at);
+                self.stats.lsq_high_water = self
+                    .stats
+                    .lsq_high_water
+                    .max(self.store_buffer.len() as u64);
                 self.stats.stores += 1;
             }
             _ => {
@@ -214,10 +224,13 @@ impl TimingCore for InOrderCore {
 
         // ---- control flow ------------------------------------------------
         if let Some((class, taken)) = uop.branch {
+            self.stats.branch_lookups += 1;
             if class == crate::uop::BranchClass::Conditional {
                 self.stats.branches += 1;
             }
-            let correct = self.predictor.predict_and_update(uop.pc, class, taken, uop.next_pc);
+            let correct = self
+                .predictor
+                .predict_and_update(uop.pc, class, taken, uop.next_pc);
             if !correct {
                 self.stats.mispredicts += 1;
                 self.cycle = issue + self.cfg.mispredict_penalty();
@@ -271,10 +284,34 @@ mod tests {
     fn mem(cores: usize) -> MemoryHierarchy {
         MemoryHierarchy::new(HierarchyConfig {
             cores,
-            l1i: CacheConfig { sets: 64, ways: 8, line_bytes: 64, banks: 1, hit_latency: 1, mshrs: 1 },
-            l1d: CacheConfig { sets: 64, ways: 8, line_bytes: 64, banks: 1, hit_latency: 2, mshrs: 2 },
-            l2: CacheConfig { sets: 1024, ways: 8, line_bytes: 64, banks: 1, hit_latency: 12, mshrs: 8 },
-            bus: BusConfig { width_bits: 64, latency: 4 },
+            l1i: CacheConfig {
+                sets: 64,
+                ways: 8,
+                line_bytes: 64,
+                banks: 1,
+                hit_latency: 1,
+                mshrs: 1,
+            },
+            l1d: CacheConfig {
+                sets: 64,
+                ways: 8,
+                line_bytes: 64,
+                banks: 1,
+                hit_latency: 2,
+                mshrs: 2,
+            },
+            l2: CacheConfig {
+                sets: 1024,
+                ways: 8,
+                line_bytes: 64,
+                banks: 1,
+                hit_latency: 12,
+                mshrs: 8,
+            },
+            bus: BusConfig {
+                width_bits: 64,
+                latency: 4,
+            },
             llc: None,
             dram: DramConfig::ddr3_2000(1),
             core_freq_ghz: 1.6,
@@ -322,7 +359,11 @@ mod tests {
             (single as f64) > (dual as f64) * 1.5,
             "dual issue should be ~2x: {single} vs {dual}"
         );
-        assert!(s.ipc() > 1.2, "dual-issue IPC should exceed 1, got {}", s.ipc());
+        assert!(
+            s.ipc() > 1.2,
+            "dual-issue IPC should exceed 1, got {}",
+            s.ipc()
+        );
     }
 
     #[test]
@@ -365,7 +406,10 @@ mod tests {
         deep_cfg.pipeline_depth = 8;
         let (deep, s8) = run(deep_cfg, &uops);
         assert!(s5.mispredicts > 100, "random branches must mispredict");
-        assert_eq!(s5.mispredicts, s8.mispredicts, "same predictor, same outcome");
+        assert_eq!(
+            s5.mispredicts, s8.mispredicts,
+            "same predictor, same outcome"
+        );
         assert!(deep > shallow, "deeper pipeline pays more per mispredict");
     }
 
@@ -380,7 +424,10 @@ mod tests {
         big.store_buffer = 16;
         let (t_small, _) = run(small, &stores);
         let (t_big, _) = run(big, &stores);
-        assert!(t_small > t_big, "bigger store buffer must help: {t_small} vs {t_big}");
+        assert!(
+            t_small > t_big,
+            "bigger store buffer must help: {t_small} vs {t_big}"
+        );
     }
 
     #[test]
@@ -399,7 +446,10 @@ mod tests {
             .collect();
         let (cycles, _) = run(InOrderConfig::rocket(), &divs);
         let div_lat = OpLatencies::rocket().int_div as u64;
-        assert!(cycles >= 100 * div_lat, "unpipelined divider must serialize");
+        assert!(
+            cycles >= 100 * div_lat,
+            "unpipelined divider must serialize"
+        );
     }
 
     #[test]

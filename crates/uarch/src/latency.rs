@@ -71,7 +71,10 @@ impl OpLatencies {
 
     /// True when the unit blocks until the result is produced.
     pub fn unpipelined(class: OpClass) -> bool {
-        matches!(class, OpClass::IntDiv | OpClass::FpDiv | OpClass::FpTranscendental)
+        matches!(
+            class,
+            OpClass::IntDiv | OpClass::FpDiv | OpClass::FpTranscendental
+        )
     }
 }
 

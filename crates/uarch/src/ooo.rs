@@ -198,8 +198,11 @@ impl OooCore {
 
     /// Grabs the earliest-free unit from `units`, at or after `t`.
     fn acquire(units: &mut [u64], t: u64) -> u64 {
-        let (idx, &free) =
-            units.iter().enumerate().min_by_key(|(_, &f)| f).expect("at least one unit");
+        let (idx, &free) = units
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &f)| f)
+            .expect("at least one unit");
         let start = t.max(free);
         units[idx] = start + 1; // one issue slot per cycle per unit
         start
@@ -237,13 +240,16 @@ impl TimingCore for OooCore {
         let line = uop.pc & LINE_MASK;
         if line != self.cur_fetch_line {
             let out = mem.access(core_id, uop.pc, AccessKind::Ifetch, self.fetch_time);
-            let extra = out.complete_at.saturating_sub(self.fetch_time + self.l1i_hit_latency);
+            let extra = out
+                .complete_at
+                .saturating_sub(self.fetch_time + self.l1i_hit_latency);
             if extra > 0 {
                 self.stats.fetch_stall_cycles += extra;
                 self.fetch_time += extra;
                 self.dispatched_this_cycle = 0;
             }
             self.cur_fetch_line = line;
+            self.stats.fetch_lines += 1;
         }
         if self.dispatched_this_cycle >= self.cfg.decode_width {
             self.fetch_time += 1;
@@ -316,6 +322,10 @@ impl TimingCore for OooCore {
                 let issue = Self::acquire(&mut self.mem_free, admitted);
                 let out = mem.access(core_id, addr, AccessKind::Load, issue + tlb_extra);
                 self.ldq.push_back(out.complete_at);
+                self.stats.lsq_high_water = self
+                    .stats
+                    .lsq_high_water
+                    .max((self.ldq.len() + self.stq.len()) as u64);
                 self.stats.loads += 1;
                 (out.complete_at, issue)
             }
@@ -328,6 +338,10 @@ impl TimingCore for OooCore {
                 let issue = Self::acquire(&mut self.mem_free, admitted);
                 let out = mem.access(core_id, addr, AccessKind::Store, issue + tlb_extra);
                 self.stq.push_back(out.complete_at);
+                self.stats.lsq_high_water = self
+                    .stats
+                    .lsq_high_water
+                    .max((self.ldq.len() + self.stq.len()) as u64);
                 self.stats.stores += 1;
                 // A store completes (for ROB purposes) once address+data are
                 // ready; the write drains from the STQ in the background.
@@ -336,7 +350,9 @@ impl TimingCore for OooCore {
             class => {
                 let latency = self.cfg.latencies.of(class) as u64;
                 let units: &mut [u64] = match class {
-                    OpClass::FpAlu | OpClass::FpMul | OpClass::FpDiv
+                    OpClass::FpAlu
+                    | OpClass::FpMul
+                    | OpClass::FpDiv
                     | OpClass::FpTranscendental => &mut self.fp_free,
                     _ => &mut self.int_free,
                 };
@@ -362,14 +378,18 @@ impl TimingCore for OooCore {
         }
         self.last_retire = retire;
         self.rob.push_back(retire);
+        self.stats.rob_high_water = self.stats.rob_high_water.max(self.rob.len() as u64);
 
         // ---- control flow ----------------------------------------------------
         if let Some((class, taken)) = uop.branch {
+            self.stats.branch_lookups += 1;
             if class == crate::uop::BranchClass::Conditional {
                 self.stats.branches += 1;
             }
             self.branches_in_flight.push_back(complete);
-            let correct = self.predictor.predict_and_update(uop.pc, class, taken, uop.next_pc);
+            let correct = self
+                .predictor
+                .predict_and_update(uop.pc, class, taken, uop.next_pc);
             if !correct {
                 self.stats.mispredicts += 1;
                 // Wrong-path fetch until resolution; refill after.
@@ -389,7 +409,11 @@ impl TimingCore for OooCore {
     fn finish(&mut self) -> u64 {
         let rob_drain = self.rob.back().copied().unwrap_or(0);
         let stq_drain = self.stq.iter().copied().max().unwrap_or(0);
-        let t = self.fetch_time.max(rob_drain).max(stq_drain).max(self.last_retire);
+        let t = self
+            .fetch_time
+            .max(rob_drain)
+            .max(stq_drain)
+            .max(self.last_retire);
         self.fetch_time = t;
         self.stats.cycles = t;
         t
@@ -426,10 +450,34 @@ mod tests {
     fn mem() -> MemoryHierarchy {
         MemoryHierarchy::new(HierarchyConfig {
             cores: 1,
-            l1i: CacheConfig { sets: 128, ways: 8, line_bytes: 64, banks: 1, hit_latency: 1, mshrs: 2 },
-            l1d: CacheConfig { sets: 128, ways: 8, line_bytes: 64, banks: 4, hit_latency: 3, mshrs: 8 },
-            l2: CacheConfig { sets: 2048, ways: 8, line_bytes: 64, banks: 4, hit_latency: 14, mshrs: 16 },
-            bus: BusConfig { width_bits: 128, latency: 4 },
+            l1i: CacheConfig {
+                sets: 128,
+                ways: 8,
+                line_bytes: 64,
+                banks: 1,
+                hit_latency: 1,
+                mshrs: 2,
+            },
+            l1d: CacheConfig {
+                sets: 128,
+                ways: 8,
+                line_bytes: 64,
+                banks: 4,
+                hit_latency: 3,
+                mshrs: 8,
+            },
+            l2: CacheConfig {
+                sets: 2048,
+                ways: 8,
+                line_bytes: 64,
+                banks: 4,
+                hit_latency: 14,
+                mshrs: 16,
+            },
+            bus: BusConfig {
+                width_bits: 128,
+                latency: 4,
+            },
             llc: None,
             dram: DramConfig::ddr3_2000(4),
             core_freq_ghz: 2.0,
@@ -450,13 +498,25 @@ mod tests {
 
     fn independent_alu(n: usize) -> Vec<MicroOp> {
         (0..n)
-            .map(|i| MicroOp::alu(0x1_0000 + 4 * (i as u64 % 16), Some((5 + i % 16) as u8), [None; 3]))
+            .map(|i| {
+                MicroOp::alu(
+                    0x1_0000 + 4 * (i as u64 % 16),
+                    Some((5 + i % 16) as u8),
+                    [None; 3],
+                )
+            })
             .collect()
     }
 
     fn dependent_alu(n: usize) -> Vec<MicroOp> {
         (0..n)
-            .map(|i| MicroOp::alu(0x1_0000 + 4 * (i as u64 % 16), Some(5), [Some(5), None, None]))
+            .map(|i| {
+                MicroOp::alu(
+                    0x1_0000 + 4 * (i as u64 % 16),
+                    Some(5),
+                    [Some(5), None, None],
+                )
+            })
             .collect()
     }
 
@@ -465,8 +525,16 @@ mod tests {
         let uops = independent_alu(6000);
         let (small, ss) = run(OooConfig::small_boom(), &uops);
         let (large, ls) = run(OooConfig::large_boom(), &uops);
-        assert!(ss.ipc() <= 1.05, "decode-1 caps IPC at ~1, got {}", ss.ipc());
-        assert!(ls.ipc() > 2.0, "decode-3 should reach IPC > 2, got {}", ls.ipc());
+        assert!(
+            ss.ipc() <= 1.05,
+            "decode-1 caps IPC at ~1, got {}",
+            ss.ipc()
+        );
+        assert!(
+            ls.ipc() > 2.0,
+            "decode-3 should reach IPC > 2, got {}",
+            ls.ipc()
+        );
         assert!(small > large * 2);
     }
 
@@ -486,7 +554,14 @@ mod tests {
     fn rob_size_bounds_memory_level_parallelism() {
         // Pointer-chase-free independent DRAM misses, far apart.
         let loads: Vec<MicroOp> = (0..400u64)
-            .map(|i| MicroOp::load(0x1_0000 + 4 * (i % 16), 0x100_0000 + i * 65536, Some(5), None))
+            .map(|i| {
+                MicroOp::load(
+                    0x1_0000 + 4 * (i % 16),
+                    0x100_0000 + i * 65536,
+                    Some(5),
+                    None,
+                )
+            })
             .collect();
         let mut tiny = OooConfig::large_boom();
         tiny.rob = 8;
@@ -526,7 +601,11 @@ mod tests {
             })
             .collect();
         let (_, s) = run(OooConfig::large_boom(), &uops);
-        assert!(s.mispredicts > 500, "random branches must mispredict, got {}", s.mispredicts);
+        assert!(
+            s.mispredicts > 500,
+            "random branches must mispredict, got {}",
+            s.mispredicts
+        );
         assert!(s.cycles > 3000, "mispredicts must cost cycles");
     }
 

@@ -40,7 +40,10 @@ struct Ras {
 
 impl Ras {
     fn new(depth: usize) -> Ras {
-        Ras { stack: Vec::with_capacity(depth), depth }
+        Ras {
+            stack: Vec::with_capacity(depth),
+            depth,
+        }
     }
     fn push(&mut self, ret: u64) {
         if self.stack.len() == self.depth {
@@ -225,7 +228,14 @@ impl BoomPredictor {
         (self.base[bi] >= 2, None, bi)
     }
 
-    fn update_dir(&mut self, pc: u64, provider: Option<usize>, idx: usize, taken: bool, correct: bool) {
+    fn update_dir(
+        &mut self,
+        pc: u64,
+        provider: Option<usize>,
+        idx: usize,
+        taken: bool,
+        correct: bool,
+    ) {
         match provider {
             Some(ti) => {
                 let c = &mut self.tables[ti].ctrs[idx];
@@ -353,7 +363,10 @@ mod tests {
         let outcomes: Vec<bool> = (0..7000).map(|i| pat[i % pat.len()]).collect();
         let r = accuracy(&mut RocketPredictor::new(), &outcomes);
         let b = accuracy(&mut BoomPredictor::new(), &outcomes);
-        assert!(b > r, "TAGE ({b}) should beat gshare ({r}) on long patterns");
+        assert!(
+            b > r,
+            "TAGE ({b}) should beat gshare ({r}) on long patterns"
+        );
         assert!(b > 0.9);
     }
 
@@ -379,8 +392,14 @@ mod tests {
                 correct += 1;
             }
         }
-        assert!(correct <= 6, "only the RAS depth can be predicted, got {correct}");
-        assert!(correct >= 5, "the top of the stack should predict, got {correct}");
+        assert!(
+            correct <= 6,
+            "only the RAS depth can be predicted, got {correct}"
+        );
+        assert!(
+            correct >= 5,
+            "the top of the stack should predict, got {correct}"
+        );
     }
 
     #[test]

@@ -22,12 +22,22 @@ pub struct TlbConfig {
 impl TlbConfig {
     /// The paper's Rocket model: 32-entry fully associative L1 only.
     pub fn rocket() -> TlbConfig {
-        TlbConfig { l1_entries: 32, l2_entries: None, l2_latency: 8, walk_latency: 40 }
+        TlbConfig {
+            l1_entries: 32,
+            l2_entries: None,
+            l2_latency: 8,
+            walk_latency: 40,
+        }
     }
 
     /// The paper's BOOM model: 32-entry L1 + 1024-entry direct-mapped L2.
     pub fn boom() -> TlbConfig {
-        TlbConfig { l1_entries: 32, l2_entries: Some(1024), l2_latency: 8, walk_latency: 40 }
+        TlbConfig {
+            l1_entries: 32,
+            l2_entries: Some(1024),
+            l2_latency: 8,
+            walk_latency: 40,
+        }
     }
 }
 
@@ -90,8 +100,12 @@ impl Tlb {
         }
         // Refill L1 (LRU).
         if self.l1.len() == self.cfg.l1_entries {
-            let (idx, _) =
-                self.l1.iter().enumerate().min_by_key(|(_, e)| e.1).expect("non-empty");
+            let (idx, _) = self
+                .l1
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.1)
+                .expect("non-empty");
             self.l1.swap_remove(idx);
         }
         self.l1.push((vpn, now));
@@ -145,7 +159,10 @@ mod tests {
                 }
             }
         }
-        assert!(boom_cost < rocket_cost, "L2 TLB should help: {boom_cost} vs {rocket_cost}");
+        assert!(
+            boom_cost < rocket_cost,
+            "L2 TLB should help: {boom_cost} vs {rocket_cost}"
+        );
     }
 
     #[test]

@@ -8,10 +8,34 @@ use proptest::prelude::*;
 fn mem(cores: usize) -> MemoryHierarchy {
     MemoryHierarchy::new(HierarchyConfig {
         cores,
-        l1i: CacheConfig { sets: 64, ways: 8, line_bytes: 64, banks: 1, hit_latency: 1, mshrs: 2 },
-        l1d: CacheConfig { sets: 64, ways: 8, line_bytes: 64, banks: 2, hit_latency: 2, mshrs: 4 },
-        l2: CacheConfig { sets: 512, ways: 8, line_bytes: 64, banks: 2, hit_latency: 12, mshrs: 8 },
-        bus: BusConfig { width_bits: 64, latency: 4 },
+        l1i: CacheConfig {
+            sets: 64,
+            ways: 8,
+            line_bytes: 64,
+            banks: 1,
+            hit_latency: 1,
+            mshrs: 2,
+        },
+        l1d: CacheConfig {
+            sets: 64,
+            ways: 8,
+            line_bytes: 64,
+            banks: 2,
+            hit_latency: 2,
+            mshrs: 4,
+        },
+        l2: CacheConfig {
+            sets: 512,
+            ways: 8,
+            line_bytes: 64,
+            banks: 2,
+            hit_latency: 12,
+            mshrs: 8,
+        },
+        bus: BusConfig {
+            width_bits: 64,
+            latency: 4,
+        },
         llc: None,
         dram: DramConfig::ddr3_2000(1),
         core_freq_ghz: 1.6,

@@ -32,7 +32,13 @@ pub struct ChainConfig {
 
 impl Default for ChainConfig {
     fn default() -> ChainConfig {
-        ChainConfig { cells: 12, chain_len: 12, steps: 10, density: 0.85, dt: 0.003 }
+        ChainConfig {
+            cells: 12,
+            chain_len: 12,
+            steps: 10,
+            density: 0.85,
+            dt: 0.003,
+        }
     }
 }
 
@@ -207,8 +213,8 @@ pub fn run(soc: SocConfig, ranks: usize, cfg: ChainConfig, net: NetConfig) -> Ch
             if ranks > 1 {
                 let mut block = Vec::with_capacity((hi - lo) * 24);
                 for p in &sys.pos[lo..hi] {
-                    for k in 0..3 {
-                        block.extend_from_slice(&p[k].to_le_bytes());
+                    for c in p {
+                        block.extend_from_slice(&c.to_le_bytes());
                     }
                 }
                 let sends: Vec<Vec<u8>> = (0..ranks)
@@ -235,7 +241,13 @@ pub fn run(soc: SocConfig, ranks: usize, cfg: ChainConfig, net: NetConfig) -> Ch
     });
 
     let (initial_energy, final_energy, max_bond) = out.into_inner().unwrap();
-    ChainResult { report, initial_energy, final_energy, atoms, max_bond }
+    ChainResult {
+        report,
+        initial_energy,
+        final_energy,
+        atoms,
+        max_bond,
+    }
 }
 
 #[cfg(test)]
@@ -244,22 +256,35 @@ mod tests {
     use bsim_soc::configs;
 
     fn tiny() -> ChainConfig {
-        ChainConfig { cells: 6, chain_len: 6, steps: 5, ..ChainConfig::default() }
+        ChainConfig {
+            cells: 6,
+            chain_len: 6,
+            steps: 5,
+            ..ChainConfig::default()
+        }
     }
 
     #[test]
     fn bonds_stay_below_fene_maximum() {
         let r = run(configs::rocket1(1), 1, tiny(), NetConfig::shared_memory());
         assert!(r.max_bond > 0.0, "bonds must exist");
-        assert!(r.max_bond < FENE_R0, "FENE must cap extension: {}", r.max_bond);
+        assert!(
+            r.max_bond < FENE_R0,
+            "FENE must cap extension: {}",
+            r.max_bond
+        );
     }
 
     #[test]
     fn chain_energy_bounded() {
         let r = run(configs::rocket1(1), 1, tiny(), NetConfig::shared_memory());
-        let drift = (r.final_energy - r.initial_energy).abs()
-            / r.initial_energy.abs().max(1.0);
-        assert!(drift < 0.25, "chain drift: {} -> {}", r.initial_energy, r.final_energy);
+        let drift = (r.final_energy - r.initial_energy).abs() / r.initial_energy.abs().max(1.0);
+        assert!(
+            drift < 0.25,
+            "chain drift: {} -> {}",
+            r.initial_energy,
+            r.final_energy
+        );
     }
 
     #[test]
@@ -278,12 +303,35 @@ mod tests {
     fn chain_is_cheaper_than_lj_per_step() {
         use crate::md::lj::{self, LjConfig};
         // Compare at matched atom counts: 4*5^3 = 500 vs 8^3 = 512.
-        let lj_cfg = LjConfig { cells: 5, steps: 3, ..LjConfig::default() };
-        let ch_cfg = ChainConfig { cells: 8, chain_len: 8, steps: 3, ..ChainConfig::default() };
-        let t_lj =
-            lj::run(configs::large_boom(1), 1, lj_cfg, NetConfig::shared_memory()).report.run.cycles;
-        let t_ch =
-            run(configs::large_boom(1), 1, ch_cfg, NetConfig::shared_memory()).report.run.cycles;
+        let lj_cfg = LjConfig {
+            cells: 5,
+            steps: 3,
+            ..LjConfig::default()
+        };
+        let ch_cfg = ChainConfig {
+            cells: 8,
+            chain_len: 8,
+            steps: 3,
+            ..ChainConfig::default()
+        };
+        let t_lj = lj::run(
+            configs::large_boom(1),
+            1,
+            lj_cfg,
+            NetConfig::shared_memory(),
+        )
+        .report
+        .run
+        .cycles;
+        let t_ch = run(
+            configs::large_boom(1),
+            1,
+            ch_cfg,
+            NetConfig::shared_memory(),
+        )
+        .report
+        .run
+        .cycles;
         assert!(
             t_ch < t_lj,
             "the short WCA cutoff must make Chain cheaper: {t_ch} vs {t_lj}"

@@ -32,14 +32,14 @@ impl System {
     #[inline]
     pub fn delta(&self, i: usize, j: usize) -> [f64; 3] {
         let mut d = [0.0; 3];
-        for k in 0..3 {
+        for (k, dk) in d.iter_mut().enumerate() {
             let mut x = self.pos[j][k] - self.pos[i][k];
             if x > self.box_len * 0.5 {
                 x -= self.box_len;
             } else if x < -self.box_len * 0.5 {
                 x += self.box_len;
             }
-            d[k] = x;
+            *dk = x;
         }
         d
     }
@@ -72,7 +72,12 @@ pub fn fcc_lattice(cells: usize, density: f64) -> System {
     let natoms = 4 * cells * cells * cells;
     let box_len = (natoms as f64 / density).cbrt();
     let a = box_len / cells as f64;
-    let offsets = [[0.0, 0.0, 0.0], [0.5, 0.5, 0.0], [0.5, 0.0, 0.5], [0.0, 0.5, 0.5]];
+    let offsets = [
+        [0.0, 0.0, 0.0],
+        [0.5, 0.5, 0.0],
+        [0.5, 0.0, 0.5],
+        [0.0, 0.5, 0.5],
+    ];
     let mut pos = Vec::with_capacity(natoms);
     for z in 0..cells {
         for y in 0..cells {
@@ -89,7 +94,9 @@ pub fn fcc_lattice(cells: usize, density: f64) -> System {
     }
     let mut state = 0x5EED_F00Du64;
     let mut unit = || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
     };
     let mut vel: Vec<[f64; 3]> = (0..natoms).map(|_| [unit(), unit(), unit()]).collect();
@@ -105,7 +112,12 @@ pub fn fcc_lattice(cells: usize, density: f64) -> System {
             v[k] -= mean[k];
         }
     }
-    System { force: vec![[0.0; 3]; natoms], vel, pos, box_len }
+    System {
+        force: vec![[0.0; 3]; natoms],
+        vel,
+        pos,
+        box_len,
+    }
 }
 
 /// A link-cell neighbor structure over the periodic box.
@@ -178,13 +190,19 @@ pub fn sc_lattice(n: usize, density: f64) -> System {
     for z in 0..n {
         for y in 0..n {
             for x in 0..n {
-                pos.push([(x as f64 + 0.5) * a, (y as f64 + 0.5) * a, (z as f64 + 0.5) * a]);
+                pos.push([
+                    (x as f64 + 0.5) * a,
+                    (y as f64 + 0.5) * a,
+                    (z as f64 + 0.5) * a,
+                ]);
             }
         }
     }
     let mut state = 0xC4A1_0409u64;
     let mut unit = || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5) * 0.2
     };
     let mut vel: Vec<[f64; 3]> = (0..natoms).map(|_| [unit(), unit(), unit()]).collect();
@@ -199,7 +217,12 @@ pub fn sc_lattice(n: usize, density: f64) -> System {
             v[k] -= mean[k];
         }
     }
-    System { force: vec![[0.0; 3]; natoms], vel, pos, box_len }
+    System {
+        force: vec![[0.0; 3]; natoms],
+        vel,
+        pos,
+        box_len,
+    }
 }
 
 /// MD trace addresses (per rank).
@@ -216,7 +239,11 @@ pub struct MdAddrs {
 impl MdAddrs {
     /// Standard layout inside a rank's segment.
     pub fn new(base: u64) -> MdAddrs {
-        MdAddrs { pos: base, force: base + 0x0100_0000, cells: base + 0x0200_0000 }
+        MdAddrs {
+            pos: base,
+            force: base + 0x0100_0000,
+            cells: base + 0x0200_0000,
+        }
     }
 }
 
@@ -268,8 +295,8 @@ mod tests {
     fn initial_momentum_is_zero() {
         let s = fcc_lattice(4, 0.8442);
         let p = s.momentum();
-        for k in 0..3 {
-            assert!(p[k].abs() < 1e-9, "momentum {k} = {}", p[k]);
+        for (k, pk) in p.iter().enumerate() {
+            assert!(pk.abs() < 1e-9, "momentum {k} = {pk}");
         }
     }
 
@@ -279,8 +306,8 @@ mod tests {
         for i in 0..s.len().min(50) {
             for j in 0..s.len().min(50) {
                 let d = s.delta(i, j);
-                for k in 0..3 {
-                    assert!(d[k].abs() <= s.box_len * 0.5 + 1e-12);
+                for dk in &d {
+                    assert!(dk.abs() <= s.box_len * 0.5 + 1e-12);
                 }
             }
         }

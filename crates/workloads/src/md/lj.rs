@@ -30,7 +30,12 @@ pub struct LjConfig {
 
 impl Default for LjConfig {
     fn default() -> LjConfig {
-        LjConfig { cells: 5, steps: 8, density: 0.8442, dt: 0.005 }
+        LjConfig {
+            cells: 5,
+            steps: 8,
+            density: 0.8442,
+            dt: 0.005,
+        }
     }
 }
 
@@ -175,8 +180,8 @@ pub fn run(soc: SocConfig, ranks: usize, cfg: LjConfig, net: NetConfig) -> LjRes
             if ranks > 1 {
                 let mut block = Vec::with_capacity((hi - lo) * 24);
                 for p in &sys.pos[lo..hi] {
-                    for k in 0..3 {
-                        block.extend_from_slice(&p[k].to_le_bytes());
+                    for c in p {
+                        block.extend_from_slice(&c.to_le_bytes());
                     }
                 }
                 let sends: Vec<Vec<u8>> = (0..ranks)
@@ -201,7 +206,12 @@ pub fn run(soc: SocConfig, ranks: usize, cfg: LjConfig, net: NetConfig) -> LjRes
     });
 
     let (initial_energy, final_energy) = out.into_inner().unwrap();
-    LjResult { report, initial_energy, final_energy, atoms }
+    LjResult {
+        report,
+        initial_energy,
+        final_energy,
+        atoms,
+    }
 }
 
 #[cfg(test)]
@@ -211,25 +221,45 @@ mod tests {
 
     #[test]
     fn energy_is_approximately_conserved() {
-        let cfg = LjConfig { cells: 3, steps: 6, ..LjConfig::default() };
+        let cfg = LjConfig {
+            cells: 3,
+            steps: 6,
+            ..LjConfig::default()
+        };
         let r = run(configs::rocket1(1), 1, cfg, NetConfig::shared_memory());
-        let drift =
-            (r.final_energy - r.initial_energy).abs() / r.initial_energy.abs().max(1.0);
-        assert!(drift < 0.05, "NVE drift too large: {} -> {}", r.initial_energy, r.final_energy);
+        let drift = (r.final_energy - r.initial_energy).abs() / r.initial_energy.abs().max(1.0);
+        assert!(
+            drift < 0.05,
+            "NVE drift too large: {} -> {}",
+            r.initial_energy,
+            r.final_energy
+        );
         assert_eq!(r.atoms, 108);
     }
 
     #[test]
     fn lattice_energy_is_negative() {
         // A near-equilibrium LJ crystal is strongly bound.
-        let cfg = LjConfig { cells: 3, steps: 2, ..LjConfig::default() };
+        let cfg = LjConfig {
+            cells: 3,
+            steps: 2,
+            ..LjConfig::default()
+        };
         let r = run(configs::rocket1(1), 1, cfg, NetConfig::shared_memory());
-        assert!(r.initial_energy < 0.0, "LJ crystal must be bound, got {}", r.initial_energy);
+        assert!(
+            r.initial_energy < 0.0,
+            "LJ crystal must be bound, got {}",
+            r.initial_energy
+        );
     }
 
     #[test]
     fn multirank_energies_match_single_rank() {
-        let cfg = LjConfig { cells: 3, steps: 4, ..LjConfig::default() };
+        let cfg = LjConfig {
+            cells: 3,
+            steps: 4,
+            ..LjConfig::default()
+        };
         let a = run(configs::rocket1(1), 1, cfg, NetConfig::shared_memory());
         let b = run(configs::rocket1(2), 2, cfg, NetConfig::shared_memory());
         assert!(
@@ -242,9 +272,19 @@ mod tests {
 
     #[test]
     fn lj_scales_with_ranks() {
-        let cfg = LjConfig { cells: 4, steps: 3, ..LjConfig::default() };
-        let t1 = run(configs::large_boom(1), 1, cfg, NetConfig::shared_memory()).report.run.cycles;
-        let t4 = run(configs::large_boom(4), 4, cfg, NetConfig::shared_memory()).report.run.cycles;
+        let cfg = LjConfig {
+            cells: 4,
+            steps: 3,
+            ..LjConfig::default()
+        };
+        let t1 = run(configs::large_boom(1), 1, cfg, NetConfig::shared_memory())
+            .report
+            .run
+            .cycles;
+        let t4 = run(configs::large_boom(4), 4, cfg, NetConfig::shared_memory())
+            .report
+            .run
+            .cycles;
         assert!(
             (t1 as f64) > 1.8 * t4 as f64,
             "4 ranks should speed up the melt: {t1} vs {t4}"

@@ -111,7 +111,10 @@ pub fn ml2_bw_st(scale: u32) -> Program {
 
 /// ML2_BW_ldst — alternating loads and stores over the L2 region.
 pub fn ml2_bw_ldst(scale: u32) -> Program {
-    l2_stream_kernel(18_000 * scale as i64, [false, true, false, true, false, true, false, true])
+    l2_stream_kernel(
+        18_000 * scale as i64,
+        [false, true, false, true, false, true, false, true],
+    )
 }
 
 /// STL2 — repeated store passes over an L2-resident region.
@@ -121,7 +124,10 @@ pub fn stl2(scale: u32) -> Program {
 
 /// STL2b — mostly loads with an occasional store, L2 resident.
 pub fn stl2b(scale: u32) -> Program {
-    l2_stream_kernel(14_000 * scale as i64, [false, false, false, true, false, false, false, false])
+    l2_stream_kernel(
+        14_000 * scale as i64,
+        [false, false, false, true, false, false, false, false],
+    )
 }
 
 /// STc — repeated stores to one L1-resident cache line.
@@ -277,8 +283,16 @@ mod tests {
     fn ml2_misses_l1_hits_l2() {
         let rep = report(&ml2(1));
         let s = rep.mem_stats;
-        assert!(s.l1d_miss_rate() > 0.3, "ML2 must thrash L1, got {}", s.l1d_miss_rate());
-        assert!(s.l2_miss_rate() < 0.1, "ML2 must fit L2, got {}", s.l2_miss_rate());
+        assert!(
+            s.l1d_miss_rate() > 0.3,
+            "ML2 must thrash L1, got {}",
+            s.l1d_miss_rate()
+        );
+        assert!(
+            s.l2_miss_rate() < 0.1,
+            "ML2 must fit L2, got {}",
+            s.l2_miss_rate()
+        );
     }
 
     #[test]
@@ -286,7 +300,11 @@ mod tests {
         let rep = report(&mc(1));
         let s = rep.mem_stats;
         // 32 lines would easily fit the 512-line L1 if not for conflicts.
-        assert!(s.l1d_miss_rate() > 0.5, "MC miss rate {}", s.l1d_miss_rate());
+        assert!(
+            s.l1d_miss_rate() > 0.5,
+            "MC miss rate {}",
+            s.l1d_miss_rate()
+        );
         assert!(s.l2_miss_rate() < 0.1, "MC should still fit L2");
     }
 
@@ -322,6 +340,9 @@ mod tests {
     #[test]
     fn store_kernels_generate_writebacks() {
         let rep = report(&mcs(1));
-        assert!(rep.mem_stats.writebacks > 1000, "dirty conflict lines must write back");
+        assert!(
+            rep.mem_stats.writebacks > 1000,
+            "dirty conflict lines must write back"
+        );
     }
 }

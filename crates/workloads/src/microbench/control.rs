@@ -385,7 +385,10 @@ mod tests {
         // CCl should average far more instructions per branch than CCh.
         let cch_len = dyn_len(&cch(1)) as f64 / 50_000.0;
         let ccl_len = dyn_len(&ccl(1)) as f64 / 12_000.0;
-        assert!(ccl_len > 3.0 * cch_len, "CCl {ccl_len:.1} vs CCh {cch_len:.1} inst/iter");
+        assert!(
+            ccl_len > 3.0 * cch_len,
+            "CCl {ccl_len:.1} vs CCh {cch_len:.1} inst/iter"
+        );
     }
 
     #[test]

@@ -128,7 +128,6 @@ pub fn dpcvt(scale: u32) -> Program {
     a.assemble().expect("DPcvt")
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;

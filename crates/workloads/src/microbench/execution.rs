@@ -109,9 +109,13 @@ mod tests {
 
     #[test]
     fn all_execute_functionally() {
-        for (name, p) in
-            [("ED1", ed1(1)), ("EM1", em1(1)), ("EM5", em5(1)), ("EF", ef(1)), ("EI", ei(1))]
-        {
+        for (name, p) in [
+            ("ED1", ed1(1)),
+            ("EM1", em1(1)),
+            ("EM5", em5(1)),
+            ("EF", ef(1)),
+            ("EI", ei(1)),
+        ] {
             let mut cpu = Cpu::new(&p);
             assert!(
                 matches!(cpu.run(100_000_000), RunResult::Exited(0)),
@@ -139,7 +143,13 @@ mod tests {
         let ei_ratio =
             cycles_on(narrow.clone(), &ei(1)) as f64 / cycles_on(wide.clone(), &ei(1)) as f64;
         let ed1_ratio = cycles_on(narrow, &ed1(1)) as f64 / cycles_on(wide, &ed1(1)) as f64;
-        assert!(ei_ratio > 1.5, "independent ops should scale with width ({ei_ratio:.2})");
-        assert!(ed1_ratio < 1.3, "a serial chain should not ({ed1_ratio:.2})");
+        assert!(
+            ei_ratio > 1.5,
+            "independent ops should scale with width ({ei_ratio:.2})"
+        );
+        assert!(
+            ed1_ratio < 1.3,
+            "a serial chain should not ({ed1_ratio:.2})"
+        );
     }
 }

@@ -105,6 +105,9 @@ mod tests {
     fn mm_st_writes_back() {
         let mut soc = Soc::new(configs::rocket1(1));
         let rep = soc.run_program(0, &mm_st(1), 400_000_000);
-        assert!(rep.mem_stats.dram_writes > 100_000, "dirty lines must be written back");
+        assert!(
+            rep.mem_stats.dram_writes > 100_000,
+            "dirty lines must be written back"
+        );
     }
 }

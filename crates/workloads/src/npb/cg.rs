@@ -29,7 +29,11 @@ pub struct CgConfig {
 
 impl Default for CgConfig {
     fn default() -> CgConfig {
-        CgConfig { n: 1024, nnz_per_row: 11, iters: 15 }
+        CgConfig {
+            n: 1024,
+            nnz_per_row: 11,
+            iters: 15,
+        }
     }
 }
 
@@ -82,7 +86,11 @@ pub fn build_matrix(cfg: CgConfig) -> SparseMatrix {
         cols.push(c);
         vals.push(v);
     }
-    SparseMatrix { n: cfg.n, cols, vals }
+    SparseMatrix {
+        n: cfg.n,
+        cols,
+        vals,
+    }
 }
 
 /// Plain sequential CG, used by tests as the ground truth.
@@ -96,7 +104,13 @@ pub fn reference(cfg: CgConfig) -> (f64, f64) {
     let initial = rho.sqrt();
     for _ in 0..cfg.iters {
         let q: Vec<f64> = (0..cfg.n)
-            .map(|i| a.cols[i].iter().zip(&a.vals[i]).map(|(&j, &v)| v * p[j as usize]).sum())
+            .map(|i| {
+                a.cols[i]
+                    .iter()
+                    .zip(&a.vals[i])
+                    .map(|(&j, &v)| v * p[j as usize])
+                    .sum()
+            })
             .collect();
         let pq: f64 = p.iter().zip(&q).map(|(a, b)| a * b).sum();
         let alpha = rho / pq;
@@ -177,8 +191,7 @@ pub fn run(soc: SocConfig, ranks: usize, cfg: CgConfig, net: NetConfig) -> CgRes
             });
 
             // --- alpha = rho / (p·q) ------------------------------------
-            let local_pq: f64 =
-                (lo..hi).map(|i| p[i] * q[i - lo]).sum();
+            let local_pq: f64 = (lo..hi).map(|i| p[i] * q[i - lo]).sum();
             with_trace(ctx, |g| {
                 for i in 0..(hi - lo) as u64 {
                     g.load(addr_p + (lo as u64 + i) * 8);
@@ -251,7 +264,11 @@ pub fn run(soc: SocConfig, ranks: usize, cfg: CgConfig, net: NetConfig) -> CgRes
     });
 
     let (initial, residual) = out.into_inner().unwrap();
-    CgResult { report, residual, initial_residual: initial }
+    CgResult {
+        report,
+        residual,
+        initial_residual: initial,
+    }
 }
 
 #[cfg(test)]
@@ -261,7 +278,11 @@ mod tests {
 
     #[test]
     fn parallel_cg_matches_sequential_reference() {
-        let cfg = CgConfig { n: 256, nnz_per_row: 8, iters: 8 };
+        let cfg = CgConfig {
+            n: 256,
+            nnz_per_row: 8,
+            iters: 8,
+        };
         let (init_ref, res_ref) = reference(cfg);
         let r = run(configs::rocket1(2), 2, cfg, NetConfig::shared_memory());
         assert!((r.initial_residual - init_ref).abs() < 1e-9);
@@ -274,22 +295,41 @@ mod tests {
 
     #[test]
     fn cg_converges() {
-        let cfg = CgConfig { n: 256, nnz_per_row: 8, iters: 10 };
+        let cfg = CgConfig {
+            n: 256,
+            nnz_per_row: 8,
+            iters: 10,
+        };
         let (init, res) = reference(cfg);
-        assert!(res < init * 1e-3, "CG must reduce the residual: {init} -> {res}");
+        assert!(
+            res < init * 1e-3,
+            "CG must reduce the residual: {init} -> {res}"
+        );
     }
 
     #[test]
     fn cg_generates_gather_traffic() {
-        let cfg = CgConfig { n: 512, nnz_per_row: 8, iters: 3 };
+        let cfg = CgConfig {
+            n: 512,
+            nnz_per_row: 8,
+            iters: 3,
+        };
         let r = run(configs::large_boom(1), 1, cfg, NetConfig::shared_memory());
         let s = &r.report.run.mem_stats;
-        assert!(s.l1d_accesses > 50_000, "SpMV must load heavily, got {}", s.l1d_accesses);
+        assert!(
+            s.l1d_accesses > 50_000,
+            "SpMV must load heavily, got {}",
+            s.l1d_accesses
+        );
     }
 
     #[test]
     fn cg_multirank_is_deterministic() {
-        let cfg = CgConfig { n: 256, nnz_per_row: 8, iters: 4 };
+        let cfg = CgConfig {
+            n: 256,
+            nnz_per_row: 8,
+            iters: 4,
+        };
         let a = run(configs::rocket1(4), 4, cfg, NetConfig::shared_memory());
         let b = run(configs::rocket1(4), 4, cfg, NetConfig::shared_memory());
         assert_eq!(a.report.run.cycles, b.report.run.cycles);

@@ -24,7 +24,9 @@ pub struct EpConfig {
 
 impl Default for EpConfig {
     fn default() -> EpConfig {
-        EpConfig { pairs_per_rank: 1 << 15 }
+        EpConfig {
+            pairs_per_rank: 1 << 15,
+        }
     }
 }
 
@@ -159,7 +161,13 @@ pub fn run(soc: SocConfig, ranks: usize, cfg: EpConfig, net: NetConfig) -> EpRes
     });
 
     let t = tallies.into_inner().unwrap();
-    EpResult { report, sx: t.0, sy: t.1, counts: t.2, accepted: t.3 }
+    EpResult {
+        report,
+        sx: t.0,
+        sy: t.1,
+        counts: t.2,
+        accepted: t.3,
+    }
 }
 
 #[cfg(test)]
@@ -169,7 +177,9 @@ mod tests {
 
     #[test]
     fn simulated_tallies_match_reference() {
-        let cfg = EpConfig { pairs_per_rank: 2000 };
+        let cfg = EpConfig {
+            pairs_per_rank: 2000,
+        };
         let (sx, sy, q, acc) = reference(cfg, 2);
         let r = run(configs::rocket1(2), 2, cfg, NetConfig::shared_memory());
         assert_eq!(r.accepted, acc);
@@ -180,10 +190,15 @@ mod tests {
 
     #[test]
     fn acceptance_rate_is_pi_over_four() {
-        let cfg = EpConfig { pairs_per_rank: 20_000 };
+        let cfg = EpConfig {
+            pairs_per_rank: 20_000,
+        };
         let (_, _, _, acc) = reference(cfg, 1);
         let rate = acc as f64 / 20_000.0;
-        assert!((rate - std::f64::consts::FRAC_PI_4).abs() < 0.01, "rate {rate}");
+        assert!(
+            (rate - std::f64::consts::FRAC_PI_4).abs() < 0.01,
+            "rate {rate}"
+        );
     }
 
     #[test]
@@ -192,7 +207,9 @@ mod tests {
         let t1 = run(
             configs::large_boom(1),
             1,
-            EpConfig { pairs_per_rank: 8_000 },
+            EpConfig {
+                pairs_per_rank: 8_000,
+            },
             NetConfig::shared_memory(),
         )
         .report
@@ -201,18 +218,28 @@ mod tests {
         let t4 = run(
             configs::large_boom(4),
             4,
-            EpConfig { pairs_per_rank: 2_000 },
+            EpConfig {
+                pairs_per_rank: 2_000,
+            },
             NetConfig::shared_memory(),
         )
         .report
         .run
         .cycles;
-        assert!((t1 as f64) > 2.5 * t4 as f64, "EP is embarrassingly parallel: {t1} vs {t4}");
+        assert!(
+            (t1 as f64) > 2.5 * t4 as f64,
+            "EP is embarrassingly parallel: {t1} vs {t4}"
+        );
     }
 
     #[test]
     fn ep_is_compute_bound() {
-        let r = run(configs::large_boom(1), 1, EpConfig::default(), NetConfig::shared_memory());
+        let r = run(
+            configs::large_boom(1),
+            1,
+            EpConfig::default(),
+            NetConfig::shared_memory(),
+        );
         let s = &r.report.run.mem_stats;
         assert!(
             (s.dram_reads + s.dram_writes) < r.report.run.retired / 100,

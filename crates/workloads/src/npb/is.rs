@@ -24,7 +24,11 @@ pub struct IsConfig {
 
 impl Default for IsConfig {
     fn default() -> IsConfig {
-        IsConfig { keys_per_rank: 1 << 14, max_key: 1 << 15, iterations: 2 }
+        IsConfig {
+            keys_per_rank: 1 << 14,
+            max_key: 1 << 15,
+            iterations: 2,
+        }
     }
 }
 
@@ -44,7 +48,9 @@ fn gen_keys(rank: usize, cfg: IsConfig) -> Vec<u32> {
     let mut state = 0x1234_5678_9ABC_DEF0u64 ^ ((rank as u64) << 40);
     (0..cfg.keys_per_rank)
         .map(|_| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) % cfg.max_key as u64) as u32
         })
         .collect()
@@ -93,7 +99,10 @@ pub fn run(soc: SocConfig, ranks: usize, cfg: IsConfig, net: NetConfig) -> IsRes
             // Keep my own slice directly (self-entry of the alltoall).
             let mine_direct: Vec<u32> = {
                 let payload = std::mem::take(&mut sends[rank]);
-                payload.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().unwrap())).collect()
+                payload
+                    .chunks_exact(4)
+                    .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+                    .collect()
             };
             let mut my_keys: Vec<u32> = mine_direct;
             if ranks > 1 {
@@ -135,8 +144,8 @@ pub fn run(soc: SocConfig, ranks: usize, cfg: IsConfig, net: NetConfig) -> IsRes
                 }
             });
             // Sanity: my counts agree with the allreduced histogram.
-            let consistent = (lo..hi)
-                .all(|k| global[k as usize] as usize == counts[(k - lo) as usize]);
+            let consistent =
+                (lo..hi).all(|k| global[k as usize] as usize == counts[(k - lo) as usize]);
             final_slice = sorted;
             if !consistent {
                 outcome.lock().unwrap().0 = false;
@@ -154,7 +163,11 @@ pub fn run(soc: SocConfig, ranks: usize, cfg: IsConfig, net: NetConfig) -> IsRes
     });
 
     let (sorted, total_keys) = outcome.into_inner().unwrap();
-    IsResult { report, sorted, total_keys }
+    IsResult {
+        report,
+        sorted,
+        total_keys,
+    }
 }
 
 #[cfg(test)]
@@ -164,15 +177,26 @@ mod tests {
 
     #[test]
     fn is_sorts_correctly_across_ranks() {
-        let cfg = IsConfig { keys_per_rank: 2000, max_key: 1 << 12, iterations: 1 };
+        let cfg = IsConfig {
+            keys_per_rank: 2000,
+            max_key: 1 << 12,
+            iterations: 1,
+        };
         let r = run(configs::rocket1(4), 4, cfg, NetConfig::shared_memory());
-        assert!(r.sorted, "every rank's slice must be sorted and range-correct");
+        assert!(
+            r.sorted,
+            "every rank's slice must be sorted and range-correct"
+        );
         assert_eq!(r.total_keys, 8000, "no key may be lost in the exchange");
     }
 
     #[test]
     fn is_single_rank_works() {
-        let cfg = IsConfig { keys_per_rank: 4000, max_key: 1 << 12, iterations: 1 };
+        let cfg = IsConfig {
+            keys_per_rank: 4000,
+            max_key: 1 << 12,
+            iterations: 1,
+        };
         let r = run(configs::large_boom(1), 1, cfg, NetConfig::shared_memory());
         assert!(r.sorted);
         assert_eq!(r.total_keys, 4000);
@@ -180,9 +204,17 @@ mod tests {
 
     #[test]
     fn is_moves_real_bytes() {
-        let cfg = IsConfig { keys_per_rank: 4000, max_key: 1 << 12, iterations: 1 };
+        let cfg = IsConfig {
+            keys_per_rank: 4000,
+            max_key: 1 << 12,
+            iterations: 1,
+        };
         let r = run(configs::rocket1(2), 2, cfg, NetConfig::shared_memory());
         // ~half of each rank's keys belong to the other rank.
-        assert!(r.report.bytes > 4000, "alltoall must carry keys, got {}", r.report.bytes);
+        assert!(
+            r.report.bytes > 4000,
+            "alltoall must carry keys, got {}",
+            r.report.bytes
+        );
     }
 }

@@ -25,7 +25,11 @@ pub struct MgConfig {
 
 impl Default for MgConfig {
     fn default() -> MgConfig {
-        MgConfig { n: 32, levels: 3, cycles: 2 }
+        MgConfig {
+            n: 32,
+            levels: 3,
+            cycles: 2,
+        }
     }
 }
 
@@ -53,7 +57,12 @@ struct Slab {
 
 impl Slab {
     fn new(n: usize, zlo: usize, zhi: usize) -> Slab {
-        Slab { n, zlo, zhi, data: vec![0.0; (zhi - zlo + 2) * n * n] }
+        Slab {
+            n,
+            zlo,
+            zhi,
+            data: vec![0.0; (zhi - zlo + 2) * n * n],
+        }
     }
     #[inline]
     fn idx(&self, x: usize, y: usize, z: usize) -> usize {
@@ -82,7 +91,7 @@ fn halo_exchange(ctx: &mut RankCtx, slab: &mut Slab, tag: u32) {
             for x in 0..n {
                 let top = slab.get(x, y, slab.zhi - 1);
                 let bot = slab.get(x, y, slab.zlo);
-                let i_low_ghost = ((0) * n + y) * n + x;
+                let i_low_ghost = y * n + x;
                 let i_high_ghost = ((nz + 1) * n + y) * n + x;
                 slab.data[i_low_ghost] = top;
                 slab.data[i_high_ghost] = bot;
@@ -177,7 +186,10 @@ pub fn run(soc: SocConfig, ranks: usize, cfg: MgConfig, net: NetConfig) -> MgRes
     let report = MpiWorld::run(soc, ranks, net, |ctx: &mut RankCtx| {
         let rank = ctx.rank();
         let n = cfg.n;
-        assert!(n % (2 * ranks) == 0, "grid must decompose into rank slabs at all levels");
+        assert!(
+            n.is_multiple_of(2 * ranks),
+            "grid must decompose into rank slabs at all levels"
+        );
         let zper = n / ranks;
         let (zlo, zhi) = (rank * zper, (rank + 1) * zper);
 
@@ -191,9 +203,8 @@ pub fn run(soc: SocConfig, ranks: usize, cfg: MgConfig, net: NetConfig) -> MgRes
             f.set(3 * n / 4, 3 * n / 4, n / 2, -1.0);
         }
 
-        let norm = |ctx: &mut RankCtx, v: f64| -> f64 {
-            ctx.allreduce_f64(&[v], ReduceOp::Sum)[0].sqrt()
-        };
+        let norm =
+            |ctx: &mut RankCtx, v: f64| -> f64 { ctx.allreduce_f64(&[v], ReduceOp::Sum)[0].sqrt() };
 
         // Initial residual with u = 0 is just ‖f‖.
         let local_f2: f64 = (zlo..zhi)
@@ -223,7 +234,11 @@ pub fn run(soc: SocConfig, ranks: usize, cfg: MgConfig, net: NetConfig) -> MgRes
     });
 
     let (initial_residual, final_residual) = out.into_inner().unwrap();
-    MgResult { report, initial_residual, final_residual }
+    MgResult {
+        report,
+        initial_residual,
+        final_residual,
+    }
 }
 
 #[cfg(test)]
@@ -233,7 +248,11 @@ mod tests {
 
     #[test]
     fn mg_reduces_the_residual() {
-        let cfg = MgConfig { n: 16, levels: 2, cycles: 3 };
+        let cfg = MgConfig {
+            n: 16,
+            levels: 2,
+            cycles: 3,
+        };
         let r = run(configs::rocket1(1), 1, cfg, NetConfig::shared_memory());
         assert!(r.initial_residual > 0.0);
         assert!(
@@ -246,7 +265,11 @@ mod tests {
 
     #[test]
     fn mg_multirank_matches_single_rank_numerics() {
-        let cfg = MgConfig { n: 16, levels: 2, cycles: 2 };
+        let cfg = MgConfig {
+            n: 16,
+            levels: 2,
+            cycles: 2,
+        };
         let a = run(configs::rocket1(1), 1, cfg, NetConfig::shared_memory());
         let b = run(configs::rocket1(4), 4, cfg, NetConfig::shared_memory());
         assert!(
@@ -259,7 +282,11 @@ mod tests {
 
     #[test]
     fn mg_exchanges_halo_planes() {
-        let cfg = MgConfig { n: 16, levels: 2, cycles: 1 };
+        let cfg = MgConfig {
+            n: 16,
+            levels: 2,
+            cycles: 1,
+        };
         let r = run(configs::rocket1(2), 2, cfg, NetConfig::shared_memory());
         // 2 ranks * 2 sends * levels * cycles messages.
         assert!(r.report.messages >= 8, "halo exchange must send planes");
@@ -268,9 +295,17 @@ mod tests {
 
     #[test]
     fn mg_touches_memory_with_plane_strides() {
-        let cfg = MgConfig { n: 32, levels: 2, cycles: 1 };
+        let cfg = MgConfig {
+            n: 32,
+            levels: 2,
+            cycles: 1,
+        };
         let r = run(configs::rocket1(1), 1, cfg, NetConfig::shared_memory());
         let s = &r.report.run.mem_stats;
-        assert!(s.l1d_misses > 1000, "plane-stride sweeps must miss L1, got {}", s.l1d_misses);
+        assert!(
+            s.l1d_misses > 1000,
+            "plane-stride sweeps must miss L1, got {}",
+            s.l1d_misses
+        );
     }
 }

@@ -123,9 +123,17 @@ impl<'a> TraceGen<'a> {
     /// by the vector width.
     pub fn int_ops(&mut self, n: u64, chain: bool) {
         let pc = TRACE_PC;
-        let emit = if chain { n } else { Self::batch(self.lanes, &mut self.vi, n) };
+        let emit = if chain {
+            n
+        } else {
+            Self::batch(self.lanes, &mut self.vi, n)
+        };
         for _ in 0..emit {
-            let d = if chain { INT_REGS[0] } else { self.next_reg(&INT_REGS) };
+            let d = if chain {
+                INT_REGS[0]
+            } else {
+                self.next_reg(&INT_REGS)
+            };
             let s = if chain { Some(INT_REGS[0]) } else { None };
             self.emit(MicroOp::alu(pc, Some(d), [s, None, None]));
         }
@@ -134,14 +142,26 @@ impl<'a> TraceGen<'a> {
     /// `n` floating-point ops (FMA-class). `chain` as in [`Self::int_ops`].
     pub fn flops(&mut self, n: u64, chain: bool) {
         let pc = TRACE_PC + 0x40;
-        let n = if chain { n } else { Self::batch(self.lanes, &mut self.vf, n) };
+        let n = if chain {
+            n
+        } else {
+            Self::batch(self.lanes, &mut self.vf, n)
+        };
         for _ in 0..n {
-            let d = if chain { FP_REGS[0] } else { self.next_reg(&FP_REGS) };
+            let d = if chain {
+                FP_REGS[0]
+            } else {
+                self.next_reg(&FP_REGS)
+            };
             let s = if chain { Some(FP_REGS[0]) } else { None };
             // A chained flop right after a load consumes it (the
             // `acc += v * p[col]` shape), exposing memory latency on the
             // dependence chain.
-            let s2 = if chain { self.last_load_reg.take() } else { None };
+            let s2 = if chain {
+                self.last_load_reg.take()
+            } else {
+                None
+            };
             self.emit(MicroOp {
                 pc,
                 next_pc: pc + 4,
@@ -222,7 +242,12 @@ impl<'a> TraceGen<'a> {
     /// entries).
     pub fn branch(&mut self, site: u64, taken: bool) {
         let pc = TRACE_PC + 0x1C0 + (site % 64) * 8;
-        self.emit(MicroOp::cond_branch(pc, taken, pc.wrapping_sub(0x200), [None; 3]));
+        self.emit(MicroOp::cond_branch(
+            pc,
+            taken,
+            pc.wrapping_sub(0x200),
+            [None; 3],
+        ));
     }
 
     /// Loop overhead for `trips` iterations of a vectorizable loop: one
@@ -274,6 +299,31 @@ impl<'a> TraceGen<'a> {
     }
 }
 
+/// Base of rank `rank`'s private data segment (MPI ranks are separate
+/// processes with separate address spaces; 64 MiB apart keeps their
+/// simulated footprints disjoint in the shared hierarchy).
+pub fn rank_base(rank: usize) -> u64 {
+    0x1000_0000 + ((rank as u64) << 26)
+}
+
+/// Runs `f` with a [`TraceGen`] buffering into a vector, then feeds the
+/// whole segment to the rank's core under one lock acquisition. The
+/// platform's vector width is applied automatically, so the same
+/// workload code emits scalar ops on the FireSim targets (which run
+/// "without enabling vector units", §3.1.1) and vector ops on the
+/// silicon references.
+pub fn with_trace(ctx: &mut bsim_mpi::RankCtx, f: impl FnOnce(&mut TraceGen<'_>)) {
+    let lanes = ctx.simd_lanes();
+    let overhead = ctx.compiler_overhead_per_mille();
+    let mut buf: Vec<MicroOp> = Vec::with_capacity(1024);
+    {
+        let mut sink = |u: &MicroOp| buf.push(*u);
+        let mut g = TraceGen::with_lanes(&mut sink, lanes).with_compiler_overhead(overhead);
+        f(&mut g);
+    }
+    ctx.consume_batch(&buf);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -293,7 +343,10 @@ mod tests {
     fn chained_ints_slower_than_independent() {
         let chained = run_trace(|g| g.int_ops(10_000, true));
         let indep = run_trace(|g| g.int_ops(10_000, false));
-        assert!(chained > 2 * indep, "chain {chained} vs independent {indep}");
+        assert!(
+            chained > 2 * indep,
+            "chain {chained} vs independent {indep}"
+        );
     }
 
     #[test]
@@ -326,7 +379,10 @@ mod tests {
                 g.branch(1, x & 1 == 0);
             }
         });
-        assert!(random > predictable, "random {random} vs predictable {predictable}");
+        assert!(
+            random > predictable,
+            "random {random} vs predictable {predictable}"
+        );
     }
 
     #[test]
@@ -346,29 +402,4 @@ mod tests {
         });
         assert!(gathers > indep, "gather {gathers} vs independent {indep}");
     }
-}
-
-/// Base of rank `rank`'s private data segment (MPI ranks are separate
-/// processes with separate address spaces; 64 MiB apart keeps their
-/// simulated footprints disjoint in the shared hierarchy).
-pub fn rank_base(rank: usize) -> u64 {
-    0x1000_0000 + ((rank as u64) << 26)
-}
-
-/// Runs `f` with a [`TraceGen`] buffering into a vector, then feeds the
-/// whole segment to the rank's core under one lock acquisition. The
-/// platform's vector width is applied automatically, so the same
-/// workload code emits scalar ops on the FireSim targets (which run
-/// "without enabling vector units", §3.1.1) and vector ops on the
-/// silicon references.
-pub fn with_trace(ctx: &mut bsim_mpi::RankCtx, f: impl FnOnce(&mut TraceGen<'_>)) {
-    let lanes = ctx.simd_lanes();
-    let overhead = ctx.compiler_overhead_per_mille();
-    let mut buf: Vec<MicroOp> = Vec::with_capacity(1024);
-    {
-        let mut sink = |u: &MicroOp| buf.push(*u);
-        let mut g = TraceGen::with_lanes(&mut sink, lanes).with_compiler_overhead(overhead);
-        f(&mut g);
-    }
-    ctx.consume_batch(&buf);
 }

@@ -104,25 +104,46 @@ pub fn build_mesh(n: usize) -> Mesh {
     for z in 0..n {
         for y in 0..n {
             for x in 0..=n {
-                face_points.push([pid(x, y, z), pid(x, y + 1, z), pid(x, y + 1, z + 1), pid(x, y, z + 1)]);
+                face_points.push([
+                    pid(x, y, z),
+                    pid(x, y + 1, z),
+                    pid(x, y + 1, z + 1),
+                    pid(x, y, z + 1),
+                ]);
             }
         }
     }
     for z in 0..n {
         for y in 0..=n {
             for x in 0..n {
-                face_points.push([pid(x, y, z), pid(x + 1, y, z), pid(x + 1, y, z + 1), pid(x, y, z + 1)]);
+                face_points.push([
+                    pid(x, y, z),
+                    pid(x + 1, y, z),
+                    pid(x + 1, y, z + 1),
+                    pid(x, y, z + 1),
+                ]);
             }
         }
     }
     for z in 0..=n {
         for y in 0..n {
             for x in 0..n {
-                face_points.push([pid(x, y, z), pid(x + 1, y, z), pid(x + 1, y + 1, z), pid(x, y + 1, z)]);
+                face_points.push([
+                    pid(x, y, z),
+                    pid(x + 1, y, z),
+                    pid(x + 1, y + 1, z),
+                    pid(x, y + 1, z),
+                ]);
             }
         }
     }
-    Mesh { n, zone_corners, corner_point, face_points, points }
+    Mesh {
+        n,
+        zone_corners,
+        corner_point,
+        face_points,
+        points,
+    }
 }
 
 fn quad_area(p: [[f64; 3]; 4]) -> f64 {
@@ -152,8 +173,11 @@ pub fn run(soc: SocConfig, ranks: usize, cfg: UmeConfig, net: NetConfig) -> UmeR
         let (flo, fhi) = ((rank * fper).min(nf), ((rank + 1) * fper).min(nf));
 
         // Point field gathered by the kernels: value = x + 2y + 3z.
-        let pval: Vec<f64> =
-            mesh.points.iter().map(|p| p[0] + 2.0 * p[1] + 3.0 * p[2]).collect();
+        let pval: Vec<f64> = mesh
+            .points
+            .iter()
+            .map(|p| p[0] + 2.0 * p[1] + 3.0 * p[2])
+            .collect();
 
         let base = rank_base(rank);
         let a_zc = base; // zone→corner map
@@ -245,15 +269,19 @@ pub fn run(soc: SocConfig, ranks: usize, cfg: UmeConfig, net: NetConfig) -> UmeR
             });
         }
 
-        let totals =
-            ctx.allreduce_f64(&[gather, inverted, area], ReduceOp::Sum);
+        let totals = ctx.allreduce_f64(&[gather, inverted, area], ReduceOp::Sum);
         if rank == 0 {
             *out.lock().unwrap() = (totals[0], totals[1], totals[2]);
         }
     });
 
     let (gather_sum, inverted_sum, total_face_area) = out.into_inner().unwrap();
-    UmeResult { report, gather_sum, inverted_sum, total_face_area }
+    UmeResult {
+        report,
+        gather_sum,
+        inverted_sum,
+        total_face_area,
+    }
 }
 
 #[cfg(test)]
@@ -275,7 +303,12 @@ mod tests {
 
     #[test]
     fn gather_and_inverted_kernels_agree() {
-        let r = run(configs::rocket1(1), 1, UmeConfig { n: 6, passes: 1 }, NetConfig::shared_memory());
+        let r = run(
+            configs::rocket1(1),
+            1,
+            UmeConfig { n: 6, passes: 1 },
+            NetConfig::shared_memory(),
+        );
         assert!(
             (r.gather_sum - r.inverted_sum).abs() < 1e-9 * r.gather_sum.abs(),
             "{} vs {}",
@@ -289,7 +322,12 @@ mod tests {
     fn face_area_matches_unit_mesh_analytics() {
         // Unit-cube zones: every face has area 1, so total = face count.
         let n = 6;
-        let r = run(configs::rocket1(1), 1, UmeConfig { n, passes: 1 }, NetConfig::shared_memory());
+        let r = run(
+            configs::rocket1(1),
+            1,
+            UmeConfig { n, passes: 1 },
+            NetConfig::shared_memory(),
+        );
         let expected = (3 * n * n * (n + 1)) as f64;
         assert!(
             (r.total_face_area - expected).abs() < 1e-9 * expected,
@@ -309,7 +347,12 @@ mod tests {
 
     #[test]
     fn ume_is_load_heavy_and_flop_light() {
-        let r = run(configs::large_boom(1), 1, UmeConfig { n: 8, passes: 1 }, NetConfig::shared_memory());
+        let r = run(
+            configs::large_boom(1),
+            1,
+            UmeConfig { n: 8, passes: 1 },
+            NetConfig::shared_memory(),
+        );
         let loads = r.report.run.core_stats[0].loads;
         let retired = r.report.run.retired;
         assert!(

@@ -22,10 +22,21 @@ fn run_pair(cfg: SocConfig) -> (f64, f64) {
     let cg_r = cg::run(
         cfg.clone(),
         1,
-        cg::CgConfig { n: 6144, nnz_per_row: 11, iters: 4 },
+        cg::CgConfig {
+            n: 6144,
+            nnz_per_row: 11,
+            iters: 4,
+        },
         net,
     );
-    let ep_r = ep::run(cfg, 1, ep::EpConfig { pairs_per_rank: 1 << 13 }, net);
+    let ep_r = ep::run(
+        cfg,
+        1,
+        ep::EpConfig {
+            pairs_per_rank: 1 << 13,
+        },
+        net,
+    );
     (
         cg_r.report.run.cycles as f64 / (freq * 1e9) * 1e3,
         ep_r.report.run.cycles as f64 / (freq * 1e9) * 1e3,
@@ -36,7 +47,11 @@ fn main() {
     println!("{:28} {:>12} {:>12}", "configuration", "CG [ms]", "EP [ms]");
 
     // ---- sweep 1: the stock BOOM ladder ---------------------------------
-    for cfg in [configs::small_boom(1), configs::medium_boom(1), configs::large_boom(1)] {
+    for cfg in [
+        configs::small_boom(1),
+        configs::medium_boom(1),
+        configs::large_boom(1),
+    ] {
         let (cg_ms, ep_ms) = run_pair(cfg.clone());
         println!("{:28} {cg_ms:>12.3} {ep_ms:>12.3}", cfg.name);
     }
@@ -55,7 +70,11 @@ fn main() {
     }
 
     // ---- sweep 3: L1 capacity (the paper's §5.2.2 experiment) -----------
-    for (sets, label) in [(64u32, "32 KiB L1"), (128, "64 KiB L1"), (256, "128 KiB L1")] {
+    for (sets, label) in [
+        (64u32, "32 KiB L1"),
+        (128, "64 KiB L1"),
+        (256, "128 KiB L1"),
+    ] {
         let mut cfg = configs::large_boom(1);
         cfg.hierarchy.l1d.sets = sets;
         cfg.hierarchy.l1i.sets = sets;

@@ -22,23 +22,36 @@ fn main() {
     const EP_TOTAL: u64 = 1 << 15;
     const CG_N: usize = 512;
 
-    println!("{:>6} {:>14} {:>12} {:>14} {:>12}", "ranks", "EP cycles", "EP eff.", "CG cycles", "CG eff.");
+    println!(
+        "{:>6} {:>14} {:>12} {:>14} {:>12}",
+        "ranks", "EP cycles", "EP eff.", "CG cycles", "CG eff."
+    );
     let mut ep_base = 0u64;
     let mut cg_base = 0u64;
     for ranks in [1usize, 2, 4, 8] {
         // Beyond one 4-core cluster, ranks talk over the network model.
-        let net = if ranks <= 4 { NetConfig::shared_memory() } else { NetConfig::ethernet_10g() };
+        let net = if ranks <= 4 {
+            NetConfig::shared_memory()
+        } else {
+            NetConfig::ethernet_10g()
+        };
         let cfg = configs::large_boom(ranks);
         let ep_r = ep::run(
             cfg.clone(),
             ranks,
-            ep::EpConfig { pairs_per_rank: EP_TOTAL / ranks as u64 },
+            ep::EpConfig {
+                pairs_per_rank: EP_TOTAL / ranks as u64,
+            },
             net,
         );
         let cg_r = cg::run(
             cfg,
             ranks,
-            cg::CgConfig { n: CG_N, nnz_per_row: 11, iters: 6 },
+            cg::CgConfig {
+                n: CG_N,
+                nnz_per_row: 11,
+                iters: 6,
+            },
             net,
         );
         let ep_c = ep_r.report.run.cycles;
@@ -49,7 +62,11 @@ fn main() {
         }
         let ep_eff = ep_base as f64 / (ep_c as f64 * ranks as f64);
         let cg_eff = cg_base as f64 / (cg_c as f64 * ranks as f64);
-        println!("{ranks:>6} {ep_c:>14} {:>11.1}% {cg_c:>14} {:>11.1}%", ep_eff * 100.0, cg_eff * 100.0);
+        println!(
+            "{ranks:>6} {ep_c:>14} {:>11.1}% {cg_c:>14} {:>11.1}%",
+            ep_eff * 100.0,
+            cg_eff * 100.0
+        );
     }
     println!(
         "\nExpected shape: EP scales near-linearly (compute bound, one final allreduce);\n\

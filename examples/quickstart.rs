@@ -10,8 +10,8 @@
 use silicon_bridge::core::metrics::relative_speedup;
 use silicon_bridge::mpi::NetConfig;
 use silicon_bridge::soc::{configs, Soc};
-use silicon_bridge::workloads::npb::ep;
 use silicon_bridge::workloads::microbench;
+use silicon_bridge::workloads::npb::ep;
 
 fn main() {
     // ---- 1. Pick a platform pair from the paper's catalog -------------
@@ -24,15 +24,28 @@ fn main() {
 
     // ---- 2. Run a microbenchmark on both -------------------------------
     // "Cca" is Table 1's completely-biased-branch kernel.
-    let kernel = microbench::suite().into_iter().find(|k| k.name == "Cca").unwrap();
+    let kernel = microbench::suite()
+        .into_iter()
+        .find(|k| k.name == "Cca")
+        .unwrap();
     let prog = kernel.build(1);
 
     let sim = Soc::new(sim_cfg.clone()).run_program(0, &prog, u64::MAX);
     let hw = Soc::new(hw_cfg.clone()).run_program(0, &prog, u64::MAX);
 
     println!("Cca ({}):", kernel.description);
-    println!("  {:24} {:>12} cycles  IPC {:.3}", sim.platform, sim.cycles, sim.ipc());
-    println!("  {:24} {:>12} cycles  IPC {:.3}", hw.platform, hw.cycles, hw.ipc());
+    println!(
+        "  {:24} {:>12} cycles  IPC {:.3}",
+        sim.platform,
+        sim.cycles,
+        sim.ipc()
+    );
+    println!(
+        "  {:24} {:>12} cycles  IPC {:.3}",
+        hw.platform,
+        hw.cycles,
+        hw.ipc()
+    );
     println!(
         "  relative speedup (1.0 = perfect match): {:.3}\n",
         relative_speedup(hw.seconds, sim.seconds)
@@ -40,12 +53,17 @@ fn main() {
 
     // ---- 3. Run an MPI workload on both ----------------------------------
     // NPB EP on 4 ranks of each platform's 4-core cluster.
-    let ep_cfg = ep::EpConfig { pairs_per_rank: 4096 };
+    let ep_cfg = ep::EpConfig {
+        pairs_per_rank: 4096,
+    };
     let net = NetConfig::shared_memory();
     let sim_ep = ep::run(configs::banana_pi_sim(4), 4, ep_cfg, net);
     let hw_ep = ep::run(configs::banana_pi_hw(4), 4, ep_cfg, net);
 
-    println!("NPB EP, 4 MPI ranks ({} Gaussian pairs/rank):", ep_cfg.pairs_per_rank);
+    println!(
+        "NPB EP, 4 MPI ranks ({} Gaussian pairs/rank):",
+        ep_cfg.pairs_per_rank
+    );
     println!(
         "  {:24} {:>12} cycles   ({} accepted)",
         "Banana Pi Sim Model", sim_ep.report.run.cycles, sim_ep.accepted

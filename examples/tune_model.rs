@@ -20,17 +20,29 @@ fn main() {
     let probes: Vec<_> = microbench::evaluated()
         .into_iter()
         .filter(|k| {
-            ["Cca", "CCh", "CS1", "ED1", "EI", "EM5", "MD", "ML2", "MC", "DP1d", "DPT"]
-                .contains(&k.name)
+            [
+                "Cca", "CCh", "CS1", "ED1", "EI", "EM5", "MD", "ML2", "MC", "DP1d", "DPT",
+            ]
+            .contains(&k.name)
         })
         .collect();
-    println!("probe kernels: {:?}\n", probes.iter().map(|k| k.name).collect::<Vec<_>>());
+    println!(
+        "probe kernels: {:?}\n",
+        probes.iter().map(|k| k.name).collect::<Vec<_>>()
+    );
 
     // ---- stage 1: pick the stock BOOM closest to the MILK-V -----------
     let target = configs::milkv_hw(1);
-    let stock = vec![configs::small_boom(1), configs::medium_boom(1), configs::large_boom(1)];
+    let stock = vec![
+        configs::small_boom(1),
+        configs::medium_boom(1),
+        configs::large_boom(1),
+    ];
     let stage1 = choose_best_model(&stock, &target, &probes, 1);
-    println!("stage 1 — stock BOOM ranking vs {} (lower = closer):", target.name);
+    println!(
+        "stage 1 — stock BOOM ranking vs {} (lower = closer):",
+        target.name
+    );
     for (name, score) in &stage1.ranking {
         println!("  {name:12} deviation {score:.4}");
     }
@@ -46,7 +58,11 @@ fn main() {
     println!("  selected: {}\n", stage2.best());
 
     // ---- detail: the per-kernel relative speedups of the final model ---
-    let detail = stage2.details.iter().find(|(n, _)| n == stage2.best()).unwrap();
+    let detail = stage2
+        .details
+        .iter()
+        .find(|(n, _)| n == stage2.best())
+        .unwrap();
     println!("per-kernel relative speedup of {} (1.0 = match):", detail.0);
     for (kernel, rel) in &detail.1 {
         println!("  {kernel:8} {rel:.3}");

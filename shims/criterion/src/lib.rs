@@ -1,0 +1,157 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the API shape the workspace benches use (`Criterion`,
+//! `benchmark_group`, `sample_size`, `bench_function`, `Bencher::iter`,
+//! `black_box`, `criterion_group!`, `criterion_main!`) but measures with a
+//! plain wall-clock median over N samples and prints one line per
+//! benchmark. No statistics machinery, no HTML reports.
+
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            group: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(None, name, self.sample_size, f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    group: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(Some(&self.group), name, self.sample_size, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    measured: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        let start = Instant::now();
+        black_box(f());
+        self.measured = start.elapsed();
+        self.iters = 1;
+    }
+}
+
+fn run_bench<F>(group: Option<&str>, name: &str, samples: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let full = match group {
+        Some(g) => format!("{g}/{name}"),
+        None => name.to_string(),
+    };
+    // One warmup sample, then `samples` measured ones; report the median.
+    let mut b = Bencher {
+        measured: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    let mut times: Vec<Duration> = (0..samples)
+        .map(|_| {
+            let mut b = Bencher {
+                measured: Duration::ZERO,
+                iters: 0,
+            };
+            f(&mut b);
+            b.measured
+        })
+        .collect();
+    times.sort();
+    let median = times[times.len() / 2];
+    let (lo, hi) = (times[0], times[times.len() - 1]);
+    println!(
+        "{full:<48} time: [{:>10.3?} {:>10.3?} {:>10.3?}]  ({samples} samples)",
+        lo, median, hi
+    );
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        let mut ran = 0u32;
+        g.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran += 1;
+        });
+        g.finish();
+        assert_eq!(ran, 4); // 1 warmup + 3 samples
+    }
+}

@@ -1,0 +1,146 @@
+//! Offline stand-in for `serde`.
+//!
+//! This workspace must build with no crates.io access, so the real serde
+//! cannot be resolved. This crate provides the *reduced* surface the
+//! workspace actually uses: a `Serialize` trait that lowers values into a
+//! small JSON-like `Value` tree (rendered by the sibling `serde_json`
+//! shim), plus derive macros re-exported from the in-tree `serde_derive`.
+//!
+//! `Deserialize` is a marker trait with a blanket impl: nothing in the
+//! workspace deserializes, but `#[derive(Deserialize)]` appears widely.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// JSON-like value tree produced by [`Serialize::to_value`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Value>),
+    /// Insertion-ordered map — field order is declaration order, which keeps
+    /// exported JSON byte-stable across runs and platforms.
+    Map(Vec<(String, Value)>),
+}
+
+/// Reduced serialization trait: lower `self` into a [`Value`] tree.
+///
+/// The real serde drives a `Serializer` visitor; for this workspace's needs
+/// (JSON export of plain data structs) a value tree is equivalent and far
+/// smaller to implement.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Marker trait so `#[derive(Deserialize)]` and `T: Deserialize` bounds
+/// compile. No workspace code path actually deserializes.
+pub trait Deserialize<'de> {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Compatibility alias module mirroring `serde::ser`.
+pub mod ser {
+    pub use crate::{Serialize, Value};
+}
+
+macro_rules! impl_ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+    )*};
+}
+macro_rules! impl_ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::I64(*self as i64) }
+        }
+    )*};
+}
+
+impl_ser_unsigned!(u8, u16, u32, u64, usize);
+impl_ser_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! impl_ser_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+    };
+}
+impl_ser_tuple!(A: 0);
+impl_ser_tuple!(A: 0, B: 1);
+impl_ser_tuple!(A: 0, B: 1, C: 2);
+impl_ser_tuple!(A: 0, B: 1, C: 2, D: 3);
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}

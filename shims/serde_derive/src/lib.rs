@@ -1,0 +1,202 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! This workspace builds in environments with no crates.io access, so the
+//! real `serde_derive` (and its `syn`/`quote` dependency tree) is not
+//! available. This crate hand-parses the `TokenStream` of a type definition
+//! and emits an implementation of the reduced `serde::Serialize` trait
+//! defined by the in-tree `shims/serde` crate (`fn to_value(&self) ->
+//! serde::Value`).
+//!
+//! Supported shapes — exactly what this workspace uses:
+//! - structs with named fields,
+//! - enums with unit variants and single-field tuple variants.
+//!
+//! `#[derive(Deserialize)]` is accepted and emits nothing; the shim's
+//! `Deserialize` is a marker trait with a blanket impl.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Struct { fields: Vec<String> },
+    Enum { variants: Vec<(String, bool)> }, // (name, has_payload)
+}
+
+struct Parsed {
+    name: String,
+    shape: Shape,
+}
+
+/// Split a token sequence on top-level commas (commas not nested in groups).
+/// Groups never need recursing here because `proc_macro` already nests them.
+fn split_commas(tokens: Vec<TokenTree>) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    for t in tokens {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            _ => cur.push(t),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Drop leading `#[...]` attributes and `pub` / `pub(...)` visibility.
+fn strip_prefix(mut chunk: &[TokenTree]) -> &[TokenTree] {
+    loop {
+        match chunk {
+            [TokenTree::Punct(p), TokenTree::Group(g), rest @ ..]
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                chunk = rest;
+            }
+            [TokenTree::Ident(i), TokenTree::Group(g), rest @ ..]
+                if i.to_string() == "pub" && g.delimiter() == Delimiter::Parenthesis =>
+            {
+                chunk = rest;
+            }
+            [TokenTree::Ident(i), rest @ ..] if i.to_string() == "pub" => {
+                chunk = rest;
+            }
+            _ => return chunk,
+        }
+    }
+}
+
+fn parse(input: TokenStream) -> Result<Parsed, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut it = strip_prefix(&tokens).iter();
+
+    let kind = loop {
+        match it.next() {
+            Some(TokenTree::Ident(i)) => {
+                let s = i.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+            }
+            Some(_) => {}
+            None => return Err("expected `struct` or `enum`".into()),
+        }
+    };
+
+    let name = match it.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        _ => return Err("expected type name".into()),
+    };
+
+    let body = loop {
+        match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err(format!("generic type `{name}` is not supported"));
+            }
+            Some(_) => {}
+            None => return Err(format!("expected `{{ ... }}` body for `{name}`")),
+        }
+    };
+
+    let chunks = split_commas(body.stream().into_iter().collect());
+    if kind == "struct" {
+        let mut fields = Vec::new();
+        for chunk in &chunks {
+            let chunk = strip_prefix(chunk);
+            match chunk {
+                [TokenTree::Ident(field), TokenTree::Punct(colon), ..]
+                    if colon.as_char() == ':' =>
+                {
+                    fields.push(field.to_string());
+                }
+                _ => return Err(format!("unsupported field shape in struct `{name}`")),
+            }
+        }
+        Ok(Parsed {
+            name,
+            shape: Shape::Struct { fields },
+        })
+    } else {
+        let mut variants = Vec::new();
+        for chunk in &chunks {
+            let chunk = strip_prefix(chunk);
+            match chunk {
+                [TokenTree::Ident(v)] => variants.push((v.to_string(), false)),
+                [TokenTree::Ident(v), TokenTree::Group(g)]
+                    if g.delimiter() == Delimiter::Parenthesis =>
+                {
+                    if split_commas(g.stream().into_iter().collect()).len() != 1 {
+                        return Err(format!(
+                            "multi-field tuple variant `{name}::{v}` is not supported"
+                        ));
+                    }
+                    variants.push((v.to_string(), true));
+                }
+                _ => return Err(format!("unsupported variant shape in enum `{name}`")),
+            }
+        }
+        Ok(Parsed {
+            name,
+            shape: Shape::Enum { variants },
+        })
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse(input) {
+        Ok(p) => p,
+        Err(e) => {
+            return format!(
+                "::core::compile_error!({:?});",
+                format!("derive(Serialize): {e}")
+            )
+            .parse()
+            .unwrap()
+        }
+    };
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::Struct { fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::Enum { variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, has_payload)| {
+                    if *has_payload {
+                        format!(
+                            "{name}::{v}(__x) => ::serde::Value::Map(::std::vec![(::std::string::String::from({v:?}), ::serde::Serialize::to_value(__x))]),"
+                        )
+                    } else {
+                        format!("{name}::{v} => ::serde::Value::Str(::std::string::String::from({v:?})),")
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n    fn to_value(&self) -> ::serde::Value {{ {body} }}\n}}"
+    )
+    .parse()
+    .unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    // The shim's Deserialize is a marker trait with a blanket impl.
+    TokenStream::new()
+}

@@ -30,7 +30,9 @@ fn platforms() -> Vec<SocConfig> {
 }
 
 fn platform_by_name(name: &str) -> Option<SocConfig> {
-    platforms().into_iter().find(|p| p.name.eq_ignore_ascii_case(name))
+    platforms()
+        .into_iter()
+        .find(|p| p.name.eq_ignore_ascii_case(name))
 }
 
 fn usage() -> ! {
@@ -53,7 +55,11 @@ fn main() {
                     p.name,
                     p.freq_ghz,
                     p.hierarchy.dram.name,
-                    if p.is_simulation { "FireSim model" } else { "silicon reference" }
+                    if p.is_simulation {
+                        "FireSim model"
+                    } else {
+                        "silicon reference"
+                    }
                 );
             }
             println!("\nmicrobenchmarks (Table 1):");
@@ -85,8 +91,11 @@ fn main() {
             };
         }
         "fig" => {
-            let sizes =
-                if args.iter().any(|a| a == "--smoke") { Sizes::smoke() } else { Sizes::default() };
+            let sizes = if args.iter().any(|a| a == "--smoke") {
+                Sizes::smoke()
+            } else {
+                Sizes::default()
+            };
             let figs: Vec<experiments::FigureData> = match args.get(1).map(String::as_str) {
                 Some("1") => vec![experiments::fig1_microbench_rocket(sizes.micro_scale)],
                 Some("2") => vec![experiments::fig2_microbench_boom(sizes.micro_scale)],
@@ -110,7 +119,7 @@ fn main() {
         }
         "micro" => {
             let Some(kname) = args.get(1) else { usage() };
-            let Some(kernel) = microbench::suite().into_iter().find(|k| &k.name == kname) else {
+            let Some(kernel) = microbench::suite().into_iter().find(|k| k.name == *kname) else {
                 eprintln!("unknown kernel {kname}; try `bsim list`");
                 std::process::exit(2);
             };
@@ -141,18 +150,21 @@ fn main() {
         "tune" => {
             let probes: Vec<_> = microbench::evaluated()
                 .into_iter()
-                .filter(|k| ["Cca", "CCh", "ED1", "EI", "EM5", "MD", "ML2", "DP1d"].contains(&k.name))
+                .filter(|k| {
+                    ["Cca", "CCh", "ED1", "EI", "EM5", "MD", "ML2", "DP1d"].contains(&k.name)
+                })
                 .collect();
             let out = choose_best_model(
-                &[configs::small_boom(1), configs::medium_boom(1), configs::large_boom(1)],
+                &[
+                    configs::small_boom(1),
+                    configs::medium_boom(1),
+                    configs::large_boom(1),
+                ],
                 &configs::milkv_hw(1),
                 &probes,
                 1,
             );
-            println!("model ranking vs MILK-V Pioneer (lower deviation = closer):");
-            for (name, score) in &out.ranking {
-                println!("  {name:12} {score:.4}");
-            }
+            print!("{}", out.explanation(10));
             println!("selected: {}", out.best());
         }
         _ => usage(),

@@ -17,6 +17,7 @@
 //! | [`isa`] | `bsim-isa` | RV64IM(+D) encoder/decoder, assembler, interpreter |
 //! | [`uarch`] | `bsim-uarch` | in-order (Rocket-like) and OoO (BOOM-like) timing cores |
 //! | [`mem`] | `bsim-mem` | caches, bus, LLC models, FR-FCFS DRAM timing |
+//! | [`telemetry`] | `bsim-telemetry` | AutoCounter/TracerV-style out-of-band counters, traces, gap reports |
 //! | [`engine`] | `bsim-engine` | token channels, lockstep harness, sim-rate meter |
 //! | [`soc`] | `bsim-soc` | platform catalog (Tables 4/5) and the runnable SoC |
 //! | [`mpi`] | `bsim-mpi` | deterministic virtual-time MPI over simulated cores |
@@ -33,6 +34,7 @@ pub use bsim_isa as isa;
 pub use bsim_mem as mem;
 pub use bsim_mpi as mpi;
 pub use bsim_soc as soc;
+pub use bsim_telemetry as telemetry;
 pub use bsim_uarch as uarch;
 pub use bsim_workloads as workloads;
 

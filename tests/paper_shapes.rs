@@ -11,7 +11,10 @@ use silicon_bridge::workloads::npb::ep;
 use silicon_bridge::workloads::ume::{self, UmeConfig};
 
 fn kernel_seconds(cfg: silicon_bridge::soc::SocConfig, name: &str, scale: u32) -> f64 {
-    let k = microbench::suite().into_iter().find(|k| k.name == name).unwrap();
+    let k = microbench::suite()
+        .into_iter()
+        .find(|k| k.name == name)
+        .unwrap();
     let mut soc = Soc::new(cfg);
     let rep = soc.run_program(0, &k.build(scale), u64::MAX);
     assert_eq!(rep.exit_code, Some(0));
@@ -32,14 +35,16 @@ fn mm_gap_is_the_largest_in_figure1() {
         kernel_seconds(hw.clone(), "Cca", 1),
         kernel_seconds(sim.clone(), "Cca", 1),
     );
-    let md_rel =
-        relative_speedup(kernel_seconds(hw, "MD", 1), kernel_seconds(sim, "MD", 1));
+    let md_rel = relative_speedup(kernel_seconds(hw, "MD", 1), kernel_seconds(sim, "MD", 1));
     assert!(
         mm_rel < cca_rel && mm_rel < md_rel,
         "MM ({mm_rel:.2}) must show a larger gap than control flow ({cca_rel:.2}) \
          or cache-resident ({md_rel:.2}) kernels"
     );
-    assert!((0.15..=0.6).contains(&mm_rel), "MM band (paper: 0.35-0.37), got {mm_rel:.2}");
+    assert!(
+        (0.15..=0.6).contains(&mm_rel),
+        "MM band (paper: 0.35-0.37), got {mm_rel:.2}"
+    );
 }
 
 /// §5.1 / Figure 1: the Fast (2x clock) Banana Pi model improves the
@@ -49,12 +54,17 @@ fn fast_model_helps_compute_not_memory() {
     let base = configs::banana_pi_sim(1);
     let fast = configs::fast_banana_pi_sim(1);
     // Compute kernel: time halves with the clock.
-    let ei_gain =
-        kernel_seconds(base.clone(), "EI", 1) / kernel_seconds(fast.clone(), "EI", 1);
+    let ei_gain = kernel_seconds(base.clone(), "EI", 1) / kernel_seconds(fast.clone(), "EI", 1);
     // DRAM-bound kernel: nearly clock-invariant.
     let mm_gain = kernel_seconds(base, "MM", 1) / kernel_seconds(fast, "MM", 1);
-    assert!(ei_gain > 1.8, "EI must scale with clock, gained {ei_gain:.2}x");
-    assert!(mm_gain < 1.4, "MM must not scale with clock, gained {mm_gain:.2}x");
+    assert!(
+        ei_gain > 1.8,
+        "EI must scale with clock, gained {ei_gain:.2}x"
+    );
+    assert!(
+        mm_gain < 1.4,
+        "MM must not scale with clock, gained {mm_gain:.2}x"
+    );
 }
 
 /// §5.2.2 / Figure 4b: EP reaches near performance parity between the
@@ -63,7 +73,11 @@ fn fast_model_helps_compute_not_memory() {
 fn ep_parity_on_milkv_pair() {
     for ranks in [1usize, 4] {
         let fig = fig4b_npb_boom(ranks, Sizes::smoke());
-        let milkv = fig.series.iter().find(|s| s.name == "MILK-V Sim Model").unwrap();
+        let milkv = fig
+            .series
+            .iter()
+            .find(|s| s.name == "MILK-V Sim Model")
+            .unwrap();
         let ep = milkv.points.iter().find(|(l, _)| l == "EP").unwrap().1;
         assert!(
             (0.5..=1.6).contains(&ep),
@@ -78,7 +92,11 @@ fn ep_parity_on_milkv_pair() {
 fn milkv_tuning_improves_cg_multicore() {
     // Needs a CG working set that overflows the stock 32 KiB L1 but
     // benefits from the 64 KiB tuning (smoke's n=256 fits either way).
-    let sizes = Sizes { cg_n: 2048, cg_iters: 6, ..Sizes::smoke() };
+    let sizes = Sizes {
+        cg_n: 2048,
+        cg_iters: 6,
+        ..Sizes::smoke()
+    };
     let fig = fig4b_npb_boom(4, sizes);
     let get = |series: &str| {
         fig.series
@@ -123,13 +141,22 @@ fn ume_scales_and_sim_is_slower() {
     // on the vectorized silicon model too (n=6 is comm-bound at 4 ranks).
     let cfg = UmeConfig { n: 10, passes: 2 };
     let net = NetConfig::shared_memory();
-    for make in [configs::banana_pi_hw as fn(usize) -> _, configs::banana_pi_sim] {
+    for make in [
+        configs::banana_pi_hw as fn(usize) -> _,
+        configs::banana_pi_sim,
+    ] {
         let t1 = ume::run(make(1), 1, cfg, net).report.run.cycles;
         let t4 = ume::run(make(4), 4, cfg, net).report.run.cycles;
         assert!(t4 < t1, "UME must strong-scale: {t1} -> {t4}");
     }
-    let hw = ume::run(configs::banana_pi_hw(1), 1, cfg, net).report.run.cycles;
-    let sim = ume::run(configs::banana_pi_sim(1), 1, cfg, net).report.run.cycles;
+    let hw = ume::run(configs::banana_pi_hw(1), 1, cfg, net)
+        .report
+        .run
+        .cycles;
+    let sim = ume::run(configs::banana_pi_sim(1), 1, cfg, net)
+        .report
+        .run
+        .cycles;
     // Same 1.6 GHz clock on both, so cycles compare directly.
     assert!(sim > hw, "the simulation must be slower ({sim} vs {hw})");
 }
@@ -138,7 +165,9 @@ fn ume_scales_and_sim_is_slower() {
 /// every platform — only the timing differs.
 #[test]
 fn functional_results_are_platform_independent() {
-    let cfg = ep::EpConfig { pairs_per_rank: 1500 };
+    let cfg = ep::EpConfig {
+        pairs_per_rank: 1500,
+    };
     let net = NetConfig::shared_memory();
     let a = ep::run(configs::rocket1(2), 2, cfg, net);
     let b = ep::run(configs::milkv_hw(2), 2, cfg, net);
@@ -153,7 +182,9 @@ fn functional_results_are_platform_independent() {
 /// produce bit-identical cycle counts (the FireSim guarantee).
 #[test]
 fn full_stack_is_deterministic() {
-    let cfg = ep::EpConfig { pairs_per_rank: 1000 };
+    let cfg = ep::EpConfig {
+        pairs_per_rank: 1000,
+    };
     let net = NetConfig::shared_memory();
     let a = ep::run(configs::milkv_sim(4), 4, cfg, net);
     let b = ep::run(configs::milkv_sim(4), 4, cfg, net);

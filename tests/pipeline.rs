@@ -44,7 +44,10 @@ fn custom_program_runs_on_every_platform() {
         let mut soc = Soc::new(cfg);
         let rep = soc.run_program(0, &prog, 1_000_000);
         assert_eq!(rep.exit_code, Some(3000), "wrong result on {name}");
-        assert!(rep.cycles >= 500, "{name} must charge at least one cycle per fmadd");
+        assert!(
+            rep.cycles >= 500,
+            "{name} must charge at least one cycle per fmadd"
+        );
     }
 }
 
@@ -101,6 +104,9 @@ fn tables_render() {
     let t4 = experiments::table4();
     let t5 = experiments::table5();
     assert!(t4.contains("Large BOOM"));
-    assert!(t5.contains("DDR3-2000"), "the FireSim DDR3 limitation must be visible");
+    assert!(
+        t5.contains("DDR3-2000"),
+        "the FireSim DDR3 limitation must be visible"
+    );
     assert!(t5.contains("prefetch 0") && t5.contains("prefetch 3"));
 }
