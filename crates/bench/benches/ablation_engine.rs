@@ -1,9 +1,20 @@
 //! Ablation E15 — the token-based engine itself: simulation rate of the
-//! lockstep harness (sequential vs parallel host scheduling), and the
-//! FireSim slowdown arithmetic from the paper's §3.2.2.
+//! lockstep harness under three host schedules — sequential, the
+//! pre-batching parallel schedule (one mutex acquisition per token, kept
+//! here as the baseline), and the batched schedule shipped in
+//! `Harness::run_parallel` (up to `quantum` tokens per acquisition, with
+//! spin-then-park backoff) — plus the FireSim slowdown arithmetic from
+//! the paper's §3.2.2.
+//!
+//! The batching win scales with channel latency exactly as FireSim's
+//! does with channel depth: a latency-1 ring forces ±1-cycle lockstep
+//! (batches of 1), while a latency-32 ring lets every thread move ~32
+//! tokens per lock. Both points are reported.
 
-use bsim_engine::{Harness, SimRateMeter, TickModel, Wire};
+use bsim_engine::{ChannelError, Harness, SimRateMeter, TickModel, TokenChannel, Wire};
 use criterion::{criterion_group, criterion_main, Criterion};
+use parking_lot::Mutex;
+use std::sync::Arc;
 
 struct Lfsr {
     state: u64,
@@ -25,7 +36,7 @@ impl TickModel for Lfsr {
     }
 }
 
-fn ring(n: usize) -> (Vec<Lfsr>, Vec<Wire>) {
+fn ring(n: usize, latency: u64) -> (Vec<Lfsr>, Vec<Wire>) {
     let models = (0..n)
         .map(|i| Lfsr {
             state: i as u64 + 1,
@@ -37,38 +48,181 @@ fn ring(n: usize) -> (Vec<Lfsr>, Vec<Wire>) {
             from_port: 0,
             to_model: (i + 1) % n,
             to_port: 0,
-            latency: 1,
+            latency,
         })
         .collect();
     (models, wires)
 }
 
+/// The pre-batching `run_parallel` schedule, verbatim: one host thread
+/// per model, one `Mutex` acquisition per token per cycle, pure
+/// `yield_now` spinning. Retained as the ablation baseline so the
+/// batched engine's speedup stays measurable PR over PR.
+fn run_parallel_per_token(
+    models: Vec<Lfsr>,
+    wires: Vec<Wire>,
+    cycles: u64,
+    quantum: usize,
+) -> Vec<u64> {
+    let channels: Arc<Vec<Mutex<TokenChannel<u64>>>> = Arc::new(
+        wires
+            .iter()
+            .map(|w| {
+                let mut ch = TokenChannel::new(w.latency as usize + quantum);
+                for c in 0..w.latency {
+                    ch.push(c, 0).expect("reset tokens fit");
+                }
+                Mutex::new(ch)
+            })
+            .collect(),
+    );
+    let mut states: Vec<(usize, u64)> = Vec::new();
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (mi, mut model) in models.into_iter().enumerate() {
+            let channels = Arc::clone(&channels);
+            let my_in: Vec<usize> = wires
+                .iter()
+                .enumerate()
+                .filter(|(_, w)| w.to_model == mi)
+                .map(|(wi, _)| wi)
+                .collect();
+            let my_out: Vec<(usize, u64)> = wires
+                .iter()
+                .enumerate()
+                .filter(|(_, w)| w.from_model == mi)
+                .map(|(wi, w)| (wi, w.latency))
+                .collect();
+            handles.push(scope.spawn(move |_| {
+                let mut inputs = vec![0u64; 1];
+                let mut outputs = vec![0u64; 1];
+                for cycle in 0..cycles {
+                    for &wi in &my_in {
+                        loop {
+                            match channels[wi].lock().pop(cycle) {
+                                Ok(t) => {
+                                    inputs[0] = t;
+                                    break;
+                                }
+                                Err(ChannelError::Empty) => std::thread::yield_now(),
+                                Err(e) => panic!("token protocol violation: {e}"),
+                            }
+                        }
+                    }
+                    model.tick(cycle, &inputs, &mut outputs);
+                    for &(wi, latency) in &my_out {
+                        loop {
+                            match channels[wi].lock().push(cycle + latency, outputs[0]) {
+                                Ok(()) => break,
+                                Err(ChannelError::Full) => std::thread::yield_now(),
+                                Err(e) => panic!("token protocol violation: {e}"),
+                            }
+                        }
+                    }
+                }
+                (mi, model.state)
+            }));
+        }
+        for h in handles {
+            states.push(h.join().unwrap());
+        }
+    })
+    .expect("model thread panicked");
+    states.sort_unstable();
+    states.into_iter().map(|(_, s)| s).collect()
+}
+
 fn bench_engine(c: &mut Criterion) {
+    const CYCLES: u64 = 10_000;
+    const QUANTUM: usize = 32;
+
+    // Cross-check: the per-token baseline and the batched engine must
+    // agree bit-for-bit before their timings mean anything.
+    for latency in [1, 32] {
+        let (m, w) = ring(4, latency);
+        let batched: Vec<u64> = Harness::new(m, w)
+            .run_parallel(CYCLES, QUANTUM)
+            .iter()
+            .map(|m| m.state)
+            .collect();
+        let (m, w) = ring(4, latency);
+        let per_token = run_parallel_per_token(m, w, CYCLES, QUANTUM);
+        assert_eq!(
+            batched, per_token,
+            "schedules disagree at latency {latency}"
+        );
+    }
+
     let mut g = c.benchmark_group("token_engine");
     g.sample_size(10);
     g.bench_function("sequential_4_models_10k_cycles", |b| {
         b.iter(|| {
-            let (m, w) = ring(4);
-            Harness::new(m, w).run(10_000)
+            let (m, w) = ring(4, 1);
+            Harness::new(m, w).run(CYCLES)
         })
     });
-    g.bench_function("parallel_4_models_10k_cycles", |b| {
+    g.bench_function("per_token_4_models_10k_cycles_lat1", |b| {
         b.iter(|| {
-            let (m, w) = ring(4);
-            Harness::new(m, w).run_parallel(10_000, 64)
+            let (m, w) = ring(4, 1);
+            run_parallel_per_token(m, w, CYCLES, QUANTUM)
+        })
+    });
+    g.bench_function("batched_4_models_10k_cycles_lat1", |b| {
+        b.iter(|| {
+            let (m, w) = ring(4, 1);
+            Harness::new(m, w).run_parallel(CYCLES, QUANTUM)
+        })
+    });
+    g.bench_function("per_token_4_models_10k_cycles_lat32", |b| {
+        b.iter(|| {
+            let (m, w) = ring(4, 32);
+            run_parallel_per_token(m, w, CYCLES, QUANTUM)
+        })
+    });
+    g.bench_function("batched_4_models_10k_cycles_lat32", |b| {
+        b.iter(|| {
+            let (m, w) = ring(4, 32);
+            Harness::new(m, w).run_parallel(CYCLES, QUANTUM)
         })
     });
     g.finish();
 
-    // Print the simulation-rate comparison once.
+    // Print the speedup figure EXPERIMENTS.md records: batched vs
+    // per-token on the 4-model, latency-32 ring.
+    let time = |f: &dyn Fn()| {
+        let t0 = std::time::Instant::now();
+        for _ in 0..5 {
+            f();
+        }
+        t0.elapsed().as_secs_f64() / 5.0
+    };
+    let t_tok = time(&|| {
+        let (m, w) = ring(4, 32);
+        run_parallel_per_token(m, w, CYCLES, QUANTUM);
+    });
+    let t_bat = time(&|| {
+        let (m, w) = ring(4, 32);
+        Harness::new(m, w).run_parallel(CYCLES, QUANTUM);
+    });
+    println!(
+        "\n== Ablation: batched vs per-token exchange (4-model ring, latency 32, quantum {QUANTUM}) ==\n\
+         per-token: {:.2} ms/10k cycles ({:.2} MHz)   batched: {:.2} ms/10k cycles ({:.2} MHz)   speedup: {:.1}x",
+        t_tok * 1e3,
+        CYCLES as f64 / t_tok / 1e6,
+        t_bat * 1e3,
+        CYCLES as f64 / t_bat / 1e6,
+        t_tok / t_bat
+    );
+
+    // Simulation-rate comparison against the paper's FireSim numbers.
     let mut meter = SimRateMeter::start();
-    let (m, w) = ring(8);
+    let (m, w) = ring(8, 1);
     let _ = Harness::new(m, w).run(200_000);
     meter.add_cycles(200_000);
     let rate = meter.finish();
     println!(
-        "\n== Ablation: engine simulation rate ==\n\
-         software token engine: {:.2} MHz ({}x slowdown vs a 1.6 GHz target)\n\
+        "== Ablation: engine simulation rate ==\n\
+         software token engine (sequential): {:.2} MHz ({}x slowdown vs a 1.6 GHz target)\n\
          paper's FireSim rates: Rocket ~60 MHz (~25x), BOOM ~15 MHz (~135x)",
         rate.mhz(),
         rate.slowdown(1.6) as u64

@@ -3,7 +3,10 @@
 
 fn main() {
     bsim_bench::with_timer("fig1", || {
-        let fig = bsim_core::experiments::fig1_microbench_rocket(bsim_bench::micro_scale());
+        let fig = bsim_core::experiments::fig1_microbench_rocket_par(
+            bsim_bench::micro_scale(),
+            bsim_bench::parallelism(),
+        );
         bsim_bench::emit(&fig);
     });
 }

@@ -3,7 +3,10 @@
 
 fn main() {
     bsim_bench::with_timer("fig2", || {
-        let fig = bsim_core::experiments::fig2_microbench_boom(bsim_bench::micro_scale());
+        let fig = bsim_core::experiments::fig2_microbench_boom_par(
+            bsim_bench::micro_scale(),
+            bsim_bench::parallelism(),
+        );
         bsim_bench::emit(&fig);
     });
 }

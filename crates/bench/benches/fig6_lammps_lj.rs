@@ -3,7 +3,10 @@
 
 fn main() {
     bsim_bench::with_timer("fig6", || {
-        let fig = bsim_core::experiments::fig6_lammps_lj(bsim_bench::sizes());
+        let fig = bsim_core::experiments::fig6_lammps_lj_par(
+            bsim_bench::sizes(),
+            bsim_bench::parallelism(),
+        );
         bsim_bench::emit(&fig);
     });
 }

@@ -3,7 +3,10 @@
 
 fn main() {
     bsim_bench::with_timer("fig7", || {
-        let fig = bsim_core::experiments::fig7_lammps_chain(bsim_bench::sizes());
+        let fig = bsim_core::experiments::fig7_lammps_chain_par(
+            bsim_bench::sizes(),
+            bsim_bench::parallelism(),
+        );
         bsim_bench::emit(&fig);
     });
 }

@@ -5,10 +5,14 @@
 //! same rows/series the paper plots. Workload sizes default to the
 //! reduced, class-A-shaped sizes of `bsim_core::experiments::Sizes`;
 //! set `BSIM_SIZES=smoke` for a fast sanity pass or `BSIM_SIZES=paper`
-//! for larger (slower) runs closer to the paper's inputs.
+//! for larger (slower) runs closer to the paper's inputs. Figure
+//! harnesses sweep their platform×workload grid with `BSIM_PAR` host
+//! workers (`seq`, `auto`, or a count; default `auto`) — the grid order
+//! of every figure is deterministic regardless of the worker count.
 
 use bsim_core::experiments::{FigureData, Sizes};
 use bsim_core::table;
+use bsim_core::Parallelism;
 
 /// Resolves the size preset from `BSIM_SIZES`.
 pub fn sizes() -> Sizes {
@@ -34,6 +38,19 @@ pub fn sizes() -> Sizes {
 /// MicroBench iteration scale from the same preset.
 pub fn micro_scale() -> u32 {
     sizes().micro_scale
+}
+
+/// Host-side sweep parallelism from `BSIM_PAR` (default: one worker per
+/// host core, capped at the grid size). Results are bit-identical for
+/// every setting; only the host wall clock changes.
+pub fn parallelism() -> Parallelism {
+    match std::env::var("BSIM_PAR") {
+        Ok(v) => Parallelism::parse(&v).unwrap_or_else(|| {
+            eprintln!("BSIM_PAR={v} not understood (want seq, auto, or a count); using auto");
+            Parallelism::Auto
+        }),
+        Err(_) => Parallelism::Auto,
+    }
 }
 
 /// Prints a figure as text and, when `BSIM_JSON=1`, as JSON (for

@@ -7,18 +7,21 @@
 //! paper-vs-measured comparison.
 
 use crate::metrics::relative_speedup;
+use bsim_engine::{SimRate, SimRateMeter};
 use bsim_mpi::NetConfig;
 use bsim_soc::{configs, Soc, SocConfig};
-use bsim_telemetry::{TelemetryConfig, TelemetrySnapshot};
+use bsim_telemetry::{CounterBlock, TelemetryConfig, TelemetrySnapshot};
 use bsim_workloads::md::chain::{self, ChainConfig};
 use bsim_workloads::md::lj::{self, LjConfig};
 use bsim_workloads::microbench;
 use bsim_workloads::npb::{cg, ep, is, mg};
 use bsim_workloads::ume::{self, UmeConfig};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// One plotted series.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Series {
     /// Legend name (matches the paper's legends).
     pub name: String,
@@ -27,7 +30,7 @@ pub struct Series {
 }
 
 /// One figure or table worth of data.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct FigureData {
     /// Title (e.g. "Figure 1: MicroBench on Rocket models vs Banana Pi").
     pub title: String,
@@ -102,11 +105,159 @@ impl Sizes {
     }
 }
 
-fn run_kernel_seconds(cfg: SocConfig, prog: &bsim_isa::Program) -> f64 {
-    let mut soc = Soc::new(cfg);
-    let rep = soc.run_program(0, prog, u64::MAX);
-    assert_eq!(rep.exit_code, Some(0), "microbenchmark must exit cleanly");
-    rep.seconds
+/// How many host workers an experiment grid may use. The grid cells of
+/// every paper table/figure (platform × workload × rank-count) are
+/// independent simulations, so they fan out across a scoped thread pool;
+/// results are always assembled in grid order (never completion order),
+/// which keeps every figure bit-identical to a sequential run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Parallelism {
+    /// One grid cell at a time (the pre-sweep-runner behavior).
+    Sequential,
+    /// One worker per available host core, capped at the cell count.
+    Auto,
+    /// Exactly this many workers (clamped to ≥ 1, capped at the cells).
+    Workers(usize),
+}
+
+impl Parallelism {
+    /// The worker count this knob resolves to for a `jobs`-cell grid.
+    pub fn workers(self, jobs: usize) -> usize {
+        let raw = match self {
+            Parallelism::Sequential => 1,
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            Parallelism::Workers(n) => n.max(1),
+        };
+        raw.min(jobs.max(1))
+    }
+
+    /// Parses a CLI/env flag: `seq`, `auto`, or a worker count.
+    pub fn parse(s: &str) -> Option<Parallelism> {
+        match s {
+            "seq" | "sequential" => Some(Parallelism::Sequential),
+            "auto" => Some(Parallelism::Auto),
+            _ => s.parse::<usize>().ok().map(|n| {
+                if n <= 1 {
+                    Parallelism::Sequential
+                } else {
+                    Parallelism::Workers(n)
+                }
+            }),
+        }
+    }
+}
+
+/// Runs `jobs` independent grid cells across a scoped worker pool and
+/// returns the results **ordered by grid index**. Workers claim cells
+/// from a shared counter, so an expensive cell never serializes the
+/// cheap ones behind it. A panicking cell propagates its payload out of
+/// this call once the surviving workers drain the grid.
+pub fn run_grid<T, F>(jobs: usize, par: Parallelism, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = par.workers(jobs);
+    if workers <= 1 {
+        return (0..jobs).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+    // Join every worker explicitly and keep the first panic payload:
+    // letting the scope observe an unjoined panic would replace the
+    // cell's message with a generic "a scoped thread panicked".
+    let first_panic = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs {
+                        break;
+                    }
+                    let cell = f(i);
+                    *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(cell);
+                })
+            })
+            .collect();
+        let mut first: Option<Box<dyn std::any::Any + Send>> = None;
+        for h in handles {
+            if let Err(payload) = h.join() {
+                first.get_or_insert(payload);
+            }
+        }
+        first
+    })
+    .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+    if let Some(payload) = first_panic {
+        std::panic::resume_unwind(payload);
+    }
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("every grid cell ran")
+        })
+        .collect()
+}
+
+/// Outcome of a metered sweep: per-cell results in grid order plus the
+/// aggregate simulation rate across all workers — the `host.rate.*`
+/// figure the paper's 60 MHz/15 MHz hosting-rate discussion maps to.
+#[derive(Clone, Debug)]
+pub struct SweepRun<T> {
+    /// Per-cell results, ordered by grid index.
+    pub results: Vec<T>,
+    /// Aggregate target cycles vs host wall-clock across the whole grid.
+    pub rate: SimRate,
+    /// Worker threads the sweep actually used.
+    pub workers: usize,
+}
+
+impl<T> SweepRun<T> {
+    /// Publishes the aggregate rate under `host.rate.*` and the pool
+    /// shape under `host.sweep.*`.
+    pub fn publish(&self, block: &mut CounterBlock) {
+        self.rate.publish(block);
+        block.set_named("host.sweep.workers", self.workers as u64);
+        block.set_named("host.sweep.cells", self.results.len() as u64);
+    }
+
+    /// One-line host-sweep summary for figure notes.
+    pub fn describe(&self) -> String {
+        format!(
+            "host sweep: {} cells on {} worker(s), {:.2} target-MHz aggregate",
+            self.results.len(),
+            self.workers,
+            self.rate.mhz()
+        )
+    }
+}
+
+/// [`run_grid`] for cells that also report their simulated target
+/// cycles; aggregates a [`SimRateMeter`] across the workers.
+pub fn run_grid_metered<T, F>(jobs: usize, par: Parallelism, f: F) -> SweepRun<T>
+where
+    T: Send,
+    F: Fn(usize) -> (T, u64) + Sync,
+{
+    let workers = par.workers(jobs);
+    let mut meter = SimRateMeter::start();
+    let cells = run_grid(jobs, par, f);
+    let mut results = Vec::with_capacity(cells.len());
+    let mut cycles = 0u64;
+    for (t, c) in cells {
+        results.push(t);
+        cycles += c;
+    }
+    meter.add_cycles(cycles);
+    SweepRun {
+        results,
+        rate: meter.finish(),
+        workers,
+    }
 }
 
 fn microbench_figure(
@@ -114,8 +265,21 @@ fn microbench_figure(
     sim_models: Vec<SocConfig>,
     hw: SocConfig,
     scale: u32,
+    par: Parallelism,
 ) -> FigureData {
     let kernels = microbench::evaluated();
+    // Grid: kernel-major over [hw, sim_models...]; one cell = one
+    // (kernel, platform) simulation.
+    let mut platforms = vec![hw.clone()];
+    platforms.extend(sim_models.iter().cloned());
+    let np = platforms.len();
+    let sweep = run_grid_metered(kernels.len() * np, par, |i| {
+        let prog = kernels[i / np].build(scale);
+        let mut soc = Soc::new(platforms[i % np].clone());
+        let rep = soc.run_program(0, &prog, u64::MAX);
+        assert_eq!(rep.exit_code, Some(0), "microbenchmark must exit cleanly");
+        (rep.seconds, rep.cycles)
+    });
     let mut series: Vec<Series> = sim_models
         .iter()
         .map(|m| Series {
@@ -123,21 +287,20 @@ fn microbench_figure(
             points: Vec::new(),
         })
         .collect();
-    for k in &kernels {
-        let prog = k.build(scale);
-        let t_hw = run_kernel_seconds(hw.clone(), &prog);
-        for (si, m) in sim_models.iter().enumerate() {
-            let t_sim = run_kernel_seconds(m.clone(), &prog);
-            series[si]
-                .points
+    for (ki, k) in kernels.iter().enumerate() {
+        let t_hw = sweep.results[ki * np];
+        for (si, s) in series.iter_mut().enumerate() {
+            let t_sim = sweep.results[ki * np + 1 + si];
+            s.points
                 .push((k.name.to_string(), relative_speedup(t_hw, t_sim)));
         }
     }
     FigureData {
         title: title.to_string(),
         note: Some(format!(
-            "39 kernels (CRm excluded, as in the paper); relative speedup vs {} (1.0 = match); scale {scale}",
-            hw.name
+            "39 kernels (CRm excluded, as in the paper); relative speedup vs {} (1.0 = match); scale {scale}; {}",
+            hw.name,
+            sweep.describe()
         )),
         series,
     }
@@ -146,17 +309,28 @@ fn microbench_figure(
 /// **Figure 1**: MicroBench relative performance of the Banana Pi Sim
 /// Model and Fast Banana Pi Sim Model, normalized by Banana Pi hardware.
 pub fn fig1_microbench_rocket(scale: u32) -> FigureData {
+    fig1_microbench_rocket_par(scale, Parallelism::Sequential)
+}
+
+/// [`fig1_microbench_rocket`] with an explicit sweep-parallelism knob.
+pub fn fig1_microbench_rocket_par(scale: u32, par: Parallelism) -> FigureData {
     microbench_figure(
         "Figure 1: MicroBench — Rocket models vs Banana Pi hardware",
         vec![configs::banana_pi_sim(1), configs::fast_banana_pi_sim(1)],
         configs::banana_pi_hw(1),
         scale,
+        par,
     )
 }
 
 /// **Figure 2**: MicroBench relative performance of Small/Medium/Large
 /// BOOM and the tuned MILK-V Sim Model, normalized by MILK-V hardware.
 pub fn fig2_microbench_boom(scale: u32) -> FigureData {
+    fig2_microbench_boom_par(scale, Parallelism::Sequential)
+}
+
+/// [`fig2_microbench_boom`] with an explicit sweep-parallelism knob.
+pub fn fig2_microbench_boom_par(scale: u32, par: Parallelism) -> FigureData {
     microbench_figure(
         "Figure 2: MicroBench — BOOM models vs MILK-V hardware",
         vec![
@@ -167,12 +341,19 @@ pub fn fig2_microbench_boom(scale: u32) -> FigureData {
         ],
         configs::milkv_hw(1),
         scale,
+        par,
     )
 }
 
 /// Runs the four NPB kernels on one platform, returning seconds per
 /// benchmark in `[CG, EP, IS, MG]` order.
 pub fn npb_seconds(cfg: SocConfig, ranks: usize, sizes: Sizes) -> [f64; 4] {
+    npb_run(cfg, ranks, sizes).0
+}
+
+/// [`npb_seconds`] plus the total simulated cycles across the four
+/// kernels, for sweep-rate aggregation.
+fn npb_run(cfg: SocConfig, ranks: usize, sizes: Sizes) -> ([f64; 4], u64) {
     let net = NetConfig::shared_memory();
     let freq = cfg.freq_ghz;
     let sec = |cycles: u64| cycles as f64 / (freq * 1e9);
@@ -215,12 +396,21 @@ pub fn npb_seconds(cfg: SocConfig, ranks: usize, sizes: Sizes) -> [f64; 4] {
         },
         net,
     );
-    [
-        sec(cg_r.report.run.cycles),
-        sec(ep_r.report.run.cycles),
-        sec(is_r.report.run.cycles),
-        sec(mg_r.report.run.cycles),
-    ]
+    let cycles = [
+        cg_r.report.run.cycles,
+        ep_r.report.run.cycles,
+        is_r.report.run.cycles,
+        mg_r.report.run.cycles,
+    ];
+    (
+        [
+            sec(cycles[0]),
+            sec(cycles[1]),
+            sec(cycles[2]),
+            sec(cycles[3]),
+        ],
+        cycles.iter().sum(),
+    )
 }
 
 /// **E8 (Figure 4), instrumented**: runs NPB CG on `cfg` with telemetry
@@ -253,27 +443,33 @@ fn npb_figure(
     hw: SocConfig,
     ranks: usize,
     sizes: Sizes,
+    par: Parallelism,
 ) -> FigureData {
-    let hw_secs = npb_seconds(hw.clone(), ranks, sizes);
+    // Grid: one cell per platform, hardware reference first.
+    let mut platforms = vec![hw.clone()];
+    platforms.extend(sim_models.iter().cloned());
+    let sweep = run_grid_metered(platforms.len(), par, |i| {
+        npb_run(platforms[i].clone(), ranks, sizes)
+    });
+    let hw_secs = sweep.results[0];
     let series = sim_models
-        .into_iter()
-        .map(|m| {
-            let s = npb_seconds(m.clone(), ranks, sizes);
-            Series {
-                name: m.name.clone(),
-                points: NPB_NAMES
-                    .iter()
-                    .zip(s.iter().zip(hw_secs.iter()))
-                    .map(|(n, (sim, hw))| (n.to_string(), relative_speedup(*hw, *sim)))
-                    .collect(),
-            }
+        .iter()
+        .enumerate()
+        .map(|(si, m)| Series {
+            name: m.name.clone(),
+            points: NPB_NAMES
+                .iter()
+                .zip(sweep.results[si + 1].iter().zip(hw_secs.iter()))
+                .map(|(n, (sim, hw))| (n.to_string(), relative_speedup(*hw, *sim)))
+                .collect(),
         })
         .collect();
     FigureData {
         title: title.to_string(),
         note: Some(format!(
-            "{ranks} MPI rank(s); relative speedup vs {} (1.0 = match)",
-            hw.name
+            "{ranks} MPI rank(s); relative speedup vs {} (1.0 = match); {}",
+            hw.name,
+            sweep.describe()
         )),
         series,
     }
@@ -282,6 +478,11 @@ fn npb_figure(
 /// **Figure 3** (a: 1 rank, b: 4 ranks): NPB on the Rocket-family
 /// models vs Banana Pi hardware.
 pub fn fig3_npb_rocket(ranks: usize, sizes: Sizes) -> FigureData {
+    fig3_npb_rocket_par(ranks, sizes, Parallelism::Sequential)
+}
+
+/// [`fig3_npb_rocket`] with an explicit sweep-parallelism knob.
+pub fn fig3_npb_rocket_par(ranks: usize, sizes: Sizes, par: Parallelism) -> FigureData {
     npb_figure(
         &format!(
             "Figure 3{}: NPB — Rocket models vs Banana Pi ({ranks} ranks)",
@@ -296,11 +497,17 @@ pub fn fig3_npb_rocket(ranks: usize, sizes: Sizes) -> FigureData {
         configs::banana_pi_hw(ranks),
         ranks,
         sizes,
+        par,
     )
 }
 
 /// **Figure 4a**: NPB on stock Small/Medium/Large BOOM vs MILK-V.
 pub fn fig4a_npb_boom(ranks: usize, sizes: Sizes) -> FigureData {
+    fig4a_npb_boom_par(ranks, sizes, Parallelism::Sequential)
+}
+
+/// [`fig4a_npb_boom`] with an explicit sweep-parallelism knob.
+pub fn fig4a_npb_boom_par(ranks: usize, sizes: Sizes, par: Parallelism) -> FigureData {
     npb_figure(
         &format!("Figure 4a: NPB — stock BOOM configs vs MILK-V ({ranks} ranks)"),
         vec![
@@ -311,26 +518,35 @@ pub fn fig4a_npb_boom(ranks: usize, sizes: Sizes) -> FigureData {
         configs::milkv_hw(ranks),
         ranks,
         sizes,
+        par,
     )
 }
 
 /// **Figure 4b**: NPB on the tuned MILK-V Sim Model vs MILK-V.
 pub fn fig4b_npb_boom(ranks: usize, sizes: Sizes) -> FigureData {
+    fig4b_npb_boom_par(ranks, sizes, Parallelism::Sequential)
+}
+
+/// [`fig4b_npb_boom`] with an explicit sweep-parallelism knob.
+pub fn fig4b_npb_boom_par(ranks: usize, sizes: Sizes, par: Parallelism) -> FigureData {
     npb_figure(
         &format!("Figure 4b: NPB — tuned MILK-V Sim Model vs MILK-V ({ranks} ranks)"),
         vec![configs::large_boom(ranks), configs::milkv_sim(ranks)],
         configs::milkv_hw(ranks),
         ranks,
         sizes,
+        par,
     )
 }
 
 /// Runtime matrix for an app benchmark over 1/2/4 ranks on the two
-/// platform pairs, as Figures 5–7 report.
+/// platform pairs, as Figures 5–7 report. `run_on` returns the target
+/// runtime in seconds plus the simulated cycles (for rate aggregation).
 fn app_figure(
     title: &str,
     note: &str,
-    mut run_on: impl FnMut(SocConfig, usize) -> f64,
+    par: Parallelism,
+    run_on: impl Fn(SocConfig, usize) -> (f64, u64) + Sync,
 ) -> FigureData {
     let rank_counts = [1usize, 2, 4];
     let mut series = Vec::new();
@@ -341,11 +557,17 @@ fn app_figure(
         ("MILK-V (hw)", configs::milkv_hw),
         ("MILK-V Sim Model", configs::milkv_sim),
     ];
+    // Grid: platform-major × rank-count, 12 independent cells.
+    let sweep = run_grid_metered(platforms.len() * rank_counts.len(), par, |i| {
+        let (_, make) = platforms[i / rank_counts.len()];
+        let r = rank_counts[i % rank_counts.len()];
+        run_on(make(r), r)
+    });
     let mut seconds = vec![Vec::new(); 4];
-    for (pi, (name, make)) in platforms.iter().enumerate() {
+    for (pi, (name, _)) in platforms.iter().enumerate() {
         let mut points = Vec::new();
-        for &r in &rank_counts {
-            let s = run_on(make(r), r);
+        for (k, &r) in rank_counts.iter().enumerate() {
+            let s = sweep.results[pi * rank_counts.len() + k];
             seconds[pi].push(s);
             points.push((format!("{r} ranks"), s));
         }
@@ -373,19 +595,25 @@ fn app_figure(
     }
     FigureData {
         title: title.to_string(),
-        note: Some(note.to_string()),
+        note: Some(format!("{note}; {}", sweep.describe())),
         series,
     }
 }
 
 /// **Figure 5**: UME runtimes and relative speedups, 1/2/4 ranks.
 pub fn fig5_ume(sizes: Sizes) -> FigureData {
+    fig5_ume_par(sizes, Parallelism::Sequential)
+}
+
+/// [`fig5_ume`] with an explicit sweep-parallelism knob.
+pub fn fig5_ume_par(sizes: Sizes, par: Parallelism) -> FigureData {
     app_figure(
         "Figure 5: UME — simulation models vs hardware",
         &format!(
             "{0}^3-zone mesh (paper: 32^3), kernels: gather + inverted + face-area",
             sizes.ume_n
         ),
+        par,
         |cfg, ranks| {
             let freq = cfg.freq_ghz;
             let r = ume::run(
@@ -397,7 +625,8 @@ pub fn fig5_ume(sizes: Sizes) -> FigureData {
                 },
                 NetConfig::shared_memory(),
             );
-            r.report.run.cycles as f64 / (freq * 1e9)
+            let cycles = r.report.run.cycles;
+            (cycles as f64 / (freq * 1e9), cycles)
         },
     )
 }
@@ -405,6 +634,11 @@ pub fn fig5_ume(sizes: Sizes) -> FigureData {
 /// **Figure 6**: LAMMPS Lennard-Jones melt runtimes and relative
 /// speedups, 1/2/4 ranks.
 pub fn fig6_lammps_lj(sizes: Sizes) -> FigureData {
+    fig6_lammps_lj_par(sizes, Parallelism::Sequential)
+}
+
+/// [`fig6_lammps_lj`] with an explicit sweep-parallelism knob.
+pub fn fig6_lammps_lj_par(sizes: Sizes, par: Parallelism) -> FigureData {
     app_figure(
         "Figure 6: LAMMPS LJ melt — simulation models vs hardware",
         &format!(
@@ -412,6 +646,7 @@ pub fn fig6_lammps_lj(sizes: Sizes) -> FigureData {
             4 * sizes.lj_cells.pow(3),
             sizes.md_steps
         ),
+        par,
         |cfg, ranks| {
             let freq = cfg.freq_ghz;
             let r = lj::run(
@@ -424,7 +659,8 @@ pub fn fig6_lammps_lj(sizes: Sizes) -> FigureData {
                 },
                 NetConfig::shared_memory(),
             );
-            r.report.run.cycles as f64 / (freq * 1e9)
+            let cycles = r.report.run.cycles;
+            (cycles as f64 / (freq * 1e9), cycles)
         },
     )
 }
@@ -432,6 +668,11 @@ pub fn fig6_lammps_lj(sizes: Sizes) -> FigureData {
 /// **Figure 7**: LAMMPS polymer Chain runtimes and relative speedups,
 /// 1/2/4 ranks.
 pub fn fig7_lammps_chain(sizes: Sizes) -> FigureData {
+    fig7_lammps_chain_par(sizes, Parallelism::Sequential)
+}
+
+/// [`fig7_lammps_chain`] with an explicit sweep-parallelism knob.
+pub fn fig7_lammps_chain_par(sizes: Sizes, par: Parallelism) -> FigureData {
     app_figure(
         "Figure 7: LAMMPS Chain — simulation models vs hardware",
         &format!(
@@ -439,6 +680,7 @@ pub fn fig7_lammps_chain(sizes: Sizes) -> FigureData {
             sizes.chain_cells.pow(3),
             sizes.md_steps
         ),
+        par,
         |cfg, ranks| {
             let freq = cfg.freq_ghz;
             let r = chain::run(
@@ -452,7 +694,8 @@ pub fn fig7_lammps_chain(sizes: Sizes) -> FigureData {
                 },
                 NetConfig::shared_memory(),
             );
-            r.report.run.cycles as f64 / (freq * 1e9)
+            let cycles = r.report.run.cycles;
+            (cycles as f64 / (freq * 1e9), cycles)
         },
     )
 }
@@ -549,6 +792,82 @@ mod tests {
         assert!(t.contains("DDR3-2000"));
         assert!(t.contains("DDR4-3200"));
         assert!(t.contains("LPDDR4-2666"));
+    }
+
+    #[test]
+    fn run_grid_orders_results_by_grid_index() {
+        let out = run_grid(32, Parallelism::Workers(8), |i| i * i);
+        assert_eq!(out, (0..32).map(|i| i * i).collect::<Vec<_>>());
+        // Degenerate shapes.
+        assert!(run_grid(0, Parallelism::Auto, |i| i).is_empty());
+        assert_eq!(run_grid(1, Parallelism::Workers(16), |i| i), vec![0]);
+    }
+
+    #[test]
+    fn run_grid_metered_aggregates_cycles_and_publishes_host_rate() {
+        let sweep = run_grid_metered(10, Parallelism::Workers(4), |i| (i as u64, 100u64));
+        assert_eq!(sweep.results, (0..10u64).collect::<Vec<_>>());
+        assert_eq!(sweep.rate.target_cycles, 1000);
+        assert_eq!(sweep.workers, 4);
+        let mut block = CounterBlock::new(true);
+        sweep.publish(&mut block);
+        assert_eq!(block.get("host.rate.target_cycles"), Some(1000));
+        assert_eq!(block.get("host.sweep.workers"), Some(4));
+        assert_eq!(block.get("host.sweep.cells"), Some(10));
+        assert!(sweep.describe().contains("10 cells on 4 worker(s)"));
+    }
+
+    #[test]
+    fn grid_worker_panic_propagates_with_payload() {
+        let caught = std::panic::catch_unwind(|| {
+            run_grid(8, Parallelism::Workers(4), |i| {
+                assert!(i != 5, "grid cell 5 died");
+                i
+            })
+        });
+        let payload = caught.expect_err("the cell panic must propagate");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("grid cell 5 died"), "got: {msg}");
+    }
+
+    #[test]
+    fn parallelism_flag_parses() {
+        assert_eq!(Parallelism::parse("seq"), Some(Parallelism::Sequential));
+        assert_eq!(Parallelism::parse("auto"), Some(Parallelism::Auto));
+        assert_eq!(Parallelism::parse("1"), Some(Parallelism::Sequential));
+        assert_eq!(Parallelism::parse("6"), Some(Parallelism::Workers(6)));
+        assert_eq!(Parallelism::parse("zero"), None);
+        assert_eq!(Parallelism::Workers(5).workers(2), 2, "capped at the cells");
+        assert_eq!(Parallelism::Workers(3).workers(100), 3);
+        assert_eq!(Parallelism::Sequential.workers(100), 1);
+        assert!(
+            Parallelism::Auto.workers(100) >= 1,
+            "auto is host-dependent"
+        );
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_sequential() {
+        // The sweep runner must order by grid index, so the figure's
+        // series/points cannot depend on the worker count. (Notes carry
+        // host-rate figures and legitimately differ.)
+        let tiny = Sizes {
+            lj_cells: 2,
+            md_steps: 2,
+            ..Sizes::smoke()
+        };
+        let seq = fig6_lammps_lj_par(tiny, Parallelism::Sequential);
+        let par = fig6_lammps_lj_par(tiny, Parallelism::Auto);
+        assert_eq!(seq.title, par.title);
+        assert_eq!(seq.series.len(), par.series.len());
+        for (a, b) in seq.series.iter().zip(par.series.iter()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.points, b.points, "series {} moved", a.name);
+        }
     }
 
     #[test]

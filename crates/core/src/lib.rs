@@ -38,5 +38,5 @@ pub mod metrics;
 pub mod table;
 pub mod tuning;
 
-pub use experiments::{FigureData, Series};
+pub use experiments::{run_grid, run_grid_metered, FigureData, Parallelism, Series, SweepRun};
 pub use metrics::relative_speedup;

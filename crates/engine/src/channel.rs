@@ -94,6 +94,46 @@ impl<T> TokenChannel<T> {
         }
     }
 
+    /// Pushes tokens for consecutive cycles starting at `start_cycle`,
+    /// stopping early when the channel fills. Returns how many were
+    /// pushed (possibly 0 when already full). One lock acquisition's
+    /// worth of work replaces up to `tokens.len()` single-token pushes —
+    /// this is what lets the parallel harness amortize synchronization
+    /// over a whole channel quantum.
+    pub fn push_batch(&mut self, start_cycle: u64, tokens: &[T]) -> Result<usize, ChannelError>
+    where
+        T: Copy,
+    {
+        if start_cycle != self.next_push_cycle {
+            return Err(ChannelError::WrongCycle {
+                expected: self.next_push_cycle,
+                got: start_cycle,
+            });
+        }
+        let n = tokens.len().min(self.capacity - self.queue.len());
+        self.queue.extend(tokens[..n].iter().copied());
+        self.next_push_cycle += n as u64;
+        Ok(n)
+    }
+
+    /// Pops tokens for consecutive cycles starting at `start_cycle` into
+    /// `out`, stopping early when the channel drains. Returns how many
+    /// were written (possibly 0 when empty).
+    pub fn pop_batch(&mut self, start_cycle: u64, out: &mut [T]) -> Result<usize, ChannelError> {
+        if start_cycle != self.next_pop_cycle {
+            return Err(ChannelError::WrongCycle {
+                expected: self.next_pop_cycle,
+                got: start_cycle,
+            });
+        }
+        let n = out.len().min(self.queue.len());
+        for slot in out[..n].iter_mut() {
+            *slot = self.queue.pop_front().expect("length checked");
+        }
+        self.next_pop_cycle += n as u64;
+        Ok(n)
+    }
+
     /// How many cycles the producer may still run ahead.
     pub fn slack(&self) -> usize {
         self.capacity - self.queue.len()
@@ -163,6 +203,57 @@ mod tests {
     fn consumer_stalls_on_empty() {
         let mut ch = TokenChannel::<u64>::new(2);
         assert_eq!(ch.pop(0), Err(ChannelError::Empty));
+    }
+
+    #[test]
+    fn batch_ops_move_up_to_the_available_slack() {
+        let mut ch = TokenChannel::new(4);
+        // Push 6 tokens into 4 slots: only 4 fit.
+        assert_eq!(ch.push_batch(0, &[0u64, 1, 2, 3, 4, 5]), Ok(4));
+        assert_eq!(ch.producer_cycle(), 4);
+        assert_eq!(ch.push_batch(4, &[4u64, 5]), Ok(0), "full channel takes 0");
+        let mut out = [0u64; 8];
+        assert_eq!(ch.pop_batch(0, &mut out), Ok(4));
+        assert_eq!(&out[..4], &[0, 1, 2, 3]);
+        assert_eq!(ch.pop_batch(4, &mut out), Ok(0), "empty channel yields 0");
+        // The freed slots accept the remainder.
+        assert_eq!(ch.push_batch(4, &[4u64, 5]), Ok(2));
+        assert_eq!(ch.pop_batch(4, &mut out[..2]), Ok(2));
+        assert_eq!(&out[..2], &[4, 5]);
+    }
+
+    #[test]
+    fn batch_ops_enforce_the_cycle_protocol() {
+        let mut ch = TokenChannel::new(4);
+        assert_eq!(
+            ch.push_batch(3, &[9u64]),
+            Err(ChannelError::WrongCycle {
+                expected: 0,
+                got: 3
+            })
+        );
+        ch.push_batch(0, &[1u64, 2]).unwrap();
+        let mut out = [0u64; 2];
+        assert_eq!(
+            ch.pop_batch(1, &mut out),
+            Err(ChannelError::WrongCycle {
+                expected: 0,
+                got: 1
+            })
+        );
+    }
+
+    #[test]
+    fn batch_and_single_ops_interleave() {
+        let mut ch = TokenChannel::new(8);
+        ch.push(0, 10u64).unwrap();
+        ch.push_batch(1, &[11, 12, 13]).unwrap();
+        ch.push(4, 14).unwrap();
+        assert_eq!(ch.pop(0), Ok(10));
+        let mut out = [0u64; 3];
+        assert_eq!(ch.pop_batch(1, &mut out), Ok(3));
+        assert_eq!(out, [11, 12, 13]);
+        assert_eq!(ch.pop(4), Ok(14));
     }
 
     #[test]

@@ -16,10 +16,15 @@
 //! is the core of FireSim's simulation soundness, and is asserted by the
 //! tests here and by `ablation_engine` in the bench suite.
 
-use crate::channel::{ChannelError, TokenChannel};
+use crate::channel::TokenChannel;
 use bsim_telemetry::CounterBlock;
 use parking_lot::Mutex;
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// A target model advanced one cycle at a time.
 pub trait TickModel: Send {
@@ -54,6 +59,88 @@ pub struct Harness<M: TickModel> {
 
 struct SharedChannel {
     chan: Mutex<TokenChannel<u64>>,
+}
+
+/// First-panic latch shared by all model threads. Without it, a model
+/// that dies inside `tick()` leaves every peer spinning forever on
+/// `Empty`/`Full` — the run hangs instead of failing. Threads check the
+/// flag in their stall loops and bail out; the harness re-raises the
+/// original payload after the scope joins.
+struct AbortFlag {
+    poisoned: AtomicBool,
+    payload: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+}
+
+impl AbortFlag {
+    fn new() -> AbortFlag {
+        AbortFlag {
+            poisoned: AtomicBool::new(false),
+            payload: Mutex::new(None),
+        }
+    }
+
+    /// Records the first panic payload and raises the flag.
+    fn poison(&self, payload: Box<dyn Any + Send + 'static>) {
+        let mut slot = self.payload.lock();
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+        self.poisoned.store(true, Ordering::Release);
+    }
+
+    fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
+    fn take(&self) -> Option<Box<dyn Any + Send + 'static>> {
+        self.payload.lock().take()
+    }
+}
+
+/// A peer thread panicked; unwind the current thread's driver loop.
+struct Aborted;
+
+/// Bounded spin-then-park backoff for channel stalls. Early retries are
+/// cheap spins (the producer is usually one lock release away), then
+/// yields, then short parks — a starved thread costs ~0 CPU instead of
+/// pegging a core, and the park bound keeps poison-flag detection prompt.
+struct Backoff {
+    step: u32,
+}
+
+impl Backoff {
+    const SPIN_LIMIT: u32 = 6;
+    const YIELD_LIMIT: u32 = 16;
+    const PARK_MICROS: u64 = 50;
+
+    fn new() -> Backoff {
+        Backoff { step: 0 }
+    }
+
+    fn reset(&mut self) {
+        self.step = 0;
+    }
+
+    fn wait(&mut self) {
+        if self.step < Self::SPIN_LIMIT {
+            for _ in 0..(1u32 << self.step) {
+                std::hint::spin_loop();
+            }
+        } else if self.step < Self::YIELD_LIMIT {
+            std::thread::yield_now();
+        } else {
+            std::thread::sleep(Duration::from_micros(Self::PARK_MICROS));
+        }
+        self.step = self.step.saturating_add(1);
+    }
+}
+
+/// What one model thread hands back: per-wire `(wire, tokens, spins)`
+/// figures (inputs first, then outputs) and the number of tick batches
+/// it actually executed.
+struct ThreadReport {
+    chan_counts: Vec<(usize, u64, u64)>,
+    batches: u64,
 }
 
 impl<M: TickModel> Harness<M> {
@@ -166,7 +253,9 @@ impl<M: TickModel> Harness<M> {
     /// Runs `cycles` target cycles with one host thread per model,
     /// synchronized only through the token channels. `quantum` is the
     /// channel slack in cycles — how far any model may run ahead of its
-    /// consumers (FireSim's channel depth).
+    /// consumers (FireSim's channel depth) — and, since the batched
+    /// scheduler landed, also the token-exchange batch size: each thread
+    /// moves up to `quantum` tokens per lock acquisition.
     pub fn run_parallel(self, cycles: u64, quantum: usize) -> Vec<M> {
         self.run_parallel_with_telemetry(cycles, quantum, &mut CounterBlock::new(false))
     }
@@ -174,24 +263,33 @@ impl<M: TickModel> Harness<M> {
     /// [`Harness::run_parallel`] with counters. Target counters
     /// (`engine.*`) are identical to the sequential schedule's; spin
     /// counts per channel land under `host.engine.chan.*.stall_spins`
-    /// because they depend on the host scheduler.
+    /// and the executed batch count under `host.engine.quanta` because
+    /// they depend on the host scheduler.
+    ///
+    /// If any model panics inside `tick()` (or violates the token
+    /// protocol), the poison flag tears the whole harness down and this
+    /// method re-raises the first panic payload — it never hangs.
     pub fn run_parallel_with_telemetry(
         mut self,
         cycles: u64,
         quantum: usize,
         tel: &mut CounterBlock,
     ) -> Vec<M> {
-        let channels: Arc<Vec<SharedChannel>> = Arc::new(self.make_channels(quantum.max(1)));
+        let quantum = quantum.max(1);
+        let channels: Arc<Vec<SharedChannel>> = Arc::new(self.make_channels(quantum));
+        let abort = Arc::new(AbortFlag::new());
         let wires = self.wires.clone();
         let models = std::mem::take(&mut self.models);
         let nthreads = models.len() as u64;
         let mut tokens = vec![0u64; wires.len()];
         let mut spins = vec![0u64; wires.len()];
+        let mut quanta = 0u64;
 
         crossbeam::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (mi, mut model) in models.into_iter().enumerate() {
                 let channels = Arc::clone(&channels);
+                let abort = Arc::clone(&abort);
                 let my_in: Vec<(usize, usize)> = wires
                     .iter()
                     .enumerate()
@@ -205,70 +303,193 @@ impl<M: TickModel> Harness<M> {
                     .map(|(wi, w)| (wi, w.from_port, w.latency))
                     .collect();
                 handles.push(scope.spawn(move |_| {
-                    let mut inputs = vec![0u64; model.num_inputs()];
-                    let mut outputs = vec![0u64; model.num_outputs()];
-                    // (wire, tokens moved, spins) for this thread's channels.
-                    let mut chan_counts: Vec<(usize, u64, u64)> =
-                        my_in.iter().map(|&(wi, _)| (wi, 0, 0)).collect();
-                    let out_base = chan_counts.len();
-                    chan_counts.extend(my_out.iter().map(|&(wi, _, _)| (wi, 0, 0)));
-                    for cycle in 0..cycles {
-                        for (ii, &(wi, port)) in my_in.iter().enumerate() {
-                            loop {
-                                match channels[wi].chan.lock().pop(cycle) {
-                                    Ok(t) => {
-                                        inputs[port] = t;
-                                        chan_counts[ii].1 += 1;
-                                        break;
-                                    }
-                                    Err(ChannelError::Empty) => {
-                                        chan_counts[ii].2 += 1;
-                                        std::thread::yield_now();
-                                    }
-                                    Err(e) => panic!("token protocol violation: {e}"),
-                                }
-                            }
-                        }
-                        model.tick(cycle, &inputs, &mut outputs);
-                        for (oi, &(wi, port, latency)) in my_out.iter().enumerate() {
-                            loop {
-                                match channels[wi]
-                                    .chan
-                                    .lock()
-                                    .push(cycle + latency, outputs[port])
-                                {
-                                    Ok(()) => break,
-                                    Err(ChannelError::Full) => {
-                                        chan_counts[out_base + oi].2 += 1;
-                                        std::thread::yield_now();
-                                    }
-                                    Err(e) => panic!("token protocol violation: {e}"),
-                                }
-                            }
+                    // Catch the panic here, not at the scope join: peers
+                    // must see the poison flag while they are still
+                    // spinning, or they would wait on tokens that will
+                    // never arrive.
+                    let driven = catch_unwind(AssertUnwindSafe(|| {
+                        drive_model(
+                            &mut model, cycles, quantum, &channels, &my_in, &my_out, &abort,
+                        )
+                    }));
+                    match driven {
+                        Ok(Ok(report)) => Some((model, report)),
+                        Ok(Err(Aborted)) => None,
+                        Err(payload) => {
+                            abort.poison(payload);
+                            None
                         }
                     }
-                    (model, chan_counts)
                 }));
             }
             for h in handles {
-                let (model, chan_counts) = h.join().unwrap();
-                self.models.push(model);
-                for (wi, t, s) in chan_counts {
-                    tokens[wi] += t;
-                    spins[wi] += s;
+                let Ok(outcome) = h.join() else { continue };
+                if let Some((model, report)) = outcome {
+                    self.models.push(model);
+                    for (wi, t, s) in report.chan_counts {
+                        tokens[wi] += t;
+                        spins[wi] += s;
+                    }
+                    quanta += report.batches;
                 }
             }
         })
         .expect("model thread panicked");
+        if let Some(payload) = abort.take() {
+            resume_unwind(payload);
+        }
         self.publish_target_counters(tel, cycles, &tokens);
         tel.set_named("host.engine.threads", nthreads);
-        tel.set_named("host.engine.quantum", quantum.max(1) as u64);
-        tel.set_named("host.engine.quanta", cycles.div_ceil(quantum.max(1) as u64));
+        tel.set_named("host.engine.quantum", quantum as u64);
+        tel.set_named("host.engine.quanta", quanta);
         for (wi, s) in spins.iter().enumerate() {
             tel.set_named(&format!("host.engine.chan.{wi}.stall_spins"), *s);
         }
         std::mem::take(&mut self.models)
     }
+}
+
+/// Pushes as many pending output tokens as the channels accept right
+/// now, one lock acquisition per wire. Returns how many tokens moved.
+fn flush_pending(
+    channels: &[SharedChannel],
+    my_out: &[(usize, usize, u64)],
+    pending: &mut [VecDeque<u64>],
+    out_pushed: &mut [u64],
+) -> usize {
+    let mut moved = 0;
+    for (oi, &(wi, _port, latency)) in my_out.iter().enumerate() {
+        if pending[oi].is_empty() {
+            continue;
+        }
+        // The reset tokens occupy cycles 0..latency, so the push cursor
+        // for the k-th model output is latency + k.
+        let start = latency + out_pushed[oi];
+        let buf = pending[oi].make_contiguous();
+        let n = match channels[wi].chan.lock().push_batch(start, buf) {
+            Ok(n) => n,
+            Err(e) => panic!("token protocol violation: {e}"),
+        };
+        pending[oi].drain(..n);
+        out_pushed[oi] += n as u64;
+        moved += n;
+    }
+    moved
+}
+
+/// One host thread's schedule: advance `model` to `cycles`, exchanging
+/// tokens in batches of up to `quantum` per lock acquisition. Input
+/// tokens are staged locally (popping ahead of consumption is safe —
+/// tokens arrive in cycle order and each will be consumed), outputs are
+/// drained through [`flush_pending`]. Stall loops watch `abort` so a
+/// dead peer aborts the schedule instead of hanging it.
+fn drive_model<M: TickModel>(
+    model: &mut M,
+    cycles: u64,
+    quantum: usize,
+    channels: &[SharedChannel],
+    my_in: &[(usize, usize)],
+    my_out: &[(usize, usize, u64)],
+    abort: &AbortFlag,
+) -> Result<ThreadReport, Aborted> {
+    let mut staged: Vec<VecDeque<u64>> = my_in
+        .iter()
+        .map(|_| VecDeque::with_capacity(quantum))
+        .collect();
+    let mut pending: Vec<VecDeque<u64>> = my_out
+        .iter()
+        .map(|_| VecDeque::with_capacity(quantum))
+        .collect();
+    let mut out_pushed = vec![0u64; my_out.len()];
+    let mut scratch = vec![0u64; quantum];
+    let mut inputs = vec![0u64; model.num_inputs()];
+    let mut outputs = vec![0u64; model.num_outputs()];
+    let mut chan_counts: Vec<(usize, u64, u64)> = my_in.iter().map(|&(wi, _)| (wi, 0, 0)).collect();
+    let out_base = chan_counts.len();
+    chan_counts.extend(my_out.iter().map(|&(wi, _, _)| (wi, 0, 0)));
+    let mut cycle = 0u64;
+    let mut batches = 0u64;
+    let mut backoff = Backoff::new();
+
+    while cycle < cycles {
+        let want = quantum.min((cycles - cycle) as usize);
+        // Refill the input stages up to one batch's worth per channel.
+        for (ii, &(wi, _)) in my_in.iter().enumerate() {
+            let have = staged[ii].len();
+            if have < want {
+                let from = cycle + have as u64;
+                let got = match channels[wi]
+                    .chan
+                    .lock()
+                    .pop_batch(from, &mut scratch[..want - have])
+                {
+                    Ok(n) => n,
+                    Err(e) => panic!("token protocol violation: {e}"),
+                };
+                staged[ii].extend(&scratch[..got]);
+                chan_counts[ii].1 += got as u64;
+            }
+        }
+        // The tickable batch is bounded by the worst-fed input port.
+        let batch = staged
+            .iter()
+            .map(|s| s.len())
+            .min()
+            .unwrap_or(want)
+            .min(want);
+        if batch == 0 {
+            for (ii, s) in staged.iter().enumerate() {
+                if s.is_empty() {
+                    chan_counts[ii].2 += 1;
+                }
+            }
+            // Keep our consumers fed while we stall, or two mutually
+            // blocked threads could starve each other.
+            flush_pending(channels, my_out, &mut pending, &mut out_pushed);
+            if abort.is_poisoned() {
+                return Err(Aborted);
+            }
+            backoff.wait();
+            continue;
+        }
+        backoff.reset();
+        for k in 0..batch as u64 {
+            for (ii, &(_, port)) in my_in.iter().enumerate() {
+                inputs[port] = staged[ii]
+                    .pop_front()
+                    .expect("batch bounded by stage depth");
+            }
+            model.tick(cycle + k, &inputs, &mut outputs);
+            for (oi, &(_, port, _)) in my_out.iter().enumerate() {
+                pending[oi].push_back(outputs[port]);
+            }
+        }
+        cycle += batch as u64;
+        batches += 1;
+        // Drain this batch's outputs before starting the next. A full
+        // channel means its consumer holds a whole capacity of unread
+        // tokens, so waiting here cannot deadlock.
+        while pending.iter().any(|p| !p.is_empty()) {
+            let moved = flush_pending(channels, my_out, &mut pending, &mut out_pushed);
+            if moved == 0 {
+                for (oi, p) in pending.iter().enumerate() {
+                    if !p.is_empty() {
+                        chan_counts[out_base + oi].2 += 1;
+                    }
+                }
+                if abort.is_poisoned() {
+                    return Err(Aborted);
+                }
+                backoff.wait();
+            } else {
+                backoff.reset();
+            }
+        }
+    }
+    Ok(ThreadReport {
+        chan_counts,
+        batches,
+    })
 }
 
 #[cfg(test)]
@@ -408,6 +629,109 @@ mod tests {
             off.counters().count(),
             0,
             "disabled block must export nothing"
+        );
+    }
+
+    /// A model that panics when it reaches cycle `at`, wrapping a
+    /// well-behaved [`Mixer`] otherwise.
+    struct PanicAt {
+        at: u64,
+        inner: Mixer,
+    }
+
+    impl TickModel for PanicAt {
+        fn num_inputs(&self) -> usize {
+            1
+        }
+        fn num_outputs(&self) -> usize {
+            1
+        }
+        fn tick(&mut self, cycle: u64, inputs: &[u64], outputs: &mut [u64]) {
+            assert!(cycle != self.at, "model exploded at cycle {cycle}");
+            self.inner.tick(cycle, inputs, outputs);
+        }
+    }
+
+    /// Regression test for the parallel-harness hang: before the poison
+    /// flag, a model panicking inside `tick()` left every peer thread
+    /// spinning forever on `Empty`/`Full` and `run_parallel` never
+    /// returned. Now the first panic tears the harness down and its
+    /// payload is re-raised from `run_parallel` itself.
+    #[test]
+    #[should_panic(expected = "model exploded at cycle 50")]
+    fn panicking_model_tears_down_the_harness() {
+        let models: Vec<PanicAt> = (0..4)
+            .map(|i| PanicAt {
+                at: if i == 0 { 50 } else { u64::MAX },
+                inner: Mixer::new(0x5EED + i as u64),
+            })
+            .collect();
+        let wires: Vec<Wire> = (0..4)
+            .map(|i| Wire {
+                from_model: i,
+                from_port: 0,
+                to_model: (i + 1) % 4,
+                to_port: 0,
+                latency: 1,
+            })
+            .collect();
+        // Pre-fix this call never returns: models 1..3 spin on channels
+        // model 0 will never feed again.
+        let _ = Harness::new(models, wires).run_parallel(10_000, 4);
+    }
+
+    /// `host.engine.quanta` must report the batch schedule that actually
+    /// ran, not `cycles.div_ceil(quantum)`. A single self-looped model
+    /// has a deterministic schedule: its input channel always holds
+    /// exactly `latency` tokens when refilled, so every batch moves
+    /// `min(quantum, latency)` cycles.
+    #[test]
+    fn reported_quanta_match_real_batch_schedule() {
+        let self_ring = || {
+            (
+                vec![Mixer::new(7)],
+                vec![Wire {
+                    from_model: 0,
+                    from_port: 0,
+                    to_model: 0,
+                    to_port: 0,
+                    latency: 4,
+                }],
+            )
+        };
+        // quantum 8 > latency 4: batches are latency-bound at 4 cycles.
+        let (m, w) = self_ring();
+        let mut tel = CounterBlock::new(true);
+        Harness::new(m, w).run_parallel_with_telemetry(100, 8, &mut tel);
+        assert_eq!(
+            tel.get("host.engine.quanta"),
+            Some(25),
+            "100 cycles in latency-bound batches of 4"
+        );
+        // quantum 2 < latency 4: batches are quantum-bound at 2 cycles.
+        let (m, w) = self_ring();
+        let mut tel = CounterBlock::new(true);
+        Harness::new(m, w).run_parallel_with_telemetry(100, 2, &mut tel);
+        assert_eq!(
+            tel.get("host.engine.quanta"),
+            Some(50),
+            "100 cycles in quantum-bound batches of 2"
+        );
+        assert_eq!(tel.get("host.engine.quantum"), Some(2));
+    }
+
+    #[test]
+    fn batched_schedule_is_deterministic_with_large_quanta() {
+        // Quanta far larger than latency, cycle count not divisible by
+        // the quantum, many threads: state must still be bit-identical
+        // to the sequential schedule.
+        let (m1, w1) = ring(6, 3);
+        let (m2, w2) = ring(6, 3);
+        let seq = Harness::new(m1, w1).run(1337);
+        let par = Harness::new(m2, w2).run_parallel(1337, 256);
+        assert_eq!(
+            seq.iter().map(|m| m.state).collect::<Vec<_>>(),
+            par.iter().map(|m| m.state).collect::<Vec<_>>()
         );
     }
 

@@ -42,25 +42,51 @@ impl NetConfig {
     }
 
     /// Cycles to stream `bytes` of payload.
+    ///
+    /// Degenerate bandwidths saturate instead of corrupting timestamps:
+    /// a zero, negative, or non-finite `bytes_per_cycle` makes the
+    /// division produce `inf`/`NaN`, and `inf as u64` would silently
+    /// become `u64::MAX` anyway while `NaN as u64` becomes 0 — a link
+    /// that misconfigures to *infinitely fast*. Both now pin to
+    /// `u64::MAX` (a link that never delivers), which downstream
+    /// arithmetic saturates on rather than wrapping.
     pub fn transfer_cycles(&self, bytes: usize) -> u64 {
-        (bytes as f64 / self.bytes_per_cycle).ceil() as u64
+        if bytes == 0 {
+            return 0;
+        }
+        if self.bytes_per_cycle <= 0.0 || !self.bytes_per_cycle.is_finite() {
+            return u64::MAX;
+        }
+        let cycles = (bytes as f64 / self.bytes_per_cycle).ceil();
+        if cycles >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            cycles as u64
+        }
     }
 
-    /// Arrival time of a message sent at `send_time`.
+    /// Arrival time of a message sent at `send_time`. Saturating, so a
+    /// degenerate config yields "never" (`u64::MAX`) instead of a small
+    /// wrapped timestamp that would reorder the event queue in release
+    /// builds.
     pub fn arrival(&self, send_time: u64, bytes: usize) -> u64 {
-        send_time + self.o_send + self.transfer_cycles(bytes) + self.latency
+        send_time
+            .saturating_add(self.o_send)
+            .saturating_add(self.transfer_cycles(bytes))
+            .saturating_add(self.latency)
     }
 
     /// Completion time of a collective entered by all ranks by `max_entry`,
     /// with `ranks` participants moving `bytes` each (binary-tree cost).
+    /// Saturating, like [`NetConfig::arrival`].
     pub fn collective_cost(&self, max_entry: u64, ranks: usize, bytes: usize) -> u64 {
         if ranks <= 1 {
             return max_entry;
         }
         let stages = (ranks as f64).log2().ceil() as u64;
         max_entry
-            + stages * (self.latency + self.o_send + self.o_recv)
-            + stages * self.transfer_cycles(bytes)
+            .saturating_add(stages.saturating_mul(self.latency + self.o_send + self.o_recv))
+            .saturating_add(stages.saturating_mul(self.transfer_cycles(bytes)))
     }
 }
 
@@ -95,5 +121,43 @@ mod tests {
         assert_eq!(n.transfer_cycles(1), 1);
         assert_eq!(n.transfer_cycles(16), 2);
         assert_eq!(n.transfer_cycles(17), 3);
+        assert_eq!(n.transfer_cycles(0), 0, "empty payloads are free");
+    }
+
+    #[test]
+    fn degenerate_bandwidth_saturates_instead_of_wrapping() {
+        for bpc in [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let n = NetConfig {
+                bytes_per_cycle: bpc,
+                ..NetConfig::shared_memory()
+            };
+            assert_eq!(
+                n.transfer_cycles(64),
+                u64::MAX,
+                "bytes_per_cycle = {bpc} must mean 'never delivers'"
+            );
+            // The former `send_time + ... + latency` would wrap here in
+            // release builds and reorder the event queue.
+            assert_eq!(n.arrival(1_000_000, 64), u64::MAX);
+            assert_eq!(n.collective_cost(1_000_000, 8, 64), u64::MAX);
+            // Zero-byte messages never touch the bandwidth term.
+            assert_eq!(
+                n.arrival(0, 0),
+                n.o_send + n.latency,
+                "zero-byte control messages still flow"
+            );
+        }
+    }
+
+    #[test]
+    fn huge_transfers_pin_to_max_instead_of_rounding_wild() {
+        let n = NetConfig {
+            latency: 0,
+            bytes_per_cycle: f64::MIN_POSITIVE,
+            o_send: 0,
+            o_recv: 0,
+        };
+        assert_eq!(n.transfer_cycles(usize::MAX), u64::MAX);
+        assert_eq!(n.arrival(u64::MAX - 1, 8), u64::MAX, "arrival saturates");
     }
 }

@@ -354,6 +354,29 @@ mod tests {
     }
 
     #[test]
+    fn report_is_idempotent() {
+        // `report` drains the cores but must not consume anything:
+        // calling it again without running more work has to produce the
+        // same cycles, retired count, stats, and telemetry export —
+        // counters are published with set-not-add semantics and the
+        // timeline sampler must not emit a duplicate sample at the same
+        // cycle.
+        use bsim_telemetry::TelemetryConfig;
+        let mut soc = Soc::new(configs::rocket1(1).with_telemetry(TelemetryConfig::full()));
+        let first = soc.run_program(0, &kernel(800), 10_000_000);
+        let second = soc.report(first.exit_code);
+        assert_eq!(first.cycles, second.cycles, "cycles must not double-count");
+        assert_eq!(first.retired, second.retired);
+        assert_eq!(first.core_stats, second.core_stats);
+        assert_eq!(first.mem_stats, second.mem_stats);
+        assert_eq!(first.seconds, second.seconds);
+        let (t1, t2) = (first.telemetry.unwrap(), second.telemetry.unwrap());
+        assert_eq!(t1.counters, t2.counters, "set-not-add publish");
+        assert_eq!(t1.timeline, t2.timeline, "no duplicate boundary sample");
+        assert_eq!(t1.trace, t2.trace);
+    }
+
+    #[test]
     fn multi_core_soc_tracks_independent_clocks() {
         let mut soc = Soc::new(configs::rocket1(2));
         let uop = bsim_uarch::MicroOp::alu(0x1_0000, Some(5), [None; 3]);

@@ -3,7 +3,10 @@
 //! ```text
 //! bsim list                         # platforms + experiments
 //! bsim table 1|2|4|5                # print a paper table
-//! bsim fig 1|2|3|4|5|6|7 [--smoke]  # regenerate a paper figure
+//! bsim fig 1|2|3|4|5|6|7 [--smoke] [--par seq|auto|N]
+//!                                   # regenerate a paper figure; --par
+//!                                   # fans the platform×workload grid
+//!                                   # across N host threads
 //! bsim micro <kernel> [platform]    # run one microbenchmark
 //! bsim tune                         # the §4 model-selection loop
 //! ```
@@ -11,6 +14,7 @@
 use silicon_bridge::core::experiments::{self, Sizes};
 use silicon_bridge::core::table;
 use silicon_bridge::core::tuning::choose_best_model;
+use silicon_bridge::core::Parallelism;
 use silicon_bridge::soc::{configs, Soc, SocConfig};
 use silicon_bridge::workloads::microbench;
 
@@ -37,7 +41,7 @@ fn platform_by_name(name: &str) -> Option<SocConfig> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  bsim list\n  bsim table <1|2|4|5>\n  bsim fig <1..7> [--smoke]\n  \
+        "usage:\n  bsim list\n  bsim table <1|2|4|5>\n  bsim fig <1..7> [--smoke] [--par seq|auto|N]\n  \
          bsim micro <kernel> [platform]\n  bsim tune"
     );
     std::process::exit(2)
@@ -96,21 +100,37 @@ fn main() {
             } else {
                 Sizes::default()
             };
+            let par = match args.iter().position(|a| a == "--par") {
+                Some(i) => {
+                    let Some(p) = args.get(i + 1).and_then(|v| Parallelism::parse(v)) else {
+                        eprintln!("--par takes seq, auto, or a worker count");
+                        std::process::exit(2);
+                    };
+                    p
+                }
+                None => Parallelism::Sequential,
+            };
             let figs: Vec<experiments::FigureData> = match args.get(1).map(String::as_str) {
-                Some("1") => vec![experiments::fig1_microbench_rocket(sizes.micro_scale)],
-                Some("2") => vec![experiments::fig2_microbench_boom(sizes.micro_scale)],
+                Some("1") => vec![experiments::fig1_microbench_rocket_par(
+                    sizes.micro_scale,
+                    par,
+                )],
+                Some("2") => vec![experiments::fig2_microbench_boom_par(
+                    sizes.micro_scale,
+                    par,
+                )],
                 Some("3") => vec![
-                    experiments::fig3_npb_rocket(1, sizes),
-                    experiments::fig3_npb_rocket(4, sizes),
+                    experiments::fig3_npb_rocket_par(1, sizes, par),
+                    experiments::fig3_npb_rocket_par(4, sizes, par),
                 ],
                 Some("4") => vec![
-                    experiments::fig4a_npb_boom(1, sizes),
-                    experiments::fig4b_npb_boom(1, sizes),
-                    experiments::fig4b_npb_boom(4, sizes),
+                    experiments::fig4a_npb_boom_par(1, sizes, par),
+                    experiments::fig4b_npb_boom_par(1, sizes, par),
+                    experiments::fig4b_npb_boom_par(4, sizes, par),
                 ],
-                Some("5") => vec![experiments::fig5_ume(sizes)],
-                Some("6") => vec![experiments::fig6_lammps_lj(sizes)],
-                Some("7") => vec![experiments::fig7_lammps_chain(sizes)],
+                Some("5") => vec![experiments::fig5_ume_par(sizes, par)],
+                Some("6") => vec![experiments::fig6_lammps_lj_par(sizes, par)],
+                Some("7") => vec![experiments::fig7_lammps_chain_par(sizes, par)],
                 _ => usage(),
             };
             for f in figs {
