@@ -1,0 +1,268 @@
+//! Typed diagnostics: what an analysis *found*, separated from what the
+//! caller does about it.
+//!
+//! Every check in this crate reports through [`Diagnostic`] values
+//! collected in a [`Report`] instead of panicking: a sweep driver can
+//! render them rustc-style, export them as JSON, or promote warnings to
+//! errors (`--deny-warnings`) without this crate deciding the policy.
+//! Codes are stable identifiers (`MG001`, `CL041`, `PF010`, ...) so CI
+//! and tests can assert on *which* invariant broke, not on message text.
+
+use serde::Serialize;
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub enum Severity {
+    /// Informational: worth knowing, never blocks.
+    Note,
+    /// Suspicious: almost certainly a misconfiguration, simulation would
+    /// still run and terminate.
+    Warning,
+    /// Invalid: the simulation would panic, hang, or produce garbage.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase label as rendered in diagnostics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One finding from a static check.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct Diagnostic {
+    /// How bad it is.
+    pub severity: Severity,
+    /// Stable code (`MG001`, `CL041`, `PF010`, ...), asserted on by tests.
+    pub code: String,
+    /// Where: a config path or graph location, e.g.
+    /// `milkv_sim.hierarchy.l1d` or `wire 3: model 0.out0 -> model 1.in0`.
+    pub span: String,
+    /// What is wrong, with the offending values inline.
+    pub message: String,
+    /// How to fix it, when a concrete suggestion exists.
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    /// An [`Severity::Error`] finding.
+    pub fn error(code: &str, span: impl Into<String>, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Error,
+            code: code.to_string(),
+            span: span.into(),
+            message: message.into(),
+            help: None,
+        }
+    }
+
+    /// A [`Severity::Warning`] finding.
+    pub fn warning(code: &str, span: impl Into<String>, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Warning,
+            ..Diagnostic::error(code, span, message)
+        }
+    }
+
+    /// A [`Severity::Note`] finding.
+    pub fn note(code: &str, span: impl Into<String>, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Note,
+            ..Diagnostic::error(code, span, message)
+        }
+    }
+
+    /// Attaches a fix suggestion.
+    pub fn with_help(mut self, help: impl Into<String>) -> Diagnostic {
+        self.help = Some(help.into());
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    /// Rustc-style rendering:
+    ///
+    /// ```text
+    /// error[MG001]: token channels need >= 1 cycle latency
+    ///   --> wire 0: model 0.out0 -> model 1.in0
+    ///   = help: raise the wire latency to at least 1
+    /// ```
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}]: {}\n  --> {}",
+            self.severity.label(),
+            self.code,
+            self.message,
+            self.span
+        )?;
+        if let Some(h) = &self.help {
+            write!(f, "\n  = help: {h}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A batch of findings from one or more checks.
+#[derive(Clone, Debug, Default, PartialEq, Serialize)]
+pub struct Report {
+    /// The findings, in discovery order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Report {
+        Report::default()
+    }
+
+    /// Adds one finding.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// Appends all findings from another report.
+    pub fn merge(&mut self, other: Report) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// No findings at all (notes included)?
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Any [`Severity::Error`] findings?
+    pub fn has_errors(&self) -> bool {
+        self.error_count() > 0
+    }
+
+    /// Any [`Severity::Warning`] findings?
+    pub fn has_warnings(&self) -> bool {
+        self.warning_count() > 0
+    }
+
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warning_count(&self) -> usize {
+        self.count(Severity::Warning)
+    }
+
+    fn count(&self, sev: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == sev)
+            .count()
+    }
+
+    /// All findings with the given code.
+    pub fn with_code<'a>(&'a self, code: &'a str) -> impl Iterator<Item = &'a Diagnostic> {
+        self.diagnostics.iter().filter(move |d| d.code == code)
+    }
+
+    /// Does any finding carry `code`?
+    pub fn has_code(&self, code: &str) -> bool {
+        self.with_code(code).next().is_some()
+    }
+
+    /// Renders all findings rustc-style, one blank line between them,
+    /// followed by a summary line. Empty string when clean.
+    pub fn render(&self) -> String {
+        if self.is_clean() {
+            return String::new();
+        }
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push_str("\n\n");
+        }
+        let (e, w) = (self.error_count(), self.warning_count());
+        out.push_str(&format!(
+            "check result: {e} error(s), {w} warning(s), {} note(s)\n",
+            self.diagnostics.len() - e - w
+        ));
+        out
+    }
+
+    /// JSON export of the finding list (machine-readable CI surface).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialization is infallible")
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_note_warning_error() {
+        assert!(Severity::Note < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn rendering_is_rustc_style() {
+        let d = Diagnostic::error("MG001", "wire 0", "token channels need >= 1 cycle latency")
+            .with_help("raise the wire latency to at least 1");
+        let s = d.to_string();
+        assert!(s.starts_with("error[MG001]: "), "{s}");
+        assert!(s.contains("--> wire 0"), "{s}");
+        assert!(s.contains("= help: raise"), "{s}");
+    }
+
+    #[test]
+    fn report_counts_and_codes() {
+        let mut r = Report::new();
+        assert!(r.is_clean() && r.render().is_empty());
+        r.push(Diagnostic::warning("CL005", "a.l1d", "sets not divisible"));
+        r.push(Diagnostic::error(
+            "CL001",
+            "a.l1d",
+            "sets not a power of two",
+        ));
+        r.push(Diagnostic::note("CL006", "a.l1d", "blocking cache"));
+        assert!(r.has_errors() && r.has_warnings() && !r.is_clean());
+        assert_eq!((r.error_count(), r.warning_count()), (1, 1));
+        assert!(r.has_code("CL001") && !r.has_code("MG001"));
+        assert!(r.render().contains("1 error(s), 1 warning(s), 1 note(s)"));
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let mut a = Report::new();
+        a.push(Diagnostic::note("X1", "s", "m"));
+        let mut b = Report::new();
+        b.push(Diagnostic::error("X2", "s", "m"));
+        a.merge(b);
+        assert_eq!(a.diagnostics.len(), 2);
+        assert!(a.has_errors());
+    }
+
+    #[test]
+    fn json_export_includes_code_and_severity() {
+        let mut r = Report::new();
+        r.push(Diagnostic::error(
+            "MG002",
+            "graph",
+            "cycle without reset tokens",
+        ));
+        let j = r.to_json();
+        assert!(j.contains("\"MG002\""), "{j}");
+        assert!(j.contains("Error"), "{j}");
+    }
+}

@@ -87,6 +87,42 @@ impl Default for Sizes {
 }
 
 impl Sizes {
+    /// Static lint over the workload sizes (`WL0xx` codes).
+    ///
+    /// `WL001` fires per zero-valued field: a zero size degenerates the
+    /// workload (no iterations, no keys, empty mesh) so the figure runs
+    /// instantly and reports meaningless speedups. Warnings, not errors —
+    /// a deliberately empty axis can be a valid smoke probe.
+    pub fn lint(&self, span: &str) -> bsim_check::Report {
+        let mut report = bsim_check::Report::new();
+        let fields: [(&str, u64); 11] = [
+            ("micro_scale", self.micro_scale as u64),
+            ("cg_n", self.cg_n as u64),
+            ("cg_iters", self.cg_iters as u64),
+            ("ep_pairs", self.ep_pairs),
+            ("is_keys", self.is_keys as u64),
+            ("mg_n", self.mg_n as u64),
+            ("mg_cycles", self.mg_cycles as u64),
+            ("ume_n", self.ume_n as u64),
+            ("lj_cells", self.lj_cells as u64),
+            ("md_steps", self.md_steps as u64),
+            ("chain_cells", self.chain_cells as u64),
+        ];
+        for (name, v) in fields {
+            if v == 0 {
+                report.push(
+                    bsim_check::Diagnostic::warning(
+                        "WL001",
+                        format!("{span}.{name}"),
+                        format!("workload size {name} is 0: the benchmark degenerates to a no-op"),
+                    )
+                    .with_help("use Sizes::default() or Sizes::smoke() as a baseline"),
+                );
+            }
+        }
+        report
+    }
+
     /// Even smaller sizes for CI-grade smoke runs.
     pub fn smoke() -> Sizes {
         Sizes {
@@ -203,6 +239,20 @@ where
         .collect()
 }
 
+/// Gate a sweep on the `bsim-check` platform preflight *before* any
+/// cell fans out: a bad config inside the grid would otherwise panic in
+/// a worker thread mid-sweep, after burning the cheap cells. Panics with
+/// every platform's rendered diagnostics at once.
+fn preflight_platforms(cfgs: &[SocConfig]) {
+    let report = bsim_soc::preflight_all(cfgs.iter());
+    if report.has_errors() {
+        panic!(
+            "platform preflight failed before sweep fan-out:\n{}",
+            report.render()
+        );
+    }
+}
+
 /// Outcome of a metered sweep: per-cell results in grid order plus the
 /// aggregate simulation rate across all workers — the `host.rate.*`
 /// figure the paper's 60 MHz/15 MHz hosting-rate discussion maps to.
@@ -272,6 +322,7 @@ fn microbench_figure(
     // (kernel, platform) simulation.
     let mut platforms = vec![hw.clone()];
     platforms.extend(sim_models.iter().cloned());
+    preflight_platforms(&platforms);
     let np = platforms.len();
     let sweep = run_grid_metered(kernels.len() * np, par, |i| {
         let prog = kernels[i / np].build(scale);
@@ -448,6 +499,7 @@ fn npb_figure(
     // Grid: one cell per platform, hardware reference first.
     let mut platforms = vec![hw.clone()];
     platforms.extend(sim_models.iter().cloned());
+    preflight_platforms(&platforms);
     let sweep = run_grid_metered(platforms.len(), par, |i| {
         npb_run(platforms[i].clone(), ranks, sizes)
     });
@@ -557,6 +609,12 @@ fn app_figure(
         ("MILK-V (hw)", configs::milkv_hw),
         ("MILK-V Sim Model", configs::milkv_sim),
     ];
+    // Preflight every (platform, rank) config the grid will build.
+    let grid_cfgs: Vec<SocConfig> = platforms
+        .iter()
+        .flat_map(|(_, make)| rank_counts.iter().map(move |&r| make(r)))
+        .collect();
+    preflight_platforms(&grid_cfgs);
     // Grid: platform-major × rank-count, 12 independent cells.
     let sweep = run_grid_metered(platforms.len() * rank_counts.len(), par, |i| {
         let (_, make) = platforms[i / rank_counts.len()];
@@ -868,6 +926,22 @@ mod tests {
             assert_eq!(a.name, b.name);
             assert_eq!(a.points, b.points, "series {} moved", a.name);
         }
+    }
+
+    #[test]
+    fn sizes_lint_flags_zero_fields_and_passes_the_presets() {
+        assert!(Sizes::default().lint("sizes").is_clean());
+        assert!(Sizes::smoke().lint("sizes").is_clean());
+        let degenerate = Sizes {
+            cg_iters: 0,
+            md_steps: 0,
+            ..Sizes::default()
+        };
+        let report = degenerate.lint("sizes");
+        assert_eq!(report.warning_count(), 2, "one WL001 per zero field");
+        assert!(report.has_code("WL001"));
+        assert!(!report.has_errors(), "WL001 is a warning");
+        assert!(report.render().contains("sizes.cg_iters"));
     }
 
     #[test]

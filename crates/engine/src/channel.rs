@@ -257,6 +257,71 @@ mod tests {
     }
 
     #[test]
+    fn empty_batch_slices_are_free_nops() {
+        let mut ch = TokenChannel::<u64>::new(2);
+        // An empty push/pop at the right cycle moves nothing and does
+        // not advance either cursor.
+        assert_eq!(ch.push_batch(0, &[]), Ok(0));
+        assert_eq!(ch.producer_cycle(), 0);
+        assert_eq!(ch.pop_batch(0, &mut []), Ok(0));
+        assert_eq!(ch.consumer_cycle(), 0);
+        // But the cycle protocol still applies to empty batches.
+        assert_eq!(
+            ch.push_batch(5, &[]),
+            Err(ChannelError::WrongCycle {
+                expected: 0,
+                got: 5
+            })
+        );
+    }
+
+    #[test]
+    fn exact_capacity_fill_then_exact_drain() {
+        let mut ch = TokenChannel::new(4);
+        assert_eq!(ch.push_batch(0, &[0u64, 1, 2, 3]), Ok(4), "exactly fills");
+        assert_eq!(ch.slack(), 0);
+        assert_eq!(ch.push_batch(4, &[4u64]), Ok(0), "full: zero accepted");
+        let mut out = [0u64; 4];
+        assert_eq!(ch.pop_batch(0, &mut out), Ok(4), "exactly drains");
+        assert_eq!(out, [0, 1, 2, 3]);
+        assert_eq!(ch.buffered(), 0);
+        assert_eq!(ch.pop_batch(4, &mut out), Ok(0), "empty: zero written");
+        // The exact-fill cycle repeats cleanly from the new cursors.
+        assert_eq!(ch.push_batch(4, &[4u64, 5, 6, 7]), Ok(4));
+        assert_eq!(ch.pop_batch(4, &mut out), Ok(4));
+        assert_eq!(out, [4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn interleaved_partial_drains_preserve_order_and_cycles() {
+        let mut ch = TokenChannel::new(4);
+        let mut next_push = 0u64;
+        let mut next_pop = 0u64;
+        let mut popped: Vec<u64> = Vec::new();
+        // Producer pushes in bursts of 3, consumer drains in sips of 2:
+        // the windows slide past each other and never desynchronize.
+        for burst in 0..5u64 {
+            let base = burst * 3;
+            let tokens = [base, base + 1, base + 2];
+            let mut offset = 0;
+            while offset < tokens.len() {
+                let pushed = ch.push_batch(next_push, &tokens[offset..]).unwrap();
+                next_push += pushed as u64;
+                offset += pushed;
+                let mut sip = [0u64; 2];
+                let got = ch.pop_batch(next_pop, &mut sip).unwrap();
+                popped.extend(&sip[..got]);
+                next_pop += got as u64;
+            }
+        }
+        let mut tail = [0u64; 4];
+        let got = ch.pop_batch(next_pop, &mut tail).unwrap();
+        popped.extend(&tail[..got]);
+        assert_eq!(popped, (0..15).collect::<Vec<u64>>());
+        assert_eq!(ch.producer_cycle(), ch.consumer_cycle());
+    }
+
+    #[test]
     fn slack_accounting() {
         let mut ch = TokenChannel::new(3);
         assert_eq!(ch.slack(), 3);

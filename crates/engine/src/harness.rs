@@ -17,6 +17,8 @@
 //! tests here and by `ablation_engine` in the bench suite.
 
 use crate::channel::TokenChannel;
+use bsim_check::graph::{GraphSpec, ModelSpec, WireSpec};
+use bsim_check::{Diagnostic, Severity};
 use bsim_telemetry::CounterBlock;
 use parking_lot::Mutex;
 use std::any::Any;
@@ -144,28 +146,50 @@ struct ThreadReport {
 }
 
 impl<M: TickModel> Harness<M> {
-    /// Builds a harness, validating the wiring.
+    /// Builds a harness, validating the wiring. Panics with the rendered
+    /// static-analysis diagnostics on a malformed graph; use
+    /// [`Harness::try_new`] for the typed error path.
     pub fn new(models: Vec<M>, wires: Vec<Wire>) -> Harness<M> {
-        for w in &wires {
-            assert!(w.latency >= 1, "token channels need >= 1 cycle latency");
-            assert!(w.from_model < models.len() && w.to_model < models.len());
-            assert!(w.from_port < models[w.from_model].num_outputs());
-            assert!(w.to_port < models[w.to_model].num_inputs());
-        }
-        // Every input port must be driven by exactly one wire.
-        for (mi, m) in models.iter().enumerate() {
-            for p in 0..m.num_inputs() {
-                let n = wires
-                    .iter()
-                    .filter(|w| w.to_model == mi && w.to_port == p)
-                    .count();
-                assert_eq!(
-                    n, 1,
-                    "model {mi} input {p} must have exactly one driver, has {n}"
-                );
+        match Harness::try_new(models, wires) {
+            Ok(h) => h,
+            Err(diags) => {
+                let rendered: Vec<String> = diags.iter().map(|d| d.to_string()).collect();
+                panic!("invalid model graph:\n{}", rendered.join("\n\n"))
             }
         }
-        Harness { models, wires }
+    }
+
+    /// Builds a harness, running the `bsim-check` model-graph analysis
+    /// first. Returns the error-severity [`Diagnostic`]s (`MG0xx` codes:
+    /// zero-latency wires, tokenless cycles, dangling ports, fan-in
+    /// conflicts) instead of aborting the process, so sweep drivers can
+    /// render or export them.
+    pub fn try_new(models: Vec<M>, wires: Vec<Wire>) -> Result<Harness<M>, Vec<Diagnostic>> {
+        let spec = GraphSpec {
+            models: models
+                .iter()
+                .enumerate()
+                .map(|(i, m)| ModelSpec::indexed(i, m.num_inputs(), m.num_outputs()))
+                .collect(),
+            wires: wires
+                .iter()
+                .map(|w| WireSpec::new(w.from_model, w.from_port, w.to_model, w.to_port, w.latency))
+                .collect(),
+        };
+        // Quantum 1 is the weakest capacity requirement; the run methods
+        // auto-size channels to `latency + quantum`, so larger quanta
+        // only grow capacity and can never invalidate this analysis.
+        let report = bsim_check::analyze(&spec, 1);
+        let errors: Vec<Diagnostic> = report
+            .diagnostics
+            .into_iter()
+            .filter(|d| d.severity == Severity::Error)
+            .collect();
+        if errors.is_empty() {
+            Ok(Harness { models, wires })
+        } else {
+            Err(errors)
+        }
     }
 
     fn make_channels(&self, quantum: usize) -> Vec<SharedChannel> {
@@ -748,5 +772,42 @@ mod tests {
         let (m, mut w) = ring(2, 1);
         w[0].latency = 0;
         let _ = Harness::new(m, w);
+    }
+
+    /// Regression test for the diagnostic path: a zero-latency wire must
+    /// come back as a typed `MG001` error from `try_new`, not abort the
+    /// process the way the old bare `assert!` did.
+    #[test]
+    fn zero_latency_wire_reports_mg001_without_aborting() {
+        let (m, mut w) = ring(2, 1);
+        w[0].latency = 0;
+        let Err(diags) = Harness::try_new(m, w) else {
+            panic!("analysis must reject a zero-latency wire")
+        };
+        assert!(
+            diags.iter().any(|d| d.code == "MG001"),
+            "expected MG001, got: {:?}",
+            diags.iter().map(|d| d.code.as_str()).collect::<Vec<_>>()
+        );
+        assert!(diags.iter().all(|d| d.severity == Severity::Error));
+    }
+
+    #[test]
+    fn try_new_accepts_well_formed_graphs() {
+        let (m, w) = ring(3, 2);
+        let h = Harness::try_new(m, w).expect("healthy ring");
+        let states: Vec<u64> = h.run(100).iter().map(|m| m.state).collect();
+        assert_eq!(states.len(), 3);
+    }
+
+    #[test]
+    fn fan_in_conflict_reports_mg003() {
+        let (m, mut w) = ring(2, 1);
+        let dup = w[0];
+        w.push(dup); // second driver for the same input port
+        let Err(diags) = Harness::try_new(m, w) else {
+            panic!("fan-in conflict must be rejected")
+        };
+        assert!(diags.iter().any(|d| d.code == "MG003"));
     }
 }

@@ -1,5 +1,6 @@
 //! Communication cost model (LogGP-flavoured).
 
+use bsim_check::{Diagnostic, Report};
 use serde::{Deserialize, Serialize};
 
 /// Network/transport parameters, in core cycles of the host SoC.
@@ -39,6 +40,34 @@ impl NetConfig {
             o_send: 800,
             o_recv: 800,
         }
+    }
+
+    /// Static lint over the link parameters (`NC0xx` codes).
+    ///
+    /// `NC001` fires when `bytes_per_cycle` is not finite and positive:
+    /// [`NetConfig::transfer_cycles`] then saturates every non-empty
+    /// payload to `u64::MAX` — a link that never delivers — which keeps
+    /// timestamps sound but makes any communicating workload hang in
+    /// virtual time. The saturation fallback stays (it is what makes
+    /// the failure *safe*); the lint is what makes it *visible* before
+    /// a cycle is simulated.
+    pub fn lint(&self, span: &str) -> Report {
+        let mut report = Report::new();
+        if !self.bytes_per_cycle.is_finite() || self.bytes_per_cycle <= 0.0 {
+            report.push(
+                Diagnostic::warning(
+                    "NC001",
+                    span,
+                    format!(
+                        "bytes_per_cycle = {} is not finite and positive; \
+                         every non-empty transfer saturates to 'never delivers' (u64::MAX cycles)",
+                        self.bytes_per_cycle
+                    ),
+                )
+                .with_help("set a finite positive streaming bandwidth, e.g. 8.0 bytes/cycle"),
+            );
+        }
+        report
     }
 
     /// Cycles to stream `bytes` of payload.
@@ -145,6 +174,27 @@ mod tests {
                 n.arrival(0, 0),
                 n.o_send + n.latency,
                 "zero-byte control messages still flow"
+            );
+        }
+    }
+
+    #[test]
+    fn lint_passes_the_stock_links_and_flags_degenerate_bandwidth() {
+        assert!(NetConfig::shared_memory().lint("shm").is_clean());
+        assert!(NetConfig::ethernet_10g().lint("10g").is_clean());
+        for bpc in [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let n = NetConfig {
+                bytes_per_cycle: bpc,
+                ..NetConfig::shared_memory()
+            };
+            let report = n.lint("net");
+            assert!(
+                report.has_code("NC001"),
+                "bytes_per_cycle = {bpc} must warn NC001"
+            );
+            assert!(
+                !report.has_errors(),
+                "NC001 is a warning: the saturation fallback keeps the run sound"
             );
         }
     }

@@ -453,6 +453,12 @@ impl MpiWorld {
             ranks >= 1 && ranks <= cfg.cores,
             "ranks must fit the SoC cores"
         );
+        // Preflight the link model: degenerate bandwidth saturates to a
+        // never-delivering link (safe but hung), so surface it up front.
+        let net_report = net.lint(&format!("{}/net", cfg.name));
+        if !net_report.is_clean() {
+            eprintln!("{}", net_report.render());
+        }
         let simd_lanes = cfg.simd_lanes;
         let compiler_overhead = cfg.compiler_overhead_per_mille;
         let shared = Arc::new(Shared {

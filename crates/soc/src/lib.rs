@@ -21,8 +21,10 @@
 //! limitation the paper keeps returning to: *FireSim only has DDR3*.
 
 pub mod configs;
+pub mod preflight;
 pub mod runner;
 
 pub use bsim_telemetry::{GapReport, TelemetryConfig, TelemetrySnapshot};
 pub use configs::{CoreModel, SocConfig};
+pub use preflight::{preflight, preflight_all};
 pub use runner::{CoreInst, RunReport, Soc};

@@ -1,0 +1,407 @@
+//! Platform preflight: SoC-level consistency (`SC0xx`) and paper-fidelity
+//! (`PF0xx`) rules, run before any cycle is simulated.
+//!
+//! FireSim rejects malformed targets at elaboration, before FPGA bitstream
+//! time is spent; [`preflight`] is the software analogue for a
+//! [`SocConfig`] — it composes the `bsim-check` hierarchy/core lints with
+//! the rules only this crate can know:
+//!
+//! * `SC0xx` — internal consistency: the core count, clock, and hierarchy
+//!   must agree with themselves.
+//! * `PF0xx` — paper fidelity: a platform claiming to be a FireSim model
+//!   or a §3.2 silicon reference (SpacemiT K1 / SOPHON SG2042) must carry
+//!   that platform's published parameters. These are warnings: drifting
+//!   is allowed (the §4 tuning loop does it deliberately), but it must be
+//!   visible, because a drifted "reference" silently invalidates every
+//!   simulation-vs-silicon gap the sweep reports.
+//!
+//! [`Soc::new`](crate::runner::Soc::new) runs this check and panics on
+//! errors; [`Soc::try_new`](crate::runner::Soc::try_new) returns the
+//! report for callers that want to render or export it.
+
+use crate::configs::{CoreModel, SocConfig};
+use bsim_check::rules::{lint_hierarchy, lint_inorder, lint_ooo};
+use bsim_check::{Diagnostic, LintRegistry, Report};
+use bsim_uarch::{InOrderConfig, OooConfig};
+
+/// `SC001`–`SC005`, `PF001`–`PF002`: SoC-level consistency and
+/// simulation-fidelity rules.
+pub fn soc_lints() -> LintRegistry<SocConfig> {
+    LintRegistry::new()
+        .rule("SC001", "a platform needs cores", |c: &SocConfig, span, out| {
+            if c.cores == 0 {
+                out.push(Diagnostic::error("SC001", span, "cores = 0: nothing to simulate"));
+            }
+        })
+        .rule("SC002", "clock must be positive and finite", |c, span, out| {
+            if !c.freq_ghz.is_finite() || c.freq_ghz <= 0.0 {
+                out.push(Diagnostic::error(
+                    "SC002",
+                    span,
+                    format!("freq_ghz = {} must be positive and finite", c.freq_ghz),
+                ));
+            }
+        })
+        .rule("SC003", "hierarchy core count must match the SoC", |c, span, out| {
+            if c.hierarchy.cores != c.cores {
+                out.push(
+                    Diagnostic::error(
+                        "SC003",
+                        span,
+                        format!(
+                            "SoC instantiates {} core(s) but the hierarchy is sized for {}",
+                            c.cores, c.hierarchy.cores
+                        ),
+                    )
+                    .with_help("shared L2/LLC contention modeling depends on the hierarchy knowing the real core count"),
+                );
+            }
+        })
+        .rule("SC004", "hierarchy clock must match the SoC clock", |c, span, out| {
+            if (c.hierarchy.core_freq_ghz - c.freq_ghz).abs() > 1e-9 {
+                out.push(
+                    Diagnostic::warning(
+                        "SC004",
+                        span,
+                        format!(
+                            "freq_ghz = {} but hierarchy.core_freq_ghz = {}: DRAM ns-to-cycle conversion uses the hierarchy clock",
+                            c.freq_ghz, c.hierarchy.core_freq_ghz
+                        ),
+                    )
+                    .with_help("keep both clocks equal or memory latencies silently scale by the ratio"),
+                );
+            }
+        })
+        .rule("SC005", "SIMD lanes must be >= 1", |c, span, out| {
+            if c.simd_lanes == 0 {
+                out.push(Diagnostic::error(
+                    "SC005",
+                    span,
+                    "simd_lanes = 0: vectorizable regions would retire zero ops",
+                ));
+            }
+        })
+        .rule("PF001", "FireSim models memory as DDR3", |c, span, out| {
+            if c.is_simulation && !c.hierarchy.dram.name.starts_with("DDR3") {
+                out.push(
+                    Diagnostic::warning(
+                        "PF001",
+                        format!("{span}.hierarchy.dram"),
+                        format!(
+                            "simulation platform uses '{}' but FireSim's only memory model is DDR3 FR-FCFS",
+                            c.hierarchy.dram.name
+                        ),
+                    )
+                    .with_help("the paper's central limitation (§3.2.2): a FireSim target cannot model the silicon's LPDDR4/DDR4"),
+                );
+            }
+        })
+        .rule("PF002", "token quantization matches the host", |c, span, out| {
+            let q = c.hierarchy.dram.token_quantum_cycles;
+            if c.is_simulation && q < 2 {
+                out.push(
+                    Diagnostic::warning(
+                        "PF002",
+                        format!("{span}.hierarchy.dram"),
+                        format!(
+                            "token_quantum_cycles = {q}: FireSim's software DRAM model exchanges tokens in multi-cycle quanta"
+                        ),
+                    )
+                    .with_help("the DDR3 preset uses 4; a quantum of 1 under-models the batching the paper measures"),
+                );
+            }
+            if !c.is_simulation && q != 1 {
+                out.push(
+                    Diagnostic::warning(
+                        "PF002",
+                        format!("{span}.hierarchy.dram"),
+                        format!("token_quantum_cycles = {q} on a silicon reference: real hardware has no token quantization"),
+                    )
+                    .with_help("silicon platforms must use a quantum of 1"),
+                );
+            }
+        })
+        .rule("PF010", "in-order silicon must match the SpacemiT K1 (§3.2)", |c, span, out| {
+            if c.is_simulation {
+                return;
+            }
+            let CoreModel::InOrder(core) = &c.core else { return };
+            pf010_k1_drift(c, core, span, out);
+        })
+        .rule("PF011", "OoO silicon must match the SG2042 (§3.2)", |c, span, out| {
+            if c.is_simulation {
+                return;
+            }
+            let CoreModel::Ooo(core) = &c.core else { return };
+            pf011_sg2042_drift(c, core, span, out);
+        })
+}
+
+/// Pushes one `PF010` warning per parameter drifted from the published
+/// BPI-F3 / SpacemiT K1 values (Table 5, §3.2.1).
+fn pf010_k1_drift(c: &SocConfig, core: &InOrderConfig, span: &str, out: &mut Report) {
+    let mut drift = |field: &str, got: String, want: &str| {
+        out.push(
+            Diagnostic::warning(
+                "PF010",
+                format!("{span}.{field}"),
+                format!("{field} = {got} drifts from the SpacemiT K1 reference ({want})"),
+            )
+            .with_help("the Banana Pi BPI-F3 column of Table 5 pins this parameter; a drifted reference invalidates the sim-vs-silicon gap"),
+        );
+    };
+    if (c.freq_ghz - 1.6).abs() > 1e-9 {
+        drift("freq_ghz", format!("{}", c.freq_ghz), "1.6 GHz");
+    }
+    if core.issue_width != 2 {
+        drift(
+            "core.issue_width",
+            core.issue_width.to_string(),
+            "dual-issue",
+        );
+    }
+    if core.pipeline_depth != 8 {
+        drift(
+            "core.pipeline_depth",
+            core.pipeline_depth.to_string(),
+            "8 stages",
+        );
+    }
+    if c.hierarchy.l1d.capacity() != 32 * 1024 {
+        drift(
+            "hierarchy.l1d",
+            format!("{} bytes", c.hierarchy.l1d.capacity()),
+            "32 KiB L1d",
+        );
+    }
+    if c.hierarchy.l2.capacity() != 512 * 1024 {
+        drift(
+            "hierarchy.l2",
+            format!("{} bytes", c.hierarchy.l2.capacity()),
+            "512 KiB shared L2",
+        );
+    }
+    if !c.hierarchy.dram.name.starts_with("LPDDR4") {
+        drift(
+            "hierarchy.dram",
+            c.hierarchy.dram.name.clone(),
+            "dual 32-bit LPDDR4-2666",
+        );
+    }
+    if c.simd_lanes != 4 {
+        drift(
+            "simd_lanes",
+            c.simd_lanes.to_string(),
+            "RVV 1.0 @ 256 bits = 4 lanes",
+        );
+    }
+}
+
+/// Pushes one `PF011` warning per parameter drifted from the published
+/// MILK-V Pioneer / SOPHON SG2042 values (Table 5, §3.2.2).
+fn pf011_sg2042_drift(c: &SocConfig, core: &OooConfig, span: &str, out: &mut Report) {
+    let mut drift = |field: &str, got: String, want: &str| {
+        out.push(
+            Diagnostic::warning(
+                "PF011",
+                format!("{span}.{field}"),
+                format!("{field} = {got} drifts from the SG2042 reference ({want})"),
+            )
+            .with_help("the MILK-V Pioneer column of Table 5 pins this parameter; a drifted reference invalidates the sim-vs-silicon gap"),
+        );
+    };
+    if (c.freq_ghz - 2.0).abs() > 1e-9 {
+        drift("freq_ghz", format!("{}", c.freq_ghz), "2.0 GHz");
+    }
+    if core.fetch_width != 8 || core.decode_width != 4 {
+        drift(
+            "core",
+            format!("fetch {} / decode {}", core.fetch_width, core.decode_width),
+            "C920: fetch 8, decode 4",
+        );
+    }
+    if c.hierarchy.l1d.capacity() != 64 * 1024 {
+        drift(
+            "hierarchy.l1d",
+            format!("{} bytes", c.hierarchy.l1d.capacity()),
+            "64 KiB L1d",
+        );
+    }
+    if c.hierarchy.l2.capacity() != 1024 * 1024 {
+        drift(
+            "hierarchy.l2",
+            format!("{} bytes", c.hierarchy.l2.capacity()),
+            "1 MiB L2 per 4-core cluster",
+        );
+    }
+    match &c.hierarchy.llc {
+        None => drift("hierarchy.llc", "absent".to_string(), "64 MiB system LLC"),
+        Some(llc) => {
+            let total = llc.geometry.capacity() * llc.slices as u64;
+            if total != 64 * 1024 * 1024 {
+                drift(
+                    "hierarchy.llc",
+                    format!("{total} bytes"),
+                    "64 MiB system LLC",
+                );
+            }
+        }
+    }
+    if !c.hierarchy.dram.name.starts_with("DDR4") || c.hierarchy.dram.channels != 4 {
+        drift(
+            "hierarchy.dram",
+            c.hierarchy.dram.name.clone(),
+            "4-channel DDR4-3200",
+        );
+    }
+    if c.simd_lanes != 2 {
+        drift(
+            "simd_lanes",
+            c.simd_lanes.to_string(),
+            "C920: 128-bit vector = 2 lanes",
+        );
+    }
+}
+
+/// Runs the full static check for one platform: `SC0xx`/`PF0xx` rules,
+/// the hierarchy lints, and the core-model lints, all spanned under the
+/// platform's name.
+pub fn preflight(cfg: &SocConfig) -> Report {
+    let span = cfg.name.as_str();
+    let mut report = soc_lints().run(cfg, span);
+    report.merge(lint_hierarchy(&cfg.hierarchy, &format!("{span}.hierarchy")));
+    match &cfg.core {
+        CoreModel::InOrder(c) => report.merge(lint_inorder(c, &format!("{span}.core"))),
+        CoreModel::Ooo(c) => report.merge(lint_ooo(c, &format!("{span}.core"))),
+    }
+    report
+}
+
+/// [`preflight`] over many platforms, one merged report.
+pub fn preflight_all<'a>(cfgs: impl IntoIterator<Item = &'a SocConfig>) -> Report {
+    let mut report = Report::new();
+    for cfg in cfgs {
+        report.merge(preflight(cfg));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configs;
+
+    fn all_presets() -> Vec<SocConfig> {
+        let mut v = configs::rocket_family(4);
+        v.extend(configs::boom_family(4));
+        v.push(configs::banana_pi_hw(4));
+        v.push(configs::milkv_hw(4));
+        v
+    }
+
+    #[test]
+    fn every_named_preset_passes_preflight_clean() {
+        for cfg in all_presets() {
+            let r = preflight(&cfg);
+            assert!(
+                r.is_clean(),
+                "{} failed preflight:\n{}",
+                cfg.name,
+                r.render()
+            );
+        }
+    }
+
+    #[test]
+    fn inconsistent_core_count_is_sc003() {
+        let mut c = configs::rocket1(4);
+        c.hierarchy.cores = 2;
+        let r = preflight(&c);
+        assert!(r.has_code("SC003") && r.has_errors(), "{}", r.render());
+    }
+
+    #[test]
+    fn clock_mismatch_is_sc004() {
+        let mut c = configs::rocket1(1);
+        c.hierarchy.core_freq_ghz = 2.5;
+        let r = preflight(&c);
+        assert!(r.has_code("SC004"), "{}", r.render());
+        assert!(!r.has_errors(), "SC004 warns, it does not block");
+    }
+
+    #[test]
+    fn degenerate_soc_fields_error() {
+        let mut c = configs::rocket1(1);
+        c.cores = 0;
+        c.hierarchy.cores = 0;
+        c.freq_ghz = f64::NAN;
+        c.simd_lanes = 0;
+        let r = preflight(&c);
+        for code in ["SC001", "SC002", "SC005"] {
+            assert!(r.has_code(code), "missing {code}: {}", r.render());
+        }
+    }
+
+    #[test]
+    fn non_ddr3_simulation_is_pf001() {
+        let mut c = configs::milkv_sim(4);
+        c.hierarchy.dram = bsim_mem::DramConfig::ddr4_3200(4);
+        let r = preflight(&c);
+        assert!(r.has_code("PF001"), "{}", r.render());
+        // Silicon quantum on a sim target also drifts (PF002 expects >= 2).
+        assert!(r.has_code("PF002"), "{}", r.render());
+    }
+
+    #[test]
+    fn quantized_silicon_is_pf002() {
+        let mut c = configs::banana_pi_hw(4);
+        c.hierarchy.dram.token_quantum_cycles = 4;
+        let r = preflight(&c);
+        assert!(r.has_code("PF002"), "{}", r.render());
+    }
+
+    #[test]
+    fn drifted_k1_reference_is_pf010() {
+        let mut c = configs::banana_pi_hw(4);
+        c.freq_ghz = 2.4;
+        c.hierarchy.core_freq_ghz = 2.4;
+        let r = preflight(&c);
+        let d = r.with_code("PF010").next().unwrap_or_else(|| {
+            panic!("expected PF010:\n{}", r.render());
+        });
+        assert!(d.message.contains("freq_ghz"), "{}", d.message);
+        assert!(!r.has_errors(), "fidelity drift warns, it does not block");
+    }
+
+    #[test]
+    fn drifted_sg2042_reference_is_pf011() {
+        let mut c = configs::milkv_hw(4);
+        c.hierarchy.llc = None;
+        c.simd_lanes = 8;
+        let r = preflight(&c);
+        assert_eq!(r.with_code("PF011").count(), 2, "{}", r.render());
+    }
+
+    #[test]
+    fn sim_models_never_trip_fidelity_rules() {
+        // The §4 tuning loop deliberately clocks sim models differently;
+        // PF010/PF011 must only judge silicon references.
+        let r = preflight(&configs::fast_banana_pi_sim(4));
+        assert!(
+            !r.has_code("PF010") && !r.has_code("PF011"),
+            "{}",
+            r.render()
+        );
+    }
+
+    #[test]
+    fn preflight_all_merges() {
+        let presets = all_presets();
+        assert!(preflight_all(presets.iter()).is_clean());
+        let mut bad = configs::rocket1(2);
+        bad.hierarchy.cores = 1;
+        let mut set = presets;
+        set.push(bad);
+        assert!(preflight_all(set.iter()).has_code("SC003"));
+    }
+}

@@ -96,8 +96,26 @@ pub struct Soc {
 }
 
 impl Soc {
-    /// Instantiates the platform.
+    /// Instantiates the platform after a mandatory static preflight
+    /// (see [`crate::preflight`]). Panics with the rendered diagnostics
+    /// if the config has errors; use [`Soc::try_new`] for a typed
+    /// result. Warnings do not block — the §4 tuning loop deliberately
+    /// drifts configs — but errors mean the run would hang or lie.
     pub fn new(cfg: SocConfig) -> Soc {
+        match Soc::try_new(cfg) {
+            Ok(soc) => soc,
+            Err(report) => panic!("invalid platform config:\n{}", report.render()),
+        }
+    }
+
+    /// [`Soc::new`] with the preflight surfaced: returns the full
+    /// diagnostic report instead of panicking when the config has
+    /// error-severity findings.
+    pub fn try_new(cfg: SocConfig) -> Result<Soc, bsim_check::Report> {
+        let report = crate::preflight::preflight(&cfg);
+        if report.has_errors() {
+            return Err(report);
+        }
         let cores = (0..cfg.cores)
             .map(|_| match &cfg.core {
                 CoreModel::InOrder(c) => CoreInst::InOrder(InOrderCore::new(c.clone())),
@@ -106,12 +124,12 @@ impl Soc {
             .collect();
         let hierarchy = MemoryHierarchy::new(cfg.hierarchy.clone());
         let telemetry = Telemetry::new(cfg.telemetry);
-        Soc {
+        Ok(Soc {
             cfg,
             cores,
             hierarchy,
             telemetry,
-        }
+        })
     }
 
     /// The platform configuration.
@@ -374,6 +392,28 @@ mod tests {
         assert_eq!(t1.counters, t2.counters, "set-not-add publish");
         assert_eq!(t1.timeline, t2.timeline, "no duplicate boundary sample");
         assert_eq!(t1.trace, t2.trace);
+    }
+
+    #[test]
+    fn try_new_reports_bad_configs_instead_of_instantiating() {
+        let mut cfg = configs::rocket1(2);
+        cfg.hierarchy.cores = 1; // SC003: hierarchy sized for the wrong SoC
+        let Err(report) = Soc::try_new(cfg) else {
+            panic!("preflight must reject a mis-sized hierarchy")
+        };
+        assert!(report.has_code("SC003"), "{}", report.render());
+        // Warnings alone do not block construction.
+        let mut cfg = configs::rocket1(1);
+        cfg.hierarchy.core_freq_ghz = 2.5; // SC004 warning
+        assert!(Soc::try_new(cfg).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "SC003")]
+    fn new_panics_with_rendered_diagnostics() {
+        let mut cfg = configs::rocket1(2);
+        cfg.hierarchy.cores = 1;
+        let _ = Soc::new(cfg);
     }
 
     #[test]

@@ -1,0 +1,691 @@
+//! Offline stand-in for `loom`.
+//!
+//! This workspace builds with no crates.io access, so the real loom
+//! model checker cannot be resolved. This crate implements the loom API
+//! surface the workspace uses — [`model`], [`thread`], [`sync::Mutex`],
+//! [`sync::atomic`] — on top of a small schedule explorer:
+//!
+//! * All model threads run **serialized**: exactly one thread executes at
+//!   a time, and control transfers only at *yield points* (every atomic
+//!   op, every mutex acquire, `thread::yield_now`, `hint::spin_loop`).
+//! * At each yield point with more than one runnable thread, the choice
+//!   of who runs next is a branch point. [`model`] re-executes the
+//!   closure under depth-first enumeration of those choices until the
+//!   schedule space is exhausted or [`MAX_SCHEDULES`] runs have executed,
+//!   so small tests are checked *exhaustively* and larger ones get a
+//!   deterministic bounded prefix of the schedule space.
+//! * Blocking is modeled, not spun: a thread that contends a held
+//!   [`sync::Mutex`] or joins an unfinished thread is descheduled until
+//!   the resource frees. If no thread can run, the model fails with a
+//!   deadlock diagnostic — the property the engine's poison-flag
+//!   teardown tests exist to establish.
+//! * [`thread::yield_now`] marks the caller *yielded*: it is not
+//!   rescheduled while any other thread is runnable. This is how loom
+//!   keeps spin loops (`while !flag { yield }`) from generating an
+//!   unbounded schedule space, and this shim mirrors it.
+//!
+//! Unlike the real loom, this shim executes on the host's (sequentially
+//! consistent, fully serialized) memory: it explores *interleavings* but
+//! not C11 weak-memory reorderings, so `Ordering` arguments are accepted
+//! and enforced only as seq-cst. That still catches lost updates, lock
+//! protocol violations, teardown hangs, and order-dependent logic bugs.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex as StdMutex, MutexGuard as StdGuard, OnceLock};
+
+/// Exploration cap: maximum schedules one [`model`] call will execute.
+pub const MAX_SCHEDULES: usize = 20_000;
+/// Livelock guard: maximum scheduling decisions inside a single run.
+const MAX_DECISIONS_PER_RUN: usize = 50_000;
+
+// ---- scheduler ----------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum TState {
+    Runnable,
+    /// Descheduled until every other runnable thread has had a chance.
+    Yielded,
+    Blocked(BlockKey),
+    Finished,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum BlockKey {
+    /// Waiting for a mutex, keyed by its address.
+    Mutex(usize),
+    /// Waiting for a thread to finish.
+    Join(usize),
+}
+
+#[derive(Default)]
+struct Exec {
+    threads: Vec<TState>,
+    cur: usize,
+    /// Decisions to replay from the previous run (DFS prefix).
+    script: Vec<usize>,
+    /// Decisions taken this run: (choice index, alternatives).
+    trace: Vec<(usize, usize)>,
+    /// Addresses of currently held mutexes.
+    held: HashSet<usize>,
+    finished: usize,
+    aborted: bool,
+    panic_payload: Option<Box<dyn Any + Send>>,
+}
+
+struct Sched {
+    state: StdMutex<Exec>,
+    cv: Condvar,
+}
+
+static SCHED: OnceLock<Sched> = OnceLock::new();
+
+fn sched() -> &'static Sched {
+    SCHED.get_or_init(|| Sched {
+        state: StdMutex::new(Exec::default()),
+        cv: Condvar::new(),
+    })
+}
+
+thread_local! {
+    static TID: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn tid() -> Option<usize> {
+    TID.with(|t| t.get())
+}
+
+/// Panic payload used to unwind threads of an aborted run quietly.
+struct AbortRun;
+
+fn lock_state() -> StdGuard<'static, Exec> {
+    sched().state.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Picks the next thread to run. Branch points are recorded in the trace
+/// for DFS backtracking; yielded threads are eligible only when nothing
+/// else is runnable and become runnable again after the pick.
+fn schedule_next(st: &mut Exec) {
+    let mut candidates: Vec<usize> = (0..st.threads.len())
+        .filter(|&i| st.threads[i] == TState::Runnable)
+        .collect();
+    if candidates.is_empty() {
+        for i in 0..st.threads.len() {
+            if st.threads[i] == TState::Yielded {
+                st.threads[i] = TState::Runnable;
+                candidates.push(i);
+            }
+        }
+    }
+    if candidates.is_empty() {
+        if st.finished < st.threads.len() && !st.aborted {
+            st.aborted = true;
+            st.panic_payload.get_or_insert_with(|| {
+                let blocked: Vec<String> = st
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, t)| match t {
+                        TState::Blocked(k) => Some(format!("thread {i} blocked on {k:?}")),
+                        _ => None,
+                    })
+                    .collect();
+                Box::new(format!(
+                    "loom model deadlocked: no runnable thread ({})",
+                    blocked.join(", ")
+                ))
+            });
+        }
+        return;
+    }
+    if st.trace.len() >= MAX_DECISIONS_PER_RUN && !st.aborted {
+        st.aborted = true;
+        st.panic_payload.get_or_insert_with(|| {
+            Box::new(format!(
+                "loom model exceeded {MAX_DECISIONS_PER_RUN} scheduling decisions in one run \
+                 (livelock? use loom::thread::yield_now in spin loops)"
+            ))
+        });
+        return;
+    }
+    let depth = st.trace.len();
+    let pick = if depth < st.script.len() {
+        st.script[depth].min(candidates.len() - 1)
+    } else {
+        0
+    };
+    st.trace.push((pick, candidates.len()));
+    st.cur = candidates[pick];
+    // Threads that yielded regain eligibility now that someone else ran.
+    for t in st.threads.iter_mut() {
+        if *t == TState::Yielded {
+            *t = TState::Runnable;
+        }
+    }
+}
+
+/// Parks the calling thread until it is scheduled (or the run aborts).
+fn wait_for_turn(mut st: StdGuard<'static, Exec>, me: usize) -> StdGuard<'static, Exec> {
+    loop {
+        if st.aborted {
+            drop(st);
+            std::panic::panic_any(AbortRun);
+        }
+        if st.cur == me && st.threads[me] == TState::Runnable {
+            return st;
+        }
+        st = sched().cv.wait(st).unwrap_or_else(|e| e.into_inner());
+    }
+}
+
+/// A scheduling decision point: pick who runs next, then wait for our
+/// turn. No-op outside [`model`].
+fn yield_point() {
+    let Some(me) = tid() else { return };
+    let mut st = lock_state();
+    schedule_next(&mut st);
+    sched().cv.notify_all();
+    let _st = wait_for_turn(st, me);
+}
+
+/// Like [`yield_point`] but deprioritizes the caller: it will not run
+/// again until every other runnable thread has been scheduled.
+fn yield_and_deprioritize() {
+    let Some(me) = tid() else { return };
+    let mut st = lock_state();
+    st.threads[me] = TState::Yielded;
+    schedule_next(&mut st);
+    sched().cv.notify_all();
+    let _st = wait_for_turn(st, me);
+}
+
+fn mutex_acquire(key: usize) {
+    let Some(me) = tid() else { return };
+    let mut st = lock_state();
+    loop {
+        // Acquiring is a visible operation: branch before the attempt.
+        schedule_next(&mut st);
+        sched().cv.notify_all();
+        st = wait_for_turn(st, me);
+        if !st.held.contains(&key) {
+            st.held.insert(key);
+            return;
+        }
+        // Contended: park until the holder releases.
+        st.threads[me] = TState::Blocked(BlockKey::Mutex(key));
+        schedule_next(&mut st);
+        sched().cv.notify_all();
+        st = wait_for_turn(st, me);
+    }
+}
+
+fn mutex_release(key: usize) {
+    if tid().is_none() {
+        return;
+    }
+    let mut st = lock_state();
+    st.held.remove(&key);
+    for t in st.threads.iter_mut() {
+        if *t == TState::Blocked(BlockKey::Mutex(key)) {
+            *t = TState::Runnable;
+        }
+    }
+    // The releaser keeps running; waiters become eligible at the next
+    // decision point.
+}
+
+fn join_thread(target: usize) {
+    let Some(me) = tid() else { return };
+    let mut st = lock_state();
+    loop {
+        if st.threads[target] == TState::Finished {
+            return;
+        }
+        st.threads[me] = TState::Blocked(BlockKey::Join(target));
+        schedule_next(&mut st);
+        sched().cv.notify_all();
+        st = wait_for_turn(st, me);
+    }
+}
+
+/// Registers a new model thread (runnable, not yet scheduled).
+fn register_thread() -> usize {
+    let mut st = lock_state();
+    st.threads.push(TState::Runnable);
+    st.threads.len() - 1
+}
+
+/// Marks the calling thread finished, recording the first real panic.
+fn finish_thread(payload: Option<Box<dyn Any + Send>>) {
+    let Some(me) = tid() else { return };
+    let mut st = lock_state();
+    st.threads[me] = TState::Finished;
+    st.finished += 1;
+    if let Some(p) = payload {
+        st.panic_payload.get_or_insert(p);
+        st.aborted = true;
+    }
+    for t in st.threads.iter_mut() {
+        if *t == TState::Blocked(BlockKey::Join(me)) {
+            *t = TState::Runnable;
+        }
+    }
+    if st.finished < st.threads.len() {
+        schedule_next(&mut st);
+    }
+    sched().cv.notify_all();
+}
+
+/// Runs the model body under a std thread wrapper that routes panics and
+/// completion through the scheduler.
+fn spawn_model_thread(tid_val: usize, body: Box<dyn FnOnce() + Send>) {
+    std::thread::spawn(move || {
+        TID.with(|t| t.set(Some(tid_val)));
+        let result = catch_unwind(AssertUnwindSafe(move || {
+            let st = lock_state();
+            let _st = wait_for_turn(st, tid_val);
+            drop(_st);
+            body();
+        }));
+        match result {
+            Ok(()) => finish_thread(None),
+            Err(p) if p.is::<AbortRun>() => finish_thread(None),
+            Err(p) => finish_thread(Some(p)),
+        }
+    });
+}
+
+/// One run's outcome: the `(chosen, alternatives)` decision trace and
+/// the first panic payload (if the run failed).
+type RunOutcome = (Vec<(usize, usize)>, Option<Box<dyn Any + Send>>);
+
+/// Executes `f` once under the schedule `script`.
+fn run_once(f: std::sync::Arc<dyn Fn() + Send + Sync>, script: &[usize]) -> RunOutcome {
+    {
+        let mut st = lock_state();
+        *st = Exec {
+            threads: vec![TState::Runnable],
+            cur: 0,
+            script: script.to_vec(),
+            ..Exec::default()
+        };
+    }
+    spawn_model_thread(0, Box::new(move || f()));
+    let mut st = lock_state();
+    while st.finished < st.threads.len() {
+        st = sched().cv.wait(st).unwrap_or_else(|e| e.into_inner());
+    }
+    let trace = std::mem::take(&mut st.trace);
+    let payload = st.panic_payload.take();
+    (trace, payload)
+}
+
+/// Explores interleavings of `f`, re-running it under depth-first
+/// enumeration of scheduling choices. Panics (with the failing run's
+/// payload) as soon as any schedule fails; returns after the schedule
+/// space is exhausted or [`MAX_SCHEDULES`] runs.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    static MODEL_LOCK: StdMutex<()> = StdMutex::new(());
+    let _serialize = MODEL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let f: std::sync::Arc<dyn Fn() + Send + Sync> = std::sync::Arc::new(f);
+    let mut script: Vec<usize> = Vec::new();
+    for _ in 0..MAX_SCHEDULES {
+        let (trace, payload) = run_once(f.clone(), &script);
+        if let Some(p) = payload {
+            std::panic::resume_unwind(p);
+        }
+        // Backtrack: advance the deepest decision that still has an
+        // unexplored alternative.
+        match trace.iter().rposition(|&(c, n)| c + 1 < n) {
+            Some(i) => {
+                script = trace[..i].iter().map(|&(c, _)| c).collect();
+                script.push(trace[i].0 + 1);
+            }
+            None => return, // schedule space exhausted
+        }
+    }
+}
+
+// ---- public modules -----------------------------------------------------
+
+/// Model-aware threads.
+pub mod thread {
+    use super::*;
+    use std::sync::Arc;
+
+    /// Handle to a model thread; [`JoinHandle::join`] is a blocking
+    /// scheduler operation.
+    pub struct JoinHandle<T> {
+        tid: usize,
+        slot: Arc<StdMutex<Option<T>>>,
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Blocks (in model time) until the thread finishes.
+        pub fn join(self) -> std::thread::Result<T> {
+            join_thread(self.tid);
+            let v = self
+                .slot
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+                .expect("loom: joined thread finished without a value");
+            Ok(v)
+        }
+    }
+
+    /// Spawns a model thread. The spawn itself is a scheduling decision
+    /// point (the child may run before the parent continues).
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        assert!(
+            tid().is_some(),
+            "loom::thread::spawn must be called inside loom::model"
+        );
+        let child = register_thread();
+        let slot: Arc<StdMutex<Option<T>>> = Arc::new(StdMutex::new(None));
+        let slot2 = Arc::clone(&slot);
+        spawn_model_thread(
+            child,
+            Box::new(move || {
+                let v = f();
+                *slot2.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+            }),
+        );
+        yield_point();
+        JoinHandle { tid: child, slot }
+    }
+
+    /// Signals that the caller cannot make progress until another thread
+    /// runs. Use inside spin loops — it keeps the schedule space bounded.
+    pub fn yield_now() {
+        yield_and_deprioritize();
+    }
+}
+
+/// Model-aware synchronization primitives.
+pub mod sync {
+    use super::*;
+    use std::cell::UnsafeCell;
+    use std::ops::{Deref, DerefMut};
+
+    pub use std::sync::Arc;
+
+    /// A mutex whose acquire order is controlled by the model scheduler.
+    /// Execution is fully serialized, so the data needs no host lock;
+    /// happens-before between threads flows through the scheduler.
+    pub struct Mutex<T: ?Sized> {
+        data: UnsafeCell<T>,
+    }
+
+    // Safety: the model scheduler guarantees at most one thread executes
+    // at a time and transfers control only through its own (host) mutex,
+    // which orders all accesses to `data`.
+    unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+    unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
+
+    /// RAII guard for [`Mutex`].
+    pub struct MutexGuard<'a, T: ?Sized> {
+        m: &'a Mutex<T>,
+    }
+
+    impl<T> Mutex<T> {
+        /// Creates a new model mutex.
+        pub fn new(value: T) -> Mutex<T> {
+            Mutex {
+                data: UnsafeCell::new(value),
+            }
+        }
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        fn key(&self) -> usize {
+            self as *const Mutex<T> as *const () as usize
+        }
+
+        /// Acquires the mutex, descheduling the caller while it is held
+        /// elsewhere. Mirrors loom's `LockResult` signature (never `Err`).
+        #[allow(clippy::result_unit_err)]
+        pub fn lock(&self) -> Result<MutexGuard<'_, T>, ()> {
+            mutex_acquire(self.key());
+            Ok(MutexGuard { m: self })
+        }
+    }
+
+    impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            mutex_release(self.m.key());
+        }
+    }
+
+    impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            // Safety: the scheduler granted this thread the mutex.
+            unsafe { &*self.m.data.get() }
+        }
+    }
+
+    impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            // Safety: as above, plus &mut self.
+            unsafe { &mut *self.m.data.get() }
+        }
+    }
+
+    /// Atomics whose every operation is a scheduling decision point.
+    pub mod atomic {
+        use std::sync::atomic as std_atomic;
+        pub use std::sync::atomic::Ordering;
+
+        macro_rules! model_atomic {
+            ($name:ident, $std:ty, $prim:ty) => {
+                /// Model-checked atomic: each op is a yield point.
+                #[derive(Debug, Default)]
+                pub struct $name(pub(crate) $std);
+
+                impl $name {
+                    /// Creates a new atomic.
+                    pub fn new(v: $prim) -> $name {
+                        $name(<$std>::new(v))
+                    }
+
+                    /// Atomic load (yield point).
+                    pub fn load(&self, o: Ordering) -> $prim {
+                        super::super::yield_point();
+                        self.0.load(o)
+                    }
+
+                    /// Atomic store (yield point).
+                    pub fn store(&self, v: $prim, o: Ordering) {
+                        super::super::yield_point();
+                        self.0.store(v, o)
+                    }
+
+                    /// Atomic swap (yield point).
+                    pub fn swap(&self, v: $prim, o: Ordering) -> $prim {
+                        super::super::yield_point();
+                        self.0.swap(v, o)
+                    }
+
+                    /// Atomic compare-exchange (yield point).
+                    pub fn compare_exchange(
+                        &self,
+                        cur: $prim,
+                        new: $prim,
+                        ok: Ordering,
+                        err: Ordering,
+                    ) -> Result<$prim, $prim> {
+                        super::super::yield_point();
+                        self.0.compare_exchange(cur, new, ok, err)
+                    }
+                }
+            };
+        }
+
+        model_atomic!(AtomicBool, std_atomic::AtomicBool, bool);
+        model_atomic!(AtomicUsize, std_atomic::AtomicUsize, usize);
+        model_atomic!(AtomicU64, std_atomic::AtomicU64, u64);
+
+        impl AtomicUsize {
+            /// Atomic add (yield point).
+            pub fn fetch_add(&self, v: usize, o: Ordering) -> usize {
+                super::super::yield_point();
+                self.0.fetch_add(v, o)
+            }
+        }
+
+        impl AtomicU64 {
+            /// Atomic add (yield point).
+            pub fn fetch_add(&self, v: u64, o: Ordering) -> u64 {
+                super::super::yield_point();
+                self.0.fetch_add(v, o)
+            }
+        }
+
+        impl AtomicBool {
+            /// Atomic or (yield point).
+            pub fn fetch_or(&self, v: bool, o: Ordering) -> bool {
+                super::super::yield_point();
+                self.0.fetch_or(v, o)
+            }
+        }
+    }
+}
+
+/// Spin-loop hint: a plain yield point (does not deprioritize).
+pub mod hint {
+    /// Equivalent of `std::hint::spin_loop` under the model.
+    pub fn spin_loop() {
+        super::yield_point();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use super::sync::{Arc, Mutex};
+    use super::thread;
+
+    /// Counts how many distinct schedules a model call executes.
+    fn schedules<F: Fn() + Send + Sync + 'static>(f: F) -> usize {
+        let n = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let n2 = Arc::clone(&n);
+        super::model(move || {
+            n2.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            f();
+        });
+        n.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    #[test]
+    fn single_thread_runs_once() {
+        assert_eq!(schedules(|| {}), 1);
+    }
+
+    #[test]
+    fn two_threads_explore_multiple_interleavings() {
+        let runs = schedules(|| {
+            let a = Arc::new(AtomicUsize::new(0));
+            let a2 = Arc::clone(&a);
+            let t = thread::spawn(move || {
+                a2.store(1, Ordering::SeqCst);
+            });
+            let _ = a.load(Ordering::SeqCst); // either 0 or 1
+            t.join().unwrap();
+        });
+        assert!(runs > 1, "expected >1 interleavings, got {runs}");
+    }
+
+    #[test]
+    fn finds_the_lost_update() {
+        // A read-modify-write race: both threads load, then both store.
+        // Exhaustive exploration must find the interleaving where one
+        // update is lost; a single lucky schedule would miss it.
+        let result = std::panic::catch_unwind(|| {
+            super::model(|| {
+                let a = Arc::new(AtomicUsize::new(0));
+                let a2 = Arc::clone(&a);
+                let t = thread::spawn(move || {
+                    let v = a2.load(Ordering::SeqCst);
+                    a2.store(v + 1, Ordering::SeqCst);
+                });
+                let v = a.load(Ordering::SeqCst);
+                a.store(v + 1, Ordering::SeqCst);
+                t.join().unwrap();
+                assert_eq!(a.load(Ordering::SeqCst), 2, "lost update");
+            });
+        });
+        assert!(result.is_err(), "model must find the lost-update schedule");
+    }
+
+    #[test]
+    fn mutex_makes_the_same_counter_race_free() {
+        super::model(|| {
+            let a = Arc::new(Mutex::new(0usize));
+            let a2 = Arc::clone(&a);
+            let t = thread::spawn(move || {
+                *a2.lock().unwrap() += 1;
+            });
+            *a.lock().unwrap() += 1;
+            t.join().unwrap();
+            assert_eq!(*a.lock().unwrap(), 2);
+        });
+    }
+
+    #[test]
+    fn contended_mutex_blocks_instead_of_spinning() {
+        super::model(|| {
+            let m = Arc::new(Mutex::new(Vec::new()));
+            let m2 = Arc::clone(&m);
+            let t = thread::spawn(move || {
+                m2.lock().unwrap().push("child");
+            });
+            m.lock().unwrap().push("parent");
+            t.join().unwrap();
+            let order = m.lock().unwrap();
+            assert_eq!(order.len(), 2, "both critical sections ran");
+        });
+    }
+
+    #[test]
+    fn yield_bounded_spin_loop_terminates() {
+        super::model(|| {
+            let flag = Arc::new(AtomicBool::new(false));
+            let flag2 = Arc::clone(&flag);
+            let t = thread::spawn(move || {
+                flag2.store(true, Ordering::Release);
+            });
+            while !flag.load(Ordering::Acquire) {
+                thread::yield_now();
+            }
+            t.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn deadlock_is_reported_not_hung() {
+        let result = std::panic::catch_unwind(|| {
+            super::model(|| {
+                let a = Arc::new(Mutex::new(0));
+                // Self-deadlock: second lock while the guard is live.
+                let _g1 = a.lock().unwrap();
+                let _g2 = a.lock().unwrap();
+            });
+        });
+        let payload = result.expect_err("deadlock must fail the model");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("deadlock"), "got: {msg}");
+    }
+}

@@ -9,12 +9,17 @@
 //!                                   # across N host threads
 //! bsim micro <kernel> [platform]    # run one microbenchmark
 //! bsim tune                         # the §4 model-selection loop
+//! bsim check [--deny-warnings] [--json] [--list] [platform ...]
+//!                                   # static preflight: model-graph +
+//!                                   # config lints, before any cycle
 //! ```
 
+use silicon_bridge::check;
 use silicon_bridge::core::experiments::{self, Sizes};
 use silicon_bridge::core::table;
 use silicon_bridge::core::tuning::choose_best_model;
 use silicon_bridge::core::Parallelism;
+use silicon_bridge::mpi::NetConfig;
 use silicon_bridge::soc::{configs, Soc, SocConfig};
 use silicon_bridge::workloads::microbench;
 
@@ -42,9 +47,79 @@ fn platform_by_name(name: &str) -> Option<SocConfig> {
 fn usage() -> ! {
     eprintln!(
         "usage:\n  bsim list\n  bsim table <1|2|4|5>\n  bsim fig <1..7> [--smoke] [--par seq|auto|N]\n  \
-         bsim micro <kernel> [platform]\n  bsim tune"
+         bsim micro <kernel> [platform]\n  bsim tune\n  \
+         bsim check [--deny-warnings] [--json] [--list] [platform ...]"
     );
     std::process::exit(2)
+}
+
+/// `bsim check`: the static analysis pass, standalone. Lints every named
+/// platform (or just the ones given), the stock network links, and the
+/// workload size presets, then renders rustc-style diagnostics (or JSON)
+/// and sets the exit code like a compiler would.
+fn run_check(args: &[String]) -> ! {
+    let deny_warnings = args.iter().any(|a| a == "--deny-warnings");
+    let json = args.iter().any(|a| a == "--json");
+    if args.iter().any(|a| a == "--list") {
+        println!("registered lints (see crates/check/README.md for the full taxonomy):");
+        let regs: Vec<(&str, Vec<(&str, &str)>)> = vec![
+            ("cache", check::rules::cache_lints().codes()),
+            ("bus", check::rules::bus_lints().codes()),
+            ("dram", check::rules::dram_lints().codes()),
+            ("tlb", check::rules::tlb_lints().codes()),
+            ("in-order core", check::rules::inorder_lints().codes()),
+            ("ooo core", check::rules::ooo_lints().codes()),
+            ("soc", silicon_bridge::soc::preflight::soc_lints().codes()),
+        ];
+        for (group, codes) in regs {
+            for (code, summary) in codes {
+                println!("  {code:7} [{group}] {summary}");
+            }
+        }
+        println!(
+            "  MG001-MG006 [model graph] wiring analysis (zero-latency wires, tokenless cycles,\n          \
+             fan-in conflicts, dangling ports, undersized channels, unconsumed outputs)\n  \
+             CL040-CL045 [hierarchy] cross-level consistency and monotonicity\n  \
+             NC001   [network] degenerate link bandwidth saturates to 'never delivers'\n  \
+             WL001   [workloads] zero-valued workload size degenerates the benchmark"
+        );
+        std::process::exit(0);
+    }
+    let named: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let targets: Vec<SocConfig> = if named.is_empty() {
+        platforms()
+    } else {
+        named
+            .iter()
+            .map(|n| {
+                platform_by_name(n).unwrap_or_else(|| {
+                    eprintln!("unknown platform {n}; try `bsim list`");
+                    std::process::exit(2);
+                })
+            })
+            .collect()
+    };
+    let mut report = silicon_bridge::soc::preflight_all(targets.iter());
+    if named.is_empty() {
+        // Full sweep: also lint the link models and workload presets the
+        // figure generators use.
+        report.merge(NetConfig::shared_memory().lint("net.shared_memory"));
+        report.merge(NetConfig::ethernet_10g().lint("net.ethernet_10g"));
+        report.merge(Sizes::default().lint("sizes.default"));
+        report.merge(Sizes::smoke().lint("sizes.smoke"));
+    }
+    if json {
+        println!("{}", report.to_json());
+    } else if report.is_clean() {
+        println!(
+            "check passed: {} platform(s) clean, 0 diagnostics",
+            targets.len()
+        );
+    } else {
+        println!("{}", report.render());
+    }
+    let failed = report.has_errors() || (deny_warnings && report.has_warnings());
+    std::process::exit(if failed { 1 } else { 0 })
 }
 
 fn main() {
@@ -187,6 +262,7 @@ fn main() {
             print!("{}", out.explanation(10));
             println!("selected: {}", out.best());
         }
+        "check" => run_check(&args[1..]),
         _ => usage(),
     }
 }

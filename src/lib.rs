@@ -18,6 +18,7 @@
 //! | [`uarch`] | `bsim-uarch` | in-order (Rocket-like) and OoO (BOOM-like) timing cores |
 //! | [`mem`] | `bsim-mem` | caches, bus, LLC models, FR-FCFS DRAM timing |
 //! | [`telemetry`] | `bsim-telemetry` | AutoCounter/TracerV-style out-of-band counters, traces, gap reports |
+//! | [`check`] | `bsim-check` | static model-graph analysis and config lints (preflight) |
 //! | [`engine`] | `bsim-engine` | token channels, lockstep harness, sim-rate meter |
 //! | [`soc`] | `bsim-soc` | platform catalog (Tables 4/5) and the runnable SoC |
 //! | [`mpi`] | `bsim-mpi` | deterministic virtual-time MPI over simulated cores |
@@ -28,6 +29,7 @@
 //! `bsim-bench` crate for the harnesses that regenerate Figures 1–7 and
 //! Tables 4/5.
 
+pub use bsim_check as check;
 pub use bsim_core as core;
 pub use bsim_engine as engine;
 pub use bsim_isa as isa;
