@@ -9,6 +9,7 @@
 use crate::metrics::relative_speedup;
 use bsim_engine::{SimRate, SimRateMeter};
 use bsim_mpi::NetConfig;
+use bsim_resilience::snapshot::{restore_field, CkptError, Snapshot};
 use bsim_soc::{configs, Soc, SocConfig};
 use bsim_telemetry::{CounterBlock, TelemetryConfig, TelemetrySnapshot};
 use bsim_workloads::md::chain::{self, ChainConfig};
@@ -16,7 +17,7 @@ use bsim_workloads::md::lj::{self, LjConfig};
 use bsim_workloads::microbench;
 use bsim_workloads::npb::{cg, ep, is, mg};
 use bsim_workloads::ume::{self, UmeConfig};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -38,6 +39,41 @@ pub struct FigureData {
     pub note: Option<String>,
     /// The series.
     pub series: Vec<Series>,
+}
+
+impl Snapshot for Series {
+    fn save(&self) -> Value {
+        Value::Map(vec![
+            ("name".into(), self.name.save()),
+            ("points".into(), self.points.save()),
+        ])
+    }
+    fn restore(value: &Value) -> Result<Series, CkptError> {
+        Ok(Series {
+            name: restore_field(value, "name")?,
+            points: restore_field(value, "points")?,
+        })
+    }
+}
+
+/// Figures checkpoint whole: a resumed `bsim fig` run replays completed
+/// subfigures from the store byte-for-byte instead of re-simulating
+/// their grids (see [`crate::resilient::run_figure`]).
+impl Snapshot for FigureData {
+    fn save(&self) -> Value {
+        Value::Map(vec![
+            ("title".into(), self.title.save()),
+            ("note".into(), self.note.save()),
+            ("series".into(), self.series.save()),
+        ])
+    }
+    fn restore(value: &Value) -> Result<FigureData, CkptError> {
+        Ok(FigureData {
+            title: restore_field(value, "title")?,
+            note: restore_field(value, "note")?,
+            series: restore_field(value, "series")?,
+        })
+    }
 }
 
 /// Workload sizes for the figure generators (reduced, class-A-shaped;
@@ -185,50 +221,38 @@ impl Parallelism {
     }
 }
 
-/// Runs `jobs` independent grid cells across a scoped worker pool and
-/// returns the results **ordered by grid index**. Workers claim cells
+/// The grid engine shared by every sweep entry point: runs `cell(i)`
+/// for `i in 0..jobs` across a scoped worker pool (workers claim cells
 /// from a shared counter, so an expensive cell never serializes the
-/// cheap ones behind it. A panicking cell propagates its payload out of
-/// this call once the surviving workers drain the grid.
-pub fn run_grid<T, F>(jobs: usize, par: Parallelism, f: F) -> Vec<T>
+/// cheap ones behind it) and returns the results **ordered by grid
+/// index**. `cell` must not panic — the public wrappers catch per cell
+/// before reaching this layer, which is what keeps a poisoned cell from
+/// killing its worker thread and losing the cells that worker would
+/// have claimed next.
+pub(crate) fn drain_grid<R, F>(jobs: usize, par: Parallelism, cell: F) -> Vec<R>
 where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
+    R: Send,
+    F: Fn(usize) -> R + Sync,
 {
     let workers = par.workers(jobs);
     if workers <= 1 {
-        return (0..jobs).map(f).collect();
+        return (0..jobs).map(cell).collect();
     }
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
-    // Join every worker explicitly and keep the first panic payload:
-    // letting the scope observe an unjoined panic would replace the
-    // cell's message with a generic "a scoped thread panicked".
-    let first_panic = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|_| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= jobs {
-                        break;
-                    }
-                    let cell = f(i);
-                    *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(cell);
-                })
-            })
-            .collect();
-        let mut first: Option<Box<dyn std::any::Any + Send>> = None;
-        for h in handles {
-            if let Err(payload) = h.join() {
-                first.get_or_insert(payload);
-            }
+    let slots: Vec<Mutex<Option<R>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs {
+                    break;
+                }
+                let r = cell(i);
+                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
+            });
         }
-        first
     })
-    .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
-    if let Some(payload) = first_panic {
-        std::panic::resume_unwind(payload);
-    }
+    .expect("grid cells are caught per-cell; workers cannot panic");
     slots
         .into_iter()
         .map(|m| {
@@ -237,6 +261,42 @@ where
                 .expect("every grid cell ran")
         })
         .collect()
+}
+
+/// Runs `jobs` independent grid cells across a scoped worker pool and
+/// returns the results **ordered by grid index**.
+///
+/// Every cell runs even when one panics: each cell is caught
+/// individually, so a poisoned cell no longer kills its worker thread
+/// (which previously could strand the rest of the grid when every
+/// worker hit a poisoned cell) and no longer aborts a sequential sweep
+/// at the first failure. The first panic payload — the *original*
+/// payload, message intact — is re-raised only after the whole grid has
+/// drained. Callers that want the completed cells *back* instead of a
+/// panic use [`crate::resilient::run_grid_resilient`], which degrades
+/// poisoned cells to [`bsim_resilience::CellOutcome::Failed`].
+pub fn run_grid<T, F>(jobs: usize, par: Parallelism, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let cells = drain_grid(jobs, par, |i| {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i)))
+    });
+    let mut out = Vec::with_capacity(cells.len());
+    let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
+    for cell in cells {
+        match cell {
+            Ok(t) => out.push(t),
+            Err(payload) => {
+                first_panic.get_or_insert(payload);
+            }
+        }
+    }
+    if let Some(payload) = first_panic {
+        std::panic::resume_unwind(payload);
+    }
+    out
 }
 
 /// Gate a sweep on the `bsim-check` platform preflight *before* any
@@ -826,6 +886,45 @@ pub fn table5() -> String {
     out
 }
 
+/// A keyed subfigure generator: the checkpoint key (`fig3a`, `fig4b4`,
+/// …) plus the deferred computation producing that subfigure.
+pub type Subfigure = (&'static str, Box<dyn Fn() -> FigureData + Send + Sync>);
+
+/// The figure ids `figure_plan` accepts, in CLI order.
+pub const FIGURE_IDS: [&str; 7] = ["1", "2", "3", "4", "5", "6", "7"];
+
+/// The subfigures one `bsim fig <id>` invocation computes, keyed for
+/// checkpoint storage. Returns `None` for an unknown id. Keys are
+/// stable across releases — they are the `CkptStore` cell names a
+/// resumed run looks up — so renaming one invalidates old checkpoints.
+pub fn figure_plan(id: &str, sizes: Sizes, par: Parallelism) -> Option<Vec<Subfigure>> {
+    fn sub(key: &'static str, f: impl Fn() -> FigureData + Send + Sync + 'static) -> Subfigure {
+        (key, Box::new(f))
+    }
+    let plan = match id {
+        "1" => vec![sub("fig1", move || {
+            fig1_microbench_rocket_par(sizes.micro_scale, par)
+        })],
+        "2" => vec![sub("fig2", move || {
+            fig2_microbench_boom_par(sizes.micro_scale, par)
+        })],
+        "3" => vec![
+            sub("fig3a", move || fig3_npb_rocket_par(1, sizes, par)),
+            sub("fig3b", move || fig3_npb_rocket_par(4, sizes, par)),
+        ],
+        "4" => vec![
+            sub("fig4a", move || fig4a_npb_boom_par(1, sizes, par)),
+            sub("fig4b1", move || fig4b_npb_boom_par(1, sizes, par)),
+            sub("fig4b4", move || fig4b_npb_boom_par(4, sizes, par)),
+        ],
+        "5" => vec![sub("fig5", move || fig5_ume_par(sizes, par))],
+        "6" => vec![sub("fig6", move || fig6_lammps_lj_par(sizes, par))],
+        "7" => vec![sub("fig7", move || fig7_lammps_chain_par(sizes, par))],
+        _ => return None,
+    };
+    Some(plan)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -890,6 +989,68 @@ mod tests {
             .or_else(|| payload.downcast_ref::<String>().cloned())
             .unwrap_or_default();
         assert!(msg.contains("grid cell 5 died"), "got: {msg}");
+    }
+
+    #[test]
+    fn grid_panic_no_longer_strands_unclaimed_cells() {
+        // Poison the first `workers` cells: before the per-cell catch,
+        // every worker died on its first claim and the rest of the grid
+        // never ran. Now the whole grid drains, the panic propagates
+        // after, and the sequential path behaves identically.
+        for par in [Parallelism::Workers(2), Parallelism::Sequential] {
+            let ran = AtomicUsize::new(0);
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_grid(8, par, |i| {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                    assert!(i >= 2, "cell {i} poisoned");
+                    i
+                })
+            }));
+            assert!(caught.is_err(), "the cell panic must still propagate");
+            assert_eq!(
+                ran.load(Ordering::Relaxed),
+                8,
+                "every cell must run despite the poisoned ones ({par:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn figure_data_snapshot_roundtrips() {
+        let fig = FigureData {
+            title: "Figure T".into(),
+            note: None,
+            series: vec![Series {
+                name: "model".into(),
+                points: vec![("CG".into(), 0.5), ("EP".into(), 1.25)],
+            }],
+        };
+        assert_eq!(FigureData::restore(&fig.save()).unwrap(), fig);
+        let noted = FigureData {
+            note: Some("4 ranks".into()),
+            ..fig
+        };
+        assert_eq!(FigureData::restore(&noted.save()).unwrap(), noted);
+    }
+
+    #[test]
+    fn figure_plan_covers_every_figure_with_stable_keys() {
+        let mut keys = Vec::new();
+        for id in FIGURE_IDS {
+            let plan = figure_plan(id, Sizes::smoke(), Parallelism::Sequential)
+                .unwrap_or_else(|| panic!("figure {id} missing from the plan"));
+            assert!(!plan.is_empty());
+            keys.extend(plan.iter().map(|(k, _)| *k));
+        }
+        assert_eq!(
+            keys,
+            [
+                "fig1", "fig2", "fig3a", "fig3b", "fig4a", "fig4b1", "fig4b4", "fig5", "fig6",
+                "fig7"
+            ],
+            "checkpoint keys are a stable on-disk contract"
+        );
+        assert!(figure_plan("9", Sizes::smoke(), Parallelism::Sequential).is_none());
     }
 
     #[test]

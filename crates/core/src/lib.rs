@@ -14,7 +14,13 @@
 //!   suite against a hardware target and pick/adjust the simulation
 //!   configuration that matches best,
 //! * [`table`] — plain-text rendering of figure data, so the bench
-//!   harnesses print rows directly comparable to the paper's plots.
+//!   harnesses print rows directly comparable to the paper's plots,
+//! * [`resilient`] — retrying/checkpointing sweep runners for long
+//!   simulations: a poisoned cell degrades to a diagnosed failure row
+//!   and `bsim fig --resume` replays completed subfigures from disk,
+//! * [`campaign`] — the `bsim faults` fault-injection campaign: eight
+//!   deterministic scenarios with typed expectations, rendered as a
+//!   survival matrix.
 //!
 //! ## Quickstart
 //!
@@ -33,10 +39,20 @@
 //! assert!(rel > 0.0);
 //! ```
 
+pub mod campaign;
 pub mod experiments;
 pub mod metrics;
+pub mod resilient;
 pub mod table;
 pub mod tuning;
 
+pub use campaign::{run_campaign, Scenario, SurvivalMatrix};
 pub use experiments::{run_grid, run_grid_metered, FigureData, Parallelism, Series, SweepRun};
 pub use metrics::relative_speedup;
+pub use resilient::{
+    run_figure, run_figure_with, run_grid_checkpointed, run_grid_resilient, ResilientSweep,
+};
+
+// The resilience vocabulary the runners above speak, re-exported so
+// `bsim-core` users don't need a separate `bsim-resilience` import.
+pub use bsim_resilience::{CellOutcome, CkptError, CkptStore, RetryPolicy};

@@ -153,6 +153,52 @@ impl<T> TokenChannel<T> {
     pub fn producer_cycle(&self) -> u64 {
         self.next_push_cycle
     }
+
+    /// Captures the channel state for a checkpoint:
+    /// `(next_push_cycle, next_pop_cycle, buffered tokens in order)`.
+    pub fn snapshot(&self) -> (u64, u64, Vec<T>)
+    where
+        T: Clone,
+    {
+        (
+            self.next_push_cycle,
+            self.next_pop_cycle,
+            self.queue.iter().cloned().collect(),
+        )
+    }
+
+    /// Rebuilds a channel from [`TokenChannel::snapshot`] state. The
+    /// capacity is supplied fresh (it is host configuration — channel
+    /// slack — not target state), so a resumed run may use a different
+    /// quantum than the run that wrote the checkpoint.
+    ///
+    /// Panics if the cursors and token count disagree (`push - pop`
+    /// must equal the buffer depth) or the tokens overflow `capacity`:
+    /// such a checkpoint cannot come from a healthy channel.
+    pub fn restore(
+        capacity: usize,
+        next_push_cycle: u64,
+        next_pop_cycle: u64,
+        tokens: Vec<T>,
+    ) -> TokenChannel<T> {
+        assert!(capacity >= 1);
+        assert!(
+            next_push_cycle - next_pop_cycle == tokens.len() as u64,
+            "checkpoint cursors disagree with buffered token count"
+        );
+        assert!(
+            tokens.len() <= capacity,
+            "checkpointed tokens exceed channel capacity"
+        );
+        let mut queue = VecDeque::with_capacity(capacity);
+        queue.extend(tokens);
+        TokenChannel {
+            queue,
+            capacity,
+            next_push_cycle,
+            next_pop_cycle,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -319,6 +365,28 @@ mod tests {
         popped.extend(&tail[..got]);
         assert_eq!(popped, (0..15).collect::<Vec<u64>>());
         assert_eq!(ch.producer_cycle(), ch.consumer_cycle());
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_tokens_and_cycles() {
+        let mut ch = TokenChannel::new(4);
+        ch.push_batch(0, &[10u64, 11, 12]).unwrap();
+        ch.pop(0).unwrap();
+        let (push, pop, tokens) = ch.snapshot();
+        assert_eq!((push, pop), (3, 1));
+        assert_eq!(tokens, vec![11, 12]);
+        // Restore into a *larger* capacity: slack is host config.
+        let mut back = TokenChannel::restore(8, push, pop, tokens);
+        assert_eq!(back.pop(1), Ok(11));
+        assert_eq!(back.pop(2), Ok(12));
+        assert_eq!(back.push(3, 13), Ok(()));
+        assert_eq!(back.slack(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "cursors disagree")]
+    fn restore_rejects_inconsistent_cursors() {
+        let _ = TokenChannel::restore(4, 5, 1, vec![1u64]);
     }
 
     #[test]

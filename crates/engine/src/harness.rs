@@ -19,14 +19,21 @@
 use crate::channel::TokenChannel;
 use bsim_check::graph::{GraphSpec, ModelSpec, WireSpec};
 use bsim_check::{Diagnostic, Severity};
+use bsim_resilience::fault::{FaultKind, FaultPlan};
+use bsim_resilience::retry::panic_message;
+use bsim_resilience::snapshot::{field, CkptError, Snapshot};
+use bsim_resilience::watchdog::{
+    ChannelProgress, SimError, StallReport, ThreadProgress, WatchdogConfig,
+};
 use bsim_telemetry::CounterBlock;
 use parking_lot::Mutex;
+use serde::Value;
 use std::any::Any;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A target model advanced one cycle at a time.
 pub trait TickModel: Send {
@@ -61,6 +68,20 @@ pub struct Harness<M: TickModel> {
 
 struct SharedChannel {
     chan: Mutex<TokenChannel<u64>>,
+    /// Last model-produced token delivered through this channel, for the
+    /// watchdog's stall report. Reset tokens don't count.
+    last_token: AtomicU64,
+    moved: AtomicBool,
+}
+
+impl SharedChannel {
+    fn wrap(chan: TokenChannel<u64>) -> SharedChannel {
+        SharedChannel {
+            chan: Mutex::new(chan),
+            last_token: AtomicU64::new(0),
+            moved: AtomicBool::new(false),
+        }
+    }
 }
 
 /// First-panic latch shared by all model threads. Without it, a model
@@ -201,9 +222,7 @@ impl<M: TickModel> Harness<M> {
                 for c in 0..w.latency {
                     ch.push(c, 0).expect("reset tokens fit by construction");
                 }
-                SharedChannel {
-                    chan: Mutex::new(ch),
-                }
+                SharedChannel::wrap(ch)
             })
             .collect()
     }
@@ -212,9 +231,15 @@ impl<M: TickModel> Harness<M> {
     /// figures are functions of the target graph only, so sequential and
     /// parallel schedules export identical values. Host-schedule figures
     /// (quantum, spin counts) go under the reserved `host.` prefix.
-    fn publish_target_counters(&self, tel: &mut CounterBlock, cycles: u64, tokens: &[u64]) {
+    fn publish_target_counters(
+        &self,
+        tel: &mut CounterBlock,
+        cycles: u64,
+        tokens: &[u64],
+        n_models: u64,
+    ) {
         tel.set_named("engine.cycles", cycles);
-        tel.set_named("engine.models", self.models.len() as u64);
+        tel.set_named("engine.models", n_models);
         for (wi, w) in self.wires.iter().enumerate() {
             tel.set_named(&format!("engine.chan.{wi}.tokens"), tokens[wi]);
             tel.set_named(&format!("engine.chan.{wi}.latency"), w.latency);
@@ -267,7 +292,7 @@ impl<M: TickModel> Harness<M> {
                 }
             }
         }
-        self.publish_target_counters(tel, cycles, &tokens);
+        self.publish_target_counters(tel, cycles, &tokens, n as u64);
         tel.set_named("host.engine.threads", 1);
         tel.set_named("host.engine.quantum", 1);
         tel.set_named("host.engine.quanta", cycles);
@@ -301,76 +326,640 @@ impl<M: TickModel> Harness<M> {
     ) -> Vec<M> {
         let quantum = quantum.max(1);
         let channels: Arc<Vec<SharedChannel>> = Arc::new(self.make_channels(quantum));
-        let abort = Arc::new(AbortFlag::new());
         let wires = self.wires.clone();
-        let models = std::mem::take(&mut self.models);
-        let nthreads = models.len() as u64;
-        let mut tokens = vec![0u64; wires.len()];
-        let mut spins = vec![0u64; wires.len()];
-        let mut quanta = 0u64;
-
-        crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for (mi, mut model) in models.into_iter().enumerate() {
-                let channels = Arc::clone(&channels);
-                let abort = Arc::clone(&abort);
-                let my_in: Vec<(usize, usize)> = wires
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, w)| w.to_model == mi)
-                    .map(|(wi, w)| (wi, w.to_port))
-                    .collect();
-                let my_out: Vec<(usize, usize, u64)> = wires
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, w)| w.from_model == mi)
-                    .map(|(wi, w)| (wi, w.from_port, w.latency))
-                    .collect();
-                handles.push(scope.spawn(move |_| {
-                    // Catch the panic here, not at the scope join: peers
-                    // must see the poison flag while they are still
-                    // spinning, or they would wait on tokens that will
-                    // never arrive.
-                    let driven = catch_unwind(AssertUnwindSafe(|| {
-                        drive_model(
-                            &mut model, cycles, quantum, &channels, &my_in, &my_out, &abort,
-                        )
-                    }));
-                    match driven {
-                        Ok(Ok(report)) => Some((model, report)),
-                        Ok(Err(Aborted)) => None,
-                        Err(payload) => {
-                            abort.poison(payload);
-                            None
-                        }
-                    }
-                }));
-            }
-            for h in handles {
-                let Ok(outcome) = h.join() else { continue };
-                if let Some((model, report)) = outcome {
-                    self.models.push(model);
-                    for (wi, t, s) in report.chan_counts {
-                        tokens[wi] += t;
-                        spins[wi] += s;
-                    }
-                    quanta += report.batches;
-                }
-            }
-        })
-        .expect("model thread panicked");
-        if let Some(payload) = abort.take() {
-            resume_unwind(payload);
+        let mut models = std::mem::take(&mut self.models);
+        let mut stats = SpanStats::new(wires.len());
+        let outcome = run_span(
+            &mut models,
+            &wires,
+            &channels,
+            (0, cycles),
+            quantum,
+            &FaultPlan::default(),
+            None,
+            &mut stats,
+        );
+        match outcome {
+            Ok(()) => {}
+            Err(RunFailure::Panicked(payload)) => resume_unwind(payload),
+            Err(RunFailure::Stalled(_)) => unreachable!("no watchdog was armed"),
         }
-        self.publish_target_counters(tel, cycles, &tokens);
+        self.publish_target_counters(tel, cycles, &stats.tokens, models.len() as u64);
+        self.publish_host_counters(tel, models.len() as u64, quantum, &stats);
+        models
+    }
+
+    /// [`Harness::run_parallel`] with fault injection and a watchdog:
+    /// the run either completes, or comes back as a typed [`SimError`]
+    /// — [`SimError::Stalled`] with a progress snapshot when no model
+    /// advances within the watchdog budget, [`SimError::Panicked`] when
+    /// a model dies or violates the token protocol. It never hangs and
+    /// never unwinds into the caller.
+    ///
+    /// Telemetry: planned fault counts land under
+    /// `fault.injected.<kind>`, and `host.resilience.watchdog_trips`
+    /// records whether the watchdog fired. Target counters are only
+    /// published for completed runs (a torn-down run's counters are
+    /// partial and would poison cross-schedule comparisons).
+    ///
+    /// A model that blocks forever *inside* `tick()` cannot be torn
+    /// down — threads cannot be killed — so the watchdog covers stalls
+    /// at token boundaries (where all protocol failures manifest);
+    /// non-returning model code is a process-level concern for an outer
+    /// timeout (see the CI `faults` job).
+    pub fn run_guarded(
+        mut self,
+        cycles: u64,
+        quantum: usize,
+        faults: &FaultPlan,
+        watchdog: WatchdogConfig,
+        tel: &mut CounterBlock,
+    ) -> Result<Vec<M>, SimError> {
+        let quantum = quantum.max(1);
+        let channels: Arc<Vec<SharedChannel>> = Arc::new(self.make_channels(quantum));
+        let wires = self.wires.clone();
+        let mut models = std::mem::take(&mut self.models);
+        let mut stats = SpanStats::new(wires.len());
+        for (label, n) in faults.count_by_kind() {
+            tel.set_named(&format!("fault.injected.{label}"), n);
+        }
+        let outcome = run_span(
+            &mut models,
+            &wires,
+            &channels,
+            (0, cycles),
+            quantum,
+            faults,
+            Some(watchdog),
+            &mut stats,
+        );
+        match outcome {
+            Ok(()) => {
+                tel.set_named("host.resilience.watchdog_trips", 0);
+                self.publish_target_counters(tel, cycles, &stats.tokens, models.len() as u64);
+                self.publish_host_counters(tel, models.len() as u64, quantum, &stats);
+                Ok(models)
+            }
+            Err(RunFailure::Stalled(report)) => {
+                tel.set_named("host.resilience.watchdog_trips", 1);
+                Err(SimError::Stalled(report))
+            }
+            Err(RunFailure::Panicked(payload)) => {
+                tel.set_named("host.resilience.watchdog_trips", 0);
+                Err(SimError::Panicked {
+                    message: panic_message(payload.as_ref()),
+                })
+            }
+        }
+    }
+
+    fn publish_host_counters(
+        &self,
+        tel: &mut CounterBlock,
+        nthreads: u64,
+        quantum: usize,
+        stats: &SpanStats,
+    ) {
         tel.set_named("host.engine.threads", nthreads);
         tel.set_named("host.engine.quantum", quantum as u64);
-        tel.set_named("host.engine.quanta", quanta);
-        for (wi, s) in spins.iter().enumerate() {
+        tel.set_named("host.engine.quanta", stats.quanta);
+        for (wi, s) in stats.spins.iter().enumerate() {
             tel.set_named(&format!("host.engine.chan.{wi}.stall_spins"), *s);
         }
-        std::mem::take(&mut self.models)
     }
+}
+
+impl<M: TickModel + Snapshot> Harness<M> {
+    /// [`Harness::run_parallel`] with periodic checkpoints: every
+    /// `interval` target cycles the run pauses at a segment boundary and
+    /// `on_ckpt` receives a [`HarnessCkpt`] capturing every model's
+    /// [`Snapshot`] state and every channel's cursors and buffered
+    /// tokens. [`Harness::resume_parallel`] continues such a checkpoint
+    /// to a bit-identical final state.
+    ///
+    /// Segment boundaries are the natural checkpoint instants: the
+    /// batched scheduler never stages tokens past a span end, so when a
+    /// span joins, every channel is quiescent (it holds exactly
+    /// `latency` in-flight tokens) and no thread-local state exists
+    /// outside the models.
+    pub fn run_parallel_checkpointed(
+        mut self,
+        cycles: u64,
+        quantum: usize,
+        interval: u64,
+        mut on_ckpt: impl FnMut(&HarnessCkpt),
+    ) -> Vec<M> {
+        let quantum = quantum.max(1);
+        let interval = interval.max(1);
+        let channels: Arc<Vec<SharedChannel>> = Arc::new(self.make_channels(quantum));
+        let wires = self.wires.clone();
+        let mut models = std::mem::take(&mut self.models);
+        let mut stats = SpanStats::new(wires.len());
+        let mut at = 0u64;
+        while at < cycles {
+            let seg_end = at.saturating_add(interval).min(cycles);
+            let outcome = run_span(
+                &mut models,
+                &wires,
+                &channels,
+                (at, seg_end),
+                quantum,
+                &FaultPlan::default(),
+                None,
+                &mut stats,
+            );
+            match outcome {
+                Ok(()) => {}
+                Err(RunFailure::Panicked(payload)) => resume_unwind(payload),
+                Err(RunFailure::Stalled(_)) => unreachable!("no watchdog was armed"),
+            }
+            at = seg_end;
+            if at < cycles {
+                on_ckpt(&snapshot_state(at, &models, &channels));
+            }
+        }
+        models
+    }
+
+    /// Continues a run from a [`HarnessCkpt`] to `cycles` total target
+    /// cycles. The quantum may differ from the checkpointing run's —
+    /// channel slack is host configuration, not target state — and the
+    /// result is still bit-identical to the uninterrupted run.
+    ///
+    /// The restored models and wiring are re-validated through the same
+    /// `bsim-check` graph analysis as [`Harness::try_new`]; a checkpoint
+    /// that does not fit the wiring comes back as [`CkptError`].
+    pub fn resume_parallel(
+        wires: Vec<Wire>,
+        ckpt: &HarnessCkpt,
+        cycles: u64,
+        quantum: usize,
+    ) -> Result<Vec<M>, CkptError> {
+        let quantum = quantum.max(1);
+        if ckpt.cycle > cycles {
+            return Err(CkptError::Corrupt {
+                detail: format!(
+                    "checkpoint is at cycle {} but the run is only {} cycles",
+                    ckpt.cycle, cycles
+                ),
+            });
+        }
+        if wires.len() != ckpt.channels.len() {
+            return Err(CkptError::Corrupt {
+                detail: format!(
+                    "checkpoint has {} channel(s) but the graph has {} wire(s)",
+                    ckpt.channels.len(),
+                    wires.len()
+                ),
+            });
+        }
+        let models: Vec<M> = ckpt
+            .models
+            .iter()
+            .map(M::restore)
+            .collect::<Result<_, _>>()?;
+        let mut harness = Harness::try_new(models, wires).map_err(|diags| CkptError::Corrupt {
+            detail: format!(
+                "restored models do not fit the wiring: {}",
+                diags
+                    .iter()
+                    .map(|d| d.code.clone())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        })?;
+        let channels: Arc<Vec<SharedChannel>> = Arc::new(
+            harness
+                .wires
+                .iter()
+                .zip(&ckpt.channels)
+                .map(|(w, ck)| {
+                    if ck.tokens.len() as u64 != w.latency {
+                        return Err(CkptError::Corrupt {
+                            detail: format!(
+                                "channel checkpoint holds {} token(s) on a latency-{} wire",
+                                ck.tokens.len(),
+                                w.latency
+                            ),
+                        });
+                    }
+                    Ok(SharedChannel::wrap(TokenChannel::restore(
+                        w.latency as usize + quantum,
+                        ck.next_push,
+                        ck.next_pop,
+                        ck.tokens.clone(),
+                    )))
+                })
+                .collect::<Result<_, _>>()?,
+        );
+        let wires = harness.wires.clone();
+        let mut models = std::mem::take(&mut harness.models);
+        let mut stats = SpanStats::new(wires.len());
+        let outcome = run_span(
+            &mut models,
+            &wires,
+            &channels,
+            (ckpt.cycle, cycles),
+            quantum,
+            &FaultPlan::default(),
+            None,
+            &mut stats,
+        );
+        match outcome {
+            Ok(()) => Ok(models),
+            Err(RunFailure::Panicked(payload)) => resume_unwind(payload),
+            Err(RunFailure::Stalled(_)) => unreachable!("no watchdog was armed"),
+        }
+    }
+}
+
+/// A whole-harness checkpoint: the target cycle it was taken at, every
+/// model's [`Snapshot`] tree, and every channel's cursors and in-flight
+/// tokens. Serializes through [`Snapshot`] itself, so it can be stored
+/// in a `bsim_resilience::CkptStore` file.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HarnessCkpt {
+    /// Target cycle at which the snapshot was taken.
+    pub cycle: u64,
+    models: Vec<Value>,
+    channels: Vec<ChannelCkpt>,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+struct ChannelCkpt {
+    next_push: u64,
+    next_pop: u64,
+    tokens: Vec<u64>,
+}
+
+impl Snapshot for HarnessCkpt {
+    fn save(&self) -> Value {
+        Value::Map(vec![
+            ("cycle".to_string(), Value::U64(self.cycle)),
+            ("models".to_string(), Value::Seq(self.models.clone())),
+            (
+                "channels".to_string(),
+                Value::Seq(
+                    self.channels
+                        .iter()
+                        .map(|c| {
+                            Value::Map(vec![
+                                ("push".to_string(), Value::U64(c.next_push)),
+                                ("pop".to_string(), Value::U64(c.next_pop)),
+                                ("tokens".to_string(), c.tokens.save()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn restore(value: &Value) -> Result<HarnessCkpt, CkptError> {
+        let cycle = u64::restore(field(value, "cycle")?)?;
+        let models = field(value, "models")?
+            .as_seq()
+            .ok_or(CkptError::WrongType {
+                field: "models".to_string(),
+                expected: "sequence",
+            })?
+            .to_vec();
+        let channels = field(value, "channels")?
+            .as_seq()
+            .ok_or(CkptError::WrongType {
+                field: "channels".to_string(),
+                expected: "sequence",
+            })?
+            .iter()
+            .map(|c| {
+                Ok(ChannelCkpt {
+                    next_push: u64::restore(field(c, "push")?)?,
+                    next_pop: u64::restore(field(c, "pop")?)?,
+                    tokens: Vec::<u64>::restore(field(c, "tokens")?)?,
+                })
+            })
+            .collect::<Result<_, CkptError>>()?;
+        Ok(HarnessCkpt {
+            cycle,
+            models,
+            channels,
+        })
+    }
+}
+
+fn snapshot_state<M: TickModel + Snapshot>(
+    cycle: u64,
+    models: &[M],
+    channels: &[SharedChannel],
+) -> HarnessCkpt {
+    HarnessCkpt {
+        cycle,
+        models: models.iter().map(Snapshot::save).collect(),
+        channels: channels
+            .iter()
+            .map(|sc| {
+                let (next_push, next_pop, tokens) = sc.chan.lock().snapshot();
+                ChannelCkpt {
+                    next_push,
+                    next_pop,
+                    tokens,
+                }
+            })
+            .collect(),
+    }
+}
+
+/// Why a span did not complete.
+enum RunFailure {
+    /// A model panicked (or violated the token protocol); the first
+    /// payload, for `resume_unwind` or message extraction.
+    Panicked(Box<dyn Any + Send + 'static>),
+    /// The watchdog tore the span down.
+    Stalled(StallReport),
+}
+
+/// Poison payload the watchdog uses to distinguish its own teardown
+/// from a real model panic.
+struct StallMarker;
+
+/// Aggregated per-wire token/spin counts and batch totals for one or
+/// more spans.
+struct SpanStats {
+    tokens: Vec<u64>,
+    spins: Vec<u64>,
+    quanta: u64,
+}
+
+impl SpanStats {
+    fn new(wires: usize) -> SpanStats {
+        SpanStats {
+            tokens: vec![0; wires],
+            spins: vec![0; wires],
+            quanta: 0,
+        }
+    }
+}
+
+/// Runs all models from target cycle `span.0` to `span.1` on one host
+/// thread each, with optional fault injection and watchdog. The shared
+/// core of every parallel entry point.
+#[allow(clippy::too_many_arguments)]
+fn run_span<M: TickModel>(
+    models: &mut [M],
+    wires: &[Wire],
+    channels: &Arc<Vec<SharedChannel>>,
+    span: (u64, u64),
+    quantum: usize,
+    faults: &FaultPlan,
+    watchdog: Option<WatchdogConfig>,
+    stats: &mut SpanStats,
+) -> Result<(), RunFailure> {
+    let (from, to) = span;
+    let abort = Arc::new(AbortFlag::new());
+    let progress: Arc<Vec<AtomicU64>> =
+        Arc::new((0..models.len()).map(|_| AtomicU64::new(from)).collect());
+    let epoch = Arc::new(AtomicU64::new(0));
+    let done = Arc::new(AtomicBool::new(false));
+    let stall_report: Arc<Mutex<Option<StallReport>>> = Arc::new(Mutex::new(None));
+
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (mi, model) in models.iter_mut().enumerate() {
+            let channels = Arc::clone(channels);
+            let abort = Arc::clone(&abort);
+            let progress = Arc::clone(&progress);
+            let epoch = Arc::clone(&epoch);
+            let my_in: Vec<(usize, usize)> = wires
+                .iter()
+                .enumerate()
+                .filter(|(_, w)| w.to_model == mi)
+                .map(|(wi, w)| (wi, w.to_port))
+                .collect();
+            let my_out: Vec<(usize, usize, u64)> = wires
+                .iter()
+                .enumerate()
+                .filter(|(_, w)| w.from_model == mi)
+                .map(|(wi, w)| (wi, w.from_port, w.latency))
+                .collect();
+            let thread_faults = ThreadFaults::for_model(faults, mi, wires, &my_out);
+            handles.push(scope.spawn(move |_| {
+                // Catch the panic here, not at the scope join: peers
+                // must see the poison flag while they are still
+                // spinning, or they would wait on tokens that will
+                // never arrive.
+                let driven = catch_unwind(AssertUnwindSafe(|| {
+                    drive_model(
+                        model,
+                        &DriveCtx {
+                            from,
+                            to,
+                            quantum,
+                            channels: &channels,
+                            my_in: &my_in,
+                            my_out: &my_out,
+                            abort: &abort,
+                            faults: &thread_faults,
+                            progress: &progress[mi],
+                            epoch: &epoch,
+                        },
+                    )
+                }));
+                match driven {
+                    Ok(Ok(report)) => Some(report),
+                    Ok(Err(Aborted)) => None,
+                    Err(payload) => {
+                        abort.poison(payload);
+                        None
+                    }
+                }
+            }));
+        }
+        if let Some(cfg) = watchdog {
+            let channels = Arc::clone(channels);
+            let abort = Arc::clone(&abort);
+            let progress = Arc::clone(&progress);
+            let epoch = Arc::clone(&epoch);
+            let done = Arc::clone(&done);
+            let slot = Arc::clone(&stall_report);
+            scope.spawn(move |_| {
+                watchdog_loop(cfg, to, &channels, &abort, &progress, &epoch, &done, &slot);
+            });
+        }
+        for h in handles {
+            let Ok(outcome) = h.join() else { continue };
+            if let Some(report) = outcome {
+                for (wi, t, s) in report.chan_counts {
+                    stats.tokens[wi] += t;
+                    stats.spins[wi] += s;
+                }
+                stats.quanta += report.batches;
+            }
+        }
+        // Model threads are joined; release the watchdog before the
+        // scope waits for it.
+        done.store(true, Ordering::Release);
+    })
+    .expect("model thread panicked");
+
+    if let Some(payload) = abort.take() {
+        if payload.is::<StallMarker>() {
+            let report = stall_report
+                .lock()
+                .take()
+                .expect("watchdog stores its report before poisoning");
+            return Err(RunFailure::Stalled(report));
+        }
+        return Err(RunFailure::Panicked(payload));
+    }
+    Ok(())
+}
+
+/// Samples the shared progress epoch; when it stays unchanged for a
+/// whole budget, captures a [`StallReport`] and poisons the run.
+#[allow(clippy::too_many_arguments)]
+fn watchdog_loop(
+    cfg: WatchdogConfig,
+    target_cycles: u64,
+    channels: &[SharedChannel],
+    abort: &AbortFlag,
+    progress: &[AtomicU64],
+    epoch: &AtomicU64,
+    done: &AtomicBool,
+    slot: &Mutex<Option<StallReport>>,
+) {
+    let mut last_epoch = epoch.load(Ordering::Relaxed);
+    let mut deadline = Instant::now() + cfg.budget;
+    loop {
+        std::thread::sleep(cfg.poll);
+        if done.load(Ordering::Acquire) || abort.is_poisoned() {
+            return;
+        }
+        let e = epoch.load(Ordering::Relaxed);
+        if e != last_epoch {
+            last_epoch = e;
+            deadline = Instant::now() + cfg.budget;
+            continue;
+        }
+        if Instant::now() < deadline {
+            continue;
+        }
+        let report = StallReport {
+            target_cycles,
+            budget_ms: cfg.budget.as_millis() as u64,
+            threads: progress
+                .iter()
+                .enumerate()
+                .map(|(mi, p)| ThreadProgress {
+                    model: mi,
+                    cycle: p.load(Ordering::Relaxed),
+                })
+                .collect(),
+            channels: channels
+                .iter()
+                .enumerate()
+                .map(|(wi, sc)| {
+                    let ch = sc.chan.lock();
+                    ChannelProgress {
+                        wire: wi,
+                        buffered: ch.buffered(),
+                        producer_cycle: ch.producer_cycle(),
+                        consumer_cycle: ch.consumer_cycle(),
+                        last_token: if sc.moved.load(Ordering::Acquire) {
+                            Some(sc.last_token.load(Ordering::Acquire))
+                        } else {
+                            None
+                        },
+                    }
+                })
+                .collect(),
+        };
+        *slot.lock() = Some(report);
+        abort.poison(Box::new(StallMarker));
+        return;
+    }
+}
+
+/// One model thread's precomputed slice of a [`FaultPlan`].
+#[derive(Clone, Debug, Default)]
+struct ThreadFaults {
+    /// Host-time delay before the thread starts driving, µs.
+    start_delay_micros: u64,
+    /// `(cycle, micros)` stalls inside the tick loop, sorted by cycle.
+    stalls: Vec<(u64, u64)>,
+    /// Per-output faults, parallel to the thread's `my_out` list.
+    out_faults: Vec<OutFault>,
+}
+
+#[derive(Clone, Debug, Default)]
+struct OutFault {
+    /// Stop delivering tokens from this tick cycle on (token drop).
+    sever_at: Option<u64>,
+    /// `(cycle, xor mask)` payload corruptions, sorted by cycle.
+    flips: Vec<(u64, u64)>,
+    /// Cycles at which to re-push an already-delivered token, sorted.
+    dups: Vec<u64>,
+}
+
+impl ThreadFaults {
+    fn for_model(
+        plan: &FaultPlan,
+        mi: usize,
+        wires: &[Wire],
+        my_out: &[(usize, usize, u64)],
+    ) -> ThreadFaults {
+        if plan.is_empty() {
+            return ThreadFaults {
+                out_faults: vec![OutFault::default(); my_out.len()],
+                ..ThreadFaults::default()
+            };
+        }
+        let mut tf = ThreadFaults {
+            out_faults: vec![OutFault::default(); my_out.len()],
+            ..ThreadFaults::default()
+        };
+        for e in plan.model_events(mi) {
+            match e.kind {
+                FaultKind::HostThreadDelay { micros } => tf.start_delay_micros += micros,
+                FaultKind::ModelStall { micros } => tf.stalls.push((e.cycle, micros)),
+                _ => {}
+            }
+        }
+        tf.stalls.sort_unstable();
+        for (oi, &(wi, _, _)) in my_out.iter().enumerate() {
+            debug_assert_eq!(wires[wi].from_model, mi);
+            let of = &mut tf.out_faults[oi];
+            for e in plan.wire_events(wi) {
+                match e.kind {
+                    FaultKind::TokenDrop => {
+                        of.sever_at = Some(of.sever_at.map_or(e.cycle, |s| s.min(e.cycle)));
+                    }
+                    FaultKind::TokenDuplicate => of.dups.push(e.cycle),
+                    FaultKind::PayloadBitFlip { bit } => {
+                        of.flips.push((e.cycle, 1u64 << (bit % 64)));
+                    }
+                    _ => {}
+                }
+            }
+            of.flips.sort_unstable();
+            of.dups.sort_unstable();
+        }
+        tf
+    }
+}
+
+/// Everything a model thread's driver loop needs besides the model.
+#[derive(Clone, Copy)]
+struct DriveCtx<'a> {
+    from: u64,
+    to: u64,
+    quantum: usize,
+    channels: &'a [SharedChannel],
+    my_in: &'a [(usize, usize)],
+    my_out: &'a [(usize, usize, u64)],
+    abort: &'a AbortFlag,
+    faults: &'a ThreadFaults,
+    progress: &'a AtomicU64,
+    epoch: &'a AtomicU64,
 }
 
 /// Pushes as many pending output tokens as the channels accept right
@@ -387,13 +976,19 @@ fn flush_pending(
             continue;
         }
         // The reset tokens occupy cycles 0..latency, so the push cursor
-        // for the k-th model output is latency + k.
+        // for the k-th model output is latency + k (`out_pushed` counts
+        // every output the model produced, including pre-checkpoint
+        // segments).
         let start = latency + out_pushed[oi];
         let buf = pending[oi].make_contiguous();
         let n = match channels[wi].chan.lock().push_batch(start, buf) {
             Ok(n) => n,
             Err(e) => panic!("token protocol violation: {e}"),
         };
+        if n > 0 {
+            channels[wi].last_token.store(buf[n - 1], Ordering::Relaxed);
+            channels[wi].moved.store(true, Ordering::Release);
+        }
         pending[oi].drain(..n);
         out_pushed[oi] += n as u64;
         moved += n;
@@ -401,21 +996,30 @@ fn flush_pending(
     moved
 }
 
-/// One host thread's schedule: advance `model` to `cycles`, exchanging
-/// tokens in batches of up to `quantum` per lock acquisition. Input
-/// tokens are staged locally (popping ahead of consumption is safe —
-/// tokens arrive in cycle order and each will be consumed), outputs are
-/// drained through [`flush_pending`]. Stall loops watch `abort` so a
-/// dead peer aborts the schedule instead of hanging it.
-fn drive_model<M: TickModel>(
-    model: &mut M,
-    cycles: u64,
-    quantum: usize,
-    channels: &[SharedChannel],
-    my_in: &[(usize, usize)],
-    my_out: &[(usize, usize, u64)],
-    abort: &AbortFlag,
-) -> Result<ThreadReport, Aborted> {
+/// One host thread's schedule: advance `model` from `ctx.from` to
+/// `ctx.to`, exchanging tokens in batches of up to `quantum` per lock
+/// acquisition. Input tokens are staged locally (popping ahead of
+/// consumption is safe — tokens arrive in cycle order and each will be
+/// consumed), outputs are drained through [`flush_pending`]. Stall
+/// loops watch `abort` so a dead peer aborts the schedule instead of
+/// hanging it; `progress`/`epoch` feed the watchdog. Planned faults
+/// from `ctx.faults` are applied at their tick cycles.
+fn drive_model<M: TickModel>(model: &mut M, ctx: &DriveCtx<'_>) -> Result<ThreadReport, Aborted> {
+    let DriveCtx {
+        from,
+        to,
+        quantum,
+        channels,
+        my_in,
+        my_out,
+        abort,
+        faults,
+        progress,
+        epoch,
+    } = *ctx;
+    if faults.start_delay_micros > 0 {
+        std::thread::sleep(Duration::from_micros(faults.start_delay_micros));
+    }
     let mut staged: Vec<VecDeque<u64>> = my_in
         .iter()
         .map(|_| VecDeque::with_capacity(quantum))
@@ -424,28 +1028,43 @@ fn drive_model<M: TickModel>(
         .iter()
         .map(|_| VecDeque::with_capacity(quantum))
         .collect();
-    let mut out_pushed = vec![0u64; my_out.len()];
+    // Tokens this model has produced so far: one per tick cycle, so a
+    // resumed span starts at `from` per output.
+    let mut out_pushed = vec![from; my_out.len()];
     let mut scratch = vec![0u64; quantum];
     let mut inputs = vec![0u64; model.num_inputs()];
     let mut outputs = vec![0u64; model.num_outputs()];
     let mut chan_counts: Vec<(usize, u64, u64)> = my_in.iter().map(|&(wi, _)| (wi, 0, 0)).collect();
     let out_base = chan_counts.len();
     chan_counts.extend(my_out.iter().map(|&(wi, _, _)| (wi, 0, 0)));
-    let mut cycle = 0u64;
+    // Cursors into the sorted fault schedules: events before `from`
+    // never fire in this span.
+    let mut stall_idx = faults.stalls.partition_point(|&(c, _)| c < from);
+    let mut flip_idx: Vec<usize> = faults
+        .out_faults
+        .iter()
+        .map(|of| of.flips.partition_point(|&(c, _)| c < from))
+        .collect();
+    let mut dup_idx: Vec<usize> = faults
+        .out_faults
+        .iter()
+        .map(|of| of.dups.partition_point(|&c| c < from))
+        .collect();
+    let mut cycle = from;
     let mut batches = 0u64;
     let mut backoff = Backoff::new();
 
-    while cycle < cycles {
-        let want = quantum.min((cycles - cycle) as usize);
+    while cycle < to {
+        let want = quantum.min((to - cycle) as usize);
         // Refill the input stages up to one batch's worth per channel.
         for (ii, &(wi, _)) in my_in.iter().enumerate() {
             let have = staged[ii].len();
             if have < want {
-                let from = cycle + have as u64;
+                let pop_from = cycle + have as u64;
                 let got = match channels[wi]
                     .chan
                     .lock()
-                    .pop_batch(from, &mut scratch[..want - have])
+                    .pop_batch(pop_from, &mut scratch[..want - have])
                 {
                     Ok(n) => n,
                     Err(e) => panic!("token protocol violation: {e}"),
@@ -478,18 +1097,48 @@ fn drive_model<M: TickModel>(
         }
         backoff.reset();
         for k in 0..batch as u64 {
+            let t = cycle + k;
             for (ii, &(_, port)) in my_in.iter().enumerate() {
                 inputs[port] = staged[ii]
                     .pop_front()
                     .expect("batch bounded by stage depth");
             }
-            model.tick(cycle + k, &inputs, &mut outputs);
-            for (oi, &(_, port, _)) in my_out.iter().enumerate() {
-                pending[oi].push_back(outputs[port]);
+            while stall_idx < faults.stalls.len() && faults.stalls[stall_idx].0 == t {
+                std::thread::sleep(Duration::from_micros(faults.stalls[stall_idx].1));
+                stall_idx += 1;
+            }
+            model.tick(t, &inputs, &mut outputs);
+            for (oi, &(wi, port, _)) in my_out.iter().enumerate() {
+                let of = &faults.out_faults[oi];
+                let mut token = outputs[port];
+                while flip_idx[oi] < of.flips.len() && of.flips[flip_idx[oi]].0 == t {
+                    token ^= of.flips[flip_idx[oi]].1;
+                    flip_idx[oi] += 1;
+                }
+                while dup_idx[oi] < of.dups.len() && of.dups[dup_idx[oi]] == t {
+                    dup_idx[oi] += 1;
+                    // Re-send a cycle the channel has already carried:
+                    // the cycle-stamped protocol must reject this, and
+                    // the rejection is the loud failure the duplicate
+                    // fault class asserts.
+                    let mut ch = channels[wi].chan.lock();
+                    let stale = ch.producer_cycle().saturating_sub(1);
+                    if let Err(e) = ch.push(stale, token) {
+                        panic!("token protocol violation (injected duplicate): {e}");
+                    }
+                }
+                // A severed wire delivers nothing from the drop cycle
+                // on; the consumer's starvation is the watchdog's to
+                // report.
+                if of.sever_at.is_none_or(|s| t < s) {
+                    pending[oi].push_back(token);
+                }
             }
         }
         cycle += batch as u64;
         batches += 1;
+        progress.store(cycle, Ordering::Relaxed);
+        epoch.fetch_add(1, Ordering::Relaxed);
         // Drain this batch's outputs before starting the next. A full
         // channel means its consumer holds a whole capacity of unread
         // tokens, so waiting here cannot deadlock.
@@ -523,6 +1172,7 @@ mod tests {
     /// A little stateful model: accumulates a mix of its input and emits
     /// a function of its state. Deliberately order-sensitive so that any
     /// schedule dependence would corrupt the final state.
+    #[derive(Debug)]
     struct Mixer {
         state: u64,
         seed: u64,
@@ -809,5 +1459,223 @@ mod tests {
             panic!("fan-in conflict must be rejected")
         };
         assert!(diags.iter().any(|d| d.code == "MG003"));
+    }
+
+    use bsim_resilience::fault::FaultTarget;
+
+    impl Snapshot for Mixer {
+        fn save(&self) -> Value {
+            Value::Map(vec![
+                ("state".to_string(), Value::U64(self.state)),
+                ("seed".to_string(), Value::U64(self.seed)),
+            ])
+        }
+        fn restore(value: &Value) -> Result<Mixer, CkptError> {
+            Ok(Mixer {
+                state: u64::restore(field(value, "state")?)?,
+                seed: u64::restore(field(value, "seed")?)?,
+            })
+        }
+    }
+
+    fn states(models: &[Mixer]) -> Vec<u64> {
+        models.iter().map(|m| m.state).collect()
+    }
+
+    #[test]
+    fn guarded_clean_run_matches_plain_parallel() {
+        let (m1, w1) = ring(4, 2);
+        let (m2, w2) = ring(4, 2);
+        let mut tel = CounterBlock::new(true);
+        let guarded = Harness::new(m1, w1)
+            .run_guarded(
+                1000,
+                8,
+                &FaultPlan::default(),
+                WatchdogConfig::default(),
+                &mut tel,
+            )
+            .expect("clean run completes");
+        let plain = Harness::new(m2, w2).run_parallel(1000, 8);
+        assert_eq!(states(&guarded), states(&plain));
+        assert_eq!(tel.get("host.resilience.watchdog_trips"), Some(0));
+    }
+
+    /// The core host-time-decoupling claim, proven under adversity:
+    /// stalling a model mid-run and delaying a thread's start must not
+    /// change a single bit of target state.
+    #[test]
+    fn stall_and_delay_faults_survive_bit_identically() {
+        let (m1, w1) = ring(3, 1);
+        let (m2, w2) = ring(3, 1);
+        let clean = Harness::new(m1, w1).run_parallel(500, 4);
+        let plan = FaultPlan::new(1)
+            .inject(
+                FaultTarget::Model(1),
+                100,
+                FaultKind::ModelStall { micros: 2_000 },
+            )
+            .inject(
+                FaultTarget::Model(2),
+                0,
+                FaultKind::HostThreadDelay { micros: 3_000 },
+            );
+        let mut tel = CounterBlock::new(true);
+        let faulted = Harness::new(m2, w2)
+            .run_guarded(500, 4, &plan, WatchdogConfig::default(), &mut tel)
+            .expect("host-time faults must not kill the run");
+        assert_eq!(states(&clean), states(&faulted));
+        assert_eq!(tel.get("fault.injected.model_stall"), Some(1));
+        assert_eq!(tel.get("fault.injected.host_thread_delay"), Some(1));
+    }
+
+    #[test]
+    fn bit_flip_survives_but_corrupts_the_result() {
+        let (m1, w1) = ring(3, 1);
+        let (m2, w2) = ring(3, 1);
+        let clean = Harness::new(m1, w1).run_parallel(400, 4);
+        let plan = FaultPlan::new(2).inject(
+            FaultTarget::Wire(0),
+            37,
+            FaultKind::PayloadBitFlip { bit: 5 },
+        );
+        let mut tel = CounterBlock::new(false);
+        let flipped = Harness::new(m2, w2)
+            .run_guarded(400, 4, &plan, WatchdogConfig::default(), &mut tel)
+            .expect("a bit flip is survivable corruption, not a crash");
+        assert_ne!(
+            states(&clean),
+            states(&flipped),
+            "the corruption must be visible in the final state"
+        );
+    }
+
+    /// The watchdog satellite: a severed channel (the token-drop fault
+    /// model) starves the ring, and the run must come back as a typed
+    /// `SimError::Stalled` with a useful progress snapshot — not hang.
+    #[test]
+    fn severed_channel_trips_the_watchdog_within_budget() {
+        let (m, w) = ring(3, 1);
+        let plan = FaultPlan::new(3).inject(FaultTarget::Wire(1), 200, FaultKind::TokenDrop);
+        let mut tel = CounterBlock::new(true);
+        let started = Instant::now();
+        let err = Harness::new(m, w)
+            .run_guarded(1_000_000, 8, &plan, WatchdogConfig::tight(), &mut tel)
+            .expect_err("a severed channel can never finish");
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "teardown must be prompt, not a hang"
+        );
+        let SimError::Stalled(report) = err else {
+            panic!("expected Stalled, got {err}");
+        };
+        assert_eq!(tel.get("host.resilience.watchdog_trips"), Some(1));
+        assert_eq!(report.threads.len(), 3);
+        assert_eq!(report.channels.len(), 3);
+        // Every thread stalled shortly after the severed cycle: nobody
+        // can get further than the drop cycle plus the pipeline depth.
+        for t in &report.threads {
+            assert!(
+                t.cycle >= 200 && t.cycle < 300,
+                "model {} stuck at implausible cycle {}",
+                t.model,
+                t.cycle
+            );
+        }
+        // The starved channel is visible in the snapshot.
+        let starved = report.most_starved().expect("someone is starved");
+        assert_eq!(starved.buffered, 0);
+    }
+
+    #[test]
+    fn duplicate_token_fails_loudly_with_protocol_violation() {
+        let (m, w) = ring(3, 1);
+        let plan = FaultPlan::new(4).inject(FaultTarget::Wire(0), 50, FaultKind::TokenDuplicate);
+        let mut tel = CounterBlock::new(false);
+        let err = Harness::new(m, w)
+            .run_guarded(10_000, 4, &plan, WatchdogConfig::default(), &mut tel)
+            .expect_err("a duplicated token must be rejected");
+        let SimError::Panicked { message } = err else {
+            panic!("expected Panicked, got {err}");
+        };
+        assert!(
+            message.contains("token protocol violation"),
+            "unexpected message: {message}"
+        );
+    }
+
+    /// A healthy-but-slow model must NOT trip the watchdog: progress
+    /// resets the budget even when each quantum takes a while.
+    #[test]
+    fn slow_but_live_model_does_not_trip_the_watchdog() {
+        let (m, w) = ring(2, 1);
+        // Stall 5 ms every 100 cycles: far slower than normal, but each
+        // stall is well under the 400 ms tight budget.
+        let mut plan = FaultPlan::new(5);
+        for c in (0..1000).step_by(100) {
+            plan = plan.inject(
+                FaultTarget::Model(0),
+                c,
+                FaultKind::ModelStall { micros: 5_000 },
+            );
+        }
+        let mut tel = CounterBlock::new(true);
+        Harness::new(m, w)
+            .run_guarded(1000, 4, &plan, WatchdogConfig::tight(), &mut tel)
+            .expect("slowness is not deadlock");
+        assert_eq!(tel.get("host.resilience.watchdog_trips"), Some(0));
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical_across_quanta() {
+        let (m1, w1) = ring(4, 2);
+        let (m2, w2) = ring(4, 2);
+        let uninterrupted = Harness::new(m1, w1).run_parallel(1000, 8);
+        let mut ckpts: Vec<HarnessCkpt> = Vec::new();
+        let final_models =
+            Harness::new(m2, w2.clone())
+                .run_parallel_checkpointed(1000, 8, 300, |c| ckpts.push(c.clone()));
+        assert_eq!(
+            states(&uninterrupted),
+            states(&final_models),
+            "checkpointing itself must not perturb the run"
+        );
+        assert_eq!(
+            ckpts.iter().map(|c| c.cycle).collect::<Vec<_>>(),
+            vec![300, 600, 900]
+        );
+        for ckpt in &ckpts {
+            // Roundtrip through the serialized form, as `--resume` does.
+            let reloaded = HarnessCkpt::restore(&ckpt.save()).expect("checkpoint tree roundtrips");
+            assert_eq!(&reloaded, ckpt);
+            // Resume with a *different* quantum: host slack is not
+            // target state, so the result must still be bit-identical.
+            let resumed: Vec<Mixer> =
+                Harness::resume_parallel(w2.clone(), &reloaded, 1000, 3).expect("resume runs");
+            assert_eq!(
+                states(&uninterrupted),
+                states(&resumed),
+                "resume from cycle {} diverged",
+                ckpt.cycle
+            );
+        }
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_checkpoints() {
+        let (m, w) = ring(3, 1);
+        let mut ckpts = Vec::new();
+        Harness::new(m, w.clone()).run_parallel_checkpointed(200, 4, 100, |c| {
+            ckpts.push(c.clone());
+        });
+        let ckpt = &ckpts[0];
+        // Fewer wires than channel snapshots.
+        let err = Harness::<Mixer>::resume_parallel(w[..2].to_vec(), ckpt, 200, 4)
+            .expect_err("wire count mismatch");
+        assert!(matches!(err, CkptError::Corrupt { .. }));
+        // Run length behind the checkpoint.
+        let err =
+            Harness::<Mixer>::resume_parallel(w, ckpt, 50, 4).expect_err("cycle horizon behind");
+        assert!(matches!(err, CkptError::Corrupt { .. }));
     }
 }

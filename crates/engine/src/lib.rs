@@ -27,5 +27,10 @@ pub mod harness;
 pub mod rate;
 
 pub use channel::{ChannelError, TokenChannel};
-pub use harness::{Harness, TickModel, Wire};
+pub use harness::{Harness, HarnessCkpt, TickModel, Wire};
 pub use rate::{SimRate, SimRateMeter};
+
+// Resilience vocabulary the guarded/checkpointed entry points speak, so
+// downstream crates don't need a separate `bsim-resilience` import just
+// to call `run_guarded`.
+pub use bsim_resilience::{FaultKind, FaultPlan, SimError, Snapshot, StallReport, WatchdogConfig};

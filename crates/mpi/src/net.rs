@@ -51,6 +51,13 @@ impl NetConfig {
     /// virtual time. The saturation fallback stays (it is what makes
     /// the failure *safe*); the lint is what makes it *visible* before
     /// a cycle is simulated.
+    ///
+    /// `NC002` fires when `latency` is zero while bandwidth stays
+    /// finite: a zero-latency link is physically free communication, so
+    /// every comm/compute overlap conclusion drawn from the model is
+    /// vacuous. The run stays sound (timestamps merely collapse), which
+    /// is why this is a warning — and why the fault campaign injects it
+    /// as a survivable misconfiguration rather than a crash.
     pub fn lint(&self, span: &str) -> Report {
         let mut report = Report::new();
         if !self.bytes_per_cycle.is_finite() || self.bytes_per_cycle <= 0.0 {
@@ -67,7 +74,45 @@ impl NetConfig {
                 .with_help("set a finite positive streaming bandwidth, e.g. 8.0 bytes/cycle"),
             );
         }
+        if self.latency == 0 && self.bytes_per_cycle.is_finite() && self.bytes_per_cycle > 0.0 {
+            report.push(
+                Diagnostic::warning(
+                    "NC002",
+                    span,
+                    "link latency is zero while bandwidth is finite: messages arrive the cycle \
+                     they finish streaming, so latency-hiding results are vacuous",
+                )
+                .with_help(
+                    "model at least the software-stack latency (hundreds of cycles for \
+                     shared-memory MPI)",
+                ),
+            );
+        }
         report
+    }
+
+    /// The link after a `FaultKind::LinkDegrade` fault from the
+    /// resilience campaign: latency multiplied and bandwidth divided by
+    /// `factor`. `factor` is clamped to ≥ 1; degradation saturates
+    /// rather than overflowing.
+    pub fn degrade(&self, factor: u32) -> NetConfig {
+        let factor = factor.max(1);
+        NetConfig {
+            latency: self.latency.saturating_mul(factor as u64),
+            bytes_per_cycle: self.bytes_per_cycle / factor as f64,
+            o_send: self.o_send.saturating_mul(factor as u64),
+            o_recv: self.o_recv.saturating_mul(factor as u64),
+        }
+    }
+
+    /// The link after a `FaultKind::LinkZeroLatency` fault from the
+    /// resilience campaign: the misconfiguration `NC002` exists to
+    /// catch.
+    pub fn zero_latency(&self) -> NetConfig {
+        NetConfig {
+            latency: 0,
+            ..*self
+        }
     }
 
     /// Cycles to stream `bytes` of payload.
@@ -197,6 +242,40 @@ mod tests {
                 "NC001 is a warning: the saturation fallback keeps the run sound"
             );
         }
+    }
+
+    #[test]
+    fn zero_latency_with_finite_bandwidth_warns_nc002() {
+        let n = NetConfig::shared_memory().zero_latency();
+        let report = n.lint("net");
+        assert!(report.has_code("NC002"));
+        assert!(!report.has_errors(), "NC002 is a warning, the run is sound");
+        // Zero latency with *degenerate* bandwidth is NC001's territory,
+        // not a spurious double report.
+        let dead = NetConfig {
+            latency: 0,
+            bytes_per_cycle: 0.0,
+            ..NetConfig::shared_memory()
+        };
+        let report = dead.lint("net");
+        assert!(report.has_code("NC001") && !report.has_code("NC002"));
+    }
+
+    #[test]
+    fn degrade_stretches_the_link_and_keeps_it_sound() {
+        let base = NetConfig::shared_memory();
+        let slow = base.degrade(4);
+        assert_eq!(slow.latency, base.latency * 4);
+        assert_eq!(slow.bytes_per_cycle, base.bytes_per_cycle / 4.0);
+        assert!(slow.lint("net").is_clean(), "a degraded link is still sane");
+        assert!(slow.arrival(0, 1 << 16) > base.arrival(0, 1 << 16));
+        assert_eq!(base.degrade(0), base.degrade(1), "factor clamps to 1");
+        // Degradation can never resurrect a dead link.
+        let dead = NetConfig {
+            bytes_per_cycle: 0.0,
+            ..base
+        };
+        assert_eq!(dead.degrade(3).transfer_cycles(64), u64::MAX);
     }
 
     #[test]

@@ -1,0 +1,45 @@
+//! # bsim-resilience — runtime robustness for long simulations
+//!
+//! The paper's FireSim experiments are multi-hour FPGA-hosted runs where
+//! a single stalled token channel or crashed target model loses the
+//! whole experiment. `bsim-check` (static analysis) catches
+//! misconfigurations *before* cycle 0; this crate defends a run *at
+//! runtime*:
+//!
+//! * [`fault`] — a deterministic, seeded [`FaultPlan`] describing token
+//!   drops, duplicates, payload bit-flips, model stalls and host-thread
+//!   delays, applied by the engine at `TokenChannel`/`TickModel`
+//!   boundaries. Used by the built-in fault campaign (`bsim faults`) to
+//!   prove the harness survives — or fails loudly — under every fault
+//!   class.
+//! * [`watchdog`] — [`WatchdogConfig`] host-time budgets and the typed
+//!   [`SimError`] the guarded harness returns instead of hanging, with a
+//!   per-thread/per-channel [`StallReport`] progress snapshot.
+//! * [`snapshot`] — the [`Snapshot`] trait (serde-`Value`-based
+//!   save/restore) models and reports implement so runs can be
+//!   checkpointed.
+//! * [`ckpt`] — the versioned on-disk [`CkptStore`] behind
+//!   `bsim fig --resume <ckpt>`.
+//! * [`retry`] — [`RetryPolicy`] with exponential backoff and the
+//!   [`CellOutcome`] rows resilient sweeps record instead of aborting.
+//!
+//! Config sanity is linted through `bsim-check` diagnostics under the
+//! `RS0xx` codes (see `crates/check/README.md`), and runtime events flow
+//! through `bsim-telemetry` counters (`fault.injected.*`,
+//! `host.resilience.*`).
+//!
+//! This crate sits *below* the engine (the engine applies the plans and
+//! budgets), so it holds data types and policies only — the executable
+//! fault campaign lives in `bsim-core::campaign`.
+
+pub mod ckpt;
+pub mod fault;
+pub mod retry;
+pub mod snapshot;
+pub mod watchdog;
+
+pub use ckpt::{CkptStore, CKPT_VERSION};
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
+pub use retry::{CellOutcome, RetryPolicy};
+pub use snapshot::{CkptError, Snapshot};
+pub use watchdog::{ChannelProgress, SimError, StallReport, ThreadProgress, WatchdogConfig};

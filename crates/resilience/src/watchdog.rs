@@ -1,0 +1,257 @@
+//! Runtime stall detection: host-time budgets and typed stall reports.
+//!
+//! The parallel harness synchronizes model threads only through token
+//! channels, so a severed channel, a protocol bug, or a peer that died
+//! silently turns into *every* thread spinning forever — the failure
+//! mode PR 2 hit in production. A [`WatchdogConfig`] gives the guarded
+//! harness a host-time budget: if no model completes a quantum within
+//! the budget, the run is torn down with [`SimError::Stalled`] carrying
+//! a [`StallReport`] snapshot (per-thread cycle, per-channel depths and
+//! last-moved token) instead of hanging.
+
+use bsim_check::{Diagnostic, Report};
+use std::fmt;
+use std::time::Duration;
+
+/// Host-time stall budget for a guarded run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Tear the run down when no model thread has completed a quantum
+    /// for this long in host time.
+    pub budget: Duration,
+    /// How often the watchdog samples progress. Trip latency is at most
+    /// `budget + poll`.
+    pub poll: Duration,
+}
+
+impl Default for WatchdogConfig {
+    /// 5 s budget polled every 50 ms: generous against host scheduling
+    /// noise, still minutes-not-hours on a real deadlock.
+    fn default() -> WatchdogConfig {
+        WatchdogConfig {
+            budget: Duration::from_secs(5),
+            poll: Duration::from_millis(50),
+        }
+    }
+}
+
+impl WatchdogConfig {
+    /// A tight budget for tests and the fault campaign.
+    pub fn tight() -> WatchdogConfig {
+        WatchdogConfig {
+            budget: Duration::from_millis(400),
+            poll: Duration::from_millis(10),
+        }
+    }
+
+    /// Static sanity lint (`RS01x` codes).
+    ///
+    /// * `RS010` (error): zero budget — the watchdog would trip on the
+    ///   first poll of any run, healthy or not.
+    /// * `RS011` (warning): poll interval at or above the budget — the
+    ///   effective trip latency doubles and short stalls are missed.
+    pub fn lint(&self, span: &str) -> Report {
+        let mut report = Report::new();
+        if self.budget.is_zero() {
+            report.push(
+                Diagnostic::error(
+                    "RS010",
+                    span,
+                    "watchdog budget is zero: every run trips on the first poll",
+                )
+                .with_help("give the budget at least a few hundred milliseconds"),
+            );
+        }
+        if !self.budget.is_zero() && self.poll >= self.budget {
+            report.push(
+                Diagnostic::warning(
+                    "RS011",
+                    span,
+                    format!(
+                        "poll interval ({:?}) is not smaller than the budget ({:?}): \
+                         trip latency degrades to budget + poll",
+                        self.poll, self.budget
+                    ),
+                )
+                .with_help("poll at least 4x faster than the budget"),
+            );
+        }
+        report
+    }
+}
+
+/// One model thread's progress at trip time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ThreadProgress {
+    /// Model index.
+    pub model: usize,
+    /// Target cycle the thread had reached.
+    pub cycle: u64,
+}
+
+/// One channel's state at trip time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChannelProgress {
+    /// Wire index.
+    pub wire: usize,
+    /// Tokens buffered in the channel.
+    pub buffered: usize,
+    /// Next cycle the producer will push.
+    pub producer_cycle: u64,
+    /// Next cycle the consumer will pop.
+    pub consumer_cycle: u64,
+    /// The last token value that moved through the channel, if any did.
+    pub last_token: Option<u64>,
+}
+
+/// Progress snapshot captured when the watchdog trips.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StallReport {
+    /// Target length of the run that stalled.
+    pub target_cycles: u64,
+    /// The budget that expired, in milliseconds.
+    pub budget_ms: u64,
+    /// Per-thread progress (index order = model order).
+    pub threads: Vec<ThreadProgress>,
+    /// Per-channel state (index order = wire order).
+    pub channels: Vec<ChannelProgress>,
+}
+
+impl StallReport {
+    /// The most-starved consumer: the channel whose consumer cycle is
+    /// lowest — usually the first place to look.
+    pub fn most_starved(&self) -> Option<&ChannelProgress> {
+        self.channels
+            .iter()
+            .filter(|c| c.buffered == 0)
+            .min_by_key(|c| c.consumer_cycle)
+    }
+}
+
+impl fmt::Display for StallReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "no quantum progress within {} ms budget (run of {} target cycles)",
+            self.budget_ms, self.target_cycles
+        )?;
+        for t in &self.threads {
+            writeln!(f, "  model {:>3}: at cycle {}", t.model, t.cycle)?;
+        }
+        for c in &self.channels {
+            writeln!(
+                f,
+                "  chan {:>4}: {} buffered, producer@{} consumer@{}{}",
+                c.wire,
+                c.buffered,
+                c.producer_cycle,
+                c.consumer_cycle,
+                match c.last_token {
+                    Some(t) => format!(", last token {t:#x}"),
+                    None => String::from(", no token ever moved"),
+                }
+            )?;
+        }
+        if let Some(s) = self.most_starved() {
+            write!(
+                f,
+                "  => starved: channel {} (empty at cycle {})",
+                s.wire, s.consumer_cycle
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Typed failure of a guarded run — what the harness returns instead of
+/// hanging or aborting the process.
+#[derive(Clone, Debug)]
+pub enum SimError {
+    /// The watchdog saw no quantum progress within its budget.
+    Stalled(StallReport),
+    /// A model panicked inside `tick()` (or violated the token
+    /// protocol); the first payload's message is captured.
+    Panicked {
+        /// Rendered panic message.
+        message: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Stalled(r) => write!(f, "simulation stalled: {r}"),
+            SimError::Panicked { message } => write!(f, "model panicked: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lint_flags_zero_budget_and_slow_poll() {
+        let bad = WatchdogConfig {
+            budget: Duration::ZERO,
+            poll: Duration::from_millis(10),
+        };
+        let report = bad.lint("wd");
+        assert!(report.has_code("RS010") && report.has_errors());
+
+        let slow = WatchdogConfig {
+            budget: Duration::from_millis(100),
+            poll: Duration::from_millis(100),
+        };
+        let report = slow.lint("wd");
+        assert!(report.has_code("RS011") && !report.has_errors());
+
+        assert!(WatchdogConfig::default().lint("wd").is_clean());
+        assert!(WatchdogConfig::tight().lint("wd").is_clean());
+    }
+
+    #[test]
+    fn stall_report_renders_and_finds_the_starved_channel() {
+        let r = StallReport {
+            target_cycles: 10_000,
+            budget_ms: 400,
+            threads: vec![
+                ThreadProgress {
+                    model: 0,
+                    cycle: 320,
+                },
+                ThreadProgress {
+                    model: 1,
+                    cycle: 200,
+                },
+            ],
+            channels: vec![
+                ChannelProgress {
+                    wire: 0,
+                    buffered: 4,
+                    producer_cycle: 321,
+                    consumer_cycle: 317,
+                    last_token: Some(0xBEEF),
+                },
+                ChannelProgress {
+                    wire: 1,
+                    buffered: 0,
+                    producer_cycle: 200,
+                    consumer_cycle: 200,
+                    last_token: None,
+                },
+            ],
+        };
+        assert_eq!(r.most_starved().unwrap().wire, 1);
+        let text = format!("{}", SimError::Stalled(r));
+        assert!(text.contains("400 ms budget"));
+        assert!(text.contains("starved: channel 1"));
+        assert!(text.contains("no token ever moved"));
+        let p = SimError::Panicked {
+            message: "model exploded".into(),
+        };
+        assert!(format!("{p}").contains("model exploded"));
+    }
+}

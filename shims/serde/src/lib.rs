@@ -26,6 +26,77 @@ pub enum Value {
     Map(Vec<(String, Value)>),
 }
 
+impl Value {
+    /// Borrow the value as an unsigned integer. `I64`/`F64` values that
+    /// are exactly representable coerce, mirroring real serde_json's
+    /// lenient numeric access.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(n) => Some(*n),
+            Value::I64(n) if *n >= 0 => Some(*n as u64),
+            Value::F64(x) if x.fract() == 0.0 && *x >= 0.0 && *x <= u64::MAX as f64 => {
+                Some(*x as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Borrow the value as a signed integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(n) => Some(*n),
+            Value::U64(n) if *n <= i64::MAX as u64 => Some(*n as i64),
+            _ => None,
+        }
+    }
+
+    /// Borrow the value as a float. Integers coerce losslessly enough
+    /// for metric data (f64 mantissa).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(x) => Some(*x),
+            Value::U64(n) => Some(*n as f64),
+            Value::I64(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Look up a map entry by key (first match; shim maps are
+    /// insertion-ordered vectors, duplicate keys do not occur in
+    /// derive-generated output).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
 /// Reduced serialization trait: lower `self` into a [`Value`] tree.
 ///
 /// The real serde drives a `Serializer` visitor; for this workspace's needs

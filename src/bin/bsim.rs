@@ -4,11 +4,18 @@
 //! bsim list                         # platforms + experiments
 //! bsim table 1|2|4|5                # print a paper table
 //! bsim fig 1|2|3|4|5|6|7 [--smoke] [--par seq|auto|N]
+//!          [--ckpt FILE] [--resume FILE] [--retries N]
 //!                                   # regenerate a paper figure; --par
 //!                                   # fans the platform×workload grid
-//!                                   # across N host threads
+//!                                   # across N host threads; --ckpt
+//!                                   # writes completed subfigures to
+//!                                   # FILE, --resume replays them
 //! bsim micro <kernel> [platform]    # run one microbenchmark
 //! bsim tune                         # the §4 model-selection loop
+//! bsim faults [--seed N] [--deny-unsurvived]
+//!                                   # fault-injection campaign: prints
+//!                                   # the survival matrix; deny exits
+//!                                   # non-zero on any expectation miss
 //! bsim check [--deny-warnings] [--json] [--list] [platform ...]
 //!                                   # static preflight: model-graph +
 //!                                   # config lints, before any cycle
@@ -18,8 +25,9 @@ use silicon_bridge::check;
 use silicon_bridge::core::experiments::{self, Sizes};
 use silicon_bridge::core::table;
 use silicon_bridge::core::tuning::choose_best_model;
-use silicon_bridge::core::Parallelism;
+use silicon_bridge::core::{run_campaign, run_figure_with, CkptStore, Parallelism, RetryPolicy};
 use silicon_bridge::mpi::NetConfig;
+use silicon_bridge::resilience::CellOutcome;
 use silicon_bridge::soc::{configs, Soc, SocConfig};
 use silicon_bridge::workloads::microbench;
 
@@ -46,11 +54,21 @@ fn platform_by_name(name: &str) -> Option<SocConfig> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  bsim list\n  bsim table <1|2|4|5>\n  bsim fig <1..7> [--smoke] [--par seq|auto|N]\n  \
+        "usage:\n  bsim list\n  bsim table <1|2|4|5>\n  \
+         bsim fig <1..7> [--smoke] [--par seq|auto|N] [--ckpt FILE] [--resume FILE] [--retries N]\n  \
          bsim micro <kernel> [platform]\n  bsim tune\n  \
+         bsim faults [--seed N] [--deny-unsurvived]\n  \
          bsim check [--deny-warnings] [--json] [--list] [platform ...]"
     );
     std::process::exit(2)
+}
+
+/// The value following `--flag`, if the flag is present.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
 }
 
 /// `bsim check`: the static analysis pass, standalone. Lints every named
@@ -81,7 +99,11 @@ fn run_check(args: &[String]) -> ! {
              fan-in conflicts, dangling ports, undersized channels, unconsumed outputs)\n  \
              CL040-CL045 [hierarchy] cross-level consistency and monotonicity\n  \
              NC001   [network] degenerate link bandwidth saturates to 'never delivers'\n  \
-             WL001   [workloads] zero-valued workload size degenerates the benchmark"
+             NC002   [network] zero-latency link with finite bandwidth: timing model is vacuous\n  \
+             WL001   [workloads] zero-valued workload size degenerates the benchmark\n  \
+             RS001-RS004 [fault plan] out-of-range fault targets/cycles, duplicate events,\n          \
+             bit index past the token width\n  \
+             RS010-RS011 [watchdog] zero stall budget, poll period at or above the budget"
         );
         std::process::exit(0);
     }
@@ -185,31 +207,88 @@ fn main() {
                 }
                 None => Parallelism::Sequential,
             };
-            let figs: Vec<experiments::FigureData> = match args.get(1).map(String::as_str) {
-                Some("1") => vec![experiments::fig1_microbench_rocket_par(
-                    sizes.micro_scale,
-                    par,
-                )],
-                Some("2") => vec![experiments::fig2_microbench_boom_par(
-                    sizes.micro_scale,
-                    par,
-                )],
-                Some("3") => vec![
-                    experiments::fig3_npb_rocket_par(1, sizes, par),
-                    experiments::fig3_npb_rocket_par(4, sizes, par),
-                ],
-                Some("4") => vec![
-                    experiments::fig4a_npb_boom_par(1, sizes, par),
-                    experiments::fig4b_npb_boom_par(1, sizes, par),
-                    experiments::fig4b_npb_boom_par(4, sizes, par),
-                ],
-                Some("5") => vec![experiments::fig5_ume_par(sizes, par)],
-                Some("6") => vec![experiments::fig6_lammps_lj_par(sizes, par)],
-                Some("7") => vec![experiments::fig7_lammps_chain_par(sizes, par)],
-                _ => usage(),
+            let Some(id) = args.get(1).map(String::as_str) else {
+                usage()
             };
-            for f in figs {
-                println!("{}", table::render(&f));
+            if !experiments::FIGURE_IDS.contains(&id) {
+                usage()
+            }
+            let policy = match flag_value(&args, "--retries") {
+                Some(n) => match n.parse::<u32>() {
+                    Ok(n) if n >= 1 => RetryPolicy {
+                        max_attempts: n,
+                        ..RetryPolicy::default()
+                    },
+                    _ => {
+                        eprintln!("--retries takes an attempt count >= 1");
+                        std::process::exit(2);
+                    }
+                },
+                None => RetryPolicy::once(),
+            };
+            // --resume loads an existing checkpoint; --ckpt (or, absent
+            // that, the resume file itself) is where progress lands.
+            let resume = flag_value(&args, "--resume").map(std::path::PathBuf::from);
+            let ckpt = flag_value(&args, "--ckpt")
+                .map(std::path::PathBuf::from)
+                .or_else(|| resume.clone());
+            let mut store = match &resume {
+                Some(path) => match CkptStore::load(path) {
+                    Ok(s) => {
+                        eprintln!("resuming from {} ({} entries)", path.display(), s.len());
+                        Some(s)
+                    }
+                    Err(e) => {
+                        eprintln!("cannot resume from {}: {e}", path.display());
+                        std::process::exit(2);
+                    }
+                },
+                None => ckpt.as_ref().map(|_| CkptStore::new()),
+            };
+            let save = |s: &CkptStore| {
+                if let Some(path) = &ckpt {
+                    if let Err(e) = s.save(path) {
+                        eprintln!("warning: cannot write checkpoint {}: {e}", path.display());
+                    }
+                }
+            };
+            let results = run_figure_with(id, sizes, par, &policy, store.as_mut(), save)
+                .unwrap_or_else(|e| {
+                    eprintln!("checkpoint error: {e}");
+                    std::process::exit(2);
+                });
+            let mut failed = 0usize;
+            for (key, outcome) in results {
+                match outcome {
+                    CellOutcome::Ok { value, attempts } => {
+                        if attempts == 0 {
+                            eprintln!("{key}: replayed from checkpoint");
+                        }
+                        println!("{}", table::render(&value));
+                    }
+                    CellOutcome::Failed { diag, attempts } => {
+                        failed += 1;
+                        eprintln!("{key}: FAILED after {attempts} attempt(s): {diag}");
+                    }
+                }
+            }
+            if failed > 0 {
+                eprintln!("{failed} subfigure(s) failed; completed ones were kept");
+                std::process::exit(1);
+            }
+        }
+        "faults" => {
+            let seed = match flag_value(&args, "--seed") {
+                Some(s) => s.parse::<u64>().unwrap_or_else(|_| {
+                    eprintln!("--seed takes an unsigned integer");
+                    std::process::exit(2);
+                }),
+                None => 42,
+            };
+            let matrix = run_campaign(seed);
+            print!("{}", matrix.render());
+            if args.iter().any(|a| a == "--deny-unsurvived") && !matrix.all_pass() {
+                std::process::exit(1);
             }
         }
         "micro" => {

@@ -35,6 +35,7 @@ pub use bsim_engine as engine;
 pub use bsim_isa as isa;
 pub use bsim_mem as mem;
 pub use bsim_mpi as mpi;
+pub use bsim_resilience as resilience;
 pub use bsim_soc as soc;
 pub use bsim_telemetry as telemetry;
 pub use bsim_uarch as uarch;

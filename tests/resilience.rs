@@ -1,0 +1,157 @@
+//! Cross-crate resilience tests: fault injection, watchdog teardown and
+//! checkpoint/resume exercised end to end through the public facade.
+
+use std::time::{Duration, Instant};
+
+use silicon_bridge::core::{run_grid_checkpointed, CkptStore, Parallelism, RetryPolicy};
+use silicon_bridge::engine::{FaultKind, FaultPlan, Harness, SimError, TickModel, Wire};
+use silicon_bridge::resilience::fault::FaultTarget;
+use silicon_bridge::resilience::{Snapshot, WatchdogConfig};
+use silicon_bridge::soc::{configs, RunReport, Soc};
+use silicon_bridge::telemetry::CounterBlock;
+use silicon_bridge::workloads::microbench;
+
+/// A minimal pass-through stage for a two-model token ring.
+#[derive(Debug)]
+struct Relay;
+
+impl TickModel for Relay {
+    fn num_inputs(&self) -> usize {
+        1
+    }
+    fn num_outputs(&self) -> usize {
+        1
+    }
+    fn tick(&mut self, cycle: u64, inputs: &[u64], outputs: &mut [u64]) {
+        outputs[0] = inputs[0].wrapping_add(cycle);
+    }
+}
+
+fn ring() -> Harness<Relay> {
+    Harness::new(
+        vec![Relay, Relay],
+        vec![
+            Wire {
+                from_model: 0,
+                from_port: 0,
+                to_model: 1,
+                to_port: 0,
+                latency: 1,
+            },
+            Wire {
+                from_model: 1,
+                from_port: 0,
+                to_model: 0,
+                to_port: 0,
+                latency: 1,
+            },
+        ],
+    )
+}
+
+/// Satellite (c), part 1: a deliberately wedged channel — one token
+/// dropped mid-run — must surface as a typed `SimError::Stalled` within
+/// the watchdog budget, never as a hang.
+#[test]
+fn dropped_token_trips_typed_stall_within_budget() {
+    let plan = FaultPlan::new(7).inject(FaultTarget::Wire(0), 300, FaultKind::TokenDrop);
+    let mut tel = CounterBlock::new(true);
+    let started = Instant::now();
+    let err = ring()
+        .run_guarded(10_000, 8, &plan, WatchdogConfig::tight(), &mut tel)
+        .expect_err("a severed channel cannot complete");
+    // tight() budgets 400ms of zero progress; leave generous CI headroom
+    // while still proving the run did not wait out the full target time.
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "watchdog took {:?}, far beyond its budget",
+        started.elapsed()
+    );
+    match err {
+        SimError::Stalled(report) => {
+            assert_eq!(report.target_cycles, 10_000);
+            assert!(
+                report.threads.iter().all(|t| t.cycle < 10_000),
+                "every thread must have been cut short of the target"
+            );
+            assert!(
+                report.most_starved().is_some(),
+                "the stall report must name a starving channel"
+            );
+        }
+        other => panic!("expected Stalled, got {other:?}"),
+    }
+    assert_eq!(tel.get("fault.injected.token_drop"), Some(1));
+    assert_eq!(tel.get("host.resilience.watchdog_trips"), Some(1));
+}
+
+/// Satellite (c), part 2: a checkpoint written mid-sweep resumes to
+/// bit-identical `RunReport`s — the resumed cells replay from the store
+/// and the freshly computed ones reproduce the original run exactly.
+#[test]
+fn mid_sweep_checkpoint_resumes_bit_identical_run_reports() {
+    // A 2 platforms × 2 kernels grid, each cell a full SoC run.
+    let platforms = [configs::rocket1(1), configs::small_boom(1)];
+    let kernels: Vec<_> = microbench::evaluated()
+        .into_iter()
+        .filter(|k| ["EM5", "STc"].contains(&k.name))
+        .collect();
+    assert_eq!(kernels.len(), 2);
+    let cell = |i: usize| -> RunReport {
+        let cfg = platforms[i / kernels.len()].clone();
+        let k = &kernels[i % kernels.len()];
+        let mut soc = Soc::new(cfg);
+        soc.run_program(0, &k.build(1), u64::MAX)
+    };
+    let jobs = platforms.len() * kernels.len();
+
+    // The reference sweep, fully simulated.
+    let mut full = CkptStore::new();
+    let baseline = run_grid_checkpointed(
+        &mut full,
+        "grid",
+        jobs,
+        Parallelism::Workers(2),
+        &RetryPolicy::once(),
+        cell,
+    )
+    .unwrap();
+    assert!(baseline.all_ok());
+    assert_eq!(baseline.restored, 0);
+
+    // Simulate a run killed after two cells: only their checkpoints
+    // survive, round-tripped through the on-disk JSON wire format.
+    let mut partial = CkptStore::new();
+    for i in [0usize, 2] {
+        let rep = baseline.outcomes[i].value().unwrap();
+        partial.put(&format!("grid/cell{i}"), rep);
+    }
+    let mut resumed_store = CkptStore::from_json(&partial.to_json()).unwrap();
+    let resumed = run_grid_checkpointed(
+        &mut resumed_store,
+        "grid",
+        jobs,
+        Parallelism::Sequential, // different host schedule on purpose
+        &RetryPolicy::once(),
+        cell,
+    )
+    .unwrap();
+    assert!(resumed.all_ok());
+    assert_eq!(resumed.restored, 2);
+
+    for (i, (a, b)) in baseline
+        .outcomes
+        .iter()
+        .zip(resumed.outcomes.iter())
+        .enumerate()
+    {
+        let (a, b) = (a.value().unwrap(), b.value().unwrap());
+        assert_eq!(a.cycles, b.cycles, "cell {i} cycles diverged");
+        assert_eq!(a.retired, b.retired, "cell {i} retired diverged");
+        assert_eq!(a.exit_code, b.exit_code, "cell {i} exit code diverged");
+        // Bit-identical under the checkpoint serialization: the resumed
+        // report's snapshot must equal the original's, whether the cell
+        // was replayed from disk or re-simulated.
+        assert_eq!(a.save(), b.save(), "cell {i} snapshot diverged");
+    }
+}
