@@ -1,0 +1,163 @@
+//! Ablation E16 — quiescence fast-forward: how fast the harness runs an
+//! idle-heavy schedule when models declare their quiescence windows via
+//! `TickModel::next_activity`, versus stepping every cycle.
+//!
+//! This is the software analogue of FireSim's observation that a
+//! decoupled simulator only needs to do work when tokens carry payload:
+//! a mostly-idle target (a device waiting on a timer, a core stalled on
+//! DRAM) spends host time proportional to *activity*, not to simulated
+//! cycles. The bench cross-checks that fast-forward is bit-identical to
+//! the stepped schedule before timing it, then reports the skipped-cycle
+//! fraction the telemetry counters record.
+
+use bsim_engine::{CounterBlock, Harness, TickModel, Wire};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+/// Pulses once per `period` cycles; absorbs incoming tokens; idle (and
+/// hinted as such) everywhere in between.
+struct Beacon {
+    period: u64,
+    next: u64,
+    state: u64,
+}
+
+impl TickModel for Beacon {
+    fn num_inputs(&self) -> usize {
+        1
+    }
+    fn num_outputs(&self) -> usize {
+        1
+    }
+    fn tick(&mut self, cycle: u64, inputs: &[u64], outputs: &mut [u64]) {
+        if inputs[0] != 0 {
+            self.state = self
+                .state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(inputs[0]);
+        }
+        if cycle >= self.next {
+            outputs[0] = self.state | 1;
+            self.next = cycle + self.period;
+        } else {
+            outputs[0] = 0;
+        }
+    }
+    fn next_activity(&self) -> Option<u64> {
+        Some(self.next)
+    }
+}
+
+fn ring(n: usize, period: u64) -> (Vec<Beacon>, Vec<Wire>) {
+    let models = (0..n)
+        .map(|i| Beacon {
+            period,
+            next: 0,
+            state: i as u64 + 1,
+        })
+        .collect();
+    let wires = (0..n)
+        .map(|i| Wire {
+            from_model: i,
+            from_port: 0,
+            to_model: (i + 1) % n,
+            to_port: 0,
+            latency: 1,
+        })
+        .collect();
+    (models, wires)
+}
+
+fn states(models: &[Beacon]) -> Vec<u64> {
+    models.iter().map(|b| b.state).collect()
+}
+
+fn bench_fastforward(c: &mut Criterion) {
+    const CYCLES: u64 = 100_000;
+    const PERIOD: u64 = 512;
+    const QUANTUM: usize = 16;
+
+    // Cross-check first: fast-forward must be invisible in the results,
+    // sequentially and under the batched parallel schedule.
+    let (m, w) = ring(4, PERIOD);
+    let ff_on = states(&Harness::new(m, w).run(CYCLES));
+    let (m, w) = ring(4, PERIOD);
+    let ff_off = states(&Harness::new(m, w).with_fast_forward(false).run(CYCLES));
+    assert_eq!(ff_on, ff_off, "sequential fast-forward changed results");
+    let (m, w) = ring(4, PERIOD);
+    let par_on = states(&Harness::new(m, w).run_parallel(CYCLES, QUANTUM));
+    let (m, w) = ring(4, PERIOD);
+    let par_off = states(
+        &Harness::new(m, w)
+            .with_fast_forward(false)
+            .run_parallel(CYCLES, QUANTUM),
+    );
+    assert_eq!(par_on, ff_on, "parallel fast-forward diverged");
+    assert_eq!(par_off, ff_on, "parallel stepped schedule diverged");
+
+    let mut g = c.benchmark_group("fastforward");
+    g.sample_size(10);
+    g.bench_function("sequential_stepped_4x100k", |b| {
+        b.iter(|| {
+            let (m, w) = ring(4, PERIOD);
+            Harness::new(m, w).with_fast_forward(false).run(CYCLES)
+        })
+    });
+    g.bench_function("sequential_ff_4x100k", |b| {
+        b.iter(|| {
+            let (m, w) = ring(4, PERIOD);
+            Harness::new(m, w).run(CYCLES)
+        })
+    });
+    g.bench_function("parallel_stepped_4x100k", |b| {
+        b.iter(|| {
+            let (m, w) = ring(4, PERIOD);
+            Harness::new(m, w)
+                .with_fast_forward(false)
+                .run_parallel(CYCLES, QUANTUM)
+        })
+    });
+    g.bench_function("parallel_ff_4x100k", |b| {
+        b.iter(|| {
+            let (m, w) = ring(4, PERIOD);
+            Harness::new(m, w).run_parallel(CYCLES, QUANTUM)
+        })
+    });
+    g.finish();
+
+    // Headline numbers for EXPERIMENTS.md: speedup and skipped fraction.
+    let time = |f: &dyn Fn()| {
+        let t0 = std::time::Instant::now();
+        for _ in 0..5 {
+            f();
+        }
+        t0.elapsed().as_secs_f64() / 5.0
+    };
+    let t_step = time(&|| {
+        let (m, w) = ring(4, PERIOD);
+        Harness::new(m, w).with_fast_forward(false).run(CYCLES);
+    });
+    let t_ff = time(&|| {
+        let (m, w) = ring(4, PERIOD);
+        Harness::new(m, w).run(CYCLES);
+    });
+    let mut tel = CounterBlock::new(true);
+    let (m, w) = ring(4, PERIOD);
+    let _ = Harness::new(m, w).run_with_telemetry(CYCLES, &mut tel);
+    let skipped = tel.get("host.engine.skipped_cycles").unwrap_or(0);
+    let spans = tel.get("host.engine.ff_spans").unwrap_or(0);
+    let model_cycles = CYCLES * 4;
+    println!(
+        "\n== Ablation: quiescence fast-forward (4-beacon ring, period {PERIOD}) ==\n\
+         stepped: {:.2} ms/100k cycles ({:.2} MHz)   fast-forward: {:.2} ms/100k cycles ({:.2} MHz)   speedup: {:.1}x\n\
+         skipped {skipped} of {model_cycles} model-cycles ({:.1}%) across {spans} spans",
+        t_step * 1e3,
+        CYCLES as f64 / t_step / 1e6,
+        t_ff * 1e3,
+        CYCLES as f64 / t_ff / 1e6,
+        t_step / t_ff,
+        100.0 * skipped as f64 / model_cycles as f64,
+    );
+}
+
+criterion_group!(benches, bench_fastforward);
+criterion_main!(benches);

@@ -134,6 +134,41 @@ impl<T> TokenChannel<T> {
         Ok(n)
     }
 
+    /// Bulk-advances both endpoints by `n` cycles in one run-length
+    /// operation: the consumer pops `n` tokens and the producer pushes
+    /// `n` copies of `fill`, without touching each token individually.
+    /// The buffered depth is unchanged, so the channel invariants
+    /// (`push - pop == buffered`, `buffered <= capacity`) are preserved.
+    ///
+    /// This is the quiescence fast-forward primitive: when a whole
+    /// schedule is idle until cycle `T`, every channel carries `n = T -
+    /// now` idle tokens that nobody needs to materialize one by one.
+    /// The caller promises that `fill` is the token the producer would
+    /// have emitted on every skipped cycle (for idle models, the
+    /// all-zeros reset token) and that the consumer ignores the tokens
+    /// it would have popped.
+    pub fn fast_forward(&mut self, n: u64, fill: T)
+    where
+        T: Clone,
+    {
+        if n == 0 {
+            return;
+        }
+        // The consumer pops min(n, buffered) real tokens before reaching
+        // synthesized territory; the producer replaces exactly as many.
+        let turned_over = (self.queue.len() as u64).min(n) as usize;
+        self.queue.drain(..turned_over);
+        self.queue
+            .extend(std::iter::repeat_with(|| fill.clone()).take(turned_over));
+        self.next_push_cycle += n;
+        self.next_pop_cycle += n;
+    }
+
+    /// The buffered tokens in pop order (oldest first).
+    pub fn buffered_tokens(&self) -> impl Iterator<Item = &T> {
+        self.queue.iter()
+    }
+
     /// How many cycles the producer may still run ahead.
     pub fn slack(&self) -> usize {
         self.capacity - self.queue.len()
@@ -365,6 +400,64 @@ mod tests {
         popped.extend(&tail[..got]);
         assert_eq!(popped, (0..15).collect::<Vec<u64>>());
         assert_eq!(ch.producer_cycle(), ch.consumer_cycle());
+    }
+
+    #[test]
+    fn fast_forward_advances_both_cursors_and_preserves_depth() {
+        let mut ch = TokenChannel::new(4);
+        ch.push_batch(0, &[10u64, 11]).unwrap(); // 2 in flight
+        ch.fast_forward(5, 0);
+        assert_eq!(ch.consumer_cycle(), 5);
+        assert_eq!(ch.producer_cycle(), 7);
+        assert_eq!(ch.buffered(), 2, "depth is invariant under fast-forward");
+        // All real tokens were overtaken; only fills remain.
+        assert_eq!(ch.pop(5), Ok(0));
+        assert_eq!(ch.pop(6), Ok(0));
+    }
+
+    #[test]
+    fn short_fast_forward_keeps_undertaken_tokens() {
+        let mut ch = TokenChannel::new(8);
+        ch.push_batch(0, &[10u64, 11, 12]).unwrap();
+        ch.fast_forward(1, 99);
+        // One real token consumed, one fill appended; 11 and 12 survive.
+        assert_eq!(ch.pop(1), Ok(11));
+        assert_eq!(ch.pop(2), Ok(12));
+        assert_eq!(ch.pop(3), Ok(99));
+        assert_eq!(ch.producer_cycle(), 4);
+    }
+
+    #[test]
+    fn fast_forward_matches_per_cycle_exchange() {
+        // Reference: push/pop zeros one cycle at a time.
+        let mut slow = TokenChannel::new(3);
+        let mut fast = TokenChannel::new(3);
+        for ch in [&mut slow, &mut fast] {
+            ch.push(0, 0u64).unwrap();
+            ch.push(1, 0).unwrap();
+        }
+        for c in 0..10u64 {
+            slow.pop(c).unwrap();
+            slow.push(c + 2, 0).unwrap();
+        }
+        fast.fast_forward(10, 0);
+        assert_eq!(slow.snapshot(), fast.snapshot());
+    }
+
+    #[test]
+    fn fast_forward_zero_is_a_nop() {
+        let mut ch = TokenChannel::new(2);
+        ch.push(0, 7u64).unwrap();
+        ch.fast_forward(0, 0);
+        assert_eq!(ch.snapshot(), (1, 0, vec![7]));
+    }
+
+    #[test]
+    fn buffered_tokens_iterates_in_pop_order() {
+        let mut ch = TokenChannel::new(4);
+        ch.push_batch(0, &[1u64, 2, 3]).unwrap();
+        ch.pop(0).unwrap();
+        assert_eq!(ch.buffered_tokens().copied().collect::<Vec<_>>(), [2, 3]);
     }
 
     #[test]

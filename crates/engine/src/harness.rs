@@ -43,6 +43,23 @@ pub trait TickModel: Send {
     fn num_outputs(&self) -> usize;
     /// Consumes one token per input port, produces one per output port.
     fn tick(&mut self, cycle: u64, inputs: &[u64], outputs: &mut [u64]);
+
+    /// Quiescence hint: `Some(T)` promises that on every cycle `c < T`
+    /// whose input tokens are all zero (the idle/reset token), `tick(c)`
+    /// would leave the model's state unchanged and write all-zero
+    /// outputs. `None` (the default) makes no promise and the model is
+    /// ticked every cycle.
+    ///
+    /// The promise is what lets the harness *fast-forward*: it skips the
+    /// tick outright and synthesizes the zero tokens as run-length spans
+    /// (see `Harness::set_fast_forward`). A nonzero input token, or
+    /// reaching cycle `T`, ends the skip — the model is ticked for real
+    /// and asked again. The hint must be a pure function of model state:
+    /// it is re-evaluated after every real tick, never during a skip
+    /// (skipped ticks don't change state, by the promise above).
+    fn next_activity(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// A directed connection between two model ports.
@@ -64,6 +81,11 @@ pub struct Wire {
 pub struct Harness<M: TickModel> {
     models: Vec<M>,
     wires: Vec<Wire>,
+    /// Honor [`TickModel::next_activity`] hints (on by default). All
+    /// schedules are bit-identical with the flag on or off — hints only
+    /// license skipping ticks whose effect is known a priori — so this
+    /// is host configuration, like the quantum.
+    fast_forward: bool,
 }
 
 struct SharedChannel {
@@ -159,11 +181,14 @@ impl Backoff {
 }
 
 /// What one model thread hands back: per-wire `(wire, tokens, spins)`
-/// figures (inputs first, then outputs) and the number of tick batches
-/// it actually executed.
+/// figures (inputs first, then outputs), the number of tick batches it
+/// actually executed, and its fast-forward figures (ticks skipped under
+/// a quiescence hint, and how many contiguous idle spans they formed).
 struct ThreadReport {
     chan_counts: Vec<(usize, u64, u64)>,
     batches: u64,
+    skipped: u64,
+    ff_spans: u64,
 }
 
 impl<M: TickModel> Harness<M> {
@@ -207,10 +232,56 @@ impl<M: TickModel> Harness<M> {
             .filter(|d| d.severity == Severity::Error)
             .collect();
         if errors.is_empty() {
-            Ok(Harness { models, wires })
+            Ok(Harness {
+                models,
+                wires,
+                fast_forward: true,
+            })
         } else {
             Err(errors)
         }
+    }
+
+    /// Enables or disables quiescence fast-forward (default: enabled).
+    /// Purely a host-side switch: results are bit-identical either way;
+    /// only `host.engine.skipped_cycles` / `host.engine.ff_spans` and
+    /// the wall clock change.
+    pub fn set_fast_forward(&mut self, on: bool) {
+        self.fast_forward = on;
+    }
+
+    /// Builder-style [`Harness::set_fast_forward`].
+    pub fn with_fast_forward(mut self, on: bool) -> Harness<M> {
+        self.fast_forward = on;
+        self
+    }
+
+    /// Whether quiescence fast-forward is enabled.
+    pub fn fast_forward_enabled(&self) -> bool {
+        self.fast_forward
+    }
+
+    /// Number of models currently publishing a
+    /// [`TickModel::next_activity`] hint.
+    pub fn hinted_models(&self) -> usize {
+        self.models
+            .iter()
+            .filter(|m| m.next_activity().is_some())
+            .count()
+    }
+
+    /// Runs the engine-schedule lints (`CL070`/`CL071`) against this
+    /// harness at the given quantum: a quantum past what the smallest
+    /// channel can buffer before auto-resize, and idleness hints that
+    /// fast-forward is configured to ignore.
+    pub fn lint_schedule(&self, quantum: usize) -> bsim_check::Report {
+        let spec = bsim_check::rules::ScheduleSpec {
+            quantum,
+            min_latency: self.wires.iter().map(|w| w.latency).min().unwrap_or(0),
+            hinted_models: self.hinted_models(),
+            fast_forward: self.fast_forward,
+        };
+        bsim_check::rules::engine_lints().run(&spec, "engine.schedule")
     }
 
     fn make_channels(&self, quantum: usize) -> Vec<SharedChannel> {
@@ -255,8 +326,42 @@ impl<M: TickModel> Harness<M> {
     /// (cycles, per-channel tokens/latency) and `host.engine.*` schedule
     /// figures into `tel`.
     pub fn run_with_telemetry(mut self, cycles: u64, tel: &mut CounterBlock) -> Vec<M> {
-        let channels = self.make_channels(1);
+        // Unshared channels — the sequential schedule needs no mutex —
+        // and per-model wire lists, so the hot loop indexes its channels
+        // directly instead of scanning every wire twice per model per
+        // cycle.
+        let mut channels: Vec<TokenChannel<u64>> = self
+            .wires
+            .iter()
+            .map(|w| {
+                let mut ch = TokenChannel::new(w.latency as usize + 1);
+                for c in 0..w.latency {
+                    ch.push(c, 0).expect("reset tokens fit by construction");
+                }
+                ch
+            })
+            .collect();
         let n = self.models.len();
+        let ins: Vec<Vec<(usize, usize)>> = (0..n)
+            .map(|mi| {
+                self.wires
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, w)| w.to_model == mi)
+                    .map(|(wi, w)| (wi, w.to_port))
+                    .collect()
+            })
+            .collect();
+        let outs: Vec<Vec<(usize, usize, u64)>> = (0..n)
+            .map(|mi| {
+                self.wires
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, w)| w.from_model == mi)
+                    .map(|(wi, w)| (wi, w.from_port, w.latency))
+                    .collect()
+            })
+            .collect();
         let mut tokens = vec![0u64; self.wires.len()];
         let mut inputs: Vec<Vec<u64>> = self
             .models
@@ -268,34 +373,80 @@ impl<M: TickModel> Harness<M> {
             .iter()
             .map(|m| vec![0; m.num_outputs()])
             .collect();
-        for cycle in 0..cycles {
-            for mi in 0..n {
-                for (wi, w) in self.wires.iter().enumerate() {
-                    if w.to_model == mi {
-                        inputs[mi][w.to_port] = channels[wi]
-                            .chan
-                            .lock()
-                            .pop(cycle)
-                            .expect("sequential order is safe");
-                        tokens[wi] += 1;
+        // Cached quiescence hints: `cycle < idle_until[mi]` means model
+        // `mi` promises zero-input ticks are no-ops until then. 0 (no
+        // promise) never satisfies the comparison.
+        let mut idle_until: Vec<u64> = self
+            .models
+            .iter()
+            .map(|m| m.next_activity().unwrap_or(0))
+            .collect();
+        let mut was_idle = vec![false; n];
+        let mut skipped = 0u64;
+        let mut ff_spans = 0u64;
+        let mut cycle = 0u64;
+        while cycle < cycles {
+            // Global quiescence: every model idle past this cycle and
+            // every in-flight token already the idle token. Bulk-advance
+            // virtual time, synthesizing the idle spans as run-length
+            // channel operations instead of per-cycle push/pop.
+            if self.fast_forward {
+                let horizon = idle_until.iter().copied().min().unwrap_or(0);
+                if horizon > cycle
+                    && channels
+                        .iter()
+                        .all(|ch| ch.buffered_tokens().all(|&t| t == 0))
+                {
+                    let n_skip = horizon.min(cycles) - cycle;
+                    for ch in &mut channels {
+                        ch.fast_forward(n_skip, 0);
                     }
-                }
-                self.models[mi].tick(cycle, &inputs[mi], &mut outputs[mi]);
-                for (wi, w) in self.wires.iter().enumerate() {
-                    if w.from_model == mi {
-                        channels[wi]
-                            .chan
-                            .lock()
-                            .push(cycle + w.latency, outputs[mi][w.from_port])
-                            .expect("sequential order is safe");
+                    for t in tokens.iter_mut() {
+                        *t += n_skip;
                     }
+                    skipped += n_skip * n as u64;
+                    ff_spans += 1;
+                    was_idle.iter_mut().for_each(|w| *w = true);
+                    cycle += n_skip;
+                    continue;
                 }
             }
+            for mi in 0..n {
+                for &(wi, port) in &ins[mi] {
+                    inputs[mi][port] = channels[wi].pop(cycle).expect("sequential order is safe");
+                    tokens[wi] += 1;
+                }
+                // A model alone may also skip: its promise covers any
+                // cycle before its horizon whose inputs are all idle.
+                let idle = self.fast_forward
+                    && cycle < idle_until[mi]
+                    && inputs[mi].iter().all(|&v| v == 0);
+                if idle {
+                    outputs[mi].fill(0);
+                    skipped += 1;
+                    if !was_idle[mi] {
+                        was_idle[mi] = true;
+                        ff_spans += 1;
+                    }
+                } else {
+                    self.models[mi].tick(cycle, &inputs[mi], &mut outputs[mi]);
+                    idle_until[mi] = self.models[mi].next_activity().unwrap_or(0);
+                    was_idle[mi] = false;
+                }
+                for &(wi, port, latency) in &outs[mi] {
+                    channels[wi]
+                        .push(cycle + latency, outputs[mi][port])
+                        .expect("sequential order is safe");
+                }
+            }
+            cycle += 1;
         }
         self.publish_target_counters(tel, cycles, &tokens, n as u64);
         tel.set_named("host.engine.threads", 1);
         tel.set_named("host.engine.quantum", 1);
         tel.set_named("host.engine.quanta", cycles);
+        tel.set_named("host.engine.skipped_cycles", skipped);
+        tel.set_named("host.engine.ff_spans", ff_spans);
         self.models
     }
 
@@ -329,14 +480,17 @@ impl<M: TickModel> Harness<M> {
         let wires = self.wires.clone();
         let mut models = std::mem::take(&mut self.models);
         let mut stats = SpanStats::new(wires.len());
+        let mut bufs: Vec<DriveBufs> = models.iter().map(|_| DriveBufs::empty()).collect();
         let outcome = run_span(
             &mut models,
             &wires,
             &channels,
             (0, cycles),
             quantum,
+            self.fast_forward,
             &FaultPlan::default(),
             None,
+            &mut bufs,
             &mut stats,
         );
         match outcome {
@@ -383,14 +537,17 @@ impl<M: TickModel> Harness<M> {
         for (label, n) in faults.count_by_kind() {
             tel.set_named(&format!("fault.injected.{label}"), n);
         }
+        let mut bufs: Vec<DriveBufs> = models.iter().map(|_| DriveBufs::empty()).collect();
         let outcome = run_span(
             &mut models,
             &wires,
             &channels,
             (0, cycles),
             quantum,
+            self.fast_forward,
             faults,
             Some(watchdog),
+            &mut bufs,
             &mut stats,
         );
         match outcome {
@@ -423,6 +580,8 @@ impl<M: TickModel> Harness<M> {
         tel.set_named("host.engine.threads", nthreads);
         tel.set_named("host.engine.quantum", quantum as u64);
         tel.set_named("host.engine.quanta", stats.quanta);
+        tel.set_named("host.engine.skipped_cycles", stats.skipped);
+        tel.set_named("host.engine.ff_spans", stats.ff_spans);
         for (wi, s) in stats.spins.iter().enumerate() {
             tel.set_named(&format!("host.engine.chan.{wi}.stall_spins"), *s);
         }
@@ -455,6 +614,9 @@ impl<M: TickModel + Snapshot> Harness<M> {
         let wires = self.wires.clone();
         let mut models = std::mem::take(&mut self.models);
         let mut stats = SpanStats::new(wires.len());
+        // Allocated once, reused across every segment: the drive loop
+        // performs no steady-state allocations between checkpoints.
+        let mut bufs: Vec<DriveBufs> = models.iter().map(|_| DriveBufs::empty()).collect();
         let mut at = 0u64;
         while at < cycles {
             let seg_end = at.saturating_add(interval).min(cycles);
@@ -464,8 +626,10 @@ impl<M: TickModel + Snapshot> Harness<M> {
                 &channels,
                 (at, seg_end),
                 quantum,
+                self.fast_forward,
                 &FaultPlan::default(),
                 None,
+                &mut bufs,
                 &mut stats,
             );
             match outcome {
@@ -553,16 +717,20 @@ impl<M: TickModel + Snapshot> Harness<M> {
                 .collect::<Result<_, _>>()?,
         );
         let wires = harness.wires.clone();
+        let fast_forward = harness.fast_forward;
         let mut models = std::mem::take(&mut harness.models);
         let mut stats = SpanStats::new(wires.len());
+        let mut bufs: Vec<DriveBufs> = models.iter().map(|_| DriveBufs::empty()).collect();
         let outcome = run_span(
             &mut models,
             &wires,
             &channels,
             (ckpt.cycle, cycles),
             quantum,
+            fast_forward,
             &FaultPlan::default(),
             None,
+            &mut bufs,
             &mut stats,
         );
         match outcome {
@@ -682,12 +850,14 @@ enum RunFailure {
 /// from a real model panic.
 struct StallMarker;
 
-/// Aggregated per-wire token/spin counts and batch totals for one or
-/// more spans.
+/// Aggregated per-wire token/spin counts, batch totals, and
+/// fast-forward figures for one or more spans.
 struct SpanStats {
     tokens: Vec<u64>,
     spins: Vec<u64>,
     quanta: u64,
+    skipped: u64,
+    ff_spans: u64,
 }
 
 impl SpanStats {
@@ -696,7 +866,75 @@ impl SpanStats {
             tokens: vec![0; wires],
             spins: vec![0; wires],
             quanta: 0,
+            skipped: 0,
+            ff_spans: 0,
         }
+    }
+}
+
+/// One model thread's reusable staging state: input stages, pending
+/// outputs, and the scratch/io buffers `drive_model` works through.
+/// Allocated once per model per *run* and reused across every span, so
+/// a checkpointed or multi-segment run performs no steady-state
+/// allocations in the drive loop (see `drive_buffer_allocs`).
+struct DriveBufs {
+    staged: Vec<VecDeque<u64>>,
+    pending: Vec<VecDeque<u64>>,
+    scratch: Vec<u64>,
+    inputs: Vec<u64>,
+    outputs: Vec<u64>,
+}
+
+/// Total buffer (re)allocations performed by [`DriveBufs::ensure`],
+/// for the steady-state-allocation regression test. Debug builds only.
+#[cfg(debug_assertions)]
+static DRIVE_BUFFER_ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// Debug-mode allocation counter: how many times a drive-loop staging
+/// buffer had to be (re)created. In the steady state — spans and grid
+/// cells reusing their [`DriveBufs`] — this must not grow.
+#[cfg(debug_assertions)]
+pub fn drive_buffer_allocs() -> u64 {
+    DRIVE_BUFFER_ALLOCS.load(Ordering::Relaxed)
+}
+
+impl DriveBufs {
+    fn empty() -> DriveBufs {
+        DriveBufs {
+            staged: Vec::new(),
+            pending: Vec::new(),
+            scratch: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Sizes the buffers for a model's port counts and the quantum,
+    /// preserving capacity (and avoiding any allocation) when they
+    /// already fit. Contents are cleared.
+    fn ensure(&mut self, n_in: usize, n_out: usize, quantum: usize) {
+        #[cfg(debug_assertions)]
+        let grows = self.staged.len() < n_in
+            || self.pending.len() < n_out
+            || self.scratch.len() < quantum
+            || self.inputs.len() < n_in
+            || self.outputs.len() < n_out;
+        #[cfg(debug_assertions)]
+        if grows {
+            DRIVE_BUFFER_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        self.staged.resize_with(n_in, VecDeque::new);
+        self.pending.resize_with(n_out, VecDeque::new);
+        for q in self.staged.iter_mut().chain(self.pending.iter_mut()) {
+            q.clear();
+            q.reserve(quantum);
+        }
+        self.scratch.clear();
+        self.scratch.resize(quantum, 0);
+        self.inputs.clear();
+        self.inputs.resize(n_in, 0);
+        self.outputs.clear();
+        self.outputs.resize(n_out, 0);
     }
 }
 
@@ -710,8 +948,10 @@ fn run_span<M: TickModel>(
     channels: &Arc<Vec<SharedChannel>>,
     span: (u64, u64),
     quantum: usize,
+    fast_forward: bool,
     faults: &FaultPlan,
     watchdog: Option<WatchdogConfig>,
+    bufs: &mut [DriveBufs],
     stats: &mut SpanStats,
 ) -> Result<(), RunFailure> {
     let (from, to) = span;
@@ -724,7 +964,7 @@ fn run_span<M: TickModel>(
 
     crossbeam::thread::scope(|scope| {
         let mut handles = Vec::new();
-        for (mi, model) in models.iter_mut().enumerate() {
+        for (mi, (model, buf)) in models.iter_mut().zip(bufs.iter_mut()).enumerate() {
             let channels = Arc::clone(channels);
             let abort = Arc::clone(&abort);
             let progress = Arc::clone(&progress);
@@ -750,10 +990,12 @@ fn run_span<M: TickModel>(
                 let driven = catch_unwind(AssertUnwindSafe(|| {
                     drive_model(
                         model,
+                        buf,
                         &DriveCtx {
                             from,
                             to,
                             quantum,
+                            fast_forward,
                             channels: &channels,
                             my_in: &my_in,
                             my_out: &my_out,
@@ -793,6 +1035,8 @@ fn run_span<M: TickModel>(
                     stats.spins[wi] += s;
                 }
                 stats.quanta += report.batches;
+                stats.skipped += report.skipped;
+                stats.ff_spans += report.ff_spans;
             }
         }
         // Model threads are joined; release the watchdog before the
@@ -953,6 +1197,7 @@ struct DriveCtx<'a> {
     from: u64,
     to: u64,
     quantum: usize,
+    fast_forward: bool,
     channels: &'a [SharedChannel],
     my_in: &'a [(usize, usize)],
     my_out: &'a [(usize, usize, u64)],
@@ -1004,11 +1249,24 @@ fn flush_pending(
 /// loops watch `abort` so a dead peer aborts the schedule instead of
 /// hanging it; `progress`/`epoch` feed the watchdog. Planned faults
 /// from `ctx.faults` are applied at their tick cycles.
-fn drive_model<M: TickModel>(model: &mut M, ctx: &DriveCtx<'_>) -> Result<ThreadReport, Aborted> {
+///
+/// Fast-forward runs per thread: a model promising idleness until `T`
+/// has its ticks skipped (zero outputs synthesized) for every cycle
+/// before `T` whose inputs are all idle tokens and that carries no
+/// scheduled fault — a fault inside an idle span splits the span, and
+/// the fault cycle executes as a real tick. Tokens still flow every
+/// cycle, so the channel protocol (and thus bit-identical results and
+/// schedule-invariant `engine.*` counters) is untouched.
+fn drive_model<M: TickModel>(
+    model: &mut M,
+    bufs: &mut DriveBufs,
+    ctx: &DriveCtx<'_>,
+) -> Result<ThreadReport, Aborted> {
     let DriveCtx {
         from,
         to,
         quantum,
+        fast_forward,
         channels,
         my_in,
         my_out,
@@ -1020,20 +1278,17 @@ fn drive_model<M: TickModel>(model: &mut M, ctx: &DriveCtx<'_>) -> Result<Thread
     if faults.start_delay_micros > 0 {
         std::thread::sleep(Duration::from_micros(faults.start_delay_micros));
     }
-    let mut staged: Vec<VecDeque<u64>> = my_in
-        .iter()
-        .map(|_| VecDeque::with_capacity(quantum))
-        .collect();
-    let mut pending: Vec<VecDeque<u64>> = my_out
-        .iter()
-        .map(|_| VecDeque::with_capacity(quantum))
-        .collect();
+    bufs.ensure(my_in.len(), my_out.len(), quantum);
+    let DriveBufs {
+        staged,
+        pending,
+        scratch,
+        inputs,
+        outputs,
+    } = bufs;
     // Tokens this model has produced so far: one per tick cycle, so a
     // resumed span starts at `from` per output.
     let mut out_pushed = vec![from; my_out.len()];
-    let mut scratch = vec![0u64; quantum];
-    let mut inputs = vec![0u64; model.num_inputs()];
-    let mut outputs = vec![0u64; model.num_outputs()];
     let mut chan_counts: Vec<(usize, u64, u64)> = my_in.iter().map(|&(wi, _)| (wi, 0, 0)).collect();
     let out_base = chan_counts.len();
     chan_counts.extend(my_out.iter().map(|&(wi, _, _)| (wi, 0, 0)));
@@ -1052,6 +1307,16 @@ fn drive_model<M: TickModel>(model: &mut M, ctx: &DriveCtx<'_>) -> Result<Thread
         .collect();
     let mut cycle = from;
     let mut batches = 0u64;
+    let mut skipped = 0u64;
+    let mut ff_spans = 0u64;
+    let mut was_idle = false;
+    // Cached quiescence hint: `t < idle_until` means skipping tick(t) is
+    // sound when t's inputs are all zero. Re-evaluated after real ticks.
+    let mut idle_until = if fast_forward {
+        model.next_activity().unwrap_or(0)
+    } else {
+        0
+    };
     let mut backoff = Backoff::new();
 
     while cycle < to {
@@ -1088,7 +1353,7 @@ fn drive_model<M: TickModel>(model: &mut M, ctx: &DriveCtx<'_>) -> Result<Thread
             }
             // Keep our consumers fed while we stall, or two mutually
             // blocked threads could starve each other.
-            flush_pending(channels, my_out, &mut pending, &mut out_pushed);
+            flush_pending(channels, my_out, pending, &mut out_pushed);
             if abort.is_poisoned() {
                 return Err(Aborted);
             }
@@ -1098,16 +1363,39 @@ fn drive_model<M: TickModel>(model: &mut M, ctx: &DriveCtx<'_>) -> Result<Thread
         backoff.reset();
         for k in 0..batch as u64 {
             let t = cycle + k;
+            let mut all_zero = true;
             for (ii, &(_, port)) in my_in.iter().enumerate() {
-                inputs[port] = staged[ii]
+                let token = staged[ii]
                     .pop_front()
                     .expect("batch bounded by stage depth");
+                all_zero &= token == 0;
+                inputs[port] = token;
             }
-            while stall_idx < faults.stalls.len() && faults.stalls[stall_idx].0 == t {
-                std::thread::sleep(Duration::from_micros(faults.stalls[stall_idx].1));
-                stall_idx += 1;
+            let fault_here = (stall_idx < faults.stalls.len() && faults.stalls[stall_idx].0 == t)
+                || faults.out_faults.iter().enumerate().any(|(oi, of)| {
+                    (flip_idx[oi] < of.flips.len() && of.flips[flip_idx[oi]].0 == t)
+                        || (dup_idx[oi] < of.dups.len() && of.dups[dup_idx[oi]] == t)
+                });
+            if t < idle_until && all_zero && !fault_here {
+                // Quiescent cycle: the hint says this tick is a no-op
+                // that emits idle tokens. Skip it.
+                outputs.fill(0);
+                skipped += 1;
+                if !was_idle {
+                    was_idle = true;
+                    ff_spans += 1;
+                }
+            } else {
+                while stall_idx < faults.stalls.len() && faults.stalls[stall_idx].0 == t {
+                    std::thread::sleep(Duration::from_micros(faults.stalls[stall_idx].1));
+                    stall_idx += 1;
+                }
+                model.tick(t, inputs, outputs);
+                if fast_forward {
+                    idle_until = model.next_activity().unwrap_or(0);
+                }
+                was_idle = false;
             }
-            model.tick(t, &inputs, &mut outputs);
             for (oi, &(wi, port, _)) in my_out.iter().enumerate() {
                 let of = &faults.out_faults[oi];
                 let mut token = outputs[port];
@@ -1143,7 +1431,7 @@ fn drive_model<M: TickModel>(model: &mut M, ctx: &DriveCtx<'_>) -> Result<Thread
         // channel means its consumer holds a whole capacity of unread
         // tokens, so waiting here cannot deadlock.
         while pending.iter().any(|p| !p.is_empty()) {
-            let moved = flush_pending(channels, my_out, &mut pending, &mut out_pushed);
+            let moved = flush_pending(channels, my_out, pending, &mut out_pushed);
             if moved == 0 {
                 for (oi, p) in pending.iter().enumerate() {
                     if !p.is_empty() {
@@ -1162,6 +1450,8 @@ fn drive_model<M: TickModel>(model: &mut M, ctx: &DriveCtx<'_>) -> Result<Thread
     Ok(ThreadReport {
         chan_counts,
         batches,
+        skipped,
+        ff_spans,
     })
 }
 
@@ -1659,6 +1949,310 @@ mod tests {
                 ckpt.cycle
             );
         }
+    }
+
+    /// A model with genuine idle time, for the fast-forward tests. A
+    /// `Pulse` fires a token every `period` cycles (and silently absorbs
+    /// anything it receives); an `Echo` is purely reactive — it mixes a
+    /// nonzero input into its state and forwards it with a decremented
+    /// TTL (low three bits), so a pulse ripples a bounded distance round
+    /// the ring and then everything is quiescent until the next pulse.
+    /// Both variants honor the `next_activity` contract: on any promised
+    /// cycle with all-zero inputs, `tick` is a state no-op emitting zero.
+    #[derive(Debug, Clone, PartialEq)]
+    enum Burst {
+        Pulse {
+            period: u64,
+            next_pulse: u64,
+            state: u64,
+        },
+        Echo {
+            state: u64,
+        },
+    }
+
+    fn mix(state: u64, with: u64) -> u64 {
+        state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(with | 1)
+    }
+
+    impl TickModel for Burst {
+        fn num_inputs(&self) -> usize {
+            1
+        }
+        fn num_outputs(&self) -> usize {
+            1
+        }
+        fn tick(&mut self, cycle: u64, inputs: &[u64], outputs: &mut [u64]) {
+            match self {
+                Burst::Pulse {
+                    period,
+                    next_pulse,
+                    state,
+                } => {
+                    if inputs[0] != 0 {
+                        *state = mix(*state, inputs[0] ^ cycle);
+                    }
+                    if cycle >= *next_pulse {
+                        *state = mix(*state, cycle);
+                        // TTL 3 in the low bits: the token survives two
+                        // echo hops and dies at the third consumer.
+                        outputs[0] = (*state | 1) << 3 | 3;
+                        *next_pulse = cycle + *period;
+                    } else {
+                        outputs[0] = 0;
+                    }
+                }
+                Burst::Echo { state } => {
+                    if inputs[0] != 0 {
+                        *state = mix(*state, inputs[0] ^ cycle);
+                        let ttl = inputs[0] & 7;
+                        outputs[0] = if ttl > 1 {
+                            (*state | 1) << 3 | (ttl - 1)
+                        } else {
+                            0
+                        };
+                    } else {
+                        outputs[0] = 0;
+                    }
+                }
+            }
+        }
+        fn next_activity(&self) -> Option<u64> {
+            match self {
+                Burst::Pulse { next_pulse, .. } => Some(*next_pulse),
+                // Purely reactive: idle forever absent input.
+                Burst::Echo { .. } => Some(u64::MAX),
+            }
+        }
+    }
+
+    impl Snapshot for Burst {
+        fn save(&self) -> Value {
+            match self {
+                Burst::Pulse {
+                    period,
+                    next_pulse,
+                    state,
+                } => Value::Map(vec![
+                    ("period".to_string(), Value::U64(*period)),
+                    ("next_pulse".to_string(), Value::U64(*next_pulse)),
+                    ("state".to_string(), Value::U64(*state)),
+                ]),
+                Burst::Echo { state } => {
+                    Value::Map(vec![("echo_state".to_string(), Value::U64(*state))])
+                }
+            }
+        }
+        fn restore(value: &Value) -> Result<Burst, CkptError> {
+            if let Ok(state) = field(value, "echo_state") {
+                return Ok(Burst::Echo {
+                    state: u64::restore(state)?,
+                });
+            }
+            Ok(Burst::Pulse {
+                period: u64::restore(field(value, "period")?)?,
+                next_pulse: u64::restore(field(value, "next_pulse")?)?,
+                state: u64::restore(field(value, "state")?)?,
+            })
+        }
+    }
+
+    /// A mostly-idle ring: one pulse source plus `echoes` reactive hops.
+    fn burst_ring(echoes: usize, period: u64, latency: u64) -> (Vec<Burst>, Vec<Wire>) {
+        let mut models = vec![Burst::Pulse {
+            period,
+            next_pulse: 0,
+            state: 0x1234_5678,
+        }];
+        models.extend((0..echoes).map(|i| Burst::Echo {
+            state: 0xE0 + i as u64,
+        }));
+        let n = models.len();
+        let wires: Vec<Wire> = (0..n)
+            .map(|i| Wire {
+                from_model: i,
+                from_port: 0,
+                to_model: (i + 1) % n,
+                to_port: 0,
+                latency,
+            })
+            .collect();
+        (models, wires)
+    }
+
+    fn burst_states(models: &[Burst]) -> Vec<u64> {
+        models
+            .iter()
+            .map(|m| match m {
+                Burst::Pulse { state, .. } | Burst::Echo { state } => *state,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sequential_fast_forward_is_bit_identical_and_skips() {
+        let (m1, w1) = burst_ring(3, 64, 1);
+        let (m2, w2) = burst_ring(3, 64, 1);
+        let mut tel_on = CounterBlock::new(true);
+        let mut tel_off = CounterBlock::new(true);
+        let on = Harness::new(m1, w1).run_with_telemetry(10_000, &mut tel_on);
+        let off = Harness::new(m2, w2)
+            .with_fast_forward(false)
+            .run_with_telemetry(10_000, &mut tel_off);
+        assert_eq!(burst_states(&on), burst_states(&off));
+        // Target counters are invariant under the host-side switch.
+        assert_eq!(
+            tel_on.deterministic_counters().collect::<Vec<_>>(),
+            tel_off.deterministic_counters().collect::<Vec<_>>()
+        );
+        assert_eq!(tel_on.get("engine.chan.0.tokens"), Some(10_000));
+        let skipped = tel_on.get("host.engine.skipped_cycles").unwrap();
+        assert!(
+            skipped > 4 * 10_000 / 2,
+            "a 64-cycle pulse period must leave most of {} model-cycles idle, skipped only {skipped}",
+            4 * 10_000
+        );
+        assert!(tel_on.get("host.engine.ff_spans").unwrap() > 0);
+        assert_eq!(tel_off.get("host.engine.skipped_cycles"), Some(0));
+        assert_eq!(tel_off.get("host.engine.ff_spans"), Some(0));
+    }
+
+    #[test]
+    fn parallel_fast_forward_matches_sequential_non_ff() {
+        let (m1, w1) = burst_ring(4, 32, 2);
+        let (m2, w2) = burst_ring(4, 32, 2);
+        let mut tel = CounterBlock::new(true);
+        let reference = Harness::new(m1, w1).with_fast_forward(false).run(5_000);
+        let par = Harness::new(m2, w2).run_parallel_with_telemetry(5_000, 16, &mut tel);
+        assert_eq!(burst_states(&reference), burst_states(&par));
+        assert!(
+            tel.get("host.engine.skipped_cycles").unwrap() > 0,
+            "the parallel schedule must also skip quiescent ticks"
+        );
+        assert_eq!(tel.get("engine.chan.0.tokens"), Some(5_000));
+    }
+
+    #[test]
+    fn unhinted_models_are_never_skipped() {
+        // A Mixer declares no idleness, so a hinted/unhinted mix must
+        // degrade gracefully: nothing skips globally, hinted models
+        // still skip alone, results stay bit-identical.
+        let (mut m1, w1) = burst_ring(2, 16, 1);
+        let (mut m2, w2) = burst_ring(2, 16, 1);
+        // The wiring is a 3-ring; swapping one echo for an always-active
+        // pulse with period 1 models an unhinted-style busy neighbor
+        // while keeping the type homogeneous.
+        m1[2] = Burst::Pulse {
+            period: 1,
+            next_pulse: 0,
+            state: 7,
+        };
+        m2[2] = m1[2].clone();
+        let on = Harness::new(m1, w1).run(2_000);
+        let off = Harness::new(m2, w2).with_fast_forward(false).run(2_000);
+        assert_eq!(burst_states(&on), burst_states(&off));
+    }
+
+    #[test]
+    fn fast_forward_composes_with_fault_injection() {
+        // Faults scheduled inside an otherwise-idle span must split the
+        // span (the fault cycle runs as a real tick) and corrupt the
+        // state identically with fast-forward on and off.
+        let plan = || {
+            FaultPlan::new(9)
+                .inject(
+                    FaultTarget::Wire(1),
+                    40, // mid idle span: pulses fire at 0, 64, ...
+                    FaultKind::PayloadBitFlip { bit: 4 },
+                )
+                .inject(
+                    FaultTarget::Model(1),
+                    100,
+                    FaultKind::ModelStall { micros: 1_000 },
+                )
+        };
+        let (m1, w1) = burst_ring(3, 64, 1);
+        let (m2, w2) = burst_ring(3, 64, 1);
+        let mut tel_on = CounterBlock::new(true);
+        let mut tel_off = CounterBlock::new(true);
+        let on = Harness::new(m1, w1)
+            .run_guarded(2_000, 8, &plan(), WatchdogConfig::default(), &mut tel_on)
+            .expect("faulted run completes");
+        let off = Harness::new(m2, w2)
+            .with_fast_forward(false)
+            .run_guarded(2_000, 8, &plan(), WatchdogConfig::default(), &mut tel_off)
+            .expect("faulted run completes");
+        assert_eq!(
+            burst_states(&on),
+            burst_states(&off),
+            "a fault inside a skipped span must split the span, not vanish"
+        );
+        assert!(tel_on.get("host.engine.skipped_cycles").unwrap() > 0);
+        // The injected flip makes cycle 40's input nonzero downstream,
+        // so the faulted run must differ from a clean one.
+        let (m3, w3) = burst_ring(3, 64, 1);
+        let clean = Harness::new(m3, w3).run(2_000);
+        assert_ne!(burst_states(&on), burst_states(&clean));
+    }
+
+    #[test]
+    fn fast_forward_checkpoint_resume_is_bit_identical() {
+        let (m1, w1) = burst_ring(3, 48, 2);
+        let (m2, w2) = burst_ring(3, 48, 2);
+        let reference = Harness::new(m1, w1).with_fast_forward(false).run(1_000);
+        let mut ckpts: Vec<HarnessCkpt> = Vec::new();
+        let finished = Harness::new(m2, w2.clone())
+            .run_parallel_checkpointed(1_000, 8, 250, |c| ckpts.push(c.clone()));
+        assert_eq!(burst_states(&reference), burst_states(&finished));
+        for ckpt in &ckpts {
+            let resumed: Vec<Burst> =
+                Harness::resume_parallel(w2.clone(), ckpt, 1_000, 4).expect("resume runs");
+            assert_eq!(
+                burst_states(&reference),
+                burst_states(&resumed),
+                "fast-forward resume from cycle {} diverged",
+                ckpt.cycle
+            );
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn drive_buffers_are_reused_across_segments() {
+        // Warm-up run so one-time growth is behind us, then measure: a
+        // many-segment checkpointed run must perform at most one
+        // buffer-growth event per model (the first `ensure`), never one
+        // per segment.
+        let (m0, w0) = ring(4, 1);
+        Harness::new(m0, w0).run_parallel_checkpointed(100, 4, 50, |_| {});
+        let before = drive_buffer_allocs();
+        let (m1, w1) = ring(4, 1);
+        Harness::new(m1, w1).run_parallel_checkpointed(2_000, 4, 100, |_| {});
+        let grown = drive_buffer_allocs() - before;
+        assert!(
+            grown <= 4,
+            "20 segments × 4 models must reuse buffers, but grew {grown} times"
+        );
+    }
+
+    #[test]
+    fn schedule_lints_flag_oversized_quantum_and_wasted_hints() {
+        let (m, w) = burst_ring(2, 16, 2);
+        let h = Harness::new(m, w).with_fast_forward(false);
+        assert_eq!(h.hinted_models(), 3);
+        let report = h.lint_schedule(64);
+        assert!(report.has_code("CL070"), "{}", report.render());
+        assert!(report.has_code("CL071"), "{}", report.render());
+        assert!(!report.has_errors(), "schedule lints warn, never block");
+        let h = h.with_fast_forward(true);
+        let report = h.lint_schedule(2);
+        assert!(report.is_clean(), "{}", report.render());
+        // Unhinted graphs never trigger the wasted-hint warning.
+        let (m, w) = ring(3, 4);
+        let report = Harness::new(m, w).with_fast_forward(false).lint_schedule(4);
+        assert!(report.is_clean(), "{}", report.render());
     }
 
     #[test]

@@ -34,3 +34,8 @@ pub use rate::{SimRate, SimRateMeter};
 // downstream crates don't need a separate `bsim-resilience` import just
 // to call `run_guarded`.
 pub use bsim_resilience::{FaultKind, FaultPlan, SimError, Snapshot, StallReport, WatchdogConfig};
+
+// The counter sink `run_with_telemetry` and friends write into, for the
+// same reason: callers shouldn't need `bsim-telemetry` just to read
+// `host.engine.*` back out.
+pub use bsim_telemetry::CounterBlock;

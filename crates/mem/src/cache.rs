@@ -58,46 +58,58 @@ pub struct Lookup {
     pub writeback: Option<u64>,
 }
 
-#[derive(Clone, Copy, Debug)]
-struct Line {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
-    /// LRU timestamp (monotone counter, larger = more recent).
-    lru: u64,
-    /// Cycle at which the line's data is present (fills in flight have
-    /// future ready times).
-    ready_at: u64,
-}
-
-const INVALID: Line = Line {
-    tag: 0,
-    valid: false,
-    dirty: false,
-    lru: 0,
-    ready_at: 0,
-};
+/// Line state bit: the way holds a valid line.
+const VALID: u8 = 1 << 0;
+/// Line state bit: the line has been written since it was filled.
+const DIRTY: u8 = 1 << 1;
 
 /// A single cache instance (one level, one shared array).
+///
+/// The tag store is structure-of-arrays: packed `tags`/`flags`/`lru`/
+/// `ready_at` vectors indexed by `set * ways + way`, probed with a
+/// single branchless scan per lookup instead of one branchy pass per
+/// field. The lookup path is the hottest kernel in the whole simulator
+/// (every load, store, and fetch line goes through it at least once),
+/// so the layout keeps the comparison stream — tag plus one metadata
+/// byte — dense in cache lines and leaves the cold LRU/ready timestamps
+/// out of the probe entirely.
 pub struct Cache {
     cfg: CacheConfig,
-    lines: Vec<Line>, // sets * ways
+    /// Per-way tags, `sets * ways` entries.
+    tags: Vec<u64>,
+    /// Per-way `VALID`/`DIRTY` bits, parallel to `tags`.
+    flags: Vec<u8>,
+    /// LRU timestamps (monotone counter, larger = more recent).
+    lru: Vec<u64>,
+    /// Cycle at which each line's data is present (fills in flight have
+    /// future ready times).
+    ready_at: Vec<u64>,
     bank_free_at: Vec<u64>,
     lru_clock: u64,
     offset_bits: u32,
     index_mask: u64,
+    /// Precomputed `offset_bits + log2(sets)`: one shift extracts a tag.
+    tag_shift: u32,
+    /// Precomputed `banks - 1`: one mask selects a bank.
+    bank_mask: u64,
 }
 
 impl Cache {
     /// Builds an empty (all-invalid) cache.
     pub fn new(cfg: CacheConfig) -> Cache {
         cfg.validate();
+        let n = (cfg.sets * cfg.ways) as usize;
         Cache {
-            lines: vec![INVALID; (cfg.sets * cfg.ways) as usize],
+            tags: vec![0; n],
+            flags: vec![0; n],
+            lru: vec![0; n],
+            ready_at: vec![0; n],
             bank_free_at: vec![0; cfg.banks as usize],
             lru_clock: 0,
             offset_bits: cfg.line_bytes.trailing_zeros(),
             index_mask: (cfg.sets - 1) as u64,
+            tag_shift: cfg.line_bytes.trailing_zeros() + cfg.sets.trailing_zeros(),
+            bank_mask: cfg.banks as u64 - 1,
             cfg,
         }
     }
@@ -114,12 +126,30 @@ impl Cache {
 
     #[inline]
     fn tag_of(&self, addr: u64) -> u64 {
-        addr >> (self.offset_bits + self.cfg.sets.trailing_zeros())
+        addr >> self.tag_shift
     }
 
     #[inline]
     fn bank_of(&self, addr: u64) -> usize {
-        ((addr >> self.offset_bits) & (self.cfg.banks as u64 - 1)) as usize
+        ((addr >> self.offset_bits) & self.bank_mask) as usize
+    }
+
+    /// The one tag probe every path shares: scans the set's ways with a
+    /// branch-free select (a mispredicted way loop costs more than the
+    /// handful of extra compares) and returns the matching way's global
+    /// index.
+    #[inline]
+    fn probe(&self, set: u64, tag: u64) -> Option<usize> {
+        let ways = self.cfg.ways as usize;
+        let base = set as usize * ways;
+        let tags = &self.tags[base..base + ways];
+        let flags = &self.flags[base..base + ways];
+        let mut found = usize::MAX;
+        for w in 0..ways {
+            let hit = (flags[w] & VALID != 0) & (tags[w] == tag);
+            found = if hit { base + w } else { found };
+        }
+        (found != usize::MAX).then_some(found)
     }
 
     /// Base address of the line containing `addr`.
@@ -153,22 +183,15 @@ impl Cache {
         self.lru_clock += 1;
         let lru_now = self.lru_clock;
 
-        let base = (set * self.cfg.ways as u64) as usize;
-        for way in 0..self.cfg.ways as usize {
-            let line = &mut self.lines[base + way];
-            if line.valid && line.tag == tag {
-                line.lru = lru_now;
-                if is_store {
-                    line.dirty = true;
-                }
-                let ready_at = line.ready_at;
-                return Lookup {
-                    hit: true,
-                    start,
-                    ready_at,
-                    writeback: None,
-                };
-            }
+        if let Some(li) = self.probe(set, tag) {
+            self.lru[li] = lru_now;
+            self.flags[li] |= (is_store as u8) << 1; // DIRTY on stores
+            return Lookup {
+                hit: true,
+                start,
+                ready_at: self.ready_at[li],
+                writeback: None,
+            };
         }
         Lookup {
             hit: false,
@@ -188,82 +211,61 @@ impl Cache {
         self.lru_clock += 1;
         let lru_now = self.lru_clock;
 
-        let base = (set * self.cfg.ways as u64) as usize;
         // Already present (e.g. a racing fill from another core's miss)?
-        for way in 0..self.cfg.ways as usize {
-            let line = &mut self.lines[base + way];
-            if line.valid && line.tag == tag {
-                line.lru = lru_now;
-                if is_store {
-                    line.dirty = true;
-                }
-                line.ready_at = line.ready_at.min(ready_at);
-                return None;
-            }
+        if let Some(li) = self.probe(set, tag) {
+            self.lru[li] = lru_now;
+            self.flags[li] |= (is_store as u8) << 1;
+            self.ready_at[li] = self.ready_at[li].min(ready_at);
+            return None;
         }
         // Choose victim: first invalid way, else LRU.
-        let mut victim = 0usize;
+        let ways = self.cfg.ways as usize;
+        let base = set as usize * ways;
+        let mut victim = base;
         let mut best_lru = u64::MAX;
-        for way in 0..self.cfg.ways as usize {
-            let line = &self.lines[base + way];
-            if !line.valid {
-                victim = way;
+        for w in base..base + ways {
+            if self.flags[w] & VALID == 0 {
+                victim = w;
                 break;
             }
-            if line.lru < best_lru {
-                best_lru = line.lru;
-                victim = way;
+            if self.lru[w] < best_lru {
+                best_lru = self.lru[w];
+                victim = w;
             }
         }
-        let line = &mut self.lines[base + victim];
-        let evicted = if line.valid && line.dirty {
+        let evicted = if self.flags[victim] & (VALID | DIRTY) == VALID | DIRTY {
             // Reconstruct the victim's base address from tag+set.
-            let set_bits = self.cfg.sets.trailing_zeros();
-            Some(line.tag << (self.offset_bits + set_bits) | set << self.offset_bits)
+            Some(self.tags[victim] << self.tag_shift | set << self.offset_bits)
         } else {
             None
         };
-        *line = Line {
-            tag,
-            valid: true,
-            dirty: is_store,
-            lru: lru_now,
-            ready_at,
-        };
+        self.tags[victim] = tag;
+        self.flags[victim] = VALID | ((is_store as u8) << 1);
+        self.lru[victim] = lru_now;
+        self.ready_at[victim] = ready_at;
         evicted
     }
 
     /// Invalidates the line containing `addr` (coherence downgrade),
     /// returning true if a valid line was dropped.
     pub fn invalidate(&mut self, addr: u64) -> bool {
-        let set = self.set_of(addr);
-        let tag = self.tag_of(addr);
-        let base = (set * self.cfg.ways as u64) as usize;
-        for way in 0..self.cfg.ways as usize {
-            let line = &mut self.lines[base + way];
-            if line.valid && line.tag == tag {
-                line.valid = false;
-                line.dirty = false;
-                return true;
+        match self.probe(self.set_of(addr), self.tag_of(addr)) {
+            Some(li) => {
+                self.flags[li] = 0;
+                true
             }
+            None => false,
         }
-        false
     }
 
     /// True if the line containing `addr` is resident.
     pub fn contains(&self, addr: u64) -> bool {
-        let set = self.set_of(addr);
-        let tag = self.tag_of(addr);
-        let base = (set * self.cfg.ways as u64) as usize;
-        (0..self.cfg.ways as usize).any(|w| {
-            let l = &self.lines[base + w];
-            l.valid && l.tag == tag
-        })
+        self.probe(self.set_of(addr), self.tag_of(addr)).is_some()
     }
 
     /// Number of currently valid lines (for capacity invariants in tests).
     pub fn valid_lines(&self) -> usize {
-        self.lines.iter().filter(|l| l.valid).count()
+        self.flags.iter().filter(|&&f| f & VALID != 0).count()
     }
 
     /// Hit latency in cycles.
@@ -458,6 +460,141 @@ mod tests {
             }
         }
         assert!(c.valid_lines() <= (small().sets * small().ways) as usize);
+    }
+
+    /// The AoS tag store the SoA layout replaced, kept verbatim as a
+    /// reference model for the A/B equivalence test below.
+    struct RefCache {
+        cfg: CacheConfig,
+        lines: Vec<(u64, bool, bool, u64, u64)>, // tag, valid, dirty, lru, ready_at
+        bank_free_at: Vec<u64>,
+        lru_clock: u64,
+    }
+
+    impl RefCache {
+        fn new(cfg: CacheConfig) -> RefCache {
+            RefCache {
+                lines: vec![(0, false, false, 0, 0); (cfg.sets * cfg.ways) as usize],
+                bank_free_at: vec![0; cfg.banks as usize],
+                lru_clock: 0,
+                cfg,
+            }
+        }
+        fn set_of(&self, addr: u64) -> u64 {
+            (addr >> self.cfg.line_bytes.trailing_zeros()) & (self.cfg.sets - 1) as u64
+        }
+        fn tag_of(&self, addr: u64) -> u64 {
+            addr >> (self.cfg.line_bytes.trailing_zeros() + self.cfg.sets.trailing_zeros())
+        }
+        fn access(&mut self, addr: u64, is_store: bool, now: u64) -> Lookup {
+            let bank =
+                ((addr >> self.cfg.line_bytes.trailing_zeros()) % self.cfg.banks as u64) as usize;
+            let start = now.max(self.bank_free_at[bank]);
+            self.bank_free_at[bank] = start + 1;
+            let (set, tag) = (self.set_of(addr), self.tag_of(addr));
+            self.lru_clock += 1;
+            let base = (set * self.cfg.ways as u64) as usize;
+            for way in 0..self.cfg.ways as usize {
+                let l = &mut self.lines[base + way];
+                if l.1 && l.0 == tag {
+                    l.3 = self.lru_clock;
+                    l.2 |= is_store;
+                    return Lookup {
+                        hit: true,
+                        start,
+                        ready_at: l.4,
+                        writeback: None,
+                    };
+                }
+            }
+            Lookup {
+                hit: false,
+                start,
+                ready_at: start,
+                writeback: None,
+            }
+        }
+        fn fill(&mut self, addr: u64, is_store: bool, ready_at: u64) -> Option<u64> {
+            let (set, tag) = (self.set_of(addr), self.tag_of(addr));
+            self.lru_clock += 1;
+            let base = (set * self.cfg.ways as u64) as usize;
+            for way in 0..self.cfg.ways as usize {
+                let l = &mut self.lines[base + way];
+                if l.1 && l.0 == tag {
+                    l.3 = self.lru_clock;
+                    l.2 |= is_store;
+                    l.4 = l.4.min(ready_at);
+                    return None;
+                }
+            }
+            let mut victim = 0usize;
+            let mut best = u64::MAX;
+            for way in 0..self.cfg.ways as usize {
+                let l = &self.lines[base + way];
+                if !l.1 {
+                    victim = way;
+                    break;
+                }
+                if l.3 < best {
+                    best = l.3;
+                    victim = way;
+                }
+            }
+            let l = &mut self.lines[base + victim];
+            let shift = self.cfg.line_bytes.trailing_zeros() + self.cfg.sets.trailing_zeros();
+            let evicted =
+                (l.1 && l.2).then(|| l.0 << shift | set << self.cfg.line_bytes.trailing_zeros());
+            *l = (tag, true, is_store, self.lru_clock, ready_at);
+            evicted
+        }
+        fn contains(&self, addr: u64) -> bool {
+            let (set, tag) = (self.set_of(addr), self.tag_of(addr));
+            let base = (set * self.cfg.ways as u64) as usize;
+            (0..self.cfg.ways as usize).any(|w| {
+                let l = &self.lines[base + w];
+                l.1 && l.0 == tag
+            })
+        }
+    }
+
+    /// Proptest-style equivalence: 50k seeded random operations must
+    /// drive the SoA tag store and the AoS reference through identical
+    /// hit/miss, timing, writeback, and residency sequences.
+    #[test]
+    fn soa_layout_matches_aos_reference_model() {
+        for seed in [1u64, 0xDEAD_BEEF, 0x1234_5678_9ABC] {
+            let cfg = small();
+            let mut soa = Cache::new(cfg);
+            let mut aos = RefCache::new(cfg);
+            let mut rng = seed | 1;
+            for step in 0..50_000u64 {
+                rng = rng
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                // A tight address space so sets conflict and evict often.
+                let addr = (rng >> 11) % 0x2000;
+                let is_store = rng & 1 == 1;
+                match (rng >> 8) % 4 {
+                    0 => {
+                        let w = soa.fill(addr, is_store, step + 10);
+                        assert_eq!(w, aos.fill(addr, is_store, step + 10), "step {step}");
+                    }
+                    1 => {
+                        assert_eq!(soa.contains(addr), aos.contains(addr), "step {step}");
+                    }
+                    _ => {
+                        let a = soa.access(addr, is_store, step);
+                        let b = aos.access(addr, is_store, step);
+                        assert_eq!(a, b, "step {step}");
+                    }
+                }
+            }
+            assert_eq!(
+                soa.valid_lines(),
+                aos.lines.iter().filter(|l| l.1).count(),
+                "seed {seed}"
+            );
+        }
     }
 
     #[test]

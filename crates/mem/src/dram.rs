@@ -134,6 +134,15 @@ pub struct DramOutcome {
     pub row_hit: bool,
 }
 
+/// Log2 of a value when it is a power of two — the address-mapping
+/// fast path. Every preset geometry (channels, lines-per-row, banks) is
+/// a power of two, so the per-access div/mod chain collapses to
+/// shift/mask; the `None` fallback keeps exotic configs correct.
+#[inline]
+fn po2_shift(v: u64) -> Option<u32> {
+    v.is_power_of_two().then(|| v.trailing_zeros())
+}
+
 /// Stateful DRAM timing model.
 pub struct DramModel {
     cfg: DramConfig,
@@ -144,6 +153,15 @@ pub struct DramModel {
     writes: u64,
     row_hits: u64,
     token_stall_cycles: u64,
+    /// Precomputed `log2(channels)` when channels is a power of two.
+    ch_shift: Option<u32>,
+    /// Precomputed `log2(row_bytes / 64)`.
+    row_lines_shift: Option<u32>,
+    /// Precomputed `log2(ranks * banks)`.
+    bank_shift: Option<u32>,
+    /// Latest completion time across banks and channel buses: the model
+    /// is quiescent after this instant until the next access arrives.
+    busy_until_ns: f64,
 }
 
 impl DramModel {
@@ -160,6 +178,10 @@ impl DramModel {
                 };
                 nbanks
             ],
+            ch_shift: po2_shift(cfg.channels as u64),
+            row_lines_shift: po2_shift((cfg.row_bytes as u64 / 64).max(1)),
+            bank_shift: po2_shift((cfg.ranks * cfg.banks) as u64),
+            busy_until_ns: 0.0,
             cfg,
             core_freq_ghz,
             reads: 0,
@@ -199,7 +221,17 @@ impl DramModel {
         // Line-interleaved channels; within a channel consecutive lines
         // fill a row (column bits), then banks interleave, then rows —
         // the row-buffer-friendly mapping FR-FCFS schedulers assume.
+        // Power-of-two geometries (all presets) decode with three
+        // shift/mask pairs; anything else falls back to div/mod.
         let line = addr >> 6;
+        if let (Some(cs), Some(rs), Some(bs)) =
+            (self.ch_shift, self.row_lines_shift, self.bank_shift)
+        {
+            let ch = (line & ((1 << cs) - 1)) as usize;
+            let per_row = line >> cs >> rs;
+            let bank = (per_row & ((1 << bs) - 1)) as usize;
+            return (ch, bank, per_row >> bs);
+        }
         let ch = (line % self.cfg.channels as u64) as usize;
         let per_ch = line / self.cfg.channels as u64;
         let lines_per_row = (self.cfg.row_bytes as u64 / 64).max(1);
@@ -207,6 +239,13 @@ impl DramModel {
         let bank = ((per_ch / lines_per_row) % nbanks) as usize;
         let row = per_ch / lines_per_row / nbanks;
         (ch, bank, row)
+    }
+
+    /// Cycle after which every bank and channel bus is idle: nothing in
+    /// this model changes between then and the next access, which is
+    /// exactly the promise a harness quiescence hint needs.
+    pub fn busy_until_cycle(&self) -> u64 {
+        self.cycles_of(self.busy_until_ns)
     }
 
     /// Services a 64-byte line access issued at core cycle `now`.
@@ -233,6 +272,7 @@ impl DramModel {
         let done_ns = data_start + burst;
         self.channel_free_ns[ch] = done_ns;
         self.banks[bank_idx].ready_ns = done_ns;
+        self.busy_until_ns = self.busy_until_ns.max(done_ns);
 
         if is_write {
             self.writes += 1;
@@ -341,6 +381,46 @@ mod tests {
         let mut d = DramModel::new(cfg, 1.0);
         let out = d.access(0x0, false, 3);
         assert_eq!(out.done % 8, 0, "completion must land on a token boundary");
+    }
+
+    #[test]
+    fn po2_mapping_matches_divmod() {
+        for cfg in [
+            DramConfig::ddr3_2000(1),
+            DramConfig::ddr4_3200(4),
+            DramConfig::lpddr4_2666(),
+        ] {
+            let d = DramModel::new(cfg.clone(), 2.0);
+            assert!(
+                d.ch_shift.is_some(),
+                "{}: preset must hit the fast path",
+                cfg.name
+            );
+            let mut rng = 0x9E3779B97F4A7C15u64;
+            for _ in 0..10_000 {
+                rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let addr = rng >> 16;
+                let line = addr >> 6;
+                let ch = (line % cfg.channels as u64) as usize;
+                let per_ch = line / cfg.channels as u64;
+                let lpr = (cfg.row_bytes as u64 / 64).max(1);
+                let nb = (cfg.ranks * cfg.banks) as u64;
+                let expect = (ch, ((per_ch / lpr) % nb) as usize, per_ch / lpr / nb);
+                assert_eq!(d.map(addr), expect, "{}: addr {addr:#x}", cfg.name);
+            }
+        }
+    }
+
+    #[test]
+    fn busy_until_tracks_the_latest_completion() {
+        let mut d = DramModel::new(DramConfig::ddr4_3200(1), 2.0);
+        assert_eq!(d.busy_until_cycle(), 0, "an idle model is quiescent");
+        let a = d.access(0x0, false, 0);
+        assert_eq!(d.busy_until_cycle(), a.done);
+        let b = d.access(0x40, true, a.done + 500);
+        assert_eq!(d.busy_until_cycle(), b.done);
+        // An earlier-finishing access never shrinks the horizon.
+        assert!(d.busy_until_cycle() >= a.done);
     }
 
     #[test]

@@ -55,6 +55,18 @@ impl TimingCore for CoreInst {
     }
 }
 
+impl CoreInst {
+    /// `(skipped_cycles, spans)` the timing model bulk-advanced past
+    /// instead of stepping — the trace-driven analogue of the harness
+    /// quiescence fast-forward (see `TickModel::next_activity`).
+    fn ff_stats(&self) -> (u64, u64) {
+        match self {
+            CoreInst::InOrder(c) => c.ff_stats(),
+            CoreInst::Ooo(c) => c.ff_stats(),
+        }
+    }
+}
+
 /// Result of running a workload on an SoC.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct RunReport {
@@ -306,6 +318,20 @@ impl Soc {
             self.telemetry
                 .counters_mut()
                 .set_named("soc.retired", retired);
+            // Host-side fast-forward accounting: cycles the timing models
+            // jumped past in bulk (stall spans, drain waits) rather than
+            // stepping. `host.` keeps it out of deterministic compares.
+            let (skipped, spans) = self
+                .cores
+                .iter()
+                .map(CoreInst::ff_stats)
+                .fold((0, 0), |(s, p), (ds, dp)| (s + ds, p + dp));
+            self.telemetry
+                .counters_mut()
+                .set_named("host.engine.skipped_cycles", skipped);
+            self.telemetry
+                .counters_mut()
+                .set_named("host.engine.ff_spans", spans);
             self.telemetry.tick(cycles);
         }
         RunReport {
@@ -499,6 +525,49 @@ mod tests {
         );
         assert_eq!(snap.trace.len(), 64, "period-1 trace fills its ring");
         assert!(snap.to_json().contains("tile0.retired"));
+    }
+
+    /// A strided-load kernel that misses every cache level: each load
+    /// touches a new 4 KiB-distant line, so the core spends most of its
+    /// cycles stalled on DRAM.
+    fn strided_loads(iters: i64) -> Program {
+        let mut a = Asm::new();
+        a.li(T0, 0x10_0000).li(T1, iters).li(T2, 0);
+        a.label("loop");
+        a.ld(T3, 0, T0);
+        a.addi(T4, T3, 1); // consume the load: scoreboard stalls to DRAM
+        a.addi(T0, T0, 2047);
+        a.addi(T0, T0, 2047);
+        a.addi(T2, T2, 1);
+        a.blt(T2, T1, "loop");
+        a.exit(0);
+        a.assemble().unwrap()
+    }
+
+    #[test]
+    fn memory_bound_run_reports_skipped_cycles_in_exports() {
+        use bsim_telemetry::TelemetryConfig;
+        let mut soc = Soc::new(configs::rocket1(1).with_telemetry(TelemetryConfig::counters()));
+        let rep = soc.run_program(0, &strided_loads(400), 10_000_000);
+        assert_eq!(rep.exit_code, Some(0));
+        let snap = rep.telemetry.expect("telemetry enabled");
+        let skipped = snap.counter("host.engine.skipped_cycles").unwrap_or(0);
+        let spans = snap.counter("host.engine.ff_spans").unwrap_or(0);
+        assert!(
+            skipped > rep.cycles / 4,
+            "a DRAM-bound kernel should fast-forward a large cycle share: \
+             skipped {skipped} of {} cycles",
+            rep.cycles
+        );
+        assert!(
+            spans > 0 && skipped >= spans,
+            "{spans} spans, {skipped} skipped"
+        );
+        // The counters ride the standard export paths.
+        assert!(snap.to_json().contains("host.engine.skipped_cycles"));
+        assert!(snap
+            .counters_csv()
+            .contains(&format!("host.engine.skipped_cycles,{skipped}\n")));
     }
 
     #[test]

@@ -24,6 +24,8 @@ use crate::TimingCore;
 use bsim_isa::OpClass;
 use bsim_mem::{AccessKind, MemoryHierarchy};
 use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// In-order core parameters.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -80,7 +82,10 @@ pub struct InOrderCore {
     cycle: u64,
     issued_this_cycle: u32,
     reg_ready: [u64; 64],
-    store_buffer: Vec<u64>,
+    /// Outstanding store completion times, earliest first — admission
+    /// needs only the front, so drains are O(log n) pops instead of a
+    /// full `retain` + `min` scan per store.
+    store_buffer: BinaryHeap<Reverse<u64>>,
     unpipelined_free: u64,
     predictor: RocketPredictor,
     tlb: Tlb,
@@ -88,6 +93,11 @@ pub struct InOrderCore {
     refetch: bool,
     stats: CoreStats,
     l1i_hit_latency: u64,
+    /// Host-side fast-forward accounting: intermediate cycles covered by
+    /// bulk `stall_to` clock jumps rather than being stepped one by one.
+    ff_skipped_cycles: u64,
+    /// Contiguous multi-cycle jumps that produced those skips.
+    ff_spans: u64,
 }
 
 const LINE_MASK: u64 = !63;
@@ -102,18 +112,42 @@ impl InOrderCore {
             cycle: 0,
             issued_this_cycle: 0,
             reg_ready: [0; 64],
-            store_buffer: Vec::new(),
+            store_buffer: BinaryHeap::new(),
             unpipelined_free: 0,
             cur_fetch_line: u64::MAX,
             refetch: true,
             stats: CoreStats::default(),
             l1i_hit_latency: 1,
+            ff_skipped_cycles: 0,
+            ff_spans: 0,
         }
     }
 
     /// The configuration.
     pub fn config(&self) -> &InOrderConfig {
         &self.cfg
+    }
+
+    /// Fast-forward accounting: `(skipped_cycles, spans)` — target
+    /// cycles the core's clock jumped over in bulk (stall resolution)
+    /// instead of stepping, and how many such jumps happened. Feeds
+    /// `host.engine.skipped_cycles` in the SoC telemetry.
+    pub fn ff_stats(&self) -> (u64, u64) {
+        (self.ff_skipped_cycles, self.ff_spans)
+    }
+
+    /// Quiescence hint in `TickModel::next_activity` terms: the
+    /// earliest future cycle at which an already-issued
+    /// operation completes (store-buffer drain or an unpipelined unit
+    /// freeing). `None` when nothing is in flight — absent new work the
+    /// core is fully idle.
+    pub fn next_activity(&self) -> Option<u64> {
+        let drain = self.store_buffer.peek().map(|&Reverse(c)| c);
+        let unpiped = (self.unpipelined_free > self.cycle).then_some(self.unpipelined_free);
+        match (drain.filter(|&c| c > self.cycle), unpiped) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     fn new_issue_cycle(&mut self) {
@@ -126,6 +160,11 @@ impl InOrderCore {
         if d > 0 {
             self.cycle = t;
             self.issued_this_cycle = 0;
+            // A d-cycle jump steps one cycle and skips d-1 quiescent ones.
+            if d > 1 {
+                self.ff_skipped_cycles += d - 1;
+                self.ff_spans += 1;
+            }
         }
         d
     }
@@ -195,17 +234,27 @@ impl TimingCore for InOrderCore {
                 let addr = uop.mem_addr.expect("store without address");
                 let tlb_extra = self.tlb.translate(addr) as u64;
                 self.stats.tlb_stall_cycles += tlb_extra;
-                // Store buffer admission: stall if full.
-                self.store_buffer.retain(|&c| c > issue);
+                // Store buffer admission: stall if full. Drained entries
+                // leave from the front of the min-heap, so admission
+                // touches only the earliest completion, never the set.
+                while self
+                    .store_buffer
+                    .peek()
+                    .is_some_and(|&Reverse(c)| c <= issue)
+                {
+                    self.store_buffer.pop();
+                }
                 if self.store_buffer.len() >= self.cfg.store_buffer as usize {
-                    let earliest = *self.store_buffer.iter().min().expect("non-empty");
+                    let Reverse(earliest) = *self.store_buffer.peek().expect("non-empty");
                     let d = self.stall_to(earliest);
                     self.stats.structural_stall_cycles += d;
                     let now = self.cycle;
-                    self.store_buffer.retain(|&c| c > now);
+                    while self.store_buffer.peek().is_some_and(|&Reverse(c)| c <= now) {
+                        self.store_buffer.pop();
+                    }
                 }
                 let out = mem.access(core_id, addr, AccessKind::Store, self.cycle + 1 + tlb_extra);
-                self.store_buffer.push(out.complete_at);
+                self.store_buffer.push(Reverse(out.complete_at));
                 self.stats.lsq_high_water = self
                     .stats
                     .lsq_high_water
@@ -248,7 +297,12 @@ impl TimingCore for InOrderCore {
     }
 
     fn finish(&mut self) -> u64 {
-        let drain = self.store_buffer.iter().copied().max().unwrap_or(0);
+        let drain = self
+            .store_buffer
+            .iter()
+            .map(|&Reverse(c)| c)
+            .max()
+            .unwrap_or(0);
         self.cycle = self.cycle.max(drain).max(self.unpipelined_free);
         self.stats.cycles = self.cycle;
         self.cycle

@@ -19,6 +19,11 @@
 //! bsim check [--deny-warnings] [--json] [--list] [platform ...]
 //!                                   # static preflight: model-graph +
 //!                                   # config lints, before any cycle
+//! bsim bench [--json] [--out FILE] [--baseline FILE] [--iters N]
+//!                                   # in-process engine micro-timings
+//!                                   # (host perf, not target cycles);
+//!                                   # --baseline compares cycles/sec and
+//!                                   # exits non-zero on a >20% regression
 //! ```
 
 use silicon_bridge::check;
@@ -26,6 +31,7 @@ use silicon_bridge::core::experiments::{self, Sizes};
 use silicon_bridge::core::table;
 use silicon_bridge::core::tuning::choose_best_model;
 use silicon_bridge::core::{run_campaign, run_figure_with, CkptStore, Parallelism, RetryPolicy};
+use silicon_bridge::engine::{Harness, TickModel, Wire};
 use silicon_bridge::mpi::NetConfig;
 use silicon_bridge::resilience::CellOutcome;
 use silicon_bridge::soc::{configs, Soc, SocConfig};
@@ -58,7 +64,8 @@ fn usage() -> ! {
          bsim fig <1..7> [--smoke] [--par seq|auto|N] [--ckpt FILE] [--resume FILE] [--retries N]\n  \
          bsim micro <kernel> [platform]\n  bsim tune\n  \
          bsim faults [--seed N] [--deny-unsurvived]\n  \
-         bsim check [--deny-warnings] [--json] [--list] [platform ...]"
+         bsim check [--deny-warnings] [--json] [--list] [platform ...]\n  \
+         bsim bench [--json] [--out FILE] [--baseline FILE] [--iters N]"
     );
     std::process::exit(2)
 }
@@ -87,6 +94,7 @@ fn run_check(args: &[String]) -> ! {
             ("tlb", check::rules::tlb_lints().codes()),
             ("in-order core", check::rules::inorder_lints().codes()),
             ("ooo core", check::rules::ooo_lints().codes()),
+            ("engine schedule", check::rules::engine_lints().codes()),
             ("soc", silicon_bridge::soc::preflight::soc_lints().codes()),
         ];
         for (group, codes) in regs {
@@ -142,6 +150,277 @@ fn run_check(args: &[String]) -> ! {
     }
     let failed = report.has_errors() || (deny_warnings && report.has_warnings());
     std::process::exit(if failed { 1 } else { 0 })
+}
+
+/// Free-running compute model for the host-perf benches: one multiply
+/// per cycle, never idle. Measures the raw tick-loop rate.
+struct Lfsr {
+    state: u64,
+}
+
+impl TickModel for Lfsr {
+    fn num_inputs(&self) -> usize {
+        1
+    }
+    fn num_outputs(&self) -> usize {
+        1
+    }
+    fn tick(&mut self, cycle: u64, inputs: &[u64], outputs: &mut [u64]) {
+        self.state = self
+            .state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(inputs[0] ^ cycle);
+        outputs[0] = self.state >> 13;
+    }
+}
+
+/// Mostly-idle model for the fast-forward benches: pulses once per
+/// `period` cycles, absorbs incoming tokens, and declares its quiescence
+/// window via `next_activity` so the harness can bulk-advance.
+struct Beacon {
+    period: u64,
+    next: u64,
+    state: u64,
+}
+
+impl TickModel for Beacon {
+    fn num_inputs(&self) -> usize {
+        1
+    }
+    fn num_outputs(&self) -> usize {
+        1
+    }
+    fn tick(&mut self, cycle: u64, inputs: &[u64], outputs: &mut [u64]) {
+        if inputs[0] != 0 {
+            self.state = self
+                .state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(inputs[0]);
+        }
+        if cycle >= self.next {
+            outputs[0] = self.state | 1;
+            self.next = cycle + self.period;
+        } else {
+            outputs[0] = 0;
+        }
+    }
+    fn next_activity(&self) -> Option<u64> {
+        Some(self.next)
+    }
+}
+
+fn lfsr_ring(n: usize, latency: u64) -> (Vec<Lfsr>, Vec<Wire>) {
+    let models = (0..n)
+        .map(|i| Lfsr {
+            state: i as u64 + 1,
+        })
+        .collect();
+    (models, ring_wires(n, latency))
+}
+
+fn beacon_ring(n: usize, period: u64) -> (Vec<Beacon>, Vec<Wire>) {
+    let models = (0..n)
+        .map(|i| Beacon {
+            period,
+            next: 0,
+            state: i as u64 + 1,
+        })
+        .collect();
+    (models, ring_wires(n, 1))
+}
+
+fn ring_wires(n: usize, latency: u64) -> Vec<Wire> {
+    (0..n)
+        .map(|i| Wire {
+            from_model: i,
+            from_port: 0,
+            to_model: (i + 1) % n,
+            to_port: 0,
+            latency,
+        })
+        .collect()
+}
+
+struct BenchResult {
+    bench: &'static str,
+    mean_ns: f64,
+    cycles_per_sec: f64,
+}
+
+/// One warm-up iteration, then the mean of `iters` timed ones.
+fn measure(bench: &'static str, cycles: u64, iters: u32, f: &mut dyn FnMut()) -> BenchResult {
+    f();
+    let t0 = std::time::Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let mean_s = t0.elapsed().as_secs_f64() / iters as f64;
+    BenchResult {
+        bench,
+        mean_ns: mean_s * 1e9,
+        cycles_per_sec: cycles as f64 / mean_s,
+    }
+}
+
+/// Pulls `(bench, cycles_per_sec)` pairs back out of a `--json` report.
+/// The format is our own, so a line-oriented scan beats a JSON parser.
+fn baseline_rates(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for chunk in text.split("\"bench\"").skip(1) {
+        let Some(name) = chunk.split('"').nth(1) else {
+            continue;
+        };
+        let Some(rest) = chunk.split("\"cycles_per_sec\"").nth(1) else {
+            continue;
+        };
+        let num: String = rest
+            .chars()
+            .skip_while(|c| *c == ':' || c.is_whitespace())
+            .take_while(|c| c.is_ascii_digit() || ".eE+-".contains(*c))
+            .collect();
+        if let Ok(v) = num.parse::<f64>() {
+            out.push((name.to_string(), v));
+        }
+    }
+    out
+}
+
+/// `bsim bench`: quick in-process host-performance timings of the token
+/// engine, Criterion-free so CI can run them in seconds. With `--json`
+/// the results land in the `BENCH_engine.json` schema
+/// (`{bench, mean_ns, cycles_per_sec}` per entry); `--baseline FILE`
+/// compares against an earlier report and fails the run when any bench
+/// has lost more than 20% of its cycles/sec.
+fn run_bench(args: &[String]) -> ! {
+    let json = args.iter().any(|a| a == "--json");
+    let iters: u32 = match flag_value(args, "--iters") {
+        Some(n) => n.parse().unwrap_or_else(|_| {
+            eprintln!("--iters takes an iteration count");
+            std::process::exit(2);
+        }),
+        None => 5,
+    };
+    const SEQ_CYCLES: u64 = 200_000;
+    const PAR_CYCLES: u64 = 20_000;
+    const QUANTUM: usize = 32;
+
+    // The fast-forward pair must agree bit-for-bit before the timing
+    // difference means anything.
+    let (m, w) = beacon_ring(4, 512);
+    let ff: Vec<u64> = Harness::new(m, w)
+        .run(SEQ_CYCLES)
+        .iter()
+        .map(|b| b.state)
+        .collect();
+    let (m, w) = beacon_ring(4, 512);
+    let noff: Vec<u64> = Harness::new(m, w)
+        .with_fast_forward(false)
+        .run(SEQ_CYCLES)
+        .iter()
+        .map(|b| b.state)
+        .collect();
+    assert_eq!(ff, noff, "fast-forward changed model state");
+
+    let results = vec![
+        measure("sequential_lfsr_ring_lat1", SEQ_CYCLES, iters, &mut || {
+            let (m, w) = lfsr_ring(4, 1);
+            Harness::new(m, w).run(SEQ_CYCLES);
+        }),
+        measure("sequential_beacon_ring_ff", SEQ_CYCLES, iters, &mut || {
+            let (m, w) = beacon_ring(4, 512);
+            Harness::new(m, w).run(SEQ_CYCLES);
+        }),
+        measure(
+            "sequential_beacon_ring_noff",
+            SEQ_CYCLES,
+            iters,
+            &mut || {
+                let (m, w) = beacon_ring(4, 512);
+                Harness::new(m, w).with_fast_forward(false).run(SEQ_CYCLES);
+            },
+        ),
+        measure(
+            "parallel_batched_ring_lat32",
+            PAR_CYCLES,
+            iters,
+            &mut || {
+                let (m, w) = lfsr_ring(4, 32);
+                Harness::new(m, w).run_parallel(PAR_CYCLES, QUANTUM);
+            },
+        ),
+    ];
+
+    if json {
+        let entries: Vec<String> = results
+            .iter()
+            .map(|r| {
+                format!(
+                    "    {{ \"bench\": \"{}\", \"mean_ns\": {:.1}, \"cycles_per_sec\": {:.1} }}",
+                    r.bench, r.mean_ns, r.cycles_per_sec
+                )
+            })
+            .collect();
+        let doc = format!(
+            "{{\n  \"schema\": \"bsim-bench-v1\",\n  \"benches\": [\n{}\n  ]\n}}\n",
+            entries.join(",\n")
+        );
+        match flag_value(args, "--out") {
+            Some(path) => {
+                if let Err(e) = std::fs::write(path, &doc) {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(2);
+                }
+                eprintln!("wrote {path}");
+            }
+            None => print!("{doc}"),
+        }
+    } else {
+        println!("{:32} {:>14} {:>16}", "bench", "mean ms", "cycles/sec");
+        for r in &results {
+            println!(
+                "{:32} {:>14.3} {:>16.3e}",
+                r.bench,
+                r.mean_ns / 1e6,
+                r.cycles_per_sec
+            );
+        }
+    }
+
+    if let Some(path) = flag_value(args, "--baseline") {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {path}: {e}");
+            std::process::exit(2);
+        });
+        let base = baseline_rates(&text);
+        if base.is_empty() {
+            eprintln!("baseline {path} holds no bench entries");
+            std::process::exit(2);
+        }
+        let mut regressed = 0usize;
+        for (name, old_rate) in base {
+            let Some(new) = results.iter().find(|r| r.bench == name) else {
+                eprintln!("baseline bench {name} no longer exists; skipping");
+                continue;
+            };
+            let ratio = new.cycles_per_sec / old_rate;
+            let verdict = if ratio < 0.8 {
+                regressed += 1;
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            eprintln!(
+                "baseline {name}: {old_rate:.3e} -> {:.3e} cycles/sec ({:+.1}%) {verdict}",
+                new.cycles_per_sec,
+                (ratio - 1.0) * 100.0
+            );
+        }
+        if regressed > 0 {
+            eprintln!("{regressed} bench(es) regressed by more than 20%");
+            std::process::exit(1);
+        }
+    }
+    std::process::exit(0)
 }
 
 fn main() {
@@ -342,6 +621,7 @@ fn main() {
             println!("selected: {}", out.best());
         }
         "check" => run_check(&args[1..]),
+        "bench" => run_bench(&args[1..]),
         _ => usage(),
     }
 }
