@@ -10,7 +10,7 @@ use crate::metrics::relative_speedup;
 use bsim_engine::{SimRate, SimRateMeter};
 use bsim_mpi::NetConfig;
 use bsim_resilience::snapshot::{restore_field, CkptError, Snapshot};
-use bsim_soc::{configs, Soc, SocConfig};
+use bsim_soc::{configs, RunReport, Soc, SocConfig};
 use bsim_telemetry::{CounterBlock, TelemetryConfig, TelemetrySnapshot};
 use bsim_workloads::md::chain::{self, ChainConfig};
 use bsim_workloads::md::lj::{self, LjConfig};
@@ -157,6 +157,17 @@ impl Sizes {
             }
         }
         report
+    }
+
+    /// Parses a named preset (`default` or `smoke`), as service requests
+    /// and env knobs spell them. Unknown names are `None`, not a panic —
+    /// the caller turns them into an SV001-style diagnostic.
+    pub fn parse(name: &str) -> Option<Sizes> {
+        match name {
+            "default" => Some(Sizes::default()),
+            "smoke" => Some(Sizes::smoke()),
+            _ => None,
+        }
     }
 
     /// Even smaller sizes for CI-grade smoke runs.
@@ -368,6 +379,17 @@ where
         rate: meter.finish(),
         workers,
     }
+}
+
+/// Runs one MicroBench kernel on one platform and returns the full
+/// [`RunReport`] — the unit cell the service scheduler decomposes sweep
+/// requests into (one cell per platform × kernel × seed tuple, keyed by
+/// its canonical content hash). Returns `None` for an unknown kernel
+/// name; service callers preflight names first and reject with SV001.
+pub fn microbench_cell(cfg: SocConfig, kernel: &str, scale: u32) -> Option<RunReport> {
+    let k = microbench::suite().into_iter().find(|k| k.name == kernel)?;
+    let prog = k.build(scale);
+    Some(Soc::new(cfg).run_program(0, &prog, u64::MAX))
 }
 
 fn microbench_figure(

@@ -125,6 +125,22 @@ impl CkptStore {
         Ok(text.len() as u64)
     }
 
+    /// [`CkptStore::save`] through a temp-file-plus-rename, so a reader
+    /// (or a crash) can never observe a half-written store: the rename is
+    /// atomic on POSIX filesystems, and a process killed mid-write leaves
+    /// the previous complete file in place plus an orphaned `.tmp`.
+    pub fn save_atomic(&self, path: &Path) -> Result<u64, CkptError> {
+        let text = self.to_json();
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        std::fs::write(&tmp, &text).map_err(|e| CkptError::Corrupt {
+            detail: format!("write {}: {e}", tmp.display()),
+        })?;
+        std::fs::rename(&tmp, path).map_err(|e| CkptError::Corrupt {
+            detail: format!("rename {} -> {}: {e}", tmp.display(), path.display()),
+        })?;
+        Ok(text.len() as u64)
+    }
+
     /// Load a store from `path`.
     pub fn load(path: &Path) -> Result<CkptStore, CkptError> {
         let text = std::fs::read_to_string(path).map_err(|e| CkptError::Corrupt {
@@ -196,6 +212,25 @@ mod tests {
         let bytes = store.save(&path).unwrap();
         assert!(bytes > 0);
         assert_eq!(CkptStore::load(&path).unwrap(), store);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn atomic_save_replaces_and_leaves_no_temp() {
+        let dir = std::env::temp_dir().join("bsim-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("atomic-{}.ckpt.json", std::process::id()));
+        let mut store = CkptStore::new();
+        store.put("k", &1u64);
+        store.save_atomic(&path).unwrap();
+        store.put("k", &2u64);
+        store.save_atomic(&path).unwrap();
+        assert_eq!(
+            CkptStore::load(&path).unwrap().get::<u64>("k").unwrap(),
+            Some(2)
+        );
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        assert!(!tmp.exists(), "temp file must be renamed away");
         std::fs::remove_file(&path).ok();
     }
 }

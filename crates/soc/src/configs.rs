@@ -387,6 +387,24 @@ pub fn milkv_hw(cores: usize) -> SocConfig {
     }
 }
 
+/// Every named platform of the catalog — the ten configs `bsim list`
+/// prints and a service request may reference by name: the four Rocket
+/// variants, the four BOOM variants, and the two silicon references.
+pub fn catalog(cores: usize) -> Vec<SocConfig> {
+    let mut all = rocket_family(cores);
+    all.extend(boom_family(cores));
+    all.push(banana_pi_hw(cores));
+    all.push(milkv_hw(cores));
+    all
+}
+
+/// Look up a cataloged platform by its display name, case-insensitively.
+pub fn by_name(name: &str, cores: usize) -> Option<SocConfig> {
+    catalog(cores)
+        .into_iter()
+        .find(|p| p.name.eq_ignore_ascii_case(name))
+}
+
 /// All FireSim Rocket-side configs of Figure 1/3, in figure order.
 pub fn rocket_family(cores: usize) -> Vec<SocConfig> {
     vec![
@@ -475,6 +493,22 @@ mod tests {
             LlcStyle::FiresimSram
         );
         assert_eq!(milkv_hw(4).hierarchy.llc.unwrap().style, LlcStyle::Silicon);
+    }
+
+    #[test]
+    fn catalog_covers_every_named_platform() {
+        let names: Vec<String> = catalog(1).into_iter().map(|c| c.name).collect();
+        assert_eq!(names.len(), 10);
+        for n in [
+            "Rocket 1",
+            "MILK-V Sim Model",
+            "Banana Pi",
+            "MILK-V Pioneer",
+        ] {
+            assert!(names.iter().any(|c| c == n), "missing {n}");
+        }
+        assert_eq!(by_name("rocket 1", 2).unwrap().cores, 2);
+        assert!(by_name("Pentium", 1).is_none());
     }
 
     #[test]

@@ -1,0 +1,679 @@
+//! `bsimd` — the simulation-as-a-service daemon.
+//!
+//! A [`Daemon`] owns a std-TCP accept loop speaking the HTTP-lite
+//! framing of [`crate::proto`], an async job queue drained by a pool of
+//! worker threads, and the content-addressed [`ResultStore`]. A
+//! `/submit` body parses and preflights into an [`SvcRequest`]
+//! (rejected with SV/MG/CL/SC diagnostics before any worker time is
+//! spent), decomposes into content-addressed cells, and fans across
+//! `run_grid_resilient` with the configured retry policy.
+//!
+//! ## Exactly-once simulation
+//!
+//! Each cell key is simulated at most once, ever:
+//!
+//! 1. a cell first probes the store — a hit is served as the stored
+//!    tree, verbatim;
+//! 2. on a miss it must *claim* the key in the in-flight set. Claiming
+//!    re-checks the store under the in-flight lock, and a finished cell
+//!    stores its tree **before** releasing its claim — so a competitor
+//!    either sees the claim (and waits on the condvar), or sees the
+//!    claim gone and therefore the store populated. Identical cells in
+//!    concurrent requests coalesce onto one simulation.
+//!
+//! A claim is released by a drop guard, so a panicking cell (retried by
+//! the policy) never wedges its key.
+//!
+//! ## Endpoints
+//!
+//! | `POST /submit`       | request JSON → `202 {"job": ...}` or `400` report |
+//! | `GET /status/<job>`  | state + per-request hit/simulated/coalesced counters |
+//! | `GET /fetch/<job>`   | the result document (`200`), `202` while running |
+//! | `GET /metrics`       | every `host.svc.*` counter as JSON |
+//! | `POST /shutdown`     | drain in-flight work, flush store atomically |
+//!
+//! There is no OS signal handling (the workspace has no libc binding);
+//! `/shutdown` is the admin path, and the store is only ever written
+//! through [`ResultStore::flush`]'s temp-file + rename, so even a hard
+//! kill leaves the previous complete store behind.
+
+use crate::proto;
+use crate::request::{Cell, SvcRequest};
+use crate::store::ResultStore;
+use bsim_check::Report;
+use bsim_core::{run_grid_resilient, CellOutcome, Parallelism, RetryPolicy};
+use bsim_telemetry::CounterBlock;
+use serde::Value;
+use std::collections::{HashSet, VecDeque};
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Every counter `/metrics` exports. CI and the lifecycle tests assert
+/// each of these appears in the JSON export, so a renamed counter is a
+/// loud failure, not a silently vanished metric.
+pub const COUNTERS: [&str; 12] = [
+    "host.svc.requests.submitted",
+    "host.svc.requests.rejected",
+    "host.svc.requests.completed",
+    "host.svc.requests.failed",
+    "host.svc.queue.depth",
+    "host.svc.cells.inflight",
+    "host.svc.cells.total",
+    "host.svc.cells.simulated",
+    "host.svc.cache.hits",
+    "host.svc.cache.coalesced",
+    "host.svc.cache.entries",
+    "host.svc.rate.cells_per_sec",
+];
+
+/// Daemon configuration, CLI-shaped.
+#[derive(Clone, Debug)]
+pub struct DaemonConfig {
+    /// Bind address; port 0 picks an ephemeral port (tests).
+    pub addr: String,
+    /// Backing file for the result store; `None` keeps it in memory.
+    pub store_path: Option<PathBuf>,
+    /// Job worker threads (jobs run concurrently up to this).
+    pub workers: usize,
+    /// Per-request cell budget (SV002 above this).
+    pub budget: usize,
+    /// Host parallelism for the cell fan *within* one job.
+    pub par: Parallelism,
+    /// Retry/degrade policy for poisoned cells (PR 4 semantics).
+    pub retry: RetryPolicy,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> DaemonConfig {
+        DaemonConfig {
+            addr: "127.0.0.1:0".into(),
+            store_path: None,
+            workers: 2,
+            budget: 64,
+            par: Parallelism::Auto,
+            retry: RetryPolicy::once(),
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum JobState {
+    Queued,
+    Running,
+    Done,
+    Failed,
+}
+
+impl JobState {
+    fn label(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+        }
+    }
+}
+
+/// Per-request accounting, shared with the worker closure.
+#[derive(Default)]
+struct JobStats {
+    hits: AtomicU64,
+    simulated: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+struct Job {
+    id: String,
+    state: JobState,
+    cells: Vec<Cell>,
+    body: Option<String>,
+    stats: Arc<JobStats>,
+}
+
+#[derive(Default)]
+struct Jobs {
+    queue: VecDeque<usize>,
+    table: Vec<Job>,
+}
+
+#[derive(Default)]
+struct Stats {
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    cells_total: AtomicU64,
+    cells_simulated: AtomicU64,
+    cache_hits: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+struct Shared {
+    cfg: DaemonConfig,
+    self_addr: SocketAddr,
+    jobs: Mutex<Jobs>,
+    jobs_cv: Condvar,
+    store: Mutex<ResultStore>,
+    inflight: Mutex<HashSet<String>>,
+    inflight_cv: Condvar,
+    stats: Stats,
+    shutdown: AtomicBool,
+    started: Instant,
+}
+
+/// A running daemon: the ephemeral-port address plus the accept-loop
+/// and worker threads to join on shutdown.
+pub struct Daemon {
+    addr: SocketAddr,
+    accept: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// Binds, opens (and possibly quarantines) the store, and starts
+    /// the worker pool and accept loop. The [`Report`] carries any
+    /// SV003/SV004 store findings — the daemon still starts, empty.
+    pub fn spawn(cfg: DaemonConfig) -> io::Result<(Daemon, Report)> {
+        let (store, report) = match &cfg.store_path {
+            Some(path) => ResultStore::open(path),
+            None => (ResultStore::ephemeral(), Report::new()),
+        };
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            cfg,
+            self_addr: addr,
+            jobs: Mutex::new(Jobs::default()),
+            jobs_cv: Condvar::new(),
+            store: Mutex::new(store),
+            inflight: Mutex::new(HashSet::new()),
+            inflight_cv: Condvar::new(),
+            stats: Stats::default(),
+            shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+        });
+        let workers = (0..shared.cfg.workers.max(1))
+            .map(|_| {
+                let sh = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&sh))
+            })
+            .collect();
+        let accept = {
+            let sh = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                for conn in listener.incoming() {
+                    if sh.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    if let Ok(stream) = conn {
+                        let sh = Arc::clone(&sh);
+                        std::thread::spawn(move || handle(&sh, stream));
+                    }
+                }
+            })
+        };
+        Ok((
+            Daemon {
+                addr,
+                accept,
+                workers,
+            },
+            report,
+        ))
+    }
+
+    /// The bound address (`127.0.0.1:<ephemeral>` when port 0 was asked).
+    pub fn addr(&self) -> String {
+        self.addr.to_string()
+    }
+
+    /// Blocks until `/shutdown` stops the daemon, then joins all
+    /// threads — the body of `bsim serve`.
+    pub fn join(self) {
+        self.accept.join().ok();
+        for w in self.workers {
+            w.join().ok();
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let idx = {
+            let mut jobs = shared.jobs.lock().unwrap();
+            loop {
+                if let Some(i) = jobs.queue.pop_front() {
+                    break i;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                jobs = shared.jobs_cv.wait(jobs).unwrap();
+            }
+        };
+        run_job(shared, idx);
+    }
+}
+
+fn run_job(shared: &Arc<Shared>, idx: usize) {
+    let (cells, stats) = {
+        let mut jobs = shared.jobs.lock().unwrap();
+        let job = &mut jobs.table[idx];
+        job.state = JobState::Running;
+        (job.cells.clone(), Arc::clone(&job.stats))
+    };
+    let sweep = run_grid_resilient(cells.len(), shared.cfg.par, &shared.cfg.retry, |i| {
+        exec_cell(shared, &stats, &cells[i])
+    });
+    let (state, body) = if sweep.all_ok() {
+        shared.stats.completed.fetch_add(1, Ordering::SeqCst);
+        (JobState::Done, render_body(&cells, &sweep.outcomes))
+    } else {
+        shared.stats.failed.fetch_add(1, Ordering::SeqCst);
+        (JobState::Failed, render_failure(&cells, &sweep.outcomes))
+    };
+    let mut jobs = shared.jobs.lock().unwrap();
+    let job = &mut jobs.table[idx];
+    job.state = state;
+    job.body = Some(body);
+    // Wake both idle workers and a draining /shutdown handler.
+    shared.jobs_cv.notify_all();
+}
+
+/// Releases an in-flight claim even when the cell panics mid-compute,
+/// so a retried cell can re-claim instead of deadlocking on itself.
+struct Claim<'a> {
+    shared: &'a Shared,
+    key: &'a str,
+}
+
+impl Drop for Claim<'_> {
+    fn drop(&mut self) {
+        self.shared.inflight.lock().unwrap().remove(self.key);
+        self.shared.inflight_cv.notify_all();
+    }
+}
+
+fn exec_cell(shared: &Shared, job: &JobStats, cell: &Cell) -> Value {
+    shared.stats.cells_total.fetch_add(1, Ordering::SeqCst);
+    let hit = |tree: Value| {
+        shared.stats.cache_hits.fetch_add(1, Ordering::SeqCst);
+        job.hits.fetch_add(1, Ordering::SeqCst);
+        tree
+    };
+    let mut counted_wait = false;
+    loop {
+        if let Some(tree) = shared.store.lock().unwrap().get(&cell.key) {
+            return hit(tree);
+        }
+        let mut inflight = shared.inflight.lock().unwrap();
+        if !inflight.contains(&cell.key) {
+            // Re-check under the claim lock: a racing winner stores its
+            // tree *before* releasing its claim, so "no claim" +
+            // "store miss" here proves nobody has simulated this key.
+            if let Some(tree) = shared.store.lock().unwrap().get(&cell.key) {
+                return hit(tree);
+            }
+            inflight.insert(cell.key.clone());
+            break;
+        }
+        if !counted_wait {
+            counted_wait = true;
+            shared.stats.coalesced.fetch_add(1, Ordering::SeqCst);
+            job.coalesced.fetch_add(1, Ordering::SeqCst);
+        }
+        let _unused: MutexGuard<'_, _> = shared.inflight_cv.wait(inflight).unwrap();
+    }
+    let claim = Claim {
+        shared,
+        key: &cell.key,
+    };
+    let tree = cell.spec.run(shared.cfg.par);
+    shared.store.lock().unwrap().put(&cell.key, &tree);
+    shared.stats.cells_simulated.fetch_add(1, Ordering::SeqCst);
+    job.simulated.fetch_add(1, Ordering::SeqCst);
+    drop(claim);
+    tree
+}
+
+/// The result document: schema header plus one entry per cell, in
+/// request order. Rendered from the exact trees the store holds, so a
+/// cache-served response is byte-identical to the simulated one.
+fn render_body(cells: &[Cell], outcomes: &[CellOutcome<Value>]) -> String {
+    let entries = cells
+        .iter()
+        .zip(outcomes)
+        .map(|(c, o)| {
+            let tree = match o {
+                CellOutcome::Ok { value, .. } => value.clone(),
+                CellOutcome::Failed { .. } => unreachable!("render_body needs all_ok"),
+            };
+            Value::Map(vec![
+                ("key".into(), Value::Str(c.key.clone())),
+                ("label".into(), Value::Str(c.label.clone())),
+                ("result".into(), tree),
+            ])
+        })
+        .collect();
+    let doc = Value::Map(vec![
+        ("schema".into(), Value::Str(crate::key::STORE_SCHEMA.into())),
+        ("cells".into(), Value::Seq(entries)),
+    ]);
+    serde_json::to_string_pretty(&doc).expect("shim renderer is total")
+}
+
+fn render_failure(cells: &[Cell], outcomes: &[CellOutcome<Value>]) -> String {
+    let entries = cells
+        .iter()
+        .zip(outcomes)
+        .filter_map(|(c, o)| match o {
+            CellOutcome::Failed { diag, attempts } => Some(Value::Map(vec![
+                ("key".into(), Value::Str(c.key.clone())),
+                ("label".into(), Value::Str(c.label.clone())),
+                ("attempts".into(), Value::U64(u64::from(*attempts))),
+                ("diag".into(), Value::Str(diag.clone())),
+            ])),
+            CellOutcome::Ok { .. } => None,
+        })
+        .collect();
+    let doc = Value::Map(vec![
+        (
+            "error".into(),
+            Value::Str("cells failed every attempt".into()),
+        ),
+        ("failed_cells".into(), Value::Seq(entries)),
+    ]);
+    serde_json::to_string_pretty(&doc).expect("shim renderer is total")
+}
+
+fn metrics_json(shared: &Shared) -> String {
+    let mut block = CounterBlock::new(true);
+    let s = &shared.stats;
+    let get = |a: &AtomicU64| a.load(Ordering::SeqCst);
+    block.set_named("host.svc.requests.submitted", get(&s.submitted));
+    block.set_named("host.svc.requests.rejected", get(&s.rejected));
+    block.set_named("host.svc.requests.completed", get(&s.completed));
+    block.set_named("host.svc.requests.failed", get(&s.failed));
+    block.set_named(
+        "host.svc.queue.depth",
+        shared.jobs.lock().unwrap().queue.len() as u64,
+    );
+    block.set_named(
+        "host.svc.cells.inflight",
+        shared.inflight.lock().unwrap().len() as u64,
+    );
+    block.set_named("host.svc.cells.total", get(&s.cells_total));
+    block.set_named("host.svc.cells.simulated", get(&s.cells_simulated));
+    block.set_named("host.svc.cache.hits", get(&s.cache_hits));
+    block.set_named("host.svc.cache.coalesced", get(&s.coalesced));
+    block.set_named(
+        "host.svc.cache.entries",
+        shared.store.lock().unwrap().len() as u64,
+    );
+    let ms = shared.started.elapsed().as_millis().max(1) as u64;
+    block.set_named(
+        "host.svc.rate.cells_per_sec",
+        get(&s.cells_total) * 1000 / ms,
+    );
+    let doc = Value::Map(
+        block
+            .counters()
+            .map(|(name, v)| (name.to_string(), Value::U64(v)))
+            .collect(),
+    );
+    serde_json::to_string_pretty(&doc).expect("shim renderer is total")
+}
+
+fn respond(stream: &mut TcpStream, status: u16, reason: &str, body: &str) {
+    proto::write_response(stream, status, reason, body).ok();
+}
+
+fn json_line(fields: &[(&str, Value)]) -> String {
+    let doc = Value::Map(
+        fields
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect(),
+    );
+    serde_json::to_string(&doc).expect("shim renderer is total")
+}
+
+fn handle(shared: &Arc<Shared>, mut stream: TcpStream) {
+    let Ok(peer) = stream.try_clone() else { return };
+    let req = match proto::read_request(&mut BufReader::new(peer)) {
+        Ok(r) => r,
+        Err(_) => return, // torn connection: nothing to respond to
+    };
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/submit") => handle_submit(shared, &mut stream, &req.body),
+        ("GET", path) if path.strip_prefix("/status/").is_some() => {
+            handle_status(shared, &mut stream, path.strip_prefix("/status/").unwrap())
+        }
+        ("GET", path) if path.strip_prefix("/fetch/").is_some() => {
+            handle_fetch(shared, &mut stream, path.strip_prefix("/fetch/").unwrap())
+        }
+        ("GET", "/metrics") => {
+            let body = metrics_json(shared);
+            respond(&mut stream, 200, "OK", &body);
+        }
+        ("POST", "/shutdown") => handle_shutdown(shared, &mut stream),
+        _ => respond(
+            &mut stream,
+            404,
+            "Not Found",
+            &json_line(&[(
+                "error",
+                Value::Str(format!("no endpoint {} {}", req.method, req.path)),
+            )]),
+        ),
+    }
+}
+
+fn handle_submit(shared: &Arc<Shared>, stream: &mut TcpStream, body: &str) {
+    let checked = SvcRequest::parse(body).and_then(|r| {
+        let report = r.preflight(shared.cfg.budget);
+        if report.has_errors() {
+            Err(report)
+        } else {
+            Ok(r)
+        }
+    });
+    let request = match checked {
+        Ok(r) => r,
+        Err(report) => {
+            shared.stats.rejected.fetch_add(1, Ordering::SeqCst);
+            respond(stream, 400, "Bad Request", &report.to_json());
+            return;
+        }
+    };
+    if shared.shutdown.load(Ordering::SeqCst) {
+        respond(
+            stream,
+            503,
+            "Service Unavailable",
+            &json_line(&[("error", Value::Str("daemon is draining".into()))]),
+        );
+        return;
+    }
+    let cells = request.cells();
+    let cell_count = cells.len();
+    let id = {
+        let mut jobs = shared.jobs.lock().unwrap();
+        let idx = jobs.table.len();
+        let id = format!("job-{}", idx + 1);
+        jobs.table.push(Job {
+            id: id.clone(),
+            state: JobState::Queued,
+            cells,
+            body: None,
+            stats: Arc::new(JobStats::default()),
+        });
+        jobs.queue.push_back(idx);
+        shared.stats.submitted.fetch_add(1, Ordering::SeqCst);
+        shared.jobs_cv.notify_all();
+        id
+    };
+    respond(
+        stream,
+        202,
+        "Accepted",
+        &json_line(&[
+            ("job", Value::Str(id)),
+            ("cells", Value::U64(cell_count as u64)),
+            ("state", Value::Str("queued".into())),
+        ]),
+    );
+}
+
+fn handle_status(shared: &Arc<Shared>, stream: &mut TcpStream, id: &str) {
+    let jobs = shared.jobs.lock().unwrap();
+    let Some(job) = jobs.table.iter().find(|j| j.id == id) else {
+        drop(jobs);
+        respond(
+            stream,
+            404,
+            "Not Found",
+            &json_line(&[("error", Value::Str(format!("unknown job {id:?}")))]),
+        );
+        return;
+    };
+    let body = json_line(&[
+        ("job", Value::Str(job.id.clone())),
+        ("state", Value::Str(job.state.label().into())),
+        ("cells", Value::U64(job.cells.len() as u64)),
+        ("hits", Value::U64(job.stats.hits.load(Ordering::SeqCst))),
+        (
+            "simulated",
+            Value::U64(job.stats.simulated.load(Ordering::SeqCst)),
+        ),
+        (
+            "coalesced",
+            Value::U64(job.stats.coalesced.load(Ordering::SeqCst)),
+        ),
+    ]);
+    drop(jobs);
+    respond(stream, 200, "OK", &body);
+}
+
+fn handle_fetch(shared: &Arc<Shared>, stream: &mut TcpStream, id: &str) {
+    let jobs = shared.jobs.lock().unwrap();
+    let Some(job) = jobs.table.iter().find(|j| j.id == id) else {
+        drop(jobs);
+        respond(
+            stream,
+            404,
+            "Not Found",
+            &json_line(&[("error", Value::Str(format!("unknown job {id:?}")))]),
+        );
+        return;
+    };
+    let (state, body) = (job.state, job.body.clone());
+    let pending = json_line(&[
+        ("job", Value::Str(job.id.clone())),
+        ("state", Value::Str(state.label().into())),
+    ]);
+    drop(jobs);
+    match state {
+        JobState::Done => respond(stream, 200, "OK", &body.unwrap()),
+        JobState::Failed => respond(stream, 500, "Internal Server Error", &body.unwrap()),
+        JobState::Queued | JobState::Running => respond(stream, 202, "Accepted", &pending),
+    }
+}
+
+fn handle_shutdown(shared: &Arc<Shared>, stream: &mut TcpStream) {
+    shared.shutdown.store(true, Ordering::SeqCst);
+    shared.jobs_cv.notify_all();
+    // Drain: every queued job still runs to completion before the store
+    // flushes — a `/shutdown` never abandons accepted work.
+    {
+        let mut jobs = shared.jobs.lock().unwrap();
+        while !jobs.queue.is_empty()
+            || jobs
+                .table
+                .iter()
+                .any(|j| matches!(j.state, JobState::Queued | JobState::Running))
+        {
+            jobs = shared.jobs_cv.wait(jobs).unwrap();
+        }
+    }
+    let (entries, flushed) = {
+        let store = shared.store.lock().unwrap();
+        (store.len() as u64, store.flush())
+    };
+    let body = match flushed {
+        Ok(bytes) => json_line(&[
+            ("ok", Value::Bool(true)),
+            ("entries", Value::U64(entries)),
+            ("flushed_bytes", Value::U64(bytes)),
+        ]),
+        Err(e) => json_line(&[
+            ("ok", Value::Bool(false)),
+            ("error", Value::Str(e.to_string())),
+        ]),
+    };
+    respond(stream, 200, "OK", &body);
+    // Unblock the accept loop: it re-checks the shutdown flag per
+    // connection, so one wake-up connection to ourselves ends it.
+    TcpStream::connect(shared.self_addr).ok();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::roundtrip;
+
+    fn daemon() -> Daemon {
+        let (d, report) = Daemon::spawn(DaemonConfig::default()).unwrap();
+        assert!(report.is_clean(), "{report}");
+        d
+    }
+
+    #[test]
+    fn metrics_always_exports_every_counter() {
+        let d = daemon();
+        let (status, body) = roundtrip(&d.addr(), "GET", "/metrics", "").unwrap();
+        assert_eq!(status, 200);
+        for name in COUNTERS {
+            assert!(
+                body.contains(&format!("\"{name}\"")),
+                "{name} missing: {body}"
+            );
+        }
+        roundtrip(&d.addr(), "POST", "/shutdown", "").unwrap();
+        d.join();
+    }
+
+    #[test]
+    fn unknown_endpoint_and_job_are_404() {
+        let d = daemon();
+        let (status, _) = roundtrip(&d.addr(), "GET", "/nope", "").unwrap();
+        assert_eq!(status, 404);
+        let (status, body) = roundtrip(&d.addr(), "GET", "/fetch/job-99", "").unwrap();
+        assert_eq!(status, 404, "{body}");
+        roundtrip(&d.addr(), "POST", "/shutdown", "").unwrap();
+        d.join();
+    }
+
+    #[test]
+    fn malformed_submit_rejects_without_burning_workers() {
+        let d = daemon();
+        let (status, body) =
+            roundtrip(&d.addr(), "POST", "/submit", "{\"kind\":\"dance\"}").unwrap();
+        assert_eq!(status, 400);
+        assert!(body.contains("SV000"), "{body}");
+        let (_, metrics) = roundtrip(&d.addr(), "GET", "/metrics", "").unwrap();
+        assert!(
+            metrics.contains("\"host.svc.requests.rejected\": 1"),
+            "{metrics}"
+        );
+        assert!(metrics.contains("\"host.svc.cells.total\": 0"), "{metrics}");
+        roundtrip(&d.addr(), "POST", "/shutdown", "").unwrap();
+        d.join();
+    }
+}

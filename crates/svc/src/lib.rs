@@ -1,0 +1,37 @@
+//! # bsim-svc — simulation as a service
+//!
+//! The ROADMAP north-star in miniature: serve overlapping design-space
+//! sweeps as fast as the host allows by never simulating the same cell
+//! twice. `bsimd` (a [`Daemon`]) accepts figure/sweep/tune requests
+//! over std-TCP HTTP-lite, preflights them through `bsim-check`,
+//! decomposes them into **content-addressed cells** — keyed on a stable
+//! hash of (canonicalized platform config × workload × seed ×
+//! code/schema version, [`key`]) — and fans the misses across
+//! `run_grid_resilient` workers while hits and identical in-flight
+//! cells are served from the memoizing [`store::ResultStore`].
+//!
+//! Layering:
+//!
+//! | Module | Role |
+//! |---|---|
+//! | [`key`] | canonical config hashing → 16-hex cell keys |
+//! | [`store`] | content-addressed result store (CkptStore-backed, quarantine on SV003/SV004) |
+//! | [`proto`] | hand-rolled HTTP-lite framing (`curl`-compatible, no network deps) |
+//! | [`request`] | wire shapes, SV000–SV002 preflight, cell decomposition |
+//! | [`daemon`] | job queue, worker pool, exactly-once cell execution, `/shutdown` drain |
+//! | [`client`] | one-call helpers for the CLI and tests |
+//!
+//! See README.md "Simulation as a service" for the wire workflow and
+//! DESIGN.md §12 for the architecture.
+
+pub mod client;
+pub mod daemon;
+pub mod key;
+pub mod proto;
+pub mod request;
+pub mod store;
+
+pub use daemon::{Daemon, DaemonConfig, COUNTERS};
+pub use key::{micro_cell_key, CODE_VERSION, STORE_SCHEMA};
+pub use request::SvcRequest;
+pub use store::ResultStore;

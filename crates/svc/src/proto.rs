@@ -1,0 +1,183 @@
+//! HTTP-lite wire framing over `std::net` — just enough of HTTP/1.1
+//! for `curl` to speak to the daemon: one request per connection, a
+//! `Content-Length`-framed JSON body each way, `Connection: close`.
+//! Hand-rolled on purpose: the workspace builds fully offline, so the
+//! wire layer uses nothing beyond the standard library and the
+//! in-tree serde_json shim.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A parsed request: method, path, and the (possibly empty) body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    pub method: String,
+    pub path: String,
+    pub body: String,
+}
+
+fn bad(detail: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, detail.into())
+}
+
+/// Reads one request from the stream: request line, headers (only
+/// `Content-Length` is interpreted), then exactly that many body bytes.
+pub fn read_request(reader: &mut impl BufRead) -> io::Result<Request> {
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or_else(|| bad("empty request line"))?;
+    let path = parts
+        .next()
+        .ok_or_else(|| bad("request line lacks a path"))?;
+    let (method, path) = (method.to_string(), path.to_string());
+
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Err(bad("connection closed inside headers"));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some(v) = header
+            .split_once(':')
+            .filter(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+            .map(|(_, v)| v.trim())
+        {
+            content_length = v
+                .parse()
+                .map_err(|_| bad(format!("bad Content-Length {v:?}")))?;
+        }
+    }
+
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Request {
+        method,
+        path,
+        body: String::from_utf8(body).map_err(|_| bad("body is not UTF-8"))?,
+    })
+}
+
+/// Writes one response: status line, framing headers, JSON body.
+pub fn write_response(
+    writer: &mut impl Write,
+    status: u16,
+    reason: &str,
+    body: &str,
+) -> io::Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    writer.flush()
+}
+
+/// Client side: one round trip — connect, send, read the framed
+/// response. Returns `(status, body)`. A read timeout keeps a wedged
+/// daemon from hanging the client forever.
+pub fn roundtrip(addr: &str, method: &str, path: &str, body: &str) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad(format!("bad status line {status_line:?}")))?;
+
+    let mut content_length = None;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            break;
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some(v) = header
+            .split_once(':')
+            .filter(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+            .map(|(_, v)| v.trim())
+        {
+            content_length = v.parse::<usize>().ok();
+        }
+    }
+
+    let body = match content_length {
+        Some(n) => {
+            let mut buf = vec![0u8; n];
+            reader.read_exact(&mut buf)?;
+            buf
+        }
+        // Connection: close framing — body runs to EOF.
+        None => {
+            let mut buf = Vec::new();
+            reader.read_to_end(&mut buf)?;
+            buf
+        }
+    };
+    Ok((
+        status,
+        String::from_utf8(body).map_err(|_| bad("response body is not UTF-8"))?,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_a_framed_request() {
+        let wire = "POST /submit HTTP/1.1\r\nHost: x\r\ncontent-length: 9\r\n\r\n{\"a\":true}";
+        // 9 bytes of body on purpose: framing must win over the extra byte.
+        let req = read_request(&mut Cursor::new(wire.as_bytes())).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/submit");
+        assert_eq!(req.body, "{\"a\":true");
+    }
+
+    #[test]
+    fn missing_content_length_means_empty_body() {
+        let wire = "GET /metrics HTTP/1.1\r\n\r\n";
+        let req = read_request(&mut Cursor::new(wire.as_bytes())).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.body, "");
+    }
+
+    #[test]
+    fn malformed_request_lines_are_errors() {
+        assert!(read_request(&mut Cursor::new(b"\r\n\r\n" as &[u8])).is_err());
+        assert!(read_request(&mut Cursor::new(b"GET\r\n\r\n" as &[u8])).is_err());
+        let wire = "POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n";
+        assert!(read_request(&mut Cursor::new(wire.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn response_carries_exact_framing() {
+        let mut out = Vec::new();
+        write_response(&mut out, 202, "Accepted", "{\"job\":\"job-1\"}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 202 Accepted\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 15\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{\"job\":\"job-1\"}"), "{text}");
+    }
+}

@@ -1,0 +1,209 @@
+//! The content-addressed result store: a [`CkptStore`] keyed by the
+//! canonical cell hashes of [`crate::key`], persisted in the same
+//! versioned JSON format as every other checkpoint in the workspace.
+//!
+//! Entries are raw value trees, not typed snapshots: the daemon serves
+//! responses by re-rendering the stored tree, so a cache-served cell is
+//! byte-identical to the simulated one by construction — there is no
+//! decode/re-encode step to drift through.
+//!
+//! ## Quarantine on open
+//!
+//! A store written by an incompatible binary (version header mismatch,
+//! SV003) or torn by a crash mid-write (unparseable JSON, SV004) is
+//! **ignored, never served**: the file is renamed aside to
+//! `<path>.quarantined` and the daemon starts with an empty store,
+//! reporting what happened as warnings. Flushes go through
+//! [`CkptStore::save_atomic`] (temp-file + rename), so only an external
+//! truncation — not the daemon's own writer — can produce SV004.
+
+use bsim_check::{Diagnostic, Report};
+use bsim_resilience::ckpt::CkptStore;
+use bsim_resilience::snapshot::{CkptError, Snapshot};
+use serde::Value;
+use std::path::{Path, PathBuf};
+
+/// A raw value tree stored verbatim — `save` and `restore` are clones,
+/// which is exactly the "no reinterpretation" property byte-identical
+/// serving needs.
+struct Raw(Value);
+
+impl Snapshot for Raw {
+    fn save(&self) -> Value {
+        self.0.clone()
+    }
+    fn restore(value: &Value) -> Result<Raw, CkptError> {
+        Ok(Raw(value.clone()))
+    }
+}
+
+/// The daemon's result store: an in-memory [`CkptStore`] of canonical
+/// key → result tree, optionally backed by a JSON file.
+pub struct ResultStore {
+    path: Option<PathBuf>,
+    store: CkptStore,
+}
+
+impl ResultStore {
+    /// An in-memory store with no backing file (flushes are no-ops).
+    pub fn ephemeral() -> ResultStore {
+        ResultStore {
+            path: None,
+            store: CkptStore::new(),
+        }
+    }
+
+    /// Opens the store at `path`, quarantining anything unservable.
+    /// The returned [`Report`] carries SV003/SV004 warnings when the
+    /// existing file was set aside; an absent file is simply a fresh
+    /// start.
+    pub fn open(path: &Path) -> (ResultStore, Report) {
+        let mut report = Report::new();
+        let store = match CkptStore::load(path) {
+            Ok(s) => s,
+            Err(CkptError::VersionMismatch { found, supported }) => {
+                report.push(
+                    Diagnostic::warning(
+                        "SV003",
+                        path.display().to_string(),
+                        format!(
+                            "result store has format version {found}, this daemon reads \
+                             {supported}: stale entries ignored, not served"
+                        ),
+                    )
+                    .with_help("the old file was renamed to <store>.quarantined"),
+                );
+                quarantine(path);
+                CkptStore::new()
+            }
+            Err(e) if path.exists() => {
+                report.push(
+                    Diagnostic::warning(
+                        "SV004",
+                        path.display().to_string(),
+                        format!("result store is unreadable ({e}): quarantined, not served"),
+                    )
+                    .with_help("likely a process killed mid-write; the daemon starts empty"),
+                );
+                quarantine(path);
+                CkptStore::new()
+            }
+            Err(_) => CkptStore::new(), // no file yet: fresh store
+        };
+        (
+            ResultStore {
+                path: Some(path.to_path_buf()),
+                store,
+            },
+            report,
+        )
+    }
+
+    /// The stored tree for `key`, if present. A present-but-any entry
+    /// is always servable — entries are raw trees, so there is no
+    /// decode step to fail.
+    pub fn get(&self, key: &str) -> Option<Value> {
+        self.store
+            .get::<Raw>(key)
+            .expect("raw entries always restore")
+            .map(|r| r.0)
+    }
+
+    /// Stores `tree` under `key` (replacing any previous entry).
+    pub fn put(&mut self, key: &str, tree: &Value) {
+        self.store.put(key, &Raw(tree.clone()));
+    }
+
+    /// Number of stored entries (the `host.svc.cache.entries` gauge).
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Flushes to the backing file atomically (temp-file + rename).
+    /// Returns bytes written, or 0 for an ephemeral store.
+    pub fn flush(&self) -> Result<u64, CkptError> {
+        match &self.path {
+            Some(path) => self.store.save_atomic(path),
+            None => Ok(0),
+        }
+    }
+}
+
+fn quarantine(path: &Path) {
+    let mut q = path.as_os_str().to_os_string();
+    q.push(".quarantined");
+    // Best-effort: if the rename fails the load error already told the
+    // operator the file is bad, and we still refuse to serve from it.
+    std::fs::rename(path, &q).ok();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("bsim-svc-store-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}.json", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_through_flush_and_open() {
+        let path = tmp("roundtrip");
+        let (mut store, report) = ResultStore::open(&path);
+        assert!(report.is_clean(), "{report}");
+        store.put("00ff", &Value::Map(vec![("cycles".into(), Value::U64(9))]));
+        assert!(store.flush().unwrap() > 0);
+
+        let (reloaded, report) = ResultStore::open(&path);
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(reloaded.len(), 1);
+        assert_eq!(
+            reloaded.get("00ff").unwrap(),
+            Value::Map(vec![("cycles".into(), Value::U64(9))])
+        );
+        assert!(reloaded.get("beef").is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn version_mismatch_is_quarantined_with_sv003() {
+        let path = tmp("stale");
+        std::fs::write(&path, r#"{"version":99,"cells":{"k":1}}"#).unwrap();
+        let (store, report) = ResultStore::open(&path);
+        assert!(store.is_empty(), "stale entries must not be served");
+        assert!(report.has_code("SV003"), "{report}");
+        assert!(!path.exists(), "bad file must be renamed aside");
+        let q = PathBuf::from(format!("{}.quarantined", path.display()));
+        assert!(q.exists());
+        std::fs::remove_file(&q).ok();
+    }
+
+    #[test]
+    fn truncated_store_is_quarantined_with_sv004() {
+        let path = tmp("torn");
+        // A flush killed mid-write by an external truncation: valid
+        // prefix, no closing braces.
+        std::fs::write(&path, r#"{"version":1,"cells":{"00ff":{"cy"#).unwrap();
+        let (store, report) = ResultStore::open(&path);
+        assert!(store.is_empty());
+        assert!(report.has_code("SV004"), "{report}");
+        assert!(!path.exists());
+        let q = PathBuf::from(format!("{}.quarantined", path.display()));
+        assert!(q.exists());
+        std::fs::remove_file(&q).ok();
+    }
+
+    #[test]
+    fn absent_file_is_a_clean_fresh_start() {
+        let path = tmp("fresh-never-written");
+        std::fs::remove_file(&path).ok();
+        let (store, report) = ResultStore::open(&path);
+        assert!(store.is_empty());
+        assert!(report.is_clean(), "{report}");
+    }
+}

@@ -24,6 +24,18 @@
 //!                                   # (host perf, not target cycles);
 //!                                   # --baseline compares cycles/sec and
 //!                                   # exits non-zero on a >20% regression
+//! bsim serve [--addr H:P] [--store FILE] [--workers N] [--budget N]
+//!            [--par seq|auto|N]     # bsimd: simulation-as-a-service
+//!                                   # daemon with a content-addressed
+//!                                   # memoizing result store
+//! bsim submit ADDR fig <id> [--smoke] [--seed N] [--wait]
+//! bsim submit ADDR sweep --platforms A,B --kernels C,D
+//!             [--scale N] [--seed N] [--wait]
+//! bsim submit ADDR tune [--scale N] [--seed N] [--wait]
+//!                                   # enqueue a request; --wait blocks
+//!                                   # and prints the result document
+//! bsim status ADDR [JOB]            # job state, or /metrics without JOB
+//! bsim fetch ADDR JOB               # the result document
 //! ```
 
 use silicon_bridge::check;
@@ -35,27 +47,15 @@ use silicon_bridge::engine::{Harness, TickModel, Wire};
 use silicon_bridge::mpi::NetConfig;
 use silicon_bridge::resilience::CellOutcome;
 use silicon_bridge::soc::{configs, Soc, SocConfig};
+use silicon_bridge::svc::{client, Daemon, DaemonConfig};
 use silicon_bridge::workloads::microbench;
 
 fn platforms() -> Vec<SocConfig> {
-    vec![
-        configs::rocket1(1),
-        configs::rocket2(1),
-        configs::banana_pi_sim(1),
-        configs::fast_banana_pi_sim(1),
-        configs::small_boom(1),
-        configs::medium_boom(1),
-        configs::large_boom(1),
-        configs::milkv_sim(1),
-        configs::banana_pi_hw(1),
-        configs::milkv_hw(1),
-    ]
+    configs::catalog(1)
 }
 
 fn platform_by_name(name: &str) -> Option<SocConfig> {
-    platforms()
-        .into_iter()
-        .find(|p| p.name.eq_ignore_ascii_case(name))
+    configs::by_name(name, 1)
 }
 
 fn usage() -> ! {
@@ -65,7 +65,13 @@ fn usage() -> ! {
          bsim micro <kernel> [platform]\n  bsim tune\n  \
          bsim faults [--seed N] [--deny-unsurvived]\n  \
          bsim check [--deny-warnings] [--json] [--list] [platform ...]\n  \
-         bsim bench [--json] [--out FILE] [--baseline FILE] [--iters N]"
+         bsim bench [--json] [--out FILE] [--baseline FILE] [--iters N]\n  \
+         bsim serve [--addr H:P] [--store FILE] [--workers N] [--budget N] [--par seq|auto|N]\n  \
+         bsim submit ADDR fig <id> [--smoke] [--seed N] [--wait]\n  \
+         bsim submit ADDR sweep --platforms A,B --kernels C,D [--scale N] [--seed N] [--wait]\n  \
+         bsim submit ADDR tune [--scale N] [--seed N] [--wait]\n  \
+         bsim status ADDR [JOB]\n  \
+         bsim fetch ADDR JOB"
     );
     std::process::exit(2)
 }
@@ -111,7 +117,12 @@ fn run_check(args: &[String]) -> ! {
              WL001   [workloads] zero-valued workload size degenerates the benchmark\n  \
              RS001-RS004 [fault plan] out-of-range fault targets/cycles, duplicate events,\n          \
              bit index past the token width\n  \
-             RS010-RS011 [watchdog] zero stall budget, poll period at or above the budget"
+             RS010-RS011 [watchdog] zero stall budget, poll period at or above the budget\n  \
+             SV000   [service] request body is not valid JSON / lacks required fields\n  \
+             SV001   [service] request references an unknown figure, preset, platform, or kernel\n  \
+             SV002   [service] request cell count exceeds the per-request budget\n  \
+             SV003   [service] result-store version mismatch: stale entries ignored, not served\n  \
+             SV004   [service] torn/unreadable result store quarantined on restart"
         );
         std::process::exit(0);
     }
@@ -622,6 +633,165 @@ fn main() {
         }
         "check" => run_check(&args[1..]),
         "bench" => run_bench(&args[1..]),
+        "serve" => run_serve(&args[1..]),
+        "submit" => run_submit(&args[1..]),
+        "status" => {
+            let Some(addr) = args.get(1) else { usage() };
+            let result = match args.get(2) {
+                Some(job) => client::status(addr, job),
+                None => client::metrics(addr),
+            };
+            finish_wire(result);
+        }
+        "fetch" => {
+            let (Some(addr), Some(job)) = (args.get(1), args.get(2)) else {
+                usage()
+            };
+            finish_wire(client::fetch(addr, job));
+        }
         _ => usage(),
     }
+}
+
+/// Prints a wire response body and exits 0 on 2xx, 1 otherwise.
+fn finish_wire(result: std::io::Result<(u16, String)>) -> ! {
+    match result {
+        Ok((status, body)) => {
+            println!("{body}");
+            std::process::exit(if (200..300).contains(&status) { 0 } else { 1 })
+        }
+        Err(e) => {
+            eprintln!("wire error: {e}");
+            std::process::exit(2)
+        }
+    }
+}
+
+/// `bsim serve`: run bsimd in the foreground until a `/shutdown`
+/// request drains it. Prints the bound address first, so scripts (and
+/// the CI smoke test) can bind port 0 and scrape the real port.
+fn run_serve(args: &[String]) -> ! {
+    let parse_usize = |flag: &str, default: usize| -> usize {
+        match flag_value(args, flag) {
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("{flag} takes a non-negative integer");
+                std::process::exit(2);
+            }),
+            None => default,
+        }
+    };
+    let par = match flag_value(args, "--par") {
+        Some(v) => Parallelism::parse(v).unwrap_or_else(|| {
+            eprintln!("--par takes seq, auto, or a worker count");
+            std::process::exit(2);
+        }),
+        None => Parallelism::Auto,
+    };
+    let defaults = DaemonConfig::default();
+    let cfg = DaemonConfig {
+        addr: flag_value(args, "--addr")
+            .unwrap_or("127.0.0.1:4780")
+            .into(),
+        store_path: flag_value(args, "--store").map(std::path::PathBuf::from),
+        workers: parse_usize("--workers", defaults.workers),
+        budget: parse_usize("--budget", defaults.budget),
+        par,
+        retry: defaults.retry,
+    };
+    match Daemon::spawn(cfg) {
+        Ok((daemon, report)) => {
+            if !report.is_clean() {
+                eprint!("{}", report.render());
+            }
+            println!("bsimd listening on {}", daemon.addr());
+            daemon.join();
+            std::process::exit(0)
+        }
+        Err(e) => {
+            eprintln!("cannot start bsimd: {e}");
+            std::process::exit(2)
+        }
+    }
+}
+
+/// `bsim submit ADDR <fig|sweep|tune> ...`: build the request JSON,
+/// enqueue it, and either print the 202 ticket or (`--wait`) block for
+/// and print the result document.
+fn run_submit(args: &[String]) -> ! {
+    use serde::Value;
+    let (Some(addr), Some(kind)) = (args.first(), args.get(1).map(String::as_str)) else {
+        usage()
+    };
+    let seed = flag_value(args, "--seed")
+        .map(|v| {
+            v.parse::<u64>().unwrap_or_else(|_| {
+                eprintln!("--seed takes an unsigned integer");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(0);
+    let scale = flag_value(args, "--scale")
+        .map(|v| {
+            v.parse::<u64>().unwrap_or_else(|_| {
+                eprintln!("--scale takes an unsigned integer");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(1);
+    let list = |flag: &str| -> Vec<Value> {
+        let Some(raw) = flag_value(args, flag) else {
+            eprintln!("submit sweep needs {flag} A,B,...");
+            std::process::exit(2);
+        };
+        raw.split(',')
+            .filter(|s| !s.is_empty())
+            .map(|s| Value::Str(s.trim().to_string()))
+            .collect()
+    };
+    let mut fields = vec![("kind".to_string(), Value::Str(kind.into()))];
+    match kind {
+        "fig" => {
+            let Some(id) = args.get(2).filter(|a| !a.starts_with("--")) else {
+                usage()
+            };
+            fields.push(("id".into(), Value::Str(id.clone())));
+            let sizes = if args.iter().any(|a| a == "--smoke") {
+                "smoke"
+            } else {
+                "default"
+            };
+            fields.push(("sizes".into(), Value::Str(sizes.into())));
+        }
+        "sweep" => {
+            fields.push(("platforms".into(), Value::Seq(list("--platforms"))));
+            fields.push(("kernels".into(), Value::Seq(list("--kernels"))));
+            fields.push(("scale".into(), Value::U64(scale)));
+        }
+        "tune" => fields.push(("scale".into(), Value::U64(scale))),
+        _ => usage(),
+    }
+    fields.push(("seed".into(), Value::U64(seed)));
+    let body = serde_json::to_string(&Value::Map(fields)).expect("shim renderer is total");
+
+    let (status, response) = client::submit(addr, &body).unwrap_or_else(|e| {
+        eprintln!("wire error: {e}");
+        std::process::exit(2)
+    });
+    if status != 202 {
+        println!("{response}");
+        std::process::exit(1)
+    }
+    if !args.iter().any(|a| a == "--wait") {
+        finish_wire(Ok((status, response)))
+    }
+    let job = client::job_id(&response).unwrap_or_else(|| {
+        eprintln!("daemon returned no job id: {response}");
+        std::process::exit(2)
+    });
+    eprintln!("{job} queued; waiting...");
+    finish_wire(client::wait(
+        addr,
+        &job,
+        std::time::Duration::from_secs(600),
+    ))
 }

@@ -24,6 +24,7 @@
 //! | [`mpi`] | `bsim-mpi` | deterministic virtual-time MPI over simulated cores |
 //! | [`workloads`] | `bsim-workloads` | MicroBench, NPB, UME, MD |
 //! | [`core`] | `bsim-core` | relative-speedup metrics, figure generators, tuning |
+//! | [`svc`] | `bsim-svc` | `bsimd` service daemon + content-addressed result cache |
 //!
 //! See `examples/quickstart.rs` for a five-minute tour, and the
 //! `bsim-bench` crate for the harnesses that regenerate Figures 1–7 and
@@ -37,6 +38,7 @@ pub use bsim_mem as mem;
 pub use bsim_mpi as mpi;
 pub use bsim_resilience as resilience;
 pub use bsim_soc as soc;
+pub use bsim_svc as svc;
 pub use bsim_telemetry as telemetry;
 pub use bsim_uarch as uarch;
 pub use bsim_workloads as workloads;

@@ -1,0 +1,230 @@
+//! Daemon lifecycle tests: bsimd end to end over real TCP — submit /
+//! status / fetch, content-addressed cache hits with byte-identical
+//! responses, concurrent-submit deduplication, preflight rejection on
+//! the wire, and graceful shutdown with store integrity.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use silicon_bridge::resilience::CkptStore;
+use silicon_bridge::svc::{client, Daemon, DaemonConfig, COUNTERS};
+
+const SWEEP: &str = r#"{"kind":"sweep","platforms":["Rocket 1"],"kernels":["EM5","STc"]}"#;
+
+fn ephemeral_daemon(cfg: DaemonConfig) -> Daemon {
+    let (daemon, report) = Daemon::spawn(cfg).expect("bind ephemeral port");
+    assert!(report.is_clean(), "unexpected store findings: {report}");
+    daemon
+}
+
+fn submit_and_wait(addr: &str, body: &str) -> (String, String) {
+    let (status, response) = client::submit(addr, body).unwrap();
+    assert_eq!(status, 202, "{response}");
+    let job = client::job_id(&response).expect("submit returns a job id");
+    let (status, result) = client::wait(addr, &job, Duration::from_secs(120)).unwrap();
+    assert_eq!(status, 200, "{result}");
+    (job, result)
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("bsim-svc-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{name}-{}.json", std::process::id()))
+}
+
+/// Satellite: the same sweep submitted twice yields (a) byte-identical
+/// result documents between the simulated and cache-served responses
+/// and (b) `host.svc.cache.hits` > 0 — in fact a 100% hit rate, zero
+/// re-simulated cells — on the second request.
+#[test]
+fn second_request_is_cache_served_byte_identical() {
+    let daemon = ephemeral_daemon(DaemonConfig::default());
+    let addr = daemon.addr();
+
+    let (_, first) = submit_and_wait(&addr, SWEEP);
+    let (job2, second) = submit_and_wait(&addr, SWEEP);
+    assert_eq!(
+        first, second,
+        "cache-served response must be byte-identical"
+    );
+    assert!(first.contains("\"schema\": \"bsim-bench-v1\""), "{first}");
+
+    // Zero re-simulated cells on the second request.
+    let (status, job_status) = client::status(&addr, &job2).unwrap();
+    assert_eq!(status, 200);
+    assert!(job_status.contains("\"hits\":2"), "{job_status}");
+    assert!(job_status.contains("\"simulated\":0"), "{job_status}");
+
+    // Global counters ride the telemetry export, every one present.
+    let (status, metrics) = client::metrics(&addr).unwrap();
+    assert_eq!(status, 200);
+    for name in COUNTERS {
+        assert!(
+            metrics.contains(&format!("\"{name}\"")),
+            "{name} missing: {metrics}"
+        );
+    }
+    assert!(metrics.contains("\"host.svc.cache.hits\": 2"), "{metrics}");
+    assert!(
+        metrics.contains("\"host.svc.cells.simulated\": 2"),
+        "{metrics}"
+    );
+    assert!(metrics.contains("\"host.svc.cells.total\": 4"), "{metrics}");
+
+    client::shutdown(&addr).unwrap();
+    daemon.join();
+}
+
+/// Satellite: identical cells in concurrently submitted requests are
+/// deduplicated — two responses, but each distinct cell simulated only
+/// once, whether the duplicate coalesced onto the in-flight claim or
+/// arrived after the store was populated.
+#[test]
+fn concurrent_identical_submits_simulate_each_cell_once() {
+    let daemon = ephemeral_daemon(DaemonConfig {
+        workers: 2,
+        ..DaemonConfig::default()
+    });
+    let addr = daemon.addr();
+
+    let results: Vec<(String, String)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let addr = addr.clone();
+                scope.spawn(move || submit_and_wait(&addr, SWEEP))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert_ne!(results[0].0, results[1].0, "two jobs, two ids");
+    assert_eq!(results[0].1, results[1].1, "one simulation, two responses");
+
+    let (_, metrics) = client::metrics(&addr).unwrap();
+    assert!(
+        metrics.contains("\"host.svc.cells.simulated\": 2"),
+        "each of the 2 distinct cells must simulate exactly once: {metrics}"
+    );
+    assert!(metrics.contains("\"host.svc.cells.total\": 4"), "{metrics}");
+
+    client::shutdown(&addr).unwrap();
+    daemon.join();
+}
+
+/// Preflight rejections happen on the wire, before any worker time:
+/// SV001 for dangling names, SV002 for an over-budget request.
+#[test]
+fn preflight_rejects_on_the_wire() {
+    let daemon = ephemeral_daemon(DaemonConfig {
+        budget: 1,
+        ..DaemonConfig::default()
+    });
+    let addr = daemon.addr();
+
+    let (status, body) = client::submit(
+        &addr,
+        r#"{"kind":"sweep","platforms":["Pentium"],"kernels":["EM5"]}"#,
+    )
+    .unwrap();
+    assert_eq!(status, 400);
+    assert!(body.contains("SV001"), "{body}");
+
+    let (status, body) = client::submit(&addr, SWEEP).unwrap();
+    assert_eq!(status, 400, "2 cells > budget 1: {body}");
+    assert!(body.contains("SV002"), "{body}");
+
+    let (_, metrics) = client::metrics(&addr).unwrap();
+    assert!(
+        metrics.contains("\"host.svc.requests.rejected\": 2"),
+        "{metrics}"
+    );
+    assert!(metrics.contains("\"host.svc.cells.total\": 0"), "{metrics}");
+
+    client::shutdown(&addr).unwrap();
+    daemon.join();
+}
+
+/// Satellite: `/shutdown` drains accepted work and flushes the store
+/// atomically — the file on disk afterwards is a complete, loadable
+/// checkpoint holding every simulated cell.
+#[test]
+fn shutdown_drains_inflight_work_and_flushes_store() {
+    let path = tmp("drain");
+    std::fs::remove_file(&path).ok();
+    let daemon = ephemeral_daemon(DaemonConfig {
+        store_path: Some(path.clone()),
+        ..DaemonConfig::default()
+    });
+    let addr = daemon.addr();
+
+    // Enqueue, then shut down immediately: the job must still complete
+    // (drain) and its cells must reach the flushed store.
+    let (status, response) = client::submit(&addr, SWEEP).unwrap();
+    assert_eq!(status, 202, "{response}");
+    let (status, body) = client::shutdown(&addr).unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("\"ok\":true"), "{body}");
+    assert!(body.contains("\"entries\":2"), "{body}");
+    daemon.join();
+
+    let store = CkptStore::load(&path).expect("flushed store is a complete checkpoint");
+    assert_eq!(store.len(), 2);
+    std::fs::remove_file(&path).ok();
+}
+
+/// Satellite regression: a store torn mid-write (truncated file) is
+/// detected and quarantined on restart — never served — and the daemon
+/// still starts, empty.
+#[test]
+fn truncated_store_is_quarantined_on_restart() {
+    let path = tmp("torn");
+    // A plausible torn write: valid prefix of a real store, cut short.
+    std::fs::write(
+        &path,
+        "{\"version\": 1,\n  \"cells\": {\n    \"00ff\": {\"cy",
+    )
+    .unwrap();
+
+    let (daemon, report) = Daemon::spawn(DaemonConfig {
+        store_path: Some(path.clone()),
+        ..DaemonConfig::default()
+    })
+    .unwrap();
+    assert!(
+        report.has_code("SV004"),
+        "torn store must be flagged: {report}"
+    );
+    assert!(
+        !path.exists(),
+        "torn file must be renamed aside, not reused"
+    );
+    let quarantined = PathBuf::from(format!("{}.quarantined", path.display()));
+    assert!(quarantined.exists());
+
+    // The daemon is healthy and its cache is empty — nothing stale served.
+    let addr = daemon.addr();
+    let (status, metrics) = client::metrics(&addr).unwrap();
+    assert_eq!(status, 200);
+    assert!(
+        metrics.contains("\"host.svc.cache.entries\": 0"),
+        "{metrics}"
+    );
+
+    // A version-mismatched store is likewise ignored, with SV003.
+    let stale = tmp("stale");
+    std::fs::write(&stale, r#"{"version":99,"cells":{}}"#).unwrap();
+    let (daemon2, report2) = Daemon::spawn(DaemonConfig {
+        store_path: Some(stale.clone()),
+        ..DaemonConfig::default()
+    })
+    .unwrap();
+    assert!(report2.has_code("SV003"), "{report2}");
+
+    client::shutdown(&addr).unwrap();
+    daemon.join();
+    client::shutdown(&daemon2.addr()).unwrap();
+    daemon2.join();
+
+    std::fs::remove_file(&quarantined).ok();
+    std::fs::remove_file(&stale).ok();
+    std::fs::remove_file(format!("{}.quarantined", stale.display())).ok();
+}
