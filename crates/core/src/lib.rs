@@ -47,7 +47,9 @@ pub mod table;
 pub mod tuning;
 
 pub use campaign::{run_campaign, Scenario, SurvivalMatrix};
-pub use experiments::{run_grid, run_grid_metered, FigureData, Parallelism, Series, SweepRun};
+pub use experiments::{
+    partition_cells, run_grid, run_grid_metered, FigureData, Parallelism, Series, SweepRun,
+};
 pub use metrics::relative_speedup;
 pub use resilient::{
     run_figure, run_figure_with, run_grid_checkpointed, run_grid_resilient, ResilientSweep,

@@ -1,0 +1,112 @@
+//! The process-loss scenario for the `bsim faults` survival matrix.
+//!
+//! The nine in-process scenarios (`bsim-core::campaign`) cover token,
+//! model, and host-thread faults inside one address space. Scale-out
+//! adds a tenth fault class the engine cannot see from inside: an
+//! entire worker process disappearing mid-sweep. [`process_kill_scenario`]
+//! stages it for real — two worker processes, SIGKILL one after its
+//! first result, and require that the launcher respawns it and that the
+//! recovered sweep is byte-identical to the in-process schedule. It
+//! plugs straight into the campaign's [`Scenario`] row type so the CLI
+//! can append it to the matrix and `--deny-unsurvived` gates on it like
+//! any other row.
+
+use crate::cells::WireCell;
+use crate::launcher::{run_sweep, KillSpec, LaunchOpts, WorkerSpawn};
+use bsim_core::campaign::Scenario;
+use bsim_resilience::CkptStore;
+use std::time::Duration;
+
+/// The sweep the kill scenario runs: cheap microbenchmark cells, enough
+/// of them that the victim rank always has pending work when the kill
+/// lands after its first result.
+pub fn kill_sweep_cells() -> Vec<WireCell> {
+    ["Rocket 1", "Rocket 2"]
+        .into_iter()
+        .flat_map(|platform| {
+            ["Cca", "CCh", "EI", "EM5", "MD"]
+                .into_iter()
+                .map(move |kernel| WireCell::Micro {
+                    platform: platform.into(),
+                    kernel: kernel.into(),
+                    scale: 1,
+                })
+        })
+        .collect()
+}
+
+/// Runs the sweep across two real worker processes (`worker_cmd` must
+/// be a `bsim dist-worker`-style argv), killing one mid-sweep, and
+/// reports the outcome as a campaign [`Scenario`].
+pub fn process_kill_scenario(seed: u64, worker_cmd: Vec<String>) -> Scenario {
+    let cells = kill_sweep_cells();
+    // The ground truth: the same cells run in this process. Every cell
+    // is sequential inside, so this is the bit-identical reference.
+    let reference: Vec<String> = cells
+        .iter()
+        .map(|cell| match cell.run() {
+            Ok(tree) => serde_json::to_string(&tree).expect("shim renderer is total"),
+            Err(why) => format!("error: {why}"),
+        })
+        .collect();
+    // Which of the two ranks dies derives from the campaign seed, like
+    // every other injection site in the matrix.
+    let victim = (seed % 2) as usize;
+    let opts = LaunchOpts {
+        ranks: 2,
+        spawn: WorkerSpawn::Process(worker_cmd),
+        silence_budget: Duration::from_secs(120),
+        kill: Some(KillSpec {
+            rank: victim,
+            after_cells: 1,
+        }),
+        max_respawns: 3,
+    };
+    let mut store = CkptStore::new();
+    let (observed, pass) = match run_sweep(&cells, &opts, &mut store) {
+        Ok(outcome) => {
+            let identical = outcome
+                .results
+                .iter()
+                .zip(&reference)
+                .all(|((_, got), want)| got == want);
+            (
+                format!(
+                    "rank {victim} killed after 1 cell; respawns={} identical={}",
+                    outcome.respawns, identical
+                ),
+                outcome.respawns >= 1 && identical,
+            )
+        }
+        Err(e) => (format!("sweep did not complete: {e}"), false),
+    };
+    Scenario {
+        name: "process-kill",
+        fault: "worker SIGKILL",
+        expected: "respawn; sweep completes bit-identically",
+        observed,
+        pass,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_kill_sweep_gives_both_ranks_real_work() {
+        let cells = kill_sweep_cells();
+        assert!(cells.len() >= 6, "enough cells to survive a kill mid-rank");
+        for cell in &cells {
+            assert!(cell.run().is_ok(), "{} must be runnable", cell.label());
+        }
+    }
+
+    #[test]
+    fn an_unspawnable_worker_is_a_miss_not_a_panic() {
+        let scenario = process_kill_scenario(42, vec!["/no/such/binary".into()]);
+        assert_eq!(scenario.name, "process-kill");
+        assert!(!scenario.pass);
+        assert!(scenario.observed.contains("did not complete"));
+    }
+}

@@ -1,0 +1,311 @@
+//! The wire protocol: length-prefixed binary frames.
+//!
+//! Every byte that crosses a process boundary is one [`Frame`]:
+//! `[tag: u8][len: u32 LE][payload: len bytes]`. Two frame kinds carry
+//! token traffic — [`Frame::Data`] for literal token batches and
+//! [`Frame::Run`] for run-length spans (the on-the-wire form of the
+//! quiescence fast-forward: a million idle cycles is 25 bytes, not 8 MB)
+//! — the rest are control-plane: handshake, plan distribution, link
+//! pairing, and result collection.
+//!
+//! Frames carry *channel-absolute* start cycles so every hop re-checks
+//! the token protocol: a frame landing at the wrong cycle is a protocol
+//! violation surfaced as [`std::io::ErrorKind::InvalidData`], never a
+//! silently reordered simulation.
+
+use std::io::{self, Read, Write};
+
+/// Upper bound on a frame payload. Nothing legitimate comes close; a
+/// corrupt length prefix must not turn into a multi-gigabyte allocation.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// One message on a distributed-simulation socket.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// Worker → coordinator handshake on the control connection.
+    Hello { rank: u32 },
+    /// Coordinator → worker: the JSON partition plan ([`crate::plan`]).
+    Plan { json: String },
+    /// A literal batch of tokens for cycles `start..start + tokens.len()`.
+    Data { start: u64, tokens: Vec<u64> },
+    /// A run-length span: `n` copies of `fill` for cycles `start..start + n`.
+    Run { start: u64, n: u64, fill: u64 },
+    /// First frame on a token-link connection: which cut wire this
+    /// stream carries and which endpoint the sender is.
+    Link { wire: u32, producer: bool },
+    /// Worker → coordinator: one completed result (sweep cell or final
+    /// partition state), by plan index.
+    Cell { index: u32, json: String },
+    /// Worker → coordinator: the plan is fully executed.
+    Done,
+    /// Either direction: fatal error, human-readable.
+    Err { msg: String },
+}
+
+const TAG_HELLO: u8 = 1;
+const TAG_PLAN: u8 = 2;
+const TAG_DATA: u8 = 3;
+const TAG_RUN: u8 = 4;
+const TAG_LINK: u8 = 5;
+const TAG_CELL: u8 = 6;
+const TAG_DONE: u8 = 7;
+const TAG_ERR: u8 = 8;
+
+fn bad(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn take_u32(payload: &[u8], at: usize) -> io::Result<u32> {
+    payload
+        .get(at..at + 4)
+        .map(|b| u32::from_le_bytes(b.try_into().expect("4-byte slice")))
+        .ok_or_else(|| bad("truncated frame payload".into()))
+}
+
+fn take_u64(payload: &[u8], at: usize) -> io::Result<u64> {
+    payload
+        .get(at..at + 8)
+        .map(|b| u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+        .ok_or_else(|| bad("truncated frame payload".into()))
+}
+
+fn take_str(payload: &[u8], at: usize) -> io::Result<String> {
+    String::from_utf8(payload[at..].to_vec()).map_err(|_| bad("non-UTF-8 frame text".into()))
+}
+
+/// Serializes and writes one frame. One `write_all` per frame keeps a
+/// frame from interleaving with another writer's bytes only if the
+/// stream has a single writer — which the link design guarantees (each
+/// direction of each cut wire is its own connection).
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    let (tag, payload) = match frame {
+        Frame::Hello { rank } => {
+            let mut p = Vec::with_capacity(4);
+            put_u32(&mut p, *rank);
+            (TAG_HELLO, p)
+        }
+        Frame::Plan { json } => (TAG_PLAN, json.as_bytes().to_vec()),
+        Frame::Data { start, tokens } => {
+            let mut p = Vec::with_capacity(8 + tokens.len() * 8);
+            put_u64(&mut p, *start);
+            for t in tokens {
+                put_u64(&mut p, *t);
+            }
+            (TAG_DATA, p)
+        }
+        Frame::Run { start, n, fill } => {
+            let mut p = Vec::with_capacity(24);
+            put_u64(&mut p, *start);
+            put_u64(&mut p, *n);
+            put_u64(&mut p, *fill);
+            (TAG_RUN, p)
+        }
+        Frame::Link { wire, producer } => {
+            let mut p = Vec::with_capacity(5);
+            put_u32(&mut p, *wire);
+            p.push(u8::from(*producer));
+            (TAG_LINK, p)
+        }
+        Frame::Cell { index, json } => {
+            let mut p = Vec::with_capacity(4 + json.len());
+            put_u32(&mut p, *index);
+            p.extend_from_slice(json.as_bytes());
+            (TAG_CELL, p)
+        }
+        Frame::Done => (TAG_DONE, Vec::new()),
+        Frame::Err { msg } => (TAG_ERR, msg.as_bytes().to_vec()),
+    };
+    if payload.len() > MAX_FRAME {
+        return Err(bad(format!(
+            "{}-byte frame exceeds MAX_FRAME",
+            payload.len()
+        )));
+    }
+    let mut out = Vec::with_capacity(5 + payload.len());
+    out.push(tag);
+    put_u32(&mut out, payload.len() as u32);
+    out.extend_from_slice(&payload);
+    w.write_all(&out)
+}
+
+/// Reads one frame, blocking. EOF *between* frames surfaces as
+/// `UnexpectedEof` with message `"peer closed"` — the launcher treats
+/// that as the peer's death; EOF *inside* a frame is a torn write and
+/// reads as a protocol error.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Frame> {
+    let mut head = [0u8; 5];
+    let mut filled = 0;
+    while filled < head.len() {
+        let n = r.read(&mut head[filled..])?;
+        if n == 0 {
+            return Err(if filled == 0 {
+                io::Error::new(io::ErrorKind::UnexpectedEof, "peer closed")
+            } else {
+                bad("EOF inside a frame header".into())
+            });
+        }
+        filled += n;
+    }
+    let tag = head[0];
+    let len = u32::from_le_bytes(head[1..5].try_into().expect("4-byte slice")) as usize;
+    if len > MAX_FRAME {
+        return Err(bad(format!("{len}-byte frame exceeds MAX_FRAME")));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)
+        .map_err(|_| bad("EOF inside a frame payload".into()))?;
+    match tag {
+        TAG_HELLO => Ok(Frame::Hello {
+            rank: take_u32(&payload, 0)?,
+        }),
+        TAG_PLAN => Ok(Frame::Plan {
+            json: take_str(&payload, 0)?,
+        }),
+        TAG_DATA => {
+            let start = take_u64(&payload, 0)?;
+            if !(payload.len() - 8).is_multiple_of(8) {
+                return Err(bad("Data frame payload is not a whole token count".into()));
+            }
+            let tokens = payload[8..]
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+                .collect();
+            Ok(Frame::Data { start, tokens })
+        }
+        TAG_RUN => Ok(Frame::Run {
+            start: take_u64(&payload, 0)?,
+            n: take_u64(&payload, 8)?,
+            fill: take_u64(&payload, 16)?,
+        }),
+        TAG_LINK => Ok(Frame::Link {
+            wire: take_u32(&payload, 0)?,
+            producer: *payload.get(4).ok_or_else(|| bad("truncated Link".into()))? != 0,
+        }),
+        TAG_CELL => Ok(Frame::Cell {
+            index: take_u32(&payload, 0)?,
+            json: take_str(&payload, 4)?,
+        }),
+        TAG_DONE => Ok(Frame::Done),
+        TAG_ERR => Ok(Frame::Err {
+            msg: take_str(&payload, 0)?,
+        }),
+        other => Err(bad(format!("unknown frame tag {other}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_roundtrips() {
+        let frames = vec![
+            Frame::Hello { rank: 3 },
+            Frame::Plan {
+                json: r#"{"mode":"sweep"}"#.into(),
+            },
+            Frame::Data {
+                start: 7,
+                tokens: vec![1, 0, u64::MAX],
+            },
+            Frame::Run {
+                start: 10,
+                n: 1 << 40,
+                fill: 0,
+            },
+            Frame::Link {
+                wire: 2,
+                producer: true,
+            },
+            Frame::Cell {
+                index: 5,
+                json: "{}".into(),
+            },
+            Frame::Done,
+            Frame::Err {
+                msg: "worker 1: kernel not found".into(),
+            },
+        ];
+        let mut wire = Vec::new();
+        for f in &frames {
+            write_frame(&mut wire, f).expect("vec write is infallible");
+        }
+        let mut r = &wire[..];
+        for f in &frames {
+            assert_eq!(&read_frame(&mut r).expect("frame reads back"), f);
+        }
+        // The stream is exactly consumed: next read is a clean EOF.
+        let end = read_frame(&mut r).expect_err("stream is drained");
+        assert_eq!(end.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn a_run_frame_is_constant_size() {
+        let mut wire = Vec::new();
+        write_frame(
+            &mut wire,
+            &Frame::Run {
+                start: 0,
+                n: 1_000_000,
+                fill: 0,
+            },
+        )
+        .expect("vec write");
+        // 5-byte header + 24-byte payload: a million idle cycles in 29
+        // bytes is the point of run-length token traffic.
+        assert_eq!(wire.len(), 29);
+    }
+
+    #[test]
+    fn torn_and_corrupt_frames_are_protocol_errors_not_panics() {
+        // EOF mid-header.
+        let mut r: &[u8] = &[TAG_DATA, 9];
+        assert_eq!(
+            read_frame(&mut r).expect_err("torn header").kind(),
+            io::ErrorKind::InvalidData
+        );
+        // EOF mid-payload.
+        let mut wire = Vec::new();
+        write_frame(
+            &mut wire,
+            &Frame::Data {
+                start: 0,
+                tokens: vec![1, 2, 3],
+            },
+        )
+        .expect("vec write");
+        wire.truncate(wire.len() - 1);
+        let mut r = &wire[..];
+        assert_eq!(
+            read_frame(&mut r).expect_err("torn payload").kind(),
+            io::ErrorKind::InvalidData
+        );
+        // Absurd length prefix.
+        let huge = [(MAX_FRAME + 1) as u32];
+        let mut r: &[u8] = &[
+            TAG_PLAN,
+            huge[0].to_le_bytes()[0],
+            huge[0].to_le_bytes()[1],
+            huge[0].to_le_bytes()[2],
+            huge[0].to_le_bytes()[3],
+        ];
+        assert_eq!(
+            read_frame(&mut r).expect_err("oversized").kind(),
+            io::ErrorKind::InvalidData
+        );
+        // Unknown tag.
+        let mut r: &[u8] = &[99, 0, 0, 0, 0];
+        assert_eq!(
+            read_frame(&mut r).expect_err("unknown tag").kind(),
+            io::ErrorKind::InvalidData
+        );
+    }
+}

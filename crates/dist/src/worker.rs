@@ -1,0 +1,177 @@
+//! The worker-process entry point.
+//!
+//! A worker is spawned by the [`crate::launcher`] with two environment
+//! variables — the coordinator's address and its rank — connects back,
+//! introduces itself with a `Hello`, receives its [`PlanSpec`], executes
+//! it, and streams results back as `Cell` frames followed by `Done`.
+//! One plan per process lifetime: a respawned worker is a fresh process
+//! with a fresh (smaller) plan, which is exactly what makes the
+//! process-loss recovery story simple.
+//!
+//! The hidden `bsim dist-worker` subcommand and the integration tests'
+//! self-exec both land in [`run_from_env`].
+
+use crate::cells::WireCell;
+use crate::frame::{read_frame, write_frame, Frame};
+use crate::graph::{demo_ring, rank_view, RankGraph};
+use crate::plan::PlanSpec;
+use bsim_resilience::snapshot::Snapshot;
+use serde::Value;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Environment variable naming the coordinator's `host:port`.
+pub const ADDR_ENV: &str = "BSIM_DIST_ADDR";
+/// Environment variable naming this worker's rank.
+pub const RANK_ENV: &str = "BSIM_DIST_RANK";
+
+/// The coordinator address and rank, if this process was spawned as a
+/// worker.
+pub fn from_env() -> Option<(String, usize)> {
+    let addr = std::env::var(ADDR_ENV).ok()?;
+    let rank = std::env::var(RANK_ENV).ok()?.parse().ok()?;
+    Some((addr, rank))
+}
+
+/// Worker main: connect back and execute the plan. Returns an error
+/// (after best-effort reporting it as an `Err` frame) rather than
+/// panicking — a worker's death must always be legible to the
+/// coordinator as a socket event plus, when possible, a reason.
+pub fn run_from_env() -> io::Result<()> {
+    let (addr, rank) = from_env().ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("{ADDR_ENV}/{RANK_ENV} are not set; this entry point is for spawned workers"),
+        )
+    })?;
+    run(&addr, rank)
+}
+
+/// Connects to `addr`, handshakes as `rank`, and executes one plan.
+pub fn run(addr: &str, rank: usize) -> io::Result<()> {
+    let mut control = TcpStream::connect(addr)?;
+    write_frame(&mut control, &Frame::Hello { rank: rank as u32 })?;
+    let json = match read_frame(&mut control)? {
+        Frame::Plan { json } => json,
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected a Plan frame, got {other:?}"),
+            ))
+        }
+    };
+    let Some(plan) = PlanSpec::decode(&json) else {
+        let msg = format!("rank {rank}: undecodable plan");
+        let _ = write_frame(&mut control, &Frame::Err { msg: msg.clone() });
+        return Err(io::Error::new(io::ErrorKind::InvalidData, msg));
+    };
+    match plan {
+        PlanSpec::Sweep { cells } => run_sweep(&mut control, rank, &cells),
+        PlanSpec::Graph {
+            ring,
+            latency,
+            quantum,
+            cycles,
+            seed,
+            assignment,
+            rank: plan_rank,
+        } => run_graph(
+            &mut control,
+            addr,
+            plan_rank,
+            ring,
+            latency,
+            quantum,
+            cycles,
+            seed,
+            &assignment,
+        ),
+    }
+}
+
+fn run_sweep(control: &mut TcpStream, rank: usize, cells: &[(u32, WireCell)]) -> io::Result<()> {
+    for (index, cell) in cells {
+        match cell.run() {
+            Ok(tree) => write_frame(
+                control,
+                &Frame::Cell {
+                    index: *index,
+                    json: serde_json::to_string(&tree).expect("shim renderer is total"),
+                },
+            )?,
+            Err(why) => {
+                let msg = format!("rank {rank}: cell {}: {why}", cell.label());
+                let _ = write_frame(control, &Frame::Err { msg: msg.clone() });
+                return Err(io::Error::new(io::ErrorKind::InvalidInput, msg));
+            }
+        }
+    }
+    write_frame(control, &Frame::Done)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_graph(
+    control: &mut TcpStream,
+    addr: &str,
+    rank: usize,
+    ring: usize,
+    latency: u64,
+    quantum: usize,
+    cycles: u64,
+    seed: u64,
+    assignment: &[usize],
+) -> io::Result<()> {
+    let (models, wires) = demo_ring(ring, seed, latency);
+    let view = rank_view(assignment, &wires, rank);
+    // One extra connection per cut wire, introduced by a Link frame so
+    // the coordinator can pair producer and consumer ends and relay
+    // bytes between them.
+    let mut out_streams: Vec<Box<dyn Write + Send>> = Vec::with_capacity(view.outs.len());
+    for cut in &view.outs {
+        let mut s = TcpStream::connect(addr)?;
+        write_frame(
+            &mut s,
+            &Frame::Link {
+                wire: cut.wire as u32,
+                producer: true,
+            },
+        )?;
+        out_streams.push(Box::new(s));
+    }
+    let mut in_streams: Vec<Box<dyn Read + Send>> = Vec::with_capacity(view.ins.len());
+    for cut in &view.ins {
+        let mut s = TcpStream::connect(addr)?;
+        write_frame(
+            &mut s,
+            &Frame::Link {
+                wire: cut.wire as u32,
+                producer: false,
+            },
+        )?;
+        in_streams.push(Box::new(s));
+    }
+    let local: Vec<_> = view
+        .local_models
+        .iter()
+        .map(|&g| models[g].clone())
+        .collect();
+    let mut graph = RankGraph::new(local, &view, in_streams, out_streams, quantum, true);
+    graph.run(cycles)?;
+    // Final states keyed by global model id, so the coordinator can
+    // reassemble the ring in order.
+    let states = Value::Map(
+        view.local_models
+            .iter()
+            .zip(graph.models())
+            .map(|(&g, m)| (g.to_string(), m.save()))
+            .collect(),
+    );
+    write_frame(
+        control,
+        &Frame::Cell {
+            index: rank as u32,
+            json: serde_json::to_string(&states).expect("shim renderer is total"),
+        },
+    )?;
+    write_frame(control, &Frame::Done)
+}

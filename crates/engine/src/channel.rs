@@ -39,6 +39,37 @@ impl fmt::Display for ChannelError {
 
 impl std::error::Error for ChannelError {}
 
+/// The batched token-exchange surface a harness drives a link through:
+/// the cycle-stamped batch push/pop pair plus the run-length
+/// fast-forward primitive, with both endpoint cursors observable.
+///
+/// [`TokenChannel`] is the in-process implementation; `bsim-dist`
+/// implements the same surface over `TcpStream`/Unix-socket pairs, so a
+/// model driver neither knows nor cares whether its peer lives in the
+/// same address space or another OS process. The semantic contract is
+/// the channel one: tokens flow in consecutive-cycle order, a batch may
+/// move fewer tokens than offered (backpressure / not-yet-delivered),
+/// the cycle protocol is enforced with [`ChannelError::WrongCycle`],
+/// and `fast_forward` advances both cursors `n` cycles while leaving
+/// the buffered depth invariant.
+pub trait TokenLink<T: Copy> {
+    /// Pushes tokens for consecutive cycles starting at `start_cycle`;
+    /// returns how many were accepted (possibly 0).
+    fn push_batch(&mut self, start_cycle: u64, tokens: &[T]) -> Result<usize, ChannelError>;
+    /// Pops tokens for consecutive cycles starting at `start_cycle`
+    /// into `out`; returns how many were written (possibly 0).
+    fn pop_batch(&mut self, start_cycle: u64, out: &mut [T]) -> Result<usize, ChannelError>;
+    /// Bulk-advances both endpoints `n` cycles, the producer filling
+    /// with `fill` — the quiescence fast-forward primitive.
+    fn fast_forward(&mut self, n: u64, fill: T);
+    /// The next cycle the consumer will pop.
+    fn consumer_cycle(&self) -> u64;
+    /// The next cycle the producer will push.
+    fn producer_cycle(&self) -> u64;
+    /// Tokens currently buffered on this side of the link.
+    fn buffered(&self) -> usize;
+}
+
 /// A bounded token queue carrying one `T` per target cycle.
 #[derive(Debug)]
 pub struct TokenChannel<T> {
@@ -236,6 +267,27 @@ impl<T> TokenChannel<T> {
     }
 }
 
+impl<T: Copy> TokenLink<T> for TokenChannel<T> {
+    fn push_batch(&mut self, start_cycle: u64, tokens: &[T]) -> Result<usize, ChannelError> {
+        TokenChannel::push_batch(self, start_cycle, tokens)
+    }
+    fn pop_batch(&mut self, start_cycle: u64, out: &mut [T]) -> Result<usize, ChannelError> {
+        TokenChannel::pop_batch(self, start_cycle, out)
+    }
+    fn fast_forward(&mut self, n: u64, fill: T) {
+        TokenChannel::fast_forward(self, n, fill)
+    }
+    fn consumer_cycle(&self) -> u64 {
+        TokenChannel::consumer_cycle(self)
+    }
+    fn producer_cycle(&self) -> u64 {
+        TokenChannel::producer_cycle(self)
+    }
+    fn buffered(&self) -> usize {
+        TokenChannel::buffered(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -400,6 +452,23 @@ mod tests {
         popped.extend(&tail[..got]);
         assert_eq!(popped, (0..15).collect::<Vec<u64>>());
         assert_eq!(ch.producer_cycle(), ch.consumer_cycle());
+    }
+
+    #[test]
+    fn token_link_trait_surface_matches_the_inherent_one() {
+        // The dist harness drives links as `dyn TokenLink`; the trait
+        // impl must be a pure delegation with identical semantics.
+        let mut ch = TokenChannel::new(4);
+        let link: &mut dyn TokenLink<u64> = &mut ch;
+        assert_eq!(link.push_batch(0, &[1, 2, 3]), Ok(3));
+        assert_eq!(link.producer_cycle(), 3);
+        let mut out = [0u64; 2];
+        assert_eq!(link.pop_batch(0, &mut out), Ok(2));
+        assert_eq!(out, [1, 2]);
+        link.fast_forward(4, 0);
+        assert_eq!(link.consumer_cycle(), 6);
+        assert_eq!(link.producer_cycle(), 7);
+        assert_eq!(link.buffered(), 1, "depth invariant under fast-forward");
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub mod channel;
 pub mod harness;
 pub mod rate;
 
-pub use channel::{ChannelError, TokenChannel};
+pub use channel::{ChannelError, TokenChannel, TokenLink};
 pub use harness::{Harness, HarnessCkpt, TickModel, Wire};
 pub use rate::{SimRate, SimRateMeter};
 

@@ -1,0 +1,116 @@
+//! Rank → process mapping for multi-process scale-out.
+//!
+//! `MpiWorld` simulates its ranks inside one address space; `bsim-dist`
+//! maps those ranks onto real OS processes. The mapping is the standard
+//! contiguous-block layout (what `mpirun` does by default): ranks are
+//! split into `procs` blocks of near-equal size, the first `ranks %
+//! procs` blocks one rank larger. Contiguity matters for the token
+//! links — neighboring ranks exchange the most traffic in the paper's
+//! ring and halo patterns, so keeping blocks contiguous keeps the
+//! heaviest wires inside one process.
+
+use std::ops::Range;
+
+/// A deterministic assignment of `ranks` simulated ranks onto `procs`
+/// worker processes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RankMap {
+    ranks: usize,
+    procs: usize,
+}
+
+impl RankMap {
+    /// Builds the block mapping. `procs` is clamped to `ranks` — an
+    /// empty process would idle for the whole run (`bsim-check` flags
+    /// the same shape as DL003 in partition plans).
+    pub fn new(ranks: usize, procs: usize) -> RankMap {
+        assert!(ranks >= 1, "a world has at least one rank");
+        assert!(procs >= 1, "a deployment has at least one process");
+        RankMap {
+            ranks,
+            procs: procs.min(ranks),
+        }
+    }
+
+    /// Total simulated ranks.
+    pub fn ranks(&self) -> usize {
+        self.ranks
+    }
+
+    /// Worker processes actually used (after clamping).
+    pub fn procs(&self) -> usize {
+        self.procs
+    }
+
+    /// The process owning `rank`.
+    pub fn process_of(&self, rank: usize) -> usize {
+        assert!(
+            rank < self.ranks,
+            "rank {rank} outside world of {}",
+            self.ranks
+        );
+        let base = self.ranks / self.procs;
+        let rem = self.ranks % self.procs;
+        // The first `rem` blocks hold `base + 1` ranks.
+        let big = rem * (base + 1);
+        if rank < big {
+            rank / (base + 1)
+        } else {
+            rem + (rank - big) / base
+        }
+    }
+
+    /// The contiguous rank block process `proc` owns.
+    pub fn ranks_of(&self, proc: usize) -> Range<usize> {
+        assert!(proc < self.procs, "process {proc} outside {}", self.procs);
+        let base = self.ranks / self.procs;
+        let rem = self.ranks % self.procs;
+        let start = proc * base + proc.min(rem);
+        let len = base + usize::from(proc < rem);
+        start..start + len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_are_contiguous_balanced_and_exhaustive() {
+        for ranks in 1..=12 {
+            for procs in 1..=8 {
+                let map = RankMap::new(ranks, procs);
+                let mut covered = 0;
+                let mut sizes = Vec::new();
+                for p in 0..map.procs() {
+                    let block = map.ranks_of(p);
+                    assert_eq!(block.start, covered, "blocks are contiguous in order");
+                    for r in block.clone() {
+                        assert_eq!(map.process_of(r), p, "inverse mapping agrees");
+                    }
+                    sizes.push(block.len());
+                    covered = block.end;
+                }
+                assert_eq!(covered, ranks, "every rank is owned");
+                let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(max - min <= 1, "balanced within one: {sizes:?}");
+                assert!(*min >= 1, "no empty process after clamping");
+            }
+        }
+    }
+
+    #[test]
+    fn identity_and_single_process_shapes() {
+        let id = RankMap::new(4, 4);
+        for r in 0..4 {
+            assert_eq!(id.process_of(r), r);
+        }
+        let one = RankMap::new(4, 1);
+        for r in 0..4 {
+            assert_eq!(one.process_of(r), 0);
+        }
+        assert_eq!(one.ranks_of(0), 0..4);
+        // More processes than ranks clamps instead of idling workers.
+        assert_eq!(RankMap::new(2, 8).procs(), 2);
+    }
+}

@@ -34,12 +34,14 @@
 
 pub mod ckpt;
 pub mod fault;
+pub mod peers;
 pub mod retry;
 pub mod snapshot;
 pub mod watchdog;
 
 pub use ckpt::{CkptStore, CKPT_VERSION};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
+pub use peers::PeerWatchdog;
 pub use retry::{CellOutcome, RetryPolicy};
 pub use snapshot::{CkptError, Snapshot};
 pub use watchdog::{ChannelProgress, SimError, StallReport, ThreadProgress, WatchdogConfig};

@@ -1,0 +1,88 @@
+//! Model-graph partitioning for multi-core SoCs.
+//!
+//! The FireSim setup the paper describes spans FPGAs by cutting the
+//! target graph along its token links and giving each partition to one
+//! host; `bsim-dist` does the same across OS processes. This module
+//! computes the SoC-side plan: which cores land on which rank, and the
+//! wire list (the nearest-neighbor ring the MPI workloads exercise) the
+//! `DL`-series lints validate before any process is spawned.
+
+use bsim_check::rules::{partition_lints, PartitionSpec};
+use bsim_check::Report;
+
+/// Contiguous block assignment of `cores` core models to `ranks`
+/// partitions: neighboring cores exchange the most ring traffic, so
+/// blocks keep the heavy wires in-process and only the block seams
+/// become socket links. Ranks beyond the core count are left empty
+/// (and flagged DL003 by [`plan_cores`]).
+pub fn core_assignment(cores: usize, ranks: usize) -> Vec<usize> {
+    assert!(ranks >= 1);
+    let eff = ranks.min(cores.max(1));
+    let base = cores / eff;
+    let rem = cores % eff;
+    (0..eff)
+        .flat_map(|r| std::iter::repeat_n(r, base + usize::from(r < rem)))
+        .collect()
+}
+
+/// Builds and lints the partition plan for a `cores`-core SoC whose
+/// cores are ringed by `link_latency`-cycle wires, batched at
+/// `quantum`. The returned [`Report`] carries any DL findings; an
+/// errored report means the plan must not launch.
+pub fn plan_cores(
+    cores: usize,
+    ranks: usize,
+    link_latency: u64,
+    quantum: usize,
+) -> (PartitionSpec, Report) {
+    let wires = if cores > 1 {
+        (0..cores)
+            .map(|i| (i, (i + 1) % cores, link_latency))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let spec = PartitionSpec {
+        ranks,
+        assignment: core_assignment(cores, ranks),
+        wires,
+        quantum,
+    };
+    let report = partition_lints().run(&spec, "soc.partition");
+    (spec, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_assignment_keeps_neighbors_together() {
+        assert_eq!(core_assignment(4, 2), vec![0, 0, 1, 1]);
+        assert_eq!(core_assignment(5, 2), vec![0, 0, 0, 1, 1]);
+        assert_eq!(core_assignment(2, 2), vec![0, 1]);
+        // Clamped: 2 cores cannot feed 4 ranks.
+        assert_eq!(core_assignment(2, 4), vec![0, 1]);
+    }
+
+    #[test]
+    fn sane_ring_plans_lint_clean() {
+        let (spec, report) = plan_cores(4, 2, 16, 16);
+        assert!(report.is_clean(), "{report}");
+        // Exactly the two block seams are cut.
+        assert_eq!(spec.cut_wires().count(), 2);
+    }
+
+    #[test]
+    fn tight_ring_draws_dl005() {
+        let (_, report) = plan_cores(4, 2, 1, 16);
+        assert!(report.has_code("DL005"), "{report}");
+        assert!(!report.has_errors());
+    }
+
+    #[test]
+    fn oversubscribed_ranks_draw_dl003() {
+        let (_, report) = plan_cores(2, 4, 16, 8);
+        assert!(report.has_code("DL003"), "{report}");
+    }
+}

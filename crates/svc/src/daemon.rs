@@ -38,10 +38,14 @@
 //! kill leaves the previous complete store behind.
 
 use crate::proto;
-use crate::request::{Cell, SvcRequest};
+use crate::request::{Cell, CellSpec, SvcRequest};
 use crate::store::ResultStore;
 use bsim_check::Report;
 use bsim_core::{run_grid_resilient, CellOutcome, Parallelism, RetryPolicy};
+use bsim_dist::launcher::{run_sweep as dist_sweep, LaunchOpts, WorkerSpawn};
+use bsim_dist::WireCell;
+use bsim_resilience::CkptStore;
+use bsim_soc::configs;
 use bsim_telemetry::CounterBlock;
 use serde::Value;
 use std::collections::{HashSet, VecDeque};
@@ -52,6 +56,28 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Instant;
+
+/// Locks a daemon mutex, recovering from poisoning. A cell or handler
+/// that panicked while holding a lock must not cascade into every
+/// other worker and connection thread panicking on `lock().unwrap()` —
+/// the shared state (queues, stats, store) stays structurally valid
+/// across a panic, so continuing with the inner value is safe.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Condvar wait with the same poison-recovery policy as [`lock`].
+fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard)
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Per-connection error log line. The daemon keeps serving — a torn,
+/// half-closed, or misbehaving peer is that connection's problem, not
+/// the pool's — but the event is visible instead of silently dropped.
+fn log_conn(context: &str, err: &io::Error) {
+    eprintln!("bsimd: connection error ({context}): {err}");
+}
 
 /// Every counter `/metrics` exports. CI and the lifecycle tests assert
 /// each of these appears in the JSON export, so a renamed counter is a
@@ -86,6 +112,11 @@ pub struct DaemonConfig {
     pub par: Parallelism,
     /// Retry/degrade policy for poisoned cells (PR 4 semantics).
     pub retry: RetryPolicy,
+    /// Scale-out worker ranks per job; 0 keeps every cell in-process.
+    pub dist_ranks: usize,
+    /// argv spawned per rank (`bsim dist-worker`); empty runs the ranks
+    /// as in-process threads instead — same wire protocol, no processes.
+    pub dist_worker: Vec<String>,
 }
 
 impl Default for DaemonConfig {
@@ -97,6 +128,8 @@ impl Default for DaemonConfig {
             budget: 64,
             par: Parallelism::Auto,
             retry: RetryPolicy::once(),
+            dist_ranks: 0,
+            dist_worker: Vec::new(),
         }
     }
 }
@@ -246,7 +279,7 @@ impl Daemon {
 fn worker_loop(shared: &Arc<Shared>) {
     loop {
         let idx = {
-            let mut jobs = shared.jobs.lock().unwrap();
+            let mut jobs = lock(&shared.jobs);
             loop {
                 if let Some(i) = jobs.queue.pop_front() {
                     break i;
@@ -254,20 +287,42 @@ fn worker_loop(shared: &Arc<Shared>) {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
-                jobs = shared.jobs_cv.wait(jobs).unwrap();
+                jobs = wait(&shared.jobs_cv, jobs);
             }
         };
-        run_job(shared, idx);
+        // A panic anywhere in the job path (cell panics are already
+        // caught by the retry policy, but rendering or accounting could
+        // still blow up) must not strip this worker from the pool or
+        // leave the job wedged in Running, which would hang a draining
+        // /shutdown forever.
+        if let Err(payload) =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_job(shared, idx)))
+        {
+            let msg = bsim_resilience::retry::panic_message(payload.as_ref());
+            eprintln!("bsimd: job {} panicked: {msg}", idx + 1);
+            shared.stats.failed.fetch_add(1, Ordering::SeqCst);
+            let mut jobs = lock(&shared.jobs);
+            let job = &mut jobs.table[idx];
+            job.state = JobState::Failed;
+            job.body = Some(json_line(&[(
+                "error",
+                Value::Str(format!("job panicked: {msg}")),
+            )]));
+            shared.jobs_cv.notify_all();
+        }
     }
 }
 
 fn run_job(shared: &Arc<Shared>, idx: usize) {
     let (cells, stats) = {
-        let mut jobs = shared.jobs.lock().unwrap();
+        let mut jobs = lock(&shared.jobs);
         let job = &mut jobs.table[idx];
         job.state = JobState::Running;
         (job.cells.clone(), Arc::clone(&job.stats))
     };
+    if shared.cfg.dist_ranks > 0 {
+        prewarm_dist(shared, &cells);
+    }
     let sweep = run_grid_resilient(cells.len(), shared.cfg.par, &shared.cfg.retry, |i| {
         exec_cell(shared, &stats, &cells[i])
     });
@@ -278,12 +333,90 @@ fn run_job(shared: &Arc<Shared>, idx: usize) {
         shared.stats.failed.fetch_add(1, Ordering::SeqCst);
         (JobState::Failed, render_failure(&cells, &sweep.outcomes))
     };
-    let mut jobs = shared.jobs.lock().unwrap();
+    let mut jobs = lock(&shared.jobs);
     let job = &mut jobs.table[idx];
     job.state = state;
     job.body = Some(body);
     // Wake both idle workers and a draining /shutdown handler.
     shared.jobs_cv.notify_all();
+}
+
+/// The wire form of a cell spec, when it has one. `Fig` and `Tune` name
+/// their work directly; a `Micro` cell travels by catalog name, so only
+/// a config that *is* its catalog entry (which is how the preflight
+/// builds them) can be dispatched — anything custom stays local.
+fn to_wire(spec: &CellSpec) -> Option<WireCell> {
+    match spec {
+        CellSpec::Micro { cfg, kernel, scale } => {
+            (configs::by_name(&cfg.name, 1).as_ref() == Some(&**cfg)).then(|| WireCell::Micro {
+                platform: cfg.name.clone(),
+                kernel: kernel.clone(),
+                scale: *scale,
+            })
+        }
+        CellSpec::Fig { id, sizes, index } => Some(WireCell::Fig {
+            id: id.clone(),
+            sizes: sizes.clone(),
+            index: *index,
+        }),
+        CellSpec::Tune { scale } => Some(WireCell::Tune { scale: *scale }),
+    }
+}
+
+/// Scale-out dispatch: ship the job's not-yet-cached cells to the dist
+/// worker ranks and seed the result store with what comes back, so the
+/// in-process sweep below sees them as plain cache hits. Cell results
+/// are bit-identical across schedules by construction, so seeding the
+/// store from a rank is indistinguishable from simulating locally. On
+/// any dispatch failure the cells simply stay missing and run locally —
+/// scale-out is an accelerator, never a correctness dependency.
+fn prewarm_dist(shared: &Shared, cells: &[Cell]) {
+    let todo: Vec<(usize, WireCell)> = cells
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| lock(&shared.store).get(&c.key).is_none())
+        .filter_map(|(i, c)| to_wire(&c.spec).map(|w| (i, w)))
+        .collect();
+    if todo.is_empty() {
+        return;
+    }
+    let wire: Vec<WireCell> = todo.iter().map(|(_, w)| w.clone()).collect();
+    let opts = LaunchOpts {
+        ranks: shared.cfg.dist_ranks,
+        spawn: if shared.cfg.dist_worker.is_empty() {
+            WorkerSpawn::Thread
+        } else {
+            WorkerSpawn::Process(shared.cfg.dist_worker.clone())
+        },
+        silence_budget: std::time::Duration::from_secs(120),
+        kill: None,
+        max_respawns: 3,
+    };
+    let mut scratch = CkptStore::new();
+    match dist_sweep(&wire, &opts, &mut scratch) {
+        Ok(outcome) => {
+            let mut seeded = 0usize;
+            for ((i, _), (label, json)) in todo.iter().zip(outcome.results) {
+                match serde_json::from_str(&json) {
+                    Ok(tree) => {
+                        lock(&shared.store).put(&cells[*i].key, &tree);
+                        seeded += 1;
+                    }
+                    Err(_) => {
+                        eprintln!("bsimd: rank result for {label} is not JSON; re-running locally")
+                    }
+                }
+            }
+            eprintln!(
+                "bsimd: dist ranks seeded {seeded}/{} cells (respawns: {})",
+                todo.len(),
+                outcome.respawns
+            );
+        }
+        Err(e) => {
+            eprintln!("bsimd: dist dispatch failed ({e}); falling back to local execution");
+        }
+    }
 }
 
 /// Releases an in-flight claim even when the cell panics mid-compute,
@@ -295,7 +428,7 @@ struct Claim<'a> {
 
 impl Drop for Claim<'_> {
     fn drop(&mut self) {
-        self.shared.inflight.lock().unwrap().remove(self.key);
+        lock(&self.shared.inflight).remove(self.key);
         self.shared.inflight_cv.notify_all();
     }
 }
@@ -309,15 +442,15 @@ fn exec_cell(shared: &Shared, job: &JobStats, cell: &Cell) -> Value {
     };
     let mut counted_wait = false;
     loop {
-        if let Some(tree) = shared.store.lock().unwrap().get(&cell.key) {
+        if let Some(tree) = lock(&shared.store).get(&cell.key) {
             return hit(tree);
         }
-        let mut inflight = shared.inflight.lock().unwrap();
+        let mut inflight = lock(&shared.inflight);
         if !inflight.contains(&cell.key) {
             // Re-check under the claim lock: a racing winner stores its
             // tree *before* releasing its claim, so "no claim" +
             // "store miss" here proves nobody has simulated this key.
-            if let Some(tree) = shared.store.lock().unwrap().get(&cell.key) {
+            if let Some(tree) = lock(&shared.store).get(&cell.key) {
                 return hit(tree);
             }
             inflight.insert(cell.key.clone());
@@ -328,14 +461,14 @@ fn exec_cell(shared: &Shared, job: &JobStats, cell: &Cell) -> Value {
             shared.stats.coalesced.fetch_add(1, Ordering::SeqCst);
             job.coalesced.fetch_add(1, Ordering::SeqCst);
         }
-        let _unused: MutexGuard<'_, _> = shared.inflight_cv.wait(inflight).unwrap();
+        let _unused: MutexGuard<'_, _> = wait(&shared.inflight_cv, inflight);
     }
     let claim = Claim {
         shared,
         key: &cell.key,
     };
     let tree = cell.spec.run(shared.cfg.par);
-    shared.store.lock().unwrap().put(&cell.key, &tree);
+    lock(&shared.store).put(&cell.key, &tree);
     shared.stats.cells_simulated.fetch_add(1, Ordering::SeqCst);
     job.simulated.fetch_add(1, Ordering::SeqCst);
     drop(claim);
@@ -402,20 +535,17 @@ fn metrics_json(shared: &Shared) -> String {
     block.set_named("host.svc.requests.failed", get(&s.failed));
     block.set_named(
         "host.svc.queue.depth",
-        shared.jobs.lock().unwrap().queue.len() as u64,
+        lock(&shared.jobs).queue.len() as u64,
     );
     block.set_named(
         "host.svc.cells.inflight",
-        shared.inflight.lock().unwrap().len() as u64,
+        lock(&shared.inflight).len() as u64,
     );
     block.set_named("host.svc.cells.total", get(&s.cells_total));
     block.set_named("host.svc.cells.simulated", get(&s.cells_simulated));
     block.set_named("host.svc.cache.hits", get(&s.cache_hits));
     block.set_named("host.svc.cache.coalesced", get(&s.coalesced));
-    block.set_named(
-        "host.svc.cache.entries",
-        shared.store.lock().unwrap().len() as u64,
-    );
+    block.set_named("host.svc.cache.entries", lock(&shared.store).len() as u64);
     let ms = shared.started.elapsed().as_millis().max(1) as u64;
     block.set_named(
         "host.svc.rate.cells_per_sec",
@@ -431,7 +561,9 @@ fn metrics_json(shared: &Shared) -> String {
 }
 
 fn respond(stream: &mut TcpStream, status: u16, reason: &str, body: &str) {
-    proto::write_response(stream, status, reason, body).ok();
+    if let Err(e) = proto::write_response(stream, status, reason, body) {
+        log_conn("writing response", &e);
+    }
 }
 
 fn json_line(fields: &[(&str, Value)]) -> String {
@@ -445,10 +577,21 @@ fn json_line(fields: &[(&str, Value)]) -> String {
 }
 
 fn handle(shared: &Arc<Shared>, mut stream: TcpStream) {
-    let Ok(peer) = stream.try_clone() else { return };
+    let peer = match stream.try_clone() {
+        Ok(p) => p,
+        Err(e) => {
+            log_conn("cloning stream", &e);
+            return;
+        }
+    };
     let req = match proto::read_request(&mut BufReader::new(peer)) {
         Ok(r) => r,
-        Err(_) => return, // torn connection: nothing to respond to
+        // Torn or half-closed connection: nothing to respond to, and
+        // nothing worth panicking over — log it and keep serving.
+        Err(e) => {
+            log_conn("reading request", &e);
+            return;
+        }
     };
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/submit") => handle_submit(shared, &mut stream, &req.body),
@@ -504,7 +647,7 @@ fn handle_submit(shared: &Arc<Shared>, stream: &mut TcpStream, body: &str) {
     let cells = request.cells();
     let cell_count = cells.len();
     let id = {
-        let mut jobs = shared.jobs.lock().unwrap();
+        let mut jobs = lock(&shared.jobs);
         let idx = jobs.table.len();
         let id = format!("job-{}", idx + 1);
         jobs.table.push(Job {
@@ -532,7 +675,7 @@ fn handle_submit(shared: &Arc<Shared>, stream: &mut TcpStream, body: &str) {
 }
 
 fn handle_status(shared: &Arc<Shared>, stream: &mut TcpStream, id: &str) {
-    let jobs = shared.jobs.lock().unwrap();
+    let jobs = lock(&shared.jobs);
     let Some(job) = jobs.table.iter().find(|j| j.id == id) else {
         drop(jobs);
         respond(
@@ -562,7 +705,7 @@ fn handle_status(shared: &Arc<Shared>, stream: &mut TcpStream, id: &str) {
 }
 
 fn handle_fetch(shared: &Arc<Shared>, stream: &mut TcpStream, id: &str) {
-    let jobs = shared.jobs.lock().unwrap();
+    let jobs = lock(&shared.jobs);
     let Some(job) = jobs.table.iter().find(|j| j.id == id) else {
         drop(jobs);
         respond(
@@ -579,9 +722,14 @@ fn handle_fetch(shared: &Arc<Shared>, stream: &mut TcpStream, id: &str) {
         ("state", Value::Str(state.label().into())),
     ]);
     drop(jobs);
+    // A Done/Failed job always has a body, but a missing one must
+    // degrade to a served error, not a panicking connection thread.
+    let body = body.unwrap_or_else(|| {
+        json_line(&[("error", Value::Str("job finished without a body".into()))])
+    });
     match state {
-        JobState::Done => respond(stream, 200, "OK", &body.unwrap()),
-        JobState::Failed => respond(stream, 500, "Internal Server Error", &body.unwrap()),
+        JobState::Done => respond(stream, 200, "OK", &body),
+        JobState::Failed => respond(stream, 500, "Internal Server Error", &body),
         JobState::Queued | JobState::Running => respond(stream, 202, "Accepted", &pending),
     }
 }
@@ -592,18 +740,18 @@ fn handle_shutdown(shared: &Arc<Shared>, stream: &mut TcpStream) {
     // Drain: every queued job still runs to completion before the store
     // flushes — a `/shutdown` never abandons accepted work.
     {
-        let mut jobs = shared.jobs.lock().unwrap();
+        let mut jobs = lock(&shared.jobs);
         while !jobs.queue.is_empty()
             || jobs
                 .table
                 .iter()
                 .any(|j| matches!(j.state, JobState::Queued | JobState::Running))
         {
-            jobs = shared.jobs_cv.wait(jobs).unwrap();
+            jobs = wait(&shared.jobs_cv, jobs);
         }
     }
     let (entries, flushed) = {
-        let store = shared.store.lock().unwrap();
+        let store = lock(&shared.store);
         (store.len() as u64, store.flush())
     };
     let body = match flushed {
@@ -658,6 +806,90 @@ mod tests {
         assert_eq!(status, 404, "{body}");
         roundtrip(&d.addr(), "POST", "/shutdown", "").unwrap();
         d.join();
+    }
+
+    #[test]
+    fn half_closed_and_torn_sockets_leave_the_daemon_serving() {
+        use std::io::Write;
+        use std::net::{Shutdown, TcpStream};
+
+        let d = daemon();
+
+        // A peer that connects and vanishes without a byte.
+        drop(TcpStream::connect(d.addr()).unwrap());
+
+        // A peer that half-closes mid-headers: the connection thread
+        // sees "connection closed inside headers" and must log-and-move-
+        // on, not panic.
+        let mut partial = TcpStream::connect(d.addr()).unwrap();
+        partial
+            .write_all(b"POST /submit HTTP/1.1\r\nContent-")
+            .unwrap();
+        partial.shutdown(Shutdown::Write).unwrap();
+        drop(partial);
+
+        // A peer that promises a body and never delivers it.
+        let mut liar = TcpStream::connect(d.addr()).unwrap();
+        liar.write_all(b"POST /submit HTTP/1.1\r\nContent-Length: 100\r\n\r\n{")
+            .unwrap();
+        liar.shutdown(Shutdown::Write).unwrap();
+        drop(liar);
+
+        // A peer that sends a clean request but half-closes its write
+        // side before the response: the daemon still answers into the
+        // open read half.
+        let mut early = TcpStream::connect(d.addr()).unwrap();
+        early.write_all(b"GET /metrics HTTP/1.1\r\n\r\n").unwrap();
+        early.shutdown(Shutdown::Write).unwrap();
+        let mut answer = String::new();
+        std::io::Read::read_to_string(&mut early, &mut answer).unwrap();
+        assert!(answer.contains("host.svc.requests.submitted"), "{answer}");
+        drop(early);
+
+        // After all of that abuse the daemon serves normally.
+        let (status, body) = roundtrip(&d.addr(), "GET", "/metrics", "").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("host.svc.cells.total"), "{body}");
+        roundtrip(&d.addr(), "POST", "/shutdown", "").unwrap();
+        d.join();
+    }
+
+    #[test]
+    fn dist_dispatched_jobs_are_byte_identical_to_local_ones() {
+        let submit = "{\"kind\":\"sweep\",\"platforms\":[\"Rocket 1\"],\
+                      \"kernels\":[\"Cca\",\"EI\"],\"scale\":1}";
+        let fetch = |cfg: DaemonConfig| {
+            let (d, report) = Daemon::spawn(cfg).unwrap();
+            assert!(report.is_clean(), "{report}");
+            let (status, body) = roundtrip(&d.addr(), "POST", "/submit", submit).unwrap();
+            assert_eq!(status, 202, "{body}");
+            let job = body
+                .split('"')
+                .nth(3)
+                .expect("submit answers {\"job\": ...}")
+                .to_string();
+            let path = format!("/fetch/{job}");
+            let body = loop {
+                let (status, body) = roundtrip(&d.addr(), "GET", &path, "").unwrap();
+                match status {
+                    200 => break body,
+                    202 => std::thread::sleep(std::time::Duration::from_millis(20)),
+                    other => panic!("fetch answered {other}: {body}"),
+                }
+            };
+            roundtrip(&d.addr(), "POST", "/shutdown", "").unwrap();
+            d.join();
+            body
+        };
+        let local = fetch(DaemonConfig::default());
+        let dist = fetch(DaemonConfig {
+            dist_ranks: 2,
+            ..DaemonConfig::default()
+        });
+        assert_eq!(
+            local, dist,
+            "rank-dispatched results serve byte-identically"
+        );
     }
 
     #[test]

@@ -16,7 +16,14 @@
 //!   configs differing only in observability are semantically equal;
 //! - non-negative integers unify to `U64` (the shim's `I64(3)` and
 //!   `U64(3)` render identically anyway, but the canonical tree should
-//!   not depend on that), and `-0.0` normalizes to `0.0`.
+//!   not depend on that), and `-0.0` normalizes to `0.0`;
+//! - non-finite floats normalize to the tagged strings `"__f64:nan"`,
+//!   `"__f64:inf"`, and `"__f64:-inf"`. Every NaN — any sign, any
+//!   payload — collapses to the *same* canonical form, so two configs
+//!   that serialized NaN differently can never hash to distinct keys,
+//!   while the two infinities stay distinct from each other and from
+//!   every finite value. The `__f64:` prefix keeps the markers out of
+//!   the namespace any plausible config string occupies.
 //!
 //! Any *semantic* knob change — a cache way, the clock, the kernel
 //! name, the seed — lands in the rendered text and therefore changes
@@ -48,6 +55,9 @@ pub fn canonicalize(v: &Value) -> Value {
         }
         Value::Seq(s) => Value::Seq(s.iter().map(canonicalize).collect()),
         Value::I64(i) if *i >= 0 => Value::U64(*i as u64),
+        Value::F64(f) if f.is_nan() => Value::Str("__f64:nan".into()),
+        Value::F64(f) if *f == f64::INFINITY => Value::Str("__f64:inf".into()),
+        Value::F64(f) if *f == f64::NEG_INFINITY => Value::Str("__f64:-inf".into()),
         Value::F64(f) if *f == 0.0 => Value::F64(0.0),
         other => other.clone(),
     }
@@ -154,6 +164,34 @@ mod tests {
             content_hash(&Value::F64(0.0))
         );
         assert_ne!(content_hash(&Value::I64(-7)), content_hash(&Value::U64(7)));
+    }
+
+    #[test]
+    fn non_finite_floats_canonicalize() {
+        // Every NaN — negated, payload-carrying, the default — is the
+        // same canonical value, so serialization differences cannot
+        // fragment the cache.
+        let quiet = f64::NAN;
+        let negated = -f64::NAN;
+        let payload = f64::from_bits(f64::NAN.to_bits() | 0xdead);
+        assert!(payload.is_nan());
+        let h = content_hash(&Value::F64(quiet));
+        assert_eq!(h, content_hash(&Value::F64(negated)));
+        assert_eq!(h, content_hash(&Value::F64(payload)));
+
+        // The infinities stay distinct from each other, from NaN, and
+        // from large finite values.
+        let pinf = content_hash(&Value::F64(f64::INFINITY));
+        let ninf = content_hash(&Value::F64(f64::NEG_INFINITY));
+        assert_ne!(pinf, ninf);
+        assert_ne!(pinf, h);
+        assert_ne!(ninf, h);
+        assert_ne!(pinf, content_hash(&Value::F64(f64::MAX)));
+
+        // The markers live in a tagged namespace: an actual config
+        // string "inf" does not collide with the float infinity.
+        assert_ne!(pinf, content_hash(&Value::Str("inf".into())));
+        assert_ne!(h, content_hash(&Value::Str("NaN".into())));
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! wire layer uses nothing beyond the standard library and the
 //! in-tree serde_json shim.
 
-use std::io::{self, BufRead, BufReader, Read, Write};
+use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
@@ -79,21 +79,13 @@ pub fn write_response(
     writer.flush()
 }
 
-/// Client side: one round trip — connect, send, read the framed
-/// response. Returns `(status, body)`. A read timeout keeps a wedged
-/// daemon from hanging the client forever.
-pub fn roundtrip(addr: &str, method: &str, path: &str, body: &str) -> io::Result<(u16, String)> {
-    let mut stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
-    write!(
-        stream,
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
-    )?;
-    stream.flush()?;
-
-    let mut reader = BufReader::new(stream);
+/// Reads one framed response: status line, headers, body. A malformed
+/// `Content-Length` is a typed error (same contract as the server-side
+/// [`read_request`]), and a response that carries body bytes without
+/// declaring `Content-Length` is rejected rather than silently
+/// reinterpreted — the daemon always frames, so an unframed non-empty
+/// body means the wire is not speaking this protocol.
+pub fn read_response(reader: &mut impl BufRead) -> io::Result<(u16, String)> {
     let mut status_line = String::new();
     reader.read_line(&mut status_line)?;
     let status: u16 = status_line
@@ -117,7 +109,10 @@ pub fn roundtrip(addr: &str, method: &str, path: &str, body: &str) -> io::Result
             .filter(|(k, _)| k.eq_ignore_ascii_case("content-length"))
             .map(|(_, v)| v.trim())
         {
-            content_length = v.parse::<usize>().ok();
+            content_length = Some(
+                v.parse::<usize>()
+                    .map_err(|_| bad(format!("bad Content-Length {v:?}")))?,
+            );
         }
     }
 
@@ -127,10 +122,15 @@ pub fn roundtrip(addr: &str, method: &str, path: &str, body: &str) -> io::Result
             reader.read_exact(&mut buf)?;
             buf
         }
-        // Connection: close framing — body runs to EOF.
         None => {
             let mut buf = Vec::new();
             reader.read_to_end(&mut buf)?;
+            if !buf.is_empty() {
+                return Err(bad(format!(
+                    "{}-byte response body without Content-Length framing",
+                    buf.len()
+                )));
+            }
             buf
         }
     };
@@ -138,6 +138,22 @@ pub fn roundtrip(addr: &str, method: &str, path: &str, body: &str) -> io::Result
         status,
         String::from_utf8(body).map_err(|_| bad("response body is not UTF-8"))?,
     ))
+}
+
+/// Client side: one round trip — connect, send, read the framed
+/// response. Returns `(status, body)`. A read timeout keeps a wedged
+/// daemon from hanging the client forever.
+pub fn roundtrip(addr: &str, method: &str, path: &str, body: &str) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()?;
+    read_response(&mut BufReader::new(stream))
 }
 
 #[cfg(test)]
@@ -169,6 +185,42 @@ mod tests {
         assert!(read_request(&mut Cursor::new(b"GET\r\n\r\n" as &[u8])).is_err());
         let wire = "POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n";
         assert!(read_request(&mut Cursor::new(wire.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn response_with_malformed_content_length_is_an_error() {
+        // The client path must reject what the server path rejects —
+        // a garbage Content-Length used to be silently dropped and the
+        // body reinterpreted under EOF framing.
+        let wire = "HTTP/1.1 200 OK\r\nContent-Length: nope\r\n\r\n{\"ok\":true}";
+        let err = read_response(&mut Cursor::new(wire.as_bytes())).unwrap_err();
+        assert!(err.to_string().contains("Content-Length"), "{err}");
+    }
+
+    #[test]
+    fn unframed_nonempty_response_body_is_an_error() {
+        let wire = "HTTP/1.1 200 OK\r\n\r\n{\"ok\":true}";
+        let err = read_response(&mut Cursor::new(wire.as_bytes())).unwrap_err();
+        assert!(err.to_string().contains("without Content-Length"), "{err}");
+    }
+
+    #[test]
+    fn unframed_empty_response_is_fine() {
+        // A bodyless response (our 404s before a body was added, plain
+        // probes) needs no framing header.
+        let wire = "HTTP/1.1 204 No Content\r\n\r\n";
+        let (status, body) = read_response(&mut Cursor::new(wire.as_bytes())).unwrap();
+        assert_eq!(status, 204);
+        assert_eq!(body, "");
+    }
+
+    #[test]
+    fn framed_response_roundtrips() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "OK", "{\"job\":\"job-1\"}").unwrap();
+        let (status, body) = read_response(&mut Cursor::new(&out[..])).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"job\":\"job-1\"}");
     }
 
     #[test]

@@ -12,10 +12,12 @@
 //!                                   # FILE, --resume replays them
 //! bsim micro <kernel> [platform]    # run one microbenchmark
 //! bsim tune                         # the §4 model-selection loop
-//! bsim faults [--seed N] [--deny-unsurvived]
+//! bsim faults [--seed N] [--deny-unsurvived] [--in-process]
 //!                                   # fault-injection campaign: prints
-//!                                   # the survival matrix; deny exits
-//!                                   # non-zero on any expectation miss
+//!                                   # the survival matrix (plus a
+//!                                   # process-kill row spawning real
+//!                                   # workers; --in-process skips it);
+//!                                   # deny exits non-zero on any miss
 //! bsim check [--deny-warnings] [--json] [--list] [platform ...]
 //!                                   # static preflight: model-graph +
 //!                                   # config lints, before any cycle
@@ -24,10 +26,23 @@
 //!                                   # (host perf, not target cycles);
 //!                                   # --baseline compares cycles/sec and
 //!                                   # exits non-zero on a >20% regression
+//! bsim dist [--ranks N] [--figs 1,2] [--smoke] [--store FILE] [--json]
+//!           [--kill-rank R --kill-after K]
+//!                                   # fan a cell sweep across N worker
+//!                                   # processes over socket token links;
+//!                                   # --kill-rank SIGKILLs a worker mid-
+//!                                   # sweep to exercise recovery
+//! bsim dist --graph-demo CYCLES [--ranks N] [--ring N] [--latency L]
+//!           [--quantum Q] [--seed N]
+//!                                   # partition the demo ring across N
+//!                                   # processes and prove the distributed
+//!                                   # schedule bit-identical to Harness
 //! bsim serve [--addr H:P] [--store FILE] [--workers N] [--budget N]
-//!            [--par seq|auto|N]     # bsimd: simulation-as-a-service
+//!            [--par seq|auto|N] [--dist-ranks N]
+//!                                   # bsimd: simulation-as-a-service
 //!                                   # daemon with a content-addressed
-//!                                   # memoizing result store
+//!                                   # memoizing result store; --dist-ranks
+//!                                   # prewarms it via worker processes
 //! bsim submit ADDR fig <id> [--smoke] [--seed N] [--wait]
 //! bsim submit ADDR sweep --platforms A,B --kernels C,D
 //!             [--scale N] [--seed N] [--wait]
@@ -43,6 +58,8 @@ use silicon_bridge::core::experiments::{self, Sizes};
 use silicon_bridge::core::table;
 use silicon_bridge::core::tuning::choose_best_model;
 use silicon_bridge::core::{run_campaign, run_figure_with, CkptStore, Parallelism, RetryPolicy};
+use silicon_bridge::dist::launcher::{run_graph_demo, run_sweep, KillSpec, LaunchOpts};
+use silicon_bridge::dist::{faults as dist_faults, worker as dist_worker, WireCell};
 use silicon_bridge::engine::{Harness, TickModel, Wire};
 use silicon_bridge::mpi::NetConfig;
 use silicon_bridge::resilience::CellOutcome;
@@ -63,10 +80,12 @@ fn usage() -> ! {
         "usage:\n  bsim list\n  bsim table <1|2|4|5>\n  \
          bsim fig <1..7> [--smoke] [--par seq|auto|N] [--ckpt FILE] [--resume FILE] [--retries N]\n  \
          bsim micro <kernel> [platform]\n  bsim tune\n  \
-         bsim faults [--seed N] [--deny-unsurvived]\n  \
+         bsim faults [--seed N] [--deny-unsurvived] [--in-process]\n  \
          bsim check [--deny-warnings] [--json] [--list] [platform ...]\n  \
          bsim bench [--json] [--out FILE] [--baseline FILE] [--iters N]\n  \
-         bsim serve [--addr H:P] [--store FILE] [--workers N] [--budget N] [--par seq|auto|N]\n  \
+         bsim dist [--ranks N] [--figs 1,2] [--smoke] [--store FILE] [--json] [--kill-rank R --kill-after K]\n  \
+         bsim dist --graph-demo CYCLES [--ranks N] [--ring N] [--latency L] [--quantum Q] [--seed N]\n  \
+         bsim serve [--addr H:P] [--store FILE] [--workers N] [--budget N] [--par seq|auto|N] [--dist-ranks N]\n  \
          bsim submit ADDR fig <id> [--smoke] [--seed N] [--wait]\n  \
          bsim submit ADDR sweep --platforms A,B --kernels C,D [--scale N] [--seed N] [--wait]\n  \
          bsim submit ADDR tune [--scale N] [--seed N] [--wait]\n  \
@@ -82,6 +101,16 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
+}
+
+/// The argv a dist launcher spawns per rank: this very binary, re-entered
+/// through the hidden `dist-worker` subcommand.
+fn worker_argv() -> Vec<String> {
+    let exe = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.to_str().map(String::from))
+        .unwrap_or_else(|| "bsim".into());
+    vec![exe, "dist-worker".into()]
 }
 
 /// `bsim check`: the static analysis pass, standalone. Lints every named
@@ -575,7 +604,17 @@ fn main() {
                 }),
                 None => 42,
             };
-            let matrix = run_campaign(seed);
+            let mut matrix = run_campaign(seed);
+            // The in-process campaign covers nine fault classes; the
+            // tenth — losing a whole worker process — needs real OS
+            // processes, so only the CLI (which knows its own argv)
+            // can append it. `--in-process` skips it for environments
+            // where spawning is off the table.
+            if !args.iter().any(|a| a == "--in-process") {
+                matrix
+                    .scenarios
+                    .push(dist_faults::process_kill_scenario(seed, worker_argv()));
+            }
             print!("{}", matrix.render());
             if args.iter().any(|a| a == "--deny-unsurvived") && !matrix.all_pass() {
                 std::process::exit(1);
@@ -633,6 +672,17 @@ fn main() {
         }
         "check" => run_check(&args[1..]),
         "bench" => run_bench(&args[1..]),
+        "dist" => run_dist(&args[1..]),
+        // Hidden: the worker half of `bsim dist`. The launcher spawns
+        // `bsim dist-worker` per rank with the rendezvous address and
+        // rank number in the environment.
+        "dist-worker" => match dist_worker::run_from_env() {
+            Ok(()) => std::process::exit(0),
+            Err(e) => {
+                eprintln!("dist-worker: {e}");
+                std::process::exit(1)
+            }
+        },
         "serve" => run_serve(&args[1..]),
         "submit" => run_submit(&args[1..]),
         "status" => {
@@ -667,6 +717,139 @@ fn finish_wire(result: std::io::Result<(u16, String)>) -> ! {
     }
 }
 
+/// `bsim dist`: the multi-process scale-out front end. The default mode
+/// fans a sweep of serializable cells across `--ranks` worker processes
+/// connected by socket token links; `--kill-rank`/`--kill-after` SIGKILL
+/// a worker mid-sweep so the recovery path (respawn + re-plan from the
+/// checkpoint store) is exercisable from the shell. `--graph-demo`
+/// instead partitions the demo ring across the ranks and checks the
+/// distributed schedule against the in-process `Harness` bit for bit.
+fn run_dist(args: &[String]) -> ! {
+    let parse_num = |flag: &str, default: u64| -> u64 {
+        match flag_value(args, flag) {
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("{flag} takes a non-negative integer");
+                std::process::exit(2);
+            }),
+            None => default,
+        }
+    };
+    let ranks = parse_num("--ranks", 2).max(1) as usize;
+
+    if args.iter().any(|a| a == "--graph-demo") {
+        let cycles = parse_num("--graph-demo", 400);
+        let ring = parse_num("--ring", 4).max(2) as usize;
+        let latency = parse_num("--latency", 2).max(1);
+        let quantum = parse_num("--quantum", 16).max(1) as usize;
+        let seed = parse_num("--seed", 42);
+        let opts = LaunchOpts::processes(ranks, worker_argv());
+        let out = run_graph_demo(ring, latency, quantum, cycles, seed, &opts).unwrap_or_else(|e| {
+            eprintln!("graph demo failed: {e}");
+            std::process::exit(2);
+        });
+        println!("in-process:  {}", out.reference);
+        println!("distributed: {}", out.fingerprint);
+        if out.identical() {
+            println!("bit-identical across {ranks} process(es) after {cycles} cycles");
+            std::process::exit(0)
+        }
+        eprintln!("FINGERPRINT MISMATCH: the distributed schedule diverged");
+        std::process::exit(1)
+    }
+
+    let sizes = if args.iter().any(|a| a == "--smoke") {
+        "smoke"
+    } else {
+        "default"
+    };
+    let cells: Vec<WireCell> = match flag_value(args, "--figs") {
+        Some(raw) => raw
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .flat_map(|id| {
+                let cells = WireCell::figure_cells(id.trim(), sizes);
+                if cells.is_empty() {
+                    eprintln!("unknown figure {id}; try `bsim list`");
+                    std::process::exit(2);
+                }
+                cells
+            })
+            .collect(),
+        // The default sweep is the same platform×kernel grid the
+        // process-kill fault scenario uses: small, and wide enough to
+        // give every rank real work.
+        None => dist_faults::kill_sweep_cells(),
+    };
+
+    let mut opts = LaunchOpts::processes(ranks, worker_argv());
+    if let Some(rank) = flag_value(args, "--kill-rank") {
+        let rank = rank.parse::<usize>().unwrap_or_else(|_| {
+            eprintln!("--kill-rank takes a rank number");
+            std::process::exit(2);
+        });
+        if rank >= ranks {
+            eprintln!("--kill-rank {rank} is out of range for --ranks {ranks}");
+            std::process::exit(2);
+        }
+        opts.kill = Some(KillSpec {
+            rank,
+            after_cells: parse_num("--kill-after", 1).max(1) as usize,
+        });
+    }
+
+    let store_path = flag_value(args, "--store").map(std::path::PathBuf::from);
+    let mut store = match &store_path {
+        Some(path) if path.exists() => match CkptStore::load(path) {
+            Ok(s) => {
+                eprintln!("resuming from {} ({} entries)", path.display(), s.len());
+                s
+            }
+            Err(e) => {
+                eprintln!("cannot resume from {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        },
+        _ => CkptStore::new(),
+    };
+
+    let outcome = run_sweep(&cells, &opts, &mut store).unwrap_or_else(|e| {
+        eprintln!("dist sweep failed: {e}");
+        std::process::exit(1);
+    });
+    if let Some(path) = &store_path {
+        if let Err(e) = store.save(path) {
+            eprintln!("warning: cannot write store {}: {e}", path.display());
+        }
+    }
+
+    if args.iter().any(|a| a == "--json") {
+        use serde::Value;
+        let map: Vec<(String, Value)> = outcome
+            .results
+            .iter()
+            .map(|(label, json)| {
+                let tree = serde_json::from_str(json).unwrap_or(Value::Str(json.clone()));
+                (label.clone(), tree)
+            })
+            .collect();
+        println!(
+            "{}",
+            serde_json::to_string(&Value::Map(map)).expect("shim renderer is total")
+        );
+    } else {
+        for (label, json) in &outcome.results {
+            println!("{label}: {} bytes", json.len());
+        }
+    }
+    eprintln!(
+        "{} cell(s) across {} rank(s), {} respawn(s)",
+        outcome.results.len(),
+        outcome.ranks,
+        outcome.respawns
+    );
+    std::process::exit(0)
+}
+
 /// `bsim serve`: run bsimd in the foreground until a `/shutdown`
 /// request drains it. Prints the bound address first, so scripts (and
 /// the CI smoke test) can bind port 0 and scrape the real port.
@@ -688,6 +871,7 @@ fn run_serve(args: &[String]) -> ! {
         None => Parallelism::Auto,
     };
     let defaults = DaemonConfig::default();
+    let dist_ranks = parse_usize("--dist-ranks", 0);
     let cfg = DaemonConfig {
         addr: flag_value(args, "--addr")
             .unwrap_or("127.0.0.1:4780")
@@ -697,6 +881,12 @@ fn run_serve(args: &[String]) -> ! {
         budget: parse_usize("--budget", defaults.budget),
         par,
         retry: defaults.retry,
+        dist_ranks,
+        dist_worker: if dist_ranks > 0 {
+            worker_argv()
+        } else {
+            Vec::new()
+        },
     };
     match Daemon::spawn(cfg) {
         Ok((daemon, report)) => {

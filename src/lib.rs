@@ -25,6 +25,7 @@
 //! | [`workloads`] | `bsim-workloads` | MicroBench, NPB, UME, MD |
 //! | [`core`] | `bsim-core` | relative-speedup metrics, figure generators, tuning |
 //! | [`svc`] | `bsim-svc` | `bsimd` service daemon + content-addressed result cache |
+//! | [`dist`] | `bsim-dist` | multi-process scale-out: socket token links, rank partitioning, process-loss recovery |
 //!
 //! See `examples/quickstart.rs` for a five-minute tour, and the
 //! `bsim-bench` crate for the harnesses that regenerate Figures 1–7 and
@@ -32,6 +33,7 @@
 
 pub use bsim_check as check;
 pub use bsim_core as core;
+pub use bsim_dist as dist;
 pub use bsim_engine as engine;
 pub use bsim_isa as isa;
 pub use bsim_mem as mem;
