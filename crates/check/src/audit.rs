@@ -1,0 +1,487 @@
+//! AU-series workspace source audit.
+//!
+//! A lightweight line-oriented scanner over the workspace's crate sources
+//! that flags patterns banned in deterministic or hot-path code:
+//!
+//! | code  | severity | meaning |
+//! |-------|----------|---------|
+//! | AU000 | note     | summary of findings waived via `// bsim: allow(..)` |
+//! | AU001 | error    | `.unwrap()` outside tests: a panic tears the simulation down instead of surfacing a typed error |
+//! | AU002 | warning  | `.expect(..)` in a designated hot-path file (token channel, wire framing, daemon dispatch) |
+//! | AU003 | warning  | iteration over a `HashMap` binding: order is nondeterministic and must not feed results or wire frames |
+//! | AU004 | warning  | `Instant`/`SystemTime` in a virtual-time crate: host clocks break determinism |
+//!
+//! Findings are waived inline with a `// bsim: allow(AU001)` comment on the
+//! same line or on the line directly above; several codes may be listed,
+//! comma-separated. `#[cfg(test)]` regions are skipped entirely (brace-depth
+//! tracked), and line comments are stripped before pattern matching so
+//! documentation cannot trip the scanner.
+//!
+//! The scan is deliberately textual, not syntactic: it runs in milliseconds
+//! over the whole workspace, has no parser to keep in sync with the
+//! language, and the waiver escape hatch keeps the false-positive cost at
+//! one comment. `bsim check --source` runs it over every `crates/*/src` and
+//! the root `src/`.
+
+use crate::diag::{Diagnostic, Report};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+// Pattern needles are assembled with `concat!` so this file does not flag
+// itself when the audit runs over the check crate.
+const UNWRAP: &str = concat!(".unw", "rap()");
+const EXPECT: &str = concat!(".exp", "ect(");
+const INSTANT: &str = concat!("Instant::", "now");
+const SYSTIME: &str = concat!("System", "Time");
+const HASHMAP_TY: &str = concat!("Hash", "Map<");
+const HASHMAP_NEW: &str = concat!("Hash", "Map::new");
+const ALLOW: &str = concat!("bsim: ", "allow(");
+const CFG_TEST: &str = concat!("#[cfg(", "test)]");
+
+/// Files whose failure modes reach the per-token or per-frame path: a panic
+/// here kills a quantum mid-flight, so even `.expect` needs a waiver arguing
+/// the invariant.
+const HOT_PATHS: &[&str] = &[
+    "crates/engine/src/channel.rs",
+    "crates/engine/src/harness.rs",
+    "crates/dist/src/frame.rs",
+    "crates/dist/src/link.rs",
+    "crates/dist/src/graph.rs",
+    "crates/svc/src/proto.rs",
+    "crates/svc/src/daemon.rs",
+];
+
+/// Crates whose code runs under virtual time; host clocks are banned there
+/// (the resilience watchdog in `engine` carries explicit waivers).
+const VIRTUAL_TIME_CRATES: &[&str] = &[
+    "engine",
+    "mem",
+    "uarch",
+    "isa",
+    "soc",
+    "workloads",
+    "mpi",
+    "core",
+];
+
+const ITER_METHODS: &[&str] = &[
+    "iter()",
+    "iter_mut()",
+    "keys()",
+    "values()",
+    "values_mut()",
+    "drain(",
+    "into_iter()",
+];
+
+/// Outcome of a workspace audit.
+#[derive(Debug)]
+pub struct Audit {
+    pub report: Report,
+    /// Files scanned.
+    pub files: usize,
+    /// Findings suppressed by inline waivers.
+    pub waived: usize,
+}
+
+/// Waiver codes listed on a line, e.g. `// bsim: allow(AU001, AU003)`.
+fn waivers_in(raw: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    if let Some(i) = raw.find(ALLOW) {
+        let rest = &raw[i + ALLOW.len()..];
+        if let Some(end) = rest.find(')') {
+            for code in rest[..end].split(',') {
+                let code = code.trim();
+                if !code.is_empty() {
+                    out.push(code.to_string());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Binding or field name a `HashMap` is stored under on this line, if any.
+fn hashmap_binding(code: &str) -> Option<String> {
+    if !(code.contains(HASHMAP_TY) || code.contains(HASHMAP_NEW)) {
+        return None;
+    }
+    let t = code.trim_start();
+    if let Some(i) = t.find("let ") {
+        let rest = t[i + 4..].trim_start().trim_start_matches("mut ");
+        let name: String = rest
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if !name.is_empty() && !name.starts_with(|c: char| c.is_ascii_digit()) {
+            return Some(name);
+        }
+    }
+    // Struct field or parameter: the identifier directly before the `:`.
+    if let Some(i) = t.find(':') {
+        let head = &t[..i];
+        let name: String = head
+            .chars()
+            .rev()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect::<Vec<_>>()
+            .into_iter()
+            .rev()
+            .collect();
+        if !name.is_empty() && !name.starts_with(|c: char| c.is_ascii_digit()) {
+            return Some(name);
+        }
+    }
+    None
+}
+
+fn iterates_map(code: &str, name: &str) -> bool {
+    for m in ITER_METHODS {
+        if code.contains(&format!("{name}.{m}")) {
+            return true;
+        }
+    }
+    code.contains(&format!("in &{name}")) || code.contains(&format!("in &mut {name}"))
+}
+
+/// Crate a repo-relative source path belongs to (`crates/<name>/src/..`).
+fn crate_of(path: &str) -> Option<&str> {
+    path.strip_prefix("crates/")?.split('/').next()
+}
+
+/// Scan one file's source text, pushing findings into `report` and counting
+/// waived ones into `waived`. `path` is the repo-relative path used both for
+/// spans and for the hot-path / virtual-time scoping.
+pub fn scan_source(path: &str, text: &str, report: &mut Report, waived: &mut usize) {
+    let hot = HOT_PATHS.contains(&path);
+    let vt = crate_of(path).is_some_and(|c| VIRTUAL_TIME_CRATES.contains(&c));
+
+    // Pass 1: HashMap binding and field names declared anywhere in the file.
+    let mut map_names: Vec<String> = Vec::new();
+    for line in text.lines() {
+        let code = line.split("//").next().unwrap_or(line);
+        if let Some(name) = hashmap_binding(code) {
+            if !map_names.contains(&name) {
+                map_names.push(name);
+            }
+        }
+    }
+
+    // Pass 2: findings, with `#[cfg(test)]` regions skipped via brace depth.
+    let mut depth: i32 = 0;
+    let mut in_test = false;
+    let mut exit_depth: i32 = 0;
+    let mut armed = false;
+    let mut prev_waivers: Vec<String> = Vec::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let code = raw.split("//").next().unwrap_or(raw);
+        let mut allowed = waivers_in(raw);
+        allowed.extend(prev_waivers.iter().cloned());
+        let in_test_here = in_test;
+
+        if code.contains(CFG_TEST) {
+            armed = true;
+        }
+        for ch in code.chars() {
+            match ch {
+                '{' => {
+                    if armed && !in_test {
+                        in_test = true;
+                        exit_depth = depth;
+                        armed = false;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if in_test && depth <= exit_depth {
+                        in_test = false;
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        prev_waivers = if raw.trim_start().starts_with("//") {
+            waivers_in(raw)
+        } else {
+            Vec::new()
+        };
+
+        if in_test_here {
+            continue;
+        }
+        let span = format!("{path}:{lineno}");
+        let mut emit = |d: Diagnostic, code: &str, report: &mut Report| {
+            if allowed.iter().any(|c| c == code) {
+                *waived += 1;
+            } else {
+                report.push(d);
+            }
+        };
+
+        if code.contains(UNWRAP) {
+            emit(
+                Diagnostic::error(
+                    "AU001",
+                    span.clone(),
+                    format!("{UNWRAP} in non-test code: a panic here tears the simulation down"),
+                )
+                .with_help("return a typed error (SimError / io::Error) or waive with a rationale"),
+                "AU001",
+                report,
+            );
+        }
+        if hot && code.contains(EXPECT) {
+            emit(
+                Diagnostic::warning(
+                    "AU002",
+                    span.clone(),
+                    format!("{EXPECT}..) on a hot path: a panic here kills a quantum mid-flight"),
+                )
+                .with_help("convert to a typed error, or waive stating why the invariant holds"),
+                "AU002",
+                report,
+            );
+        }
+        if let Some(name) = map_names.iter().find(|n| iterates_map(code, n)) {
+            emit(
+                Diagnostic::warning(
+                    "AU003",
+                    span.clone(),
+                    format!(
+                        "iteration over `{name}` (a HashMap): iteration order is nondeterministic \
+                         and must not feed results or wire frames"
+                    ),
+                )
+                .with_help(
+                    "sort the keys first, use an indexed Vec, or waive if order is irrelevant",
+                ),
+                "AU003",
+                report,
+            );
+        }
+        if vt && (code.contains(INSTANT) || code.contains(SYSTIME)) {
+            emit(
+                Diagnostic::warning(
+                    "AU004",
+                    span.clone(),
+                    "host clock in a virtual-time crate: time must derive from cycles".to_string(),
+                )
+                .with_help("use the harness cycle counter, or waive for host-side watchdog code"),
+                "AU004",
+                report,
+            );
+        }
+    }
+}
+
+/// Locate the workspace root: the nearest ancestor (of the check crate's
+/// manifest dir, or of the current directory) whose `Cargo.toml` declares
+/// `[workspace]`.
+fn workspace_root() -> Option<PathBuf> {
+    let mut candidates: Vec<PathBuf> = vec![PathBuf::from(env!("CARGO_MANIFEST_DIR"))];
+    if let Ok(cwd) = std::env::current_dir() {
+        candidates.push(cwd);
+    }
+    for base in candidates {
+        for dir in base.ancestors() {
+            let manifest = dir.join("Cargo.toml");
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir.to_path_buf());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Collect `.rs` files under `dir`, recursively, sorted by path for
+/// deterministic diagnostic order. Test/bench/example trees are skipped —
+/// the audit is about shipped simulation code.
+fn collect_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if matches!(name, "tests" | "benches" | "examples") {
+                continue;
+            }
+            collect_sources(&p, out);
+        } else if p.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Run the AU-series audit over the whole workspace (`crates/*/src` plus the
+/// root `src/`). Returns the report plus scan statistics; waived findings
+/// surface as a single AU000 summary note.
+pub fn audit_workspace() -> Audit {
+    let mut report = Report::new();
+    let Some(root) = workspace_root() else {
+        report.push(
+            Diagnostic::warning(
+                "AU000",
+                "audit",
+                "workspace root not found; source audit skipped",
+            )
+            .with_help("run from inside the repository"),
+        );
+        return Audit {
+            report,
+            files: 0,
+            waived: 0,
+        };
+    };
+
+    let mut files: Vec<PathBuf> = Vec::new();
+    if let Ok(entries) = fs::read_dir(root.join("crates")) {
+        let mut crates: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+        crates.sort();
+        for c in crates {
+            collect_sources(&c.join("src"), &mut files);
+        }
+    }
+    collect_sources(&root.join("src"), &mut files);
+
+    let mut waived = 0usize;
+    let scanned = files.len();
+    for path in &files {
+        let Ok(text) = fs::read_to_string(path) else {
+            continue;
+        };
+        let rel = path
+            .strip_prefix(&root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        scan_source(&rel, &text, &mut report, &mut waived);
+    }
+    if waived > 0 {
+        report.push(Diagnostic::note(
+            "AU000",
+            "audit",
+            format!("{waived} finding(s) waived inline via `{ALLOW}..)`"),
+        ));
+    }
+    Audit {
+        report,
+        files: scanned,
+        waived,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(path: &str, text: &str) -> (Report, usize) {
+        let mut r = Report::new();
+        let mut w = 0;
+        scan_source(path, text, &mut r, &mut w);
+        (r, w)
+    }
+
+    #[test]
+    fn unwrap_is_flagged_and_waivable() {
+        let hit = format!("fn f() {{ x{UNWRAP}; }}\n");
+        let (r, w) = scan("crates/mem/src/x.rs", &hit);
+        assert!(r.has_code("AU001") && r.has_errors(), "{}", r.render());
+        assert_eq!(w, 0);
+
+        let inline = format!("fn f() {{ x{UNWRAP}; }} // {ALLOW}AU001) infallible\n");
+        let (r, w) = scan("crates/mem/src/x.rs", &inline);
+        assert!(r.is_clean(), "{}", r.render());
+        assert_eq!(w, 1);
+
+        let above = format!("// {ALLOW}AU001) infallible\nfn f() {{ x{UNWRAP}; }}\n");
+        let (r, w) = scan("crates/mem/src/x.rs", &above);
+        assert!(r.is_clean(), "{}", r.render());
+        assert_eq!(w, 1);
+    }
+
+    #[test]
+    fn cfg_test_regions_and_comments_are_skipped() {
+        let text = format!(
+            "fn f() {{}}\n{CFG_TEST}\nmod tests {{\n    fn g() {{ x{UNWRAP}; }}\n}}\nfn h() {{}}\n"
+        );
+        let (r, _) = scan("crates/mem/src/x.rs", &text);
+        assert!(r.is_clean(), "{}", r.render());
+
+        let doc = format!("/// calls {UNWRAP} internally\nfn f() {{}}\n");
+        let (r, _) = scan("crates/mem/src/x.rs", &doc);
+        assert!(r.is_clean(), "{}", r.render());
+    }
+
+    #[test]
+    fn code_after_cfg_test_region_is_still_scanned() {
+        let text =
+            format!("{CFG_TEST}\nmod tests {{\n    fn g() {{}}\n}}\nfn h() {{ x{UNWRAP}; }}\n");
+        let (r, _) = scan("crates/mem/src/x.rs", &text);
+        assert!(r.has_code("AU001"), "{}", r.render());
+    }
+
+    #[test]
+    fn expect_only_flags_hot_paths() {
+        let text = format!("fn f() {{ x{EXPECT}\"y\"); }}\n");
+        let (r, _) = scan("crates/dist/src/frame.rs", &text);
+        assert!(r.has_code("AU002") && !r.has_errors(), "{}", r.render());
+        let (r, _) = scan("crates/workloads/src/x.rs", &text);
+        assert!(r.is_clean(), "{}", r.render());
+    }
+
+    #[test]
+    fn hashmap_iteration_is_flagged() {
+        let text = format!(
+            "fn f() {{\n    let mut seen: {HASHMAP_TY}u32, u32> = {HASHMAP_NEW}();\n    for (k, v) in &seen {{ use_(k, v); }}\n}}\n"
+        );
+        let (r, _) = scan("crates/mem/src/x.rs", &text);
+        assert!(r.has_code("AU003"), "{}", r.render());
+
+        let methods = format!(
+            "struct S {{ children: {HASHMAP_TY}u32, u32> }}\nfn f(s: &mut S) {{ for c in s.children.values() {{ go(c); }} }}\n"
+        );
+        let (r, _) = scan("crates/mem/src/x.rs", &methods);
+        assert!(r.has_code("AU003"), "{}", r.render());
+
+        // Lookups are fine — only iteration is order-sensitive.
+        let lookup = format!(
+            "fn f() {{\n    let seen: {HASHMAP_TY}u32, u32> = {HASHMAP_NEW}();\n    let _ = seen.get(&1);\n}}\n"
+        );
+        let (r, _) = scan("crates/mem/src/x.rs", &lookup);
+        assert!(r.is_clean(), "{}", r.render());
+    }
+
+    #[test]
+    fn host_clocks_flag_only_virtual_time_crates() {
+        let text = format!("fn f() {{ let t = {INSTANT}(); }}\n");
+        let (r, _) = scan("crates/engine/src/x.rs", &text);
+        assert!(r.has_code("AU004"), "{}", r.render());
+        let (r, _) = scan("crates/svc/src/x.rs", &text);
+        assert!(r.is_clean(), "{}", r.render());
+    }
+
+    #[test]
+    fn workspace_audit_runs_and_has_no_errors() {
+        let audit = audit_workspace();
+        assert!(audit.files > 20, "scanned only {} files", audit.files);
+        let errs: Vec<String> = audit
+            .report
+            .with_code("AU001")
+            .map(|d| format!("{d:?}"))
+            .collect();
+        assert!(
+            !audit.report.has_errors(),
+            "unwaived AU001 findings:\n{}",
+            errs.join("\n")
+        );
+    }
+}

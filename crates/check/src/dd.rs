@@ -1,0 +1,293 @@
+//! DD-series distributed deadlock analysis.
+//!
+//! The MG-series analyzer reasons about one in-process model graph; this
+//! module lifts the same token-conservation arguments to a partitioned
+//! [`PartitionSpec`]: the unit of progress is a whole rank (an OS process),
+//! and the only tokens that matter are the ones crossing rank boundaries
+//! over socket links. A rank-level condensation of the cut wires is built
+//! and checked for:
+//!
+//! | code  | severity | meaning |
+//! |-------|----------|---------|
+//! | DD001 | error    | a cross-rank cycle carries zero total latency: no rank can take the first step, the rendezvous deadlocks |
+//! | DD002 | warning  | a cross-rank cycle's total latency is below the quantum: the lockstep schedule serializes around it |
+//! | DD003 | warning  | a cut wire has no return path: nothing back-pressures the producer rank, receiver buffering is unbounded |
+//! | DD004 | warning  | (fast-forward only) a cut wire's latency is below the quantum: a verified-zero skip can never be licensed for a full quantum |
+//!
+//! DD004 refines DL005: DL005 says the link never carries a full batch;
+//! DD004 says specifically that the *fast-forward licensing window*
+//! (`RemoteReceiver` may only skip over zeros it has verified as arrived)
+//! is smaller than the quantum, so distributed quiescence skipping
+//! degenerates to per-sub-quantum hops on that wire.
+
+use crate::diag::{Diagnostic, Report};
+use crate::rules::PartitionSpec;
+
+const INF: u64 = u64::MAX / 4;
+
+/// Analyze the rank-level token topology of a partition plan.
+///
+/// `fast_forward` states whether the runtime will attempt distributed
+/// quiescence fast-forward over the cut wires (DD004 only applies then).
+/// `span` names the plan's origin in diagnostics (e.g. `dist.plan`).
+pub fn analyze_partition(spec: &PartitionSpec, fast_forward: bool, span: &str) -> Report {
+    let mut report = Report::new();
+    let n = spec.ranks;
+    if n == 0 {
+        return report; // DL002's problem
+    }
+
+    // Rank-level condensation: one edge per (src rank, dst rank) pair,
+    // keeping the minimum latency (the binding constraint). Wires with
+    // endpoints outside the assignment are DL004's problem; intra-rank
+    // wires stay in-process and are MG-series territory.
+    let mut w = vec![vec![INF; n]; n];
+    let mut example = vec![vec![(0usize, 0usize); n]; n];
+    for &(f, t, lat) in spec.cut_wires() {
+        let (a, b) = (spec.assignment[f], spec.assignment[t]);
+        if a >= n || b >= n {
+            continue; // DL001's problem
+        }
+        if lat < w[a][b] {
+            w[a][b] = lat;
+            example[a][b] = (f, t);
+        }
+    }
+
+    // DD004: per cut wire, not per condensed edge — every tight wire is a
+    // separate licensing hole.
+    if fast_forward {
+        for &(f, t, lat) in spec.cut_wires() {
+            let (a, b) = (spec.assignment[f], spec.assignment[t]);
+            if a >= n || b >= n || a == b {
+                continue;
+            }
+            if lat < spec.quantum as u64 {
+                report.push(
+                    Diagnostic::warning(
+                        "DD004",
+                        span,
+                        format!(
+                            "cut wire {f}->{t} (rank {a} -> rank {b}) has latency {lat} below the \
+                             quantum {}: a verified-zero fast-forward can never be licensed for a \
+                             full quantum on this link",
+                            spec.quantum
+                        ),
+                    )
+                    .with_help(
+                        "the receiver may only skip zeros it has verified as arrived; widen the \
+                         wire latency to at least the quantum or disable distributed fast-forward",
+                    ),
+                );
+            }
+        }
+    }
+
+    // All-pairs min-latency paths over the rank graph (Floyd–Warshall with
+    // next-hop reconstruction). n is the rank count — single digits in
+    // practice, so O(n^3) is free.
+    let mut dist = w.clone();
+    let mut next: Vec<Vec<Option<usize>>> = vec![vec![None; n]; n];
+    for (a, row) in w.iter().enumerate() {
+        for (b, &lat) in row.iter().enumerate() {
+            if lat < INF {
+                next[a][b] = Some(b);
+            }
+        }
+    }
+    for k in 0..n {
+        for i in 0..n {
+            for j in 0..n {
+                let via = dist[i][k].saturating_add(dist[k][j]);
+                if via < dist[i][j] {
+                    dist[i][j] = via;
+                    next[i][j] = next[i][k];
+                }
+            }
+        }
+    }
+
+    // Minimum-weight directed cycle through each rank: dist[i][i].
+    let mut best: Option<(usize, u64)> = None;
+    for (i, row) in dist.iter().enumerate() {
+        if row[i] < INF && best.is_none_or(|(_, bw)| row[i] < bw) {
+            best = Some((i, row[i]));
+        }
+    }
+    if let Some((start, weight)) = best {
+        // Reconstruct the cycle path for the message.
+        let mut path = vec![start];
+        let mut cur = start;
+        while let Some(hop) = next[cur][start] {
+            path.push(hop);
+            if hop == start || path.len() > n + 1 {
+                break; // cycle closed, or defensive: malformed next-hop table
+            }
+            cur = hop;
+        }
+        let cycle = path
+            .iter()
+            .map(|r| format!("rank {r}"))
+            .collect::<Vec<_>>()
+            .join(" -> ");
+        if weight == 0 {
+            report.push(
+                Diagnostic::error(
+                    "DD001",
+                    span,
+                    format!(
+                        "cross-rank cycle {cycle} carries zero total latency: every rank waits \
+                         for its upstream before producing, the rendezvous deadlocks"
+                    ),
+                )
+                .with_help(
+                    "token-coupled cycles need at least one buffered token; give some wire on \
+                     the cycle a nonzero latency or keep the cycle inside one rank",
+                ),
+            );
+        } else if weight < spec.quantum as u64 {
+            report.push(
+                Diagnostic::warning(
+                    "DD002",
+                    span,
+                    format!(
+                        "cross-rank cycle {cycle} carries total latency {weight}, below the \
+                         quantum {}: the lockstep schedule serializes around this cycle",
+                        spec.quantum
+                    ),
+                )
+                .with_help(
+                    "no rank on the cycle can run a full quantum ahead; raise the cycle's wire \
+                     latencies or shrink the quantum",
+                ),
+            );
+        }
+    }
+
+    // DD003: a condensed edge with no return path. The producer rank can run
+    // arbitrarily far ahead of the consumer — nothing bounds the receiver's
+    // buffered tokens, and a relay-switchboard wire downstream of it can
+    // stall the lockstep schedule while the backlog drains.
+    for a in 0..n {
+        for b in 0..n {
+            if w[a][b] < INF && dist[b][a] >= INF {
+                let (f, t) = example[a][b];
+                report.push(
+                    Diagnostic::warning(
+                        "DD003",
+                        span,
+                        format!(
+                            "cut wire {f}->{t} (rank {a} -> rank {b}) has no return path from \
+                             rank {b} to rank {a}: nothing back-pressures the producer and \
+                             receiver-side buffering is unbounded"
+                        ),
+                    )
+                    .with_help(
+                        "add a return wire (even a high-latency one) so the token exchange \
+                         bounds how far rank-to-rank progress can diverge",
+                    ),
+                );
+            }
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring_spec(latencies: &[u64], quantum: usize) -> PartitionSpec {
+        // One model per rank, wired in a ring: model i -> model i+1.
+        let n = latencies.len();
+        PartitionSpec {
+            ranks: n,
+            assignment: (0..n).collect(),
+            wires: latencies
+                .iter()
+                .enumerate()
+                .map(|(i, &lat)| (i, (i + 1) % n, lat))
+                .collect(),
+            quantum,
+        }
+    }
+
+    #[test]
+    fn zero_latency_cycle_is_dd001() {
+        let r = analyze_partition(&ring_spec(&[0, 0], 8), false, "test");
+        assert!(r.has_code("DD001") && r.has_errors(), "{}", r.render());
+    }
+
+    #[test]
+    fn tight_cycle_is_dd002() {
+        let r = analyze_partition(&ring_spec(&[2, 3], 8), false, "test");
+        assert!(r.has_code("DD002") && !r.has_errors(), "{}", r.render());
+        assert!(!r.has_code("DD001"));
+    }
+
+    #[test]
+    fn roomy_cycle_is_clean() {
+        let r = analyze_partition(&ring_spec(&[16, 16], 16), true, "test");
+        assert!(r.is_clean(), "{}", r.render());
+    }
+
+    #[test]
+    fn one_way_wire_is_dd003() {
+        let spec = PartitionSpec {
+            ranks: 2,
+            assignment: vec![0, 1],
+            wires: vec![(0, 1, 32)],
+            quantum: 16,
+        };
+        let r = analyze_partition(&spec, false, "test");
+        assert!(r.has_code("DD003") && !r.has_errors(), "{}", r.render());
+    }
+
+    #[test]
+    fn return_path_through_third_rank_counts() {
+        // 0 -> 1 -> 2 -> 0: every edge has a (transitive) return path.
+        let spec = PartitionSpec {
+            ranks: 3,
+            assignment: vec![0, 1, 2],
+            wires: vec![(0, 1, 16), (1, 2, 16), (2, 0, 16)],
+            quantum: 16,
+        };
+        let r = analyze_partition(&spec, false, "test");
+        assert!(!r.has_code("DD003"), "{}", r.render());
+    }
+
+    #[test]
+    fn tight_wire_with_fast_forward_is_dd004() {
+        let spec = ring_spec(&[4, 32], 16);
+        let with_ff = analyze_partition(&spec, true, "test");
+        assert!(with_ff.has_code("DD004"), "{}", with_ff.render());
+        let without = analyze_partition(&spec, false, "test");
+        assert!(!without.has_code("DD004"), "{}", without.render());
+    }
+
+    #[test]
+    fn intra_rank_wires_are_ignored() {
+        // Everything on one rank: no cut wires, nothing to report.
+        let spec = PartitionSpec {
+            ranks: 1,
+            assignment: vec![0, 0, 0],
+            wires: vec![(0, 1, 0), (1, 2, 0), (2, 0, 0)],
+            quantum: 16,
+        };
+        assert!(analyze_partition(&spec, true, "test").is_clean());
+    }
+
+    #[test]
+    fn out_of_range_endpoints_are_skipped() {
+        // DL001/DL004 territory must not panic the DD analysis.
+        let spec = PartitionSpec {
+            ranks: 2,
+            assignment: vec![0, 9],
+            wires: vec![(0, 1, 0), (0, 7, 0)],
+            quantum: 16,
+        };
+        let r = analyze_partition(&spec, true, "test");
+        assert!(!r.has_code("DD001"), "{}", r.render());
+    }
+}

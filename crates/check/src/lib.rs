@@ -16,7 +16,17 @@
 //!   domain rules over the cache/bus/DRAM/TLB/core config structs
 //!   (`CL0xx` codes),
 //! * [`diag`] — the typed [`Diagnostic`]/[`Report`] values everything
-//!   returns instead of panicking mid-run.
+//!   returns instead of panicking mid-run,
+//! * [`proto`] — typed transition tables for the svc HTTP-lite and dist
+//!   launcher/worker wire protocols, driven by the runtime through
+//!   [`proto::Tracker`] and exhaustively model-checked by
+//!   [`proto::explore`] (`PV0xx` codes),
+//! * [`dd`] — rank-level deadlock analysis of partitioned plans: token
+//!   cycles, missing back-pressure, fast-forward licensing holes
+//!   (`DD0xx` codes),
+//! * [`audit`] — a workspace source audit banning panicking calls,
+//!   `HashMap` iteration, and host clocks from deterministic paths
+//!   (`AU0xx` codes, `// bsim: allow(..)` waivers).
 //!
 //! Platform-level rules live next to the types they judge: `SC0xx`
 //! SoC-consistency and `PF0xx` paper-fidelity rules in
@@ -28,9 +38,12 @@
 //!
 //! Every diagnostic code is documented in `crates/check/README.md`.
 
+pub mod audit;
+pub mod dd;
 pub mod diag;
 pub mod graph;
 pub mod lint;
+pub mod proto;
 pub mod rules;
 
 pub use diag::{Diagnostic, Report, Severity};

@@ -436,9 +436,10 @@ impl PartitionSpec {
     }
 }
 
-/// `DL001`–`DL005`: distributed partition-plan lints. Errors here mean
-/// the plan cannot run (dangling ranks or models); warnings flag plans
-/// that run but waste a process or serialize a socket link.
+/// `DL001`–`DL006`: distributed partition-plan lints. Errors here mean
+/// the plan cannot run (dangling ranks or models, rendezvous that can
+/// never complete); warnings flag plans that run but serialize a socket
+/// link.
 pub fn partition_lints() -> LintRegistry<PartitionSpec> {
     LintRegistry::new()
         .rule(
@@ -527,6 +528,59 @@ pub fn partition_lints() -> LintRegistry<PartitionSpec> {
                                  partition along high-latency wires or lower the quantum",
                             ),
                         );
+                    }
+                }
+            },
+        )
+        .rule(
+            "DL006",
+            "plan hangs at rendezvous: empty rank or dangling relay wire",
+            |p, span, out| {
+                // An empty rank still gets a worker slot in the launcher's
+                // rendezvous: the switchboard waits for its Hello and link
+                // connections forever. DL003 used to wave this through as
+                // "an idle worker"; in graph mode it is a hang, not waste.
+                for rank in 0..p.ranks {
+                    if !p.assignment.is_empty() && !p.assignment.contains(&rank) {
+                        out.push(
+                            Diagnostic::error(
+                                "DL006",
+                                span,
+                                format!(
+                                    "rank {rank} owns no models: the rendezvous waits for link \
+                                     connections that never come"
+                                ),
+                            )
+                            .with_help("shrink the rank count or rebalance the assignment"),
+                        );
+                    }
+                }
+                // A relay created for a wire whose endpoint rank is outside
+                // the plan dangles: the owning worker is never spawned.
+                for &(f, t, _) in &p.wires {
+                    let (a, b) = match (p.assignment.get(f), p.assignment.get(t)) {
+                        (Some(&a), Some(&b)) => (a, b),
+                        _ => continue, // DL004's problem
+                    };
+                    if a == b {
+                        continue;
+                    }
+                    for rank in [a, b] {
+                        if rank >= p.ranks {
+                            out.push(
+                                Diagnostic::error(
+                                    "DL006",
+                                    span,
+                                    format!(
+                                        "relay for cut wire {f}->{t} dangles: endpoint rank \
+                                         {rank} is outside the {}-rank plan and its worker is \
+                                         never spawned",
+                                        p.ranks
+                                    ),
+                                )
+                                .with_help("fix the assignment before the switchboard is built"),
+                            );
+                        }
                     }
                 }
             },
@@ -761,10 +815,20 @@ mod tests {
         let r = partition_lints().run(&empty, "t");
         assert_eq!(r.with_code("DL002").count(), 2, "{}", r.render());
 
+        // An empty rank used to be merely DL003 (idle worker); in graph
+        // mode the rendezvous waits for it forever, so DL006 rejects it.
         let mut p = good.clone();
         p.ranks = 3;
         let r = partition_lints().run(&p, "t");
-        assert!(r.has_code("DL003") && !r.has_errors(), "{}", r.render());
+        assert!(r.has_code("DL003"), "{}", r.render());
+        assert!(r.has_code("DL006") && r.has_errors(), "{}", r.render());
+
+        // A cut wire pointing at an out-of-plan rank dangles its relay.
+        let mut p = good.clone();
+        p.assignment = vec![0, 0, 1, 2];
+        p.ranks = 2;
+        let r = partition_lints().run(&p, "t");
+        assert!(r.has_code("DL006"), "{}", r.render());
 
         let mut p = good.clone();
         p.wires.push((0, 9, 4));

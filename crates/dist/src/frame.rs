@@ -42,6 +42,26 @@ pub enum Frame {
     Err { msg: String },
 }
 
+impl Frame {
+    /// The protocol-table message name of this frame, as used by the PV
+    /// model in `bsim_check::proto::dist_protocol`. `Data`/`Run` are
+    /// token-link traffic and never appear on the control connection the
+    /// table models; they keep their own names so a misrouted token
+    /// frame shows up as an off-alphabet event, not a silent accept.
+    pub fn event(&self) -> &'static str {
+        match self {
+            Frame::Hello { .. } => "Hello",
+            Frame::Plan { .. } => "Plan",
+            Frame::Data { .. } => "Data",
+            Frame::Run { .. } => "Run",
+            Frame::Link { .. } => "Link",
+            Frame::Cell { .. } => "Cell",
+            Frame::Done => "Done",
+            Frame::Err { .. } => "Err",
+        }
+    }
+}
+
 const TAG_HELLO: u8 = 1;
 const TAG_PLAN: u8 = 2;
 const TAG_DATA: u8 = 3;
@@ -66,14 +86,14 @@ fn put_u64(buf: &mut Vec<u8>, v: u64) {
 fn take_u32(payload: &[u8], at: usize) -> io::Result<u32> {
     payload
         .get(at..at + 4)
-        .map(|b| u32::from_le_bytes(b.try_into().expect("4-byte slice")))
+        .map(|b| u32::from_le_bytes(b.try_into().expect("4-byte slice"))) // bsim: allow(AU002) slice width is structural
         .ok_or_else(|| bad("truncated frame payload".into()))
 }
 
 fn take_u64(payload: &[u8], at: usize) -> io::Result<u64> {
     payload
         .get(at..at + 8)
-        .map(|b| u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+        .map(|b| u64::from_le_bytes(b.try_into().expect("8-byte slice"))) // bsim: allow(AU002) slice width is structural
         .ok_or_else(|| bad("truncated frame payload".into()))
 }
 
@@ -155,7 +175,7 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Frame> {
         filled += n;
     }
     let tag = head[0];
-    let len = u32::from_le_bytes(head[1..5].try_into().expect("4-byte slice")) as usize;
+    let len = u32::from_le_bytes(head[1..5].try_into().expect("4-byte slice")) as usize; // bsim: allow(AU002) slice width is structural
     if len > MAX_FRAME {
         return Err(bad(format!("{len}-byte frame exceeds MAX_FRAME")));
     }
@@ -176,7 +196,7 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Frame> {
             }
             let tokens = payload[8..]
                 .chunks_exact(8)
-                .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+                .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk"))) // bsim: allow(AU002) slice width is structural
                 .collect();
             Ok(Frame::Data { start, tokens })
         }
@@ -307,5 +327,54 @@ mod tests {
             read_frame(&mut r).expect_err("unknown tag").kind(),
             io::ErrorKind::InvalidData
         );
+    }
+
+    #[test]
+    fn control_frame_events_are_in_the_protocol_alphabet() {
+        // The runtime gates control-plane frames through the PV table by
+        // name; a frame whose `event()` drifted from the table would be
+        // rejected as off-alphabet at runtime. Data/Run are token-link
+        // traffic the control table deliberately does not model.
+        let alphabet = bsim_check::proto::dist_protocol().alphabet();
+        let control = [
+            Frame::Hello { rank: 0 },
+            Frame::Plan {
+                json: String::new(),
+            },
+            Frame::Link {
+                wire: 0,
+                producer: true,
+            },
+            Frame::Cell {
+                index: 0,
+                json: String::new(),
+            },
+            Frame::Done,
+            Frame::Err { msg: String::new() },
+        ];
+        for f in &control {
+            assert!(
+                alphabet.contains(&f.event()),
+                "{} is missing from the dist protocol alphabet",
+                f.event()
+            );
+        }
+        for f in &[
+            Frame::Data {
+                start: 0,
+                tokens: vec![],
+            },
+            Frame::Run {
+                start: 0,
+                n: 0,
+                fill: 0,
+            },
+        ] {
+            assert!(
+                !alphabet.contains(&f.event()),
+                "token traffic {} must stay off the control alphabet",
+                f.event()
+            );
+        }
     }
 }

@@ -156,7 +156,7 @@ impl<M: TickModel> RankGraph<M> {
             fast_forward,
             None,
         )
-        .expect("fresh construction performs no IO")
+        .expect("fresh construction performs no IO") // bsim: allow(AU002) invariant stated in the message
     }
 
     /// Rebuilds a partition from a [`RankCkpt`] on fresh streams,
@@ -235,6 +235,7 @@ impl<M: TickModel> RankGraph<M> {
                 None => {
                     let mut chan = TokenChannel::new(cap);
                     for at in 0..w.latency {
+                        // bsim: allow(AU002) invariant stated in the message
                         chan.push(at, 0).expect("reset window fits fresh capacity");
                     }
                     chan
@@ -412,7 +413,7 @@ impl<M: TickModel> RankGraph<M> {
                 let token = match self.in_ports[m][p] {
                     Port::Local(c) => self.chans[c]
                         .pop(cycle)
-                        .expect("a local producer is never behind the reset window"),
+                        .expect("a local producer is never behind the reset window"), // bsim: allow(AU002) invariant stated in the message
                     Port::Remote(r) => {
                         if TokenLink::buffered(&self.rxs[r]) == 0 {
                             // Flush-before-block: our peers may need our
@@ -422,7 +423,7 @@ impl<M: TickModel> RankGraph<M> {
                             }
                             self.rxs[r].ensure(1)?;
                         }
-                        self.rxs[r].pop(cycle).expect("ensured above")
+                        self.rxs[r].pop(cycle).expect("ensured above") // bsim: allow(AU002) invariant stated in the message
                     }
                 };
                 self.scratch_in[p] = token;
@@ -436,13 +437,13 @@ impl<M: TickModel> RankGraph<M> {
                         let at = self.chans[c].producer_cycle();
                         self.chans[c]
                             .push(at, token)
-                            .expect("capacity covers latency + quantum + 1");
+                            .expect("capacity covers latency + quantum + 1"); // bsim: allow(AU002) invariant stated in the message
                     }
                     Port::Remote(t) => {
                         let at = self.txs[t].producer_cycle();
                         self.txs[t]
                             .push_batch(at, &[token])
-                            .expect("sender buffering is infallible");
+                            .expect("sender buffering is infallible"); // bsim: allow(AU002) invariant stated in the message
                     }
                 }
             }
@@ -670,7 +671,7 @@ pub fn demo_ring(n: usize, seed: u64, latency: u64) -> (Vec<DemoNode>, Vec<Wire>
 /// object two schedules must agree on bit-for-bit.
 pub fn fingerprint<M: Snapshot>(models: &[M]) -> String {
     serde_json::to_string(&Value::Seq(models.iter().map(Snapshot::save).collect()))
-        .expect("shim renderer is total")
+        .expect("shim renderer is total") // bsim: allow(AU002) invariant stated in the message
 }
 
 #[cfg(test)]

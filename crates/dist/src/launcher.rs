@@ -23,6 +23,7 @@ use crate::frame::{read_frame, write_frame, Frame};
 use crate::graph::{demo_ring, fingerprint};
 use crate::plan::{lint_graph_plan, PlanSpec};
 use crate::worker;
+use bsim_check::proto::{dist_cached, Tracker};
 use bsim_core::experiments::partition_cells;
 use bsim_engine::Harness;
 use bsim_resilience::{CkptStore, PeerWatchdog};
@@ -192,19 +193,45 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 /// Serves one control connection: handshake, plan, result stream.
 /// `graph_plan` serves graph mode; otherwise the plan is the rank's
 /// not-yet-done sweep cells.
+///
+/// The connection drives the `coordinator` role of the PV-checked dist
+/// protocol table: every received frame is gated by a `Recv` transition
+/// and read failures are `Eof`/`Torn` transitions, so a peer that
+/// departs from the model is reported as a [`Event::Gone`] with the
+/// violation text, never silently tolerated.
 fn serve_conn(
     mut stream: TcpStream,
     sweep: Option<Arc<SweepShared>>,
     graph_plan: Option<Arc<dyn Fn(usize) -> PlanSpec + Send + Sync>>,
     events: mpsc::Sender<Event>,
 ) {
+    let Some(mut tracker) = Tracker::new(dist_cached(), "coordinator") else {
+        return;
+    };
     let first = match read_frame(&mut stream) {
         Ok(f) => f,
-        Err(_) => return, // the shutdown dummy connection lands here
+        Err(e) => {
+            // The shutdown dummy connection lands here: a clean EOF (or
+            // a torn read) in `accept` is a table transition to
+            // `closed`, not a protocol violation.
+            let stepped = if e.kind() == io::ErrorKind::UnexpectedEof {
+                tracker.eof()
+            } else {
+                tracker.torn()
+            };
+            debug_assert!(stepped.is_ok(), "{stepped:?}");
+            return;
+        }
     };
+    if tracker.recv(first.event()).is_err() {
+        // Off-table first frame (a stray Cell, token traffic on the
+        // control port): the table has no rule, so drop the connection.
+        return;
+    }
     let rank = match first {
         Frame::Hello { rank } => rank as usize,
         Frame::Link { wire, producer } => {
+            debug_assert!(tracker.is_terminal(), "Link must land in relaying");
             let _ = events.send(Event::Link {
                 wire,
                 producer,
@@ -245,29 +272,49 @@ fn serve_conn(
         return;
     }
     loop {
-        match read_frame(&mut stream) {
-            Ok(Frame::Cell { index, json }) => {
-                let _ = events.send(Event::Cell { rank, index, json });
-            }
-            Ok(Frame::Done) => {
-                let _ = events.send(Event::Done { rank });
-                return;
-            }
-            Ok(Frame::Err { msg }) => {
-                let _ = events.send(Event::Gone { rank, why: msg });
-                return;
-            }
-            Ok(other) => {
-                let _ = events.send(Event::Gone {
-                    rank,
-                    why: format!("unexpected frame {other:?}"),
-                });
-                return;
-            }
+        let frame = match read_frame(&mut stream) {
+            Ok(f) => f,
             Err(e) => {
+                let stepped = if e.kind() == io::ErrorKind::UnexpectedEof {
+                    tracker.eof()
+                } else {
+                    tracker.torn()
+                };
+                debug_assert!(stepped.is_ok(), "{stepped:?}");
                 let _ = events.send(Event::Gone {
                     rank,
                     why: e.to_string(),
+                });
+                return;
+            }
+        };
+        if let Err(v) = tracker.recv(frame.event()) {
+            let _ = events.send(Event::Gone {
+                rank,
+                why: v.to_string(),
+            });
+            return;
+        }
+        match frame {
+            Frame::Cell { index, json } => {
+                let _ = events.send(Event::Cell { rank, index, json });
+            }
+            Frame::Done => {
+                debug_assert!(tracker.is_terminal());
+                let _ = events.send(Event::Done { rank });
+                return;
+            }
+            Frame::Err { msg } => {
+                debug_assert!(tracker.is_terminal());
+                let _ = events.send(Event::Gone { rank, why: msg });
+                return;
+            }
+            other => {
+                // Unreachable while the table matches this match: any
+                // frame the table rejects already returned above.
+                let _ = events.send(Event::Gone {
+                    rank,
+                    why: format!("unexpected frame {other:?}"),
                 });
                 return;
             }
@@ -452,6 +499,7 @@ pub fn run_sweep(
     })();
 
     acceptor.shutdown();
+    // bsim: allow(AU003) kill/wait order does not affect results
     for (_, mut child) in children.drain() {
         match &mut child {
             Spawned::Proc(_) => child.kill_and_reap(),
@@ -604,6 +652,7 @@ pub fn run_graph_demo(
     })();
 
     acceptor.shutdown();
+    // bsim: allow(AU003) kill/wait order does not affect results
     for (_, mut child) in children.drain() {
         match &mut child {
             Spawned::Proc(_) => child.kill_and_reap(),

@@ -400,7 +400,7 @@ impl<R: Read> TokenLink<u64> for RemoteReceiver<R> {
         let want = (out.len() as u64).min(self.buffered);
         let mut wrote = 0usize;
         while (wrote as u64) < want {
-            let (token, count) = self.runs.front_mut().expect("buffered count says more");
+            let (token, count) = self.runs.front_mut().expect("buffered count says more"); // bsim: allow(AU002) invariant stated in the message
             let take = (*count).min(want - wrote as u64);
             for slot in out[wrote..wrote + take as usize].iter_mut() {
                 *slot = *token;
@@ -430,7 +430,7 @@ impl<R: Read> TokenLink<u64> for RemoteReceiver<R> {
         );
         let mut left = n;
         while left > 0 {
-            let (_, count) = self.runs.front_mut().expect("buffered count says more");
+            let (_, count) = self.runs.front_mut().expect("buffered count says more"); // bsim: allow(AU002) invariant stated in the message
             let take = (*count).min(left);
             *count -= take;
             left -= take;

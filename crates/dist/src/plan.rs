@@ -119,7 +119,10 @@ impl PlanSpec {
     }
 }
 
-/// Runs the `DL`-series partition lints over a graph-mode plan shape.
+/// Runs the `DL`-series partition lints plus the `DD`-series cross-rank
+/// deadlock analysis over a graph-mode plan shape. Graph mode always
+/// runs with fast-forward enabled ([`crate::graph::RankGraph::new`] is
+/// called with `ff = true`), so the DD pass licenses accordingly.
 pub fn lint_graph_plan(
     ranks: usize,
     assignment: &[usize],
@@ -135,7 +138,9 @@ pub fn lint_graph_plan(
             .collect(),
         quantum,
     };
-    partition_lints().run(&spec, "dist.plan")
+    let mut report = partition_lints().run(&spec, "dist.plan");
+    report.merge(bsim_check::dd::analyze_partition(&spec, true, "dist.plan"));
+    report
 }
 
 #[cfg(test)]
@@ -179,9 +184,13 @@ mod tests {
         assert!(lint_graph_plan(2, &[0, 0, 1, 1], &wires, 16).is_clean());
         // A model on a rank that does not exist is a DL001 error.
         assert!(lint_graph_plan(2, &[0, 0, 1, 5], &wires, 16).has_errors());
-        // Cut latency below the quantum serializes the link: DL005.
+        // Cut latency below the quantum serializes the link: DL005,
+        // and the DD pass piles on — the rank cycle is shorter than
+        // the quantum (DD002) and fast-forward can overrun the slack
+        // (DD004). All warnings; the plan still runs.
         let (_, tight) = demo_ring(4, 1, 1);
         let report = lint_graph_plan(2, &[0, 0, 1, 1], &tight, 16);
         assert!(report.has_code("DL005") && !report.has_errors());
+        assert!(report.has_code("DD002") && report.has_code("DD004"));
     }
 }

@@ -15,10 +15,23 @@ use crate::cells::WireCell;
 use crate::frame::{read_frame, write_frame, Frame};
 use crate::graph::{demo_ring, rank_view, RankGraph};
 use crate::plan::PlanSpec;
+use bsim_check::proto::{dist_cached, Tracker, Violation};
 use bsim_resilience::snapshot::Snapshot;
 use serde::Value;
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
+
+/// A protocol-table violation on the worker side is a bug in this file,
+/// not a peer failure: the table is the specification the code below is
+/// supposed to implement. Surface it as a typed error.
+fn drift(v: Violation) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, v.to_string())
+}
+
+fn worker_tracker() -> io::Result<Tracker<'static>> {
+    Tracker::new(dist_cached(), "worker")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "dist table lacks a worker role"))
+}
 
 /// Environment variable naming the coordinator's `host:port`.
 pub const ADDR_ENV: &str = "BSIM_DIST_ADDR";
@@ -48,10 +61,33 @@ pub fn run_from_env() -> io::Result<()> {
 }
 
 /// Connects to `addr`, handshakes as `rank`, and executes one plan.
+/// The exchange drives the `worker` role of the PV-checked dist
+/// protocol table: every frame sent is preceded by a `Local` transition
+/// and every frame received is gated by a `Recv` transition, so the
+/// runtime cannot silently diverge from the model the checker explored.
 pub fn run(addr: &str, rank: usize) -> io::Result<()> {
+    let mut tracker = worker_tracker()?;
     let mut control = TcpStream::connect(addr)?;
+    tracker.local("hello").map_err(drift)?;
     write_frame(&mut control, &Frame::Hello { rank: rank as u32 })?;
-    let json = match read_frame(&mut control)? {
+    let frame = match read_frame(&mut control) {
+        Ok(f) => f,
+        Err(e) => {
+            // Peer loss while awaiting the plan: a table transition to
+            // `lost` either way; surface the io error.
+            let stepped = if e.kind() == io::ErrorKind::UnexpectedEof {
+                tracker.eof()
+            } else {
+                tracker.torn()
+            };
+            debug_assert!(stepped.is_ok(), "{stepped:?}");
+            return Err(e);
+        }
+    };
+    if let Err(v) = tracker.recv(frame.event()) {
+        return Err(drift(v));
+    }
+    let json = match frame {
         Frame::Plan { json } => json,
         other => {
             return Err(io::Error::new(
@@ -62,11 +98,13 @@ pub fn run(addr: &str, rank: usize) -> io::Result<()> {
     };
     let Some(plan) = PlanSpec::decode(&json) else {
         let msg = format!("rank {rank}: undecodable plan");
+        let stepped = tracker.local("error");
+        debug_assert!(stepped.is_ok(), "{stepped:?}");
         let _ = write_frame(&mut control, &Frame::Err { msg: msg.clone() });
         return Err(io::Error::new(io::ErrorKind::InvalidData, msg));
     };
     match plan {
-        PlanSpec::Sweep { cells } => run_sweep(&mut control, rank, &cells),
+        PlanSpec::Sweep { cells } => run_sweep(&mut control, &mut tracker, rank, &cells),
         PlanSpec::Graph {
             ring,
             latency,
@@ -77,6 +115,7 @@ pub fn run(addr: &str, rank: usize) -> io::Result<()> {
             rank: plan_rank,
         } => run_graph(
             &mut control,
+            &mut tracker,
             addr,
             plan_rank,
             ring,
@@ -89,29 +128,43 @@ pub fn run(addr: &str, rank: usize) -> io::Result<()> {
     }
 }
 
-fn run_sweep(control: &mut TcpStream, rank: usize, cells: &[(u32, WireCell)]) -> io::Result<()> {
+fn run_sweep(
+    control: &mut TcpStream,
+    tracker: &mut Tracker<'_>,
+    rank: usize,
+    cells: &[(u32, WireCell)],
+) -> io::Result<()> {
     for (index, cell) in cells {
         match cell.run() {
-            Ok(tree) => write_frame(
-                control,
-                &Frame::Cell {
-                    index: *index,
-                    json: serde_json::to_string(&tree).expect("shim renderer is total"),
-                },
-            )?,
+            Ok(tree) => {
+                tracker.local("cell").map_err(drift)?;
+                write_frame(
+                    control,
+                    &Frame::Cell {
+                        index: *index,
+                        json: serde_json::to_string(&tree).expect("shim renderer is total"),
+                    },
+                )?
+            }
             Err(why) => {
                 let msg = format!("rank {rank}: cell {}: {why}", cell.label());
+                let stepped = tracker.local("error");
+                debug_assert!(stepped.is_ok(), "{stepped:?}");
                 let _ = write_frame(control, &Frame::Err { msg: msg.clone() });
                 return Err(io::Error::new(io::ErrorKind::InvalidInput, msg));
             }
         }
     }
-    write_frame(control, &Frame::Done)
+    tracker.local("done").map_err(drift)?;
+    write_frame(control, &Frame::Done)?;
+    debug_assert!(tracker.is_terminal(), "worker left the table mid-exchange");
+    Ok(())
 }
 
 #[allow(clippy::too_many_arguments)]
 fn run_graph(
     control: &mut TcpStream,
+    tracker: &mut Tracker<'_>,
     addr: &str,
     rank: usize,
     ring: usize,
@@ -126,29 +179,25 @@ fn run_graph(
     // One extra connection per cut wire, introduced by a Link frame so
     // the coordinator can pair producer and consumer ends and relay
     // bytes between them.
+    // Each link connection is its own protocol session: a fresh tracker
+    // takes the `connect --link--> piping` transition and parks in the
+    // `piping` terminal, after which the socket carries raw token frames
+    // the control table deliberately does not model.
+    let connect_link = |wire: u32, producer: bool| -> io::Result<TcpStream> {
+        let mut link = worker_tracker()?;
+        link.local("link").map_err(drift)?;
+        debug_assert!(link.is_terminal());
+        let mut s = TcpStream::connect(addr)?;
+        write_frame(&mut s, &Frame::Link { wire, producer })?;
+        Ok(s)
+    };
     let mut out_streams: Vec<Box<dyn Write + Send>> = Vec::with_capacity(view.outs.len());
     for cut in &view.outs {
-        let mut s = TcpStream::connect(addr)?;
-        write_frame(
-            &mut s,
-            &Frame::Link {
-                wire: cut.wire as u32,
-                producer: true,
-            },
-        )?;
-        out_streams.push(Box::new(s));
+        out_streams.push(Box::new(connect_link(cut.wire as u32, true)?));
     }
     let mut in_streams: Vec<Box<dyn Read + Send>> = Vec::with_capacity(view.ins.len());
     for cut in &view.ins {
-        let mut s = TcpStream::connect(addr)?;
-        write_frame(
-            &mut s,
-            &Frame::Link {
-                wire: cut.wire as u32,
-                producer: false,
-            },
-        )?;
-        in_streams.push(Box::new(s));
+        in_streams.push(Box::new(connect_link(cut.wire as u32, false)?));
     }
     let local: Vec<_> = view
         .local_models
@@ -166,6 +215,7 @@ fn run_graph(
             .map(|(&g, m)| (g.to_string(), m.save()))
             .collect(),
     );
+    tracker.local("cell").map_err(drift)?;
     write_frame(
         control,
         &Frame::Cell {
@@ -173,5 +223,8 @@ fn run_graph(
             json: serde_json::to_string(&states).expect("shim renderer is total"),
         },
     )?;
-    write_frame(control, &Frame::Done)
+    tracker.local("done").map_err(drift)?;
+    write_frame(control, &Frame::Done)?;
+    debug_assert!(tracker.is_terminal(), "worker left the table mid-exchange");
+    Ok(())
 }

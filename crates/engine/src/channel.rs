@@ -159,7 +159,7 @@ impl<T> TokenChannel<T> {
         }
         let n = out.len().min(self.queue.len());
         for slot in out[..n].iter_mut() {
-            *slot = self.queue.pop_front().expect("length checked");
+            *slot = self.queue.pop_front().expect("length checked"); // bsim: allow(AU002) invariant stated in the message
         }
         self.next_pop_cycle += n as u64;
         Ok(n)

@@ -291,7 +291,7 @@ impl<M: TickModel> Harness<M> {
                 let mut ch = TokenChannel::new(w.latency as usize + quantum);
                 // Reset tokens: the first `latency` cycles read zeros.
                 for c in 0..w.latency {
-                    ch.push(c, 0).expect("reset tokens fit by construction");
+                    ch.push(c, 0).expect("reset tokens fit by construction"); // bsim: allow(AU002) invariant stated in the message
                 }
                 SharedChannel::wrap(ch)
             })
@@ -336,7 +336,7 @@ impl<M: TickModel> Harness<M> {
             .map(|w| {
                 let mut ch = TokenChannel::new(w.latency as usize + 1);
                 for c in 0..w.latency {
-                    ch.push(c, 0).expect("reset tokens fit by construction");
+                    ch.push(c, 0).expect("reset tokens fit by construction"); // bsim: allow(AU002) invariant stated in the message
                 }
                 ch
             })
@@ -413,7 +413,7 @@ impl<M: TickModel> Harness<M> {
             }
             for mi in 0..n {
                 for &(wi, port) in &ins[mi] {
-                    inputs[mi][port] = channels[wi].pop(cycle).expect("sequential order is safe");
+                    inputs[mi][port] = channels[wi].pop(cycle).expect("sequential order is safe"); // bsim: allow(AU002) invariant stated in the message
                     tokens[wi] += 1;
                 }
                 // A model alone may also skip: its promise covers any
@@ -436,7 +436,7 @@ impl<M: TickModel> Harness<M> {
                 for &(wi, port, latency) in &outs[mi] {
                     channels[wi]
                         .push(cycle + latency, outputs[mi][port])
-                        .expect("sequential order is safe");
+                        .expect("sequential order is safe"); // bsim: allow(AU002) invariant stated in the message
                 }
             }
             cycle += 1;
@@ -1043,14 +1043,14 @@ fn run_span<M: TickModel>(
         // scope waits for it.
         done.store(true, Ordering::Release);
     })
-    .expect("model thread panicked");
+    .expect("model thread panicked"); // bsim: allow(AU002) invariant stated in the message
 
     if let Some(payload) = abort.take() {
         if payload.is::<StallMarker>() {
             let report = stall_report
                 .lock()
                 .take()
-                .expect("watchdog stores its report before poisoning");
+                .expect("watchdog stores its report before poisoning"); // bsim: allow(AU002) invariant stated in the message
             return Err(RunFailure::Stalled(report));
         }
         return Err(RunFailure::Panicked(payload));
@@ -1072,7 +1072,7 @@ fn watchdog_loop(
     slot: &Mutex<Option<StallReport>>,
 ) {
     let mut last_epoch = epoch.load(Ordering::Relaxed);
-    let mut deadline = Instant::now() + cfg.budget;
+    let mut deadline = Instant::now() + cfg.budget; // bsim: allow(AU004) watchdog measures host stall, not target time
     loop {
         std::thread::sleep(cfg.poll);
         if done.load(Ordering::Acquire) || abort.is_poisoned() {
@@ -1081,9 +1081,10 @@ fn watchdog_loop(
         let e = epoch.load(Ordering::Relaxed);
         if e != last_epoch {
             last_epoch = e;
-            deadline = Instant::now() + cfg.budget;
+            deadline = Instant::now() + cfg.budget; // bsim: allow(AU004) watchdog measures host stall, not target time
             continue;
         }
+        // bsim: allow(AU004) watchdog measures host stall, not target time
         if Instant::now() < deadline {
             continue;
         }
@@ -1367,7 +1368,7 @@ fn drive_model<M: TickModel>(
             for (ii, &(_, port)) in my_in.iter().enumerate() {
                 let token = staged[ii]
                     .pop_front()
-                    .expect("batch bounded by stage depth");
+                    .expect("batch bounded by stage depth"); // bsim: allow(AU002) invariant stated in the message
                 all_zero &= token == 0;
                 inputs[port] = token;
             }

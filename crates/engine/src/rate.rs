@@ -51,7 +51,7 @@ impl SimRateMeter {
         let mut counters = CounterBlock::new(true);
         let cycles_id = counters.register(RATE_TARGET_CYCLES);
         SimRateMeter {
-            started: Instant::now(),
+            started: Instant::now(), // bsim: allow(AU004) host-perf meter: host seconds by design
             counters,
             cycles_id,
         }

@@ -58,7 +58,9 @@ impl Memory {
         if off + N <= PAGE_SIZE {
             // Fast path: within one page.
             match self.pages.get(&(addr >> PAGE_BITS)) {
-                Some(p) => p[off..off + N].try_into().unwrap(),
+                Some(p) => p[off..off + N]
+                    .try_into()
+                    .expect("slice is exactly N bytes"),
                 None => [0u8; N],
             }
         } else {

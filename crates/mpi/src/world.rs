@@ -283,7 +283,7 @@ impl RankCtx {
     pub fn recv_f64s(&mut self, src: usize, tag: u32) -> Vec<f64> {
         let raw = self.recv(src, tag);
         raw.chunks_exact(8)
-            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .map(|c| f64::from_le_bytes(c.try_into().expect("chunks_exact yields full chunks")))
             .collect()
     }
 

@@ -13,8 +13,10 @@ use bsim_check::Report;
 /// Contiguous block assignment of `cores` core models to `ranks`
 /// partitions: neighboring cores exchange the most ring traffic, so
 /// blocks keep the heavy wires in-process and only the block seams
-/// become socket links. Ranks beyond the core count are left empty
-/// (and flagged DL003 by [`plan_cores`]).
+/// become socket links. Ranks beyond the core count get no cores;
+/// [`plan_cores`] shrinks the plan to the effective rank count so an
+/// oversubscribed request never produces a rank whose rendezvous would
+/// wait forever (the DL006 error).
 pub fn core_assignment(cores: usize, ranks: usize) -> Vec<usize> {
     assert!(ranks >= 1);
     let eff = ranks.min(cores.max(1));
@@ -27,14 +29,19 @@ pub fn core_assignment(cores: usize, ranks: usize) -> Vec<usize> {
 
 /// Builds and lints the partition plan for a `cores`-core SoC whose
 /// cores are ringed by `link_latency`-cycle wires, batched at
-/// `quantum`. The returned [`Report`] carries any DL findings; an
-/// errored report means the plan must not launch.
+/// `quantum`. A `ranks` beyond the core count is clamped to the core
+/// count — extra ranks would own no models and deadlock at the link
+/// rendezvous (DL006). The returned [`Report`] carries any DL findings
+/// plus the DD-series cross-rank deadlock analysis; an errored report
+/// means the plan must not launch.
 pub fn plan_cores(
     cores: usize,
     ranks: usize,
     link_latency: u64,
     quantum: usize,
 ) -> (PartitionSpec, Report) {
+    assert!(ranks >= 1);
+    let eff = ranks.min(cores.max(1));
     let wires = if cores > 1 {
         (0..cores)
             .map(|i| (i, (i + 1) % cores, link_latency))
@@ -43,12 +50,19 @@ pub fn plan_cores(
         Vec::new()
     };
     let spec = PartitionSpec {
-        ranks,
-        assignment: core_assignment(cores, ranks),
+        ranks: eff,
+        assignment: core_assignment(cores, eff),
         wires,
         quantum,
     };
-    let report = partition_lints().run(&spec, "soc.partition");
+    let mut report = partition_lints().run(&spec, "soc.partition");
+    // Graph execution always fast-forwards (`RankGraph::new(.., true)`),
+    // so the deadlock analysis licenses the same way.
+    report.merge(bsim_check::dd::analyze_partition(
+        &spec,
+        true,
+        "soc.partition",
+    ));
     (spec, report)
 }
 
@@ -81,8 +95,14 @@ mod tests {
     }
 
     #[test]
-    fn oversubscribed_ranks_draw_dl003() {
-        let (_, report) = plan_cores(2, 4, 16, 8);
-        assert!(report.has_code("DL003"), "{report}");
+    fn oversubscribed_ranks_are_clamped_to_the_core_count() {
+        // 2 cores cannot feed 4 ranks; the plan shrinks to 2 ranks
+        // rather than shipping empty ranks that would deadlock at the
+        // link rendezvous (DL006) or merely idle (DL003).
+        let (spec, report) = plan_cores(2, 4, 16, 8);
+        assert_eq!(spec.ranks, 2);
+        assert!(!report.has_code("DL003"), "{report}");
+        assert!(!report.has_code("DL006"), "{report}");
+        assert!(!report.has_errors(), "{report}");
     }
 }

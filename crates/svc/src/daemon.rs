@@ -40,6 +40,7 @@
 use crate::proto;
 use crate::request::{Cell, CellSpec, SvcRequest};
 use crate::store::ResultStore;
+use bsim_check::proto::Tracker;
 use bsim_check::Report;
 use bsim_core::{run_grid_resilient, CellOutcome, Parallelism, RetryPolicy};
 use bsim_dist::launcher::{run_sweep as dist_sweep, LaunchOpts, WorkerSpawn};
@@ -498,7 +499,7 @@ fn render_body(cells: &[Cell], outcomes: &[CellOutcome<Value>]) -> String {
         ("schema".into(), Value::Str(crate::key::STORE_SCHEMA.into())),
         ("cells".into(), Value::Seq(entries)),
     ]);
-    serde_json::to_string_pretty(&doc).expect("shim renderer is total")
+    serde_json::to_string_pretty(&doc).expect("shim renderer is total") // bsim: allow(AU002) invariant stated in the message
 }
 
 fn render_failure(cells: &[Cell], outcomes: &[CellOutcome<Value>]) -> String {
@@ -522,7 +523,7 @@ fn render_failure(cells: &[Cell], outcomes: &[CellOutcome<Value>]) -> String {
         ),
         ("failed_cells".into(), Value::Seq(entries)),
     ]);
-    serde_json::to_string_pretty(&doc).expect("shim renderer is total")
+    serde_json::to_string_pretty(&doc).expect("shim renderer is total") // bsim: allow(AU002) invariant stated in the message
 }
 
 fn metrics_json(shared: &Shared) -> String {
@@ -557,13 +558,47 @@ fn metrics_json(shared: &Shared) -> String {
             .map(|(name, v)| (name.to_string(), Value::U64(v)))
             .collect(),
     );
-    serde_json::to_string_pretty(&doc).expect("shim renderer is total")
+    serde_json::to_string_pretty(&doc).expect("shim renderer is total") // bsim: allow(AU002) invariant stated in the message
 }
 
 fn respond(stream: &mut TcpStream, status: u16, reason: &str, body: &str) {
     if let Err(e) = proto::write_response(stream, status, reason, body) {
         log_conn("writing response", &e);
     }
+}
+
+/// Respond *through* the protocol table: the daemon's current table state
+/// plus the response's message class name the `Local` transition that must
+/// exist for this response to be legal. A miss means the handler drifted
+/// from the model — logged (and asserted in debug builds), never served
+/// differently, so the model checker's view and the wire stay aligned.
+fn respond_tracked(
+    tracker: &mut Tracker<'_>,
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    body: &str,
+) {
+    let tag = match (tracker.state(), proto::response_event(status)) {
+        ("submitted", "Ok") => "accept",
+        ("submitted", "Busy") => "busy",
+        ("submitted", _) => "reject",
+        ("queried", "Ok") => "found",
+        ("queried", _) => "missing",
+        ("admin", _) => "ack",
+        // Already terminal (the `Bad` transition responded on receipt).
+        _ => "",
+    };
+    if !tag.is_empty() {
+        match tracker.local(tag) {
+            Ok(send) => debug_assert_eq!(send, Some(proto::response_event(status))),
+            Err(v) => {
+                debug_assert!(false, "response drifted from the protocol table: {v}");
+                eprintln!("svc: {v}");
+            }
+        }
+    }
+    respond(stream, status, reason, body);
 }
 
 fn json_line(fields: &[(&str, Value)]) -> String {
@@ -573,10 +608,15 @@ fn json_line(fields: &[(&str, Value)]) -> String {
             .map(|(k, v)| (k.to_string(), v.clone()))
             .collect(),
     );
-    serde_json::to_string(&doc).expect("shim renderer is total")
+    serde_json::to_string(&doc).expect("shim renderer is total") // bsim: allow(AU002) invariant stated in the message
 }
 
 fn handle(shared: &Arc<Shared>, mut stream: TcpStream) {
+    let Some(mut tracker) = Tracker::new(bsim_check::proto::svc_cached(), "daemon") else {
+        // Unreachable for the built-in table; degrade to a served error.
+        respond(&mut stream, 500, "Internal Server Error", "{}");
+        return;
+    };
     let peer = match stream.try_clone() {
         Ok(p) => p,
         Err(e) => {
@@ -587,25 +627,50 @@ fn handle(shared: &Arc<Shared>, mut stream: TcpStream) {
     let req = match proto::read_request(&mut BufReader::new(peer)) {
         Ok(r) => r,
         // Torn or half-closed connection: nothing to respond to, and
-        // nothing worth panicking over — log it and keep serving.
+        // nothing worth panicking over — a table transition to `lost`,
+        // logged, and the daemon keeps serving.
         Err(e) => {
+            let stepped = if e.kind() == io::ErrorKind::UnexpectedEof {
+                tracker.eof()
+            } else {
+                tracker.torn()
+            };
+            debug_assert!(stepped.is_ok(), "{stepped:?}");
             log_conn("reading request", &e);
             return;
         }
     };
-    match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/submit") => handle_submit(shared, &mut stream, &req.body),
-        ("GET", path) if path.strip_prefix("/status/").is_some() => {
-            handle_status(shared, &mut stream, path.strip_prefix("/status/").unwrap())
-        }
-        ("GET", path) if path.strip_prefix("/fetch/").is_some() => {
-            handle_fetch(shared, &mut stream, path.strip_prefix("/fetch/").unwrap())
-        }
-        ("GET", "/metrics") => {
+    // The table is the dispatcher: the request's message class must have a
+    // transition out of `read`, and handlers answer through the table too
+    // (`respond_tracked`), so model and implementation cannot drift.
+    let ev = req.event();
+    if let Err(v) = tracker.recv(ev) {
+        debug_assert!(false, "request classification drifted from the table: {v}");
+        eprintln!("svc: {v}");
+        respond(&mut stream, 400, "Bad Request", "{}");
+        return;
+    }
+    match ev {
+        "Submit" => handle_submit(shared, &mut tracker, &mut stream, &req.body),
+        "Status" => handle_status(
+            shared,
+            &mut tracker,
+            &mut stream,
+            req.path.strip_prefix("/status/").unwrap_or_default(),
+        ),
+        "Fetch" => handle_fetch(
+            shared,
+            &mut tracker,
+            &mut stream,
+            req.path.strip_prefix("/fetch/").unwrap_or_default(),
+        ),
+        "Metrics" => {
             let body = metrics_json(shared);
-            respond(&mut stream, 200, "OK", &body);
+            respond_tracked(&mut tracker, &mut stream, 200, "OK", &body);
         }
-        ("POST", "/shutdown") => handle_shutdown(shared, &mut stream),
+        "Shutdown" => handle_shutdown(shared, &mut tracker, &mut stream),
+        // `Bad`: the Recv transition already moved the table to `closed`
+        // with a Reject-class send — exactly what a 404 is.
         _ => respond(
             &mut stream,
             404,
@@ -616,9 +681,15 @@ fn handle(shared: &Arc<Shared>, mut stream: TcpStream) {
             )]),
         ),
     }
+    debug_assert!(tracker.is_terminal(), "handler left the table mid-exchange");
 }
 
-fn handle_submit(shared: &Arc<Shared>, stream: &mut TcpStream, body: &str) {
+fn handle_submit(
+    shared: &Arc<Shared>,
+    tracker: &mut Tracker<'_>,
+    stream: &mut TcpStream,
+    body: &str,
+) {
     let checked = SvcRequest::parse(body).and_then(|r| {
         let report = r.preflight(shared.cfg.budget);
         if report.has_errors() {
@@ -631,12 +702,13 @@ fn handle_submit(shared: &Arc<Shared>, stream: &mut TcpStream, body: &str) {
         Ok(r) => r,
         Err(report) => {
             shared.stats.rejected.fetch_add(1, Ordering::SeqCst);
-            respond(stream, 400, "Bad Request", &report.to_json());
+            respond_tracked(tracker, stream, 400, "Bad Request", &report.to_json());
             return;
         }
     };
     if shared.shutdown.load(Ordering::SeqCst) {
-        respond(
+        respond_tracked(
+            tracker,
             stream,
             503,
             "Service Unavailable",
@@ -662,7 +734,8 @@ fn handle_submit(shared: &Arc<Shared>, stream: &mut TcpStream, body: &str) {
         shared.jobs_cv.notify_all();
         id
     };
-    respond(
+    respond_tracked(
+        tracker,
         stream,
         202,
         "Accepted",
@@ -674,11 +747,17 @@ fn handle_submit(shared: &Arc<Shared>, stream: &mut TcpStream, body: &str) {
     );
 }
 
-fn handle_status(shared: &Arc<Shared>, stream: &mut TcpStream, id: &str) {
+fn handle_status(
+    shared: &Arc<Shared>,
+    tracker: &mut Tracker<'_>,
+    stream: &mut TcpStream,
+    id: &str,
+) {
     let jobs = lock(&shared.jobs);
     let Some(job) = jobs.table.iter().find(|j| j.id == id) else {
         drop(jobs);
-        respond(
+        respond_tracked(
+            tracker,
             stream,
             404,
             "Not Found",
@@ -701,14 +780,15 @@ fn handle_status(shared: &Arc<Shared>, stream: &mut TcpStream, id: &str) {
         ),
     ]);
     drop(jobs);
-    respond(stream, 200, "OK", &body);
+    respond_tracked(tracker, stream, 200, "OK", &body);
 }
 
-fn handle_fetch(shared: &Arc<Shared>, stream: &mut TcpStream, id: &str) {
+fn handle_fetch(shared: &Arc<Shared>, tracker: &mut Tracker<'_>, stream: &mut TcpStream, id: &str) {
     let jobs = lock(&shared.jobs);
     let Some(job) = jobs.table.iter().find(|j| j.id == id) else {
         drop(jobs);
-        respond(
+        respond_tracked(
+            tracker,
             stream,
             404,
             "Not Found",
@@ -728,13 +808,15 @@ fn handle_fetch(shared: &Arc<Shared>, stream: &mut TcpStream, id: &str) {
         json_line(&[("error", Value::Str("job finished without a body".into()))])
     });
     match state {
-        JobState::Done => respond(stream, 200, "OK", &body),
-        JobState::Failed => respond(stream, 500, "Internal Server Error", &body),
-        JobState::Queued | JobState::Running => respond(stream, 202, "Accepted", &pending),
+        JobState::Done => respond_tracked(tracker, stream, 200, "OK", &body),
+        JobState::Failed => respond_tracked(tracker, stream, 500, "Internal Server Error", &body),
+        JobState::Queued | JobState::Running => {
+            respond_tracked(tracker, stream, 202, "Accepted", &pending)
+        }
     }
 }
 
-fn handle_shutdown(shared: &Arc<Shared>, stream: &mut TcpStream) {
+fn handle_shutdown(shared: &Arc<Shared>, tracker: &mut Tracker<'_>, stream: &mut TcpStream) {
     shared.shutdown.store(true, Ordering::SeqCst);
     shared.jobs_cv.notify_all();
     // Drain: every queued job still runs to completion before the store
@@ -765,7 +847,7 @@ fn handle_shutdown(shared: &Arc<Shared>, stream: &mut TcpStream) {
             ("error", Value::Str(e.to_string())),
         ]),
     };
-    respond(stream, 200, "OK", &body);
+    respond_tracked(tracker, stream, 200, "OK", &body);
     // Unblock the accept loop: it re-checks the shutdown flag per
     // connection, so one wake-up connection to ourselves ends it.
     TcpStream::connect(shared.self_addr).ok();

@@ -5,6 +5,7 @@
 //! wire layer uses nothing beyond the standard library and the
 //! in-tree serde_json shim.
 
+use bsim_check::proto::{svc_cached, Tracker, Violation};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::Duration;
@@ -15,6 +16,41 @@ pub struct Request {
     pub method: String,
     pub path: String,
     pub body: String,
+}
+
+impl Request {
+    /// The protocol-table message this request is, as named by the PV
+    /// model in `bsim_check::proto::svc_protocol`. Total: anything the
+    /// table does not know is `Bad`, which the daemon answers with a
+    /// `Reject`-class response.
+    pub fn event(&self) -> &'static str {
+        classify(&self.method, &self.path)
+    }
+}
+
+fn classify(method: &str, path: &str) -> &'static str {
+    match (method, path) {
+        ("POST", "/submit") => "Submit",
+        ("GET", p) if p.starts_with("/status/") => "Status",
+        ("GET", p) if p.starts_with("/fetch/") => "Fetch",
+        ("GET", "/metrics") => "Metrics",
+        ("POST", "/shutdown") => "Shutdown",
+        _ => "Bad",
+    }
+}
+
+/// The protocol-table message class of a response status: 2xx is `Ok`,
+/// 503 is `Busy` (drain/overload), everything else is `Reject`.
+pub fn response_event(status: u16) -> &'static str {
+    match status {
+        200..=299 => "Ok",
+        503 => "Busy",
+        _ => "Reject",
+    }
+}
+
+fn drift(v: Violation) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, v.to_string())
 }
 
 fn bad(detail: impl Into<String>) -> io::Error {
@@ -143,7 +179,24 @@ pub fn read_response(reader: &mut impl BufRead) -> io::Result<(u16, String)> {
 /// Client side: one round trip — connect, send, read the framed
 /// response. Returns `(status, body)`. A read timeout keeps a wedged
 /// daemon from hanging the client forever.
+///
+/// The exchange drives the `client` role of the PV-checked protocol
+/// table: the request classification and the response handling are both
+/// table transitions, so a client move the model does not allow fails
+/// here as a typed error instead of silently diverging from the model.
 pub fn roundtrip(addr: &str, method: &str, path: &str, body: &str) -> io::Result<(u16, String)> {
+    let mut tracker = Tracker::new(svc_cached(), "client").ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidData, "svc table lacks a client role")
+    })?;
+    let tag = match classify(method, path) {
+        "Submit" => "submit",
+        "Status" => "status",
+        "Fetch" => "fetch",
+        "Metrics" => "metrics",
+        "Shutdown" => "shutdown",
+        _ => "bad",
+    };
+    tracker.local(tag).map_err(drift)?;
     let mut stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(Duration::from_secs(120)))?;
     write!(
@@ -153,7 +206,24 @@ pub fn roundtrip(addr: &str, method: &str, path: &str, body: &str) -> io::Result
         body.len()
     )?;
     stream.flush()?;
-    read_response(&mut BufReader::new(stream))
+    match read_response(&mut BufReader::new(stream)) {
+        Ok((status, body)) => {
+            tracker.recv(response_event(status)).map_err(drift)?;
+            debug_assert!(tracker.is_terminal());
+            Ok((status, body))
+        }
+        Err(e) => {
+            // Peer loss: clean EOF between frames vs anything torn. Both
+            // are table transitions to `lost`; surface the io error.
+            let stepped = if e.kind() == io::ErrorKind::UnexpectedEof {
+                tracker.eof()
+            } else {
+                tracker.torn()
+            };
+            debug_assert!(stepped.is_ok(), "{stepped:?}");
+            Err(e)
+        }
+    }
 }
 
 #[cfg(test)]

@@ -227,7 +227,9 @@ pub fn run(soc: SocConfig, ranks: usize, cfg: ChainConfig, net: NetConfig) -> Ch
                     }
                     let slo = (src * per).min(n);
                     for (k, c) in payload.chunks_exact(8).enumerate() {
-                        sys.pos[slo + k / 3][k % 3] = f64::from_le_bytes(c.try_into().unwrap());
+                        sys.pos[slo + k / 3][k % 3] = f64::from_le_bytes(
+                            c.try_into().expect("chunks_exact yields full chunks"),
+                        );
                     }
                 }
             }
@@ -236,11 +238,12 @@ pub fn run(soc: SocConfig, ranks: usize, cfg: ChainConfig, net: NetConfig) -> Ch
         // Reduce max bond extension for the sanity check.
         let mb = ctx.allreduce_f64(&[max_bond], ReduceOp::Max)[0];
         if rank == 0 {
-            *out.lock().unwrap() = (e_first, e_last, mb);
+            *out.lock().unwrap_or_else(|e| e.into_inner()) = (e_first, e_last, mb);
         }
     });
 
-    let (initial_energy, final_energy, max_bond) = out.into_inner().unwrap();
+    let (initial_energy, final_energy, max_bond) =
+        out.into_inner().unwrap_or_else(|e| e.into_inner());
     ChainResult {
         report,
         initial_energy,

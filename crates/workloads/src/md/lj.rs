@@ -194,18 +194,20 @@ pub fn run(soc: SocConfig, ranks: usize, cfg: LjConfig, net: NetConfig) -> LjRes
                     }
                     let slo = (src * per).min(n);
                     for (k, c) in payload.chunks_exact(8).enumerate() {
-                        sys.pos[slo + k / 3][k % 3] = f64::from_le_bytes(c.try_into().unwrap());
+                        sys.pos[slo + k / 3][k % 3] = f64::from_le_bytes(
+                            c.try_into().expect("chunks_exact yields full chunks"),
+                        );
                     }
                 }
             }
         }
 
         if rank == 0 {
-            *out.lock().unwrap() = (energy_first, energy_last);
+            *out.lock().unwrap_or_else(|e| e.into_inner()) = (energy_first, energy_last);
         }
     });
 
-    let (initial_energy, final_energy) = out.into_inner().unwrap();
+    let (initial_energy, final_energy) = out.into_inner().unwrap_or_else(|e| e.into_inner());
     LjResult {
         report,
         initial_energy,

@@ -252,18 +252,20 @@ pub fn run(soc: SocConfig, ranks: usize, cfg: CgConfig, net: NetConfig) -> CgRes
                     }
                     let slo = (src * rows_per).min(n);
                     for (k, c) in payload.chunks_exact(8).enumerate() {
-                        p[slo + k] = f64::from_le_bytes(c.try_into().unwrap());
+                        p[slo + k] = f64::from_le_bytes(
+                            c.try_into().expect("chunks_exact yields full chunks"),
+                        );
                     }
                 }
             }
         }
 
         if rank == 0 {
-            *out.lock().unwrap() = (initial, rho.sqrt());
+            *out.lock().unwrap_or_else(|e| e.into_inner()) = (initial, rho.sqrt());
         }
     });
 
-    let (initial, residual) = out.into_inner().unwrap();
+    let (initial, residual) = out.into_inner().unwrap_or_else(|e| e.into_inner());
     CgResult {
         report,
         residual,

@@ -152,7 +152,7 @@ pub fn run(soc: SocConfig, ranks: usize, cfg: EpConfig, net: NetConfig) -> EpRes
         v.extend_from_slice(&q);
         let total = ctx.allreduce_f64(&v, ReduceOp::Sum);
         if rank == 0 {
-            let mut t = tallies.lock().unwrap();
+            let mut t = tallies.lock().unwrap_or_else(|e| e.into_inner());
             t.0 = total[0];
             t.1 = total[1];
             t.3 = total[2] as u64;
@@ -160,7 +160,7 @@ pub fn run(soc: SocConfig, ranks: usize, cfg: EpConfig, net: NetConfig) -> EpRes
         }
     });
 
-    let t = tallies.into_inner().unwrap();
+    let t = tallies.into_inner().unwrap_or_else(|e| e.into_inner());
     EpResult {
         report,
         sx: t.0,

@@ -101,7 +101,9 @@ pub fn run(soc: SocConfig, ranks: usize, cfg: IsConfig, net: NetConfig) -> IsRes
                 let payload = std::mem::take(&mut sends[rank]);
                 payload
                     .chunks_exact(4)
-                    .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+                    .map(|c| {
+                        u32::from_le_bytes(c.try_into().expect("chunks_exact yields full chunks"))
+                    })
                     .collect()
             };
             let mut my_keys: Vec<u32> = mine_direct;
@@ -112,7 +114,9 @@ pub fn run(soc: SocConfig, ranks: usize, cfg: IsConfig, net: NetConfig) -> IsRes
                         continue;
                     }
                     for c in payload.chunks_exact(4) {
-                        my_keys.push(u32::from_le_bytes(c.try_into().unwrap()));
+                        my_keys.push(u32::from_le_bytes(
+                            c.try_into().expect("chunks_exact yields full chunks"),
+                        ));
                     }
                 }
             }
@@ -148,7 +152,7 @@ pub fn run(soc: SocConfig, ranks: usize, cfg: IsConfig, net: NetConfig) -> IsRes
                 (lo..hi).all(|k| global[k as usize] as usize == counts[(k - lo) as usize]);
             final_slice = sorted;
             if !consistent {
-                outcome.lock().unwrap().0 = false;
+                outcome.lock().unwrap_or_else(|e| e.into_inner()).0 = false;
             }
         }
 
@@ -157,12 +161,12 @@ pub fn run(soc: SocConfig, ranks: usize, cfg: IsConfig, net: NetConfig) -> IsRes
         let range_ok = final_slice
             .iter()
             .all(|&k| k / range_per == rank as u32 || (k / range_per) as usize >= ranks);
-        let mut o = outcome.lock().unwrap();
+        let mut o = outcome.lock().unwrap_or_else(|e| e.into_inner());
         o.0 &= sorted_ok && range_ok;
         o.1 += final_slice.len();
     });
 
-    let (sorted, total_keys) = outcome.into_inner().unwrap();
+    let (sorted, total_keys) = outcome.into_inner().unwrap_or_else(|e| e.into_inner());
     IsResult {
         report,
         sorted,

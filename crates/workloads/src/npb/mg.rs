@@ -229,11 +229,11 @@ pub fn run(soc: SocConfig, ranks: usize, cfg: MgConfig, net: NetConfig) -> MgRes
         }
 
         if rank == 0 {
-            *out.lock().unwrap() = (initial, final_res);
+            *out.lock().unwrap_or_else(|e| e.into_inner()) = (initial, final_res);
         }
     });
 
-    let (initial_residual, final_residual) = out.into_inner().unwrap();
+    let (initial_residual, final_residual) = out.into_inner().unwrap_or_else(|e| e.into_inner());
     MgResult {
         report,
         initial_residual,

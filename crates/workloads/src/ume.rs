@@ -271,11 +271,12 @@ pub fn run(soc: SocConfig, ranks: usize, cfg: UmeConfig, net: NetConfig) -> UmeR
 
         let totals = ctx.allreduce_f64(&[gather, inverted, area], ReduceOp::Sum);
         if rank == 0 {
-            *out.lock().unwrap() = (totals[0], totals[1], totals[2]);
+            *out.lock().unwrap_or_else(|e| e.into_inner()) = (totals[0], totals[1], totals[2]);
         }
     });
 
-    let (gather_sum, inverted_sum, total_face_area) = out.into_inner().unwrap();
+    let (gather_sum, inverted_sum, total_face_area) =
+        out.into_inner().unwrap_or_else(|e| e.into_inner());
     UmeResult {
         report,
         gather_sum,
