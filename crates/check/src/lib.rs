@@ -26,7 +26,10 @@
 //!   (`DD0xx` codes),
 //! * [`audit`] — a workspace source audit banning panicking calls,
 //!   `HashMap` iteration, and host clocks from deterministic paths
-//!   (`AU0xx` codes, `// bsim: allow(..)` waivers).
+//!   (`AU0xx` codes, `// bsim: allow(..)` waivers),
+//! * [`guard`] — overload-protection configuration lints over the
+//!   svc/dist admission, deadline, retry, and link-checksum settings
+//!   (`GD0xx` codes), run by the daemon's spawn preflight.
 //!
 //! Platform-level rules live next to the types they judge: `SC0xx`
 //! SoC-consistency and `PF0xx` paper-fidelity rules in
@@ -42,6 +45,7 @@ pub mod audit;
 pub mod dd;
 pub mod diag;
 pub mod graph;
+pub mod guard;
 pub mod lint;
 pub mod proto;
 pub mod rules;

@@ -118,7 +118,13 @@ fn ts(state: &'static str, on: Ev, next: &'static str, send: &'static str) -> Tr
 /// Message names are abstract: `Submit`/`Status`/`Fetch`/`Metrics`/
 /// `Shutdown`/`Bad` classify the request line (see `Request::event` in
 /// `bsim-svc`), and `Ok`/`Busy`/`Reject` classify the response status
-/// (2xx / 503 / everything else).
+/// (2xx / 429-and-503 / everything else). The `shed` locals model the
+/// bsim-guard admission controller: any post-read state may answer
+/// Busy when the daemon is at capacity, and clients treat Busy as a
+/// clean close (retry later), never a protocol error. Accept-level
+/// shedding (backlog full) happens before a request byte is read, so
+/// it deliberately has no transition here — that connection never
+/// enters the exchange, the same shape as an OS-level reset.
 pub fn svc_protocol() -> ProtocolSpec {
     let client = RoleSpec {
         name: "client",
@@ -162,9 +168,11 @@ pub fn svc_protocol() -> ProtocolSpec {
             t("submitted", Ev::Torn, "lost"),
             ts("queried", Ev::Local("found"), "closed", "Ok"),
             ts("queried", Ev::Local("missing"), "closed", "Reject"),
+            ts("queried", Ev::Local("shed"), "closed", "Busy"),
             t("queried", Ev::Eof, "lost"),
             t("queried", Ev::Torn, "lost"),
             ts("admin", Ev::Local("ack"), "closed", "Ok"),
+            ts("admin", Ev::Local("shed"), "closed", "Busy"),
             t("admin", Ev::Eof, "lost"),
             t("admin", Ev::Torn, "lost"),
         ],

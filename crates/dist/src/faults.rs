@@ -1,21 +1,35 @@
-//! The process-loss scenario for the `bsim faults` survival matrix.
+//! The scale-out scenarios for the `bsim faults` survival matrix.
 //!
 //! The nine in-process scenarios (`bsim-core::campaign`) cover token,
 //! model, and host-thread faults inside one address space. Scale-out
-//! adds a tenth fault class the engine cannot see from inside: an
-//! entire worker process disappearing mid-sweep. [`process_kill_scenario`]
-//! stages it for real — two worker processes, SIGKILL one after its
-//! first result, and require that the launcher respawns it and that the
-//! recovered sweep is byte-identical to the in-process schedule. It
-//! plugs straight into the campaign's [`Scenario`] row type so the CLI
-//! can append it to the matrix and `--deny-unsurvived` gates on it like
-//! any other row.
+//! adds fault classes the engine cannot see from inside:
+//!
+//! * [`process_kill_scenario`] — an entire worker process disappears
+//!   mid-sweep (real processes, SIGKILL): the launcher must respawn it
+//!   and the recovered sweep must be byte-identical to the in-process
+//!   schedule.
+//! * [`wire_bitflip_scenario`] — one bit of a rank's result stream
+//!   flips in flight: the frame CRC must detect it, the backoff-gated
+//!   respawn must recover, and the merged result must stay
+//!   byte-identical (never silently wrong).
+//! * [`slow_peer_scenario`] — the coordinator accepts a worker and then
+//!   goes silent: the worker's socket timeout must surface a typed
+//!   error within the io budget instead of hanging the process.
+//!
+//! Each plugs straight into the campaign's [`Scenario`] row type so the
+//! CLI can append it to the matrix and `--deny-unsurvived` gates on it
+//! like any other row.
 
 use crate::cells::WireCell;
-use crate::launcher::{run_sweep, KillSpec, LaunchOpts, WorkerSpawn};
+use crate::frame;
+use crate::launcher::{run_sweep, KillSpec, LaunchOpts, WireFaultSpec, WorkerSpawn};
+use crate::worker;
 use bsim_core::campaign::Scenario;
 use bsim_resilience::CkptStore;
-use std::time::Duration;
+use std::io;
+use std::net::TcpListener;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
 
 /// The sweep the kill scenario runs: cheap microbenchmark cells, enough
 /// of them that the victim rank always has pending work when the kill
@@ -61,6 +75,8 @@ pub fn process_kill_scenario(seed: u64, worker_cmd: Vec<String>) -> Scenario {
             after_cells: 1,
         }),
         max_respawns: 3,
+        io_timeout: Duration::from_secs(120),
+        wire_fault: None,
     };
     let mut store = CkptStore::new();
     let (observed, pass) = match run_sweep(&cells, &opts, &mut store) {
@@ -89,6 +105,108 @@ pub fn process_kill_scenario(seed: u64, worker_cmd: Vec<String>) -> Scenario {
     }
 }
 
+/// Runs the sweep across two in-process thread ranks with one result
+/// bit flipped on the victim's wire. The flip lands inside the first
+/// `Cell` frame's JSON payload — past the 12-byte integrity header and
+/// the 4-byte cell index — so the frame CRC, not the JSON parser, is
+/// what has to catch it.
+pub fn wire_bitflip_scenario(seed: u64) -> Scenario {
+    let cells = kill_sweep_cells();
+    let reference: Vec<String> = cells
+        .iter()
+        .map(|cell| match cell.run() {
+            Ok(tree) => serde_json::to_string(&tree).expect("shim renderer is total"),
+            Err(why) => format!("error: {why}"),
+        })
+        .collect();
+    let victim = (seed % 2) as usize;
+    let bit = ((frame::HEADER_LEN as u64 + 4 + 8) * 8) + (seed % 8);
+    let mut opts = LaunchOpts::threads(2);
+    opts.wire_fault = Some(WireFaultSpec { rank: victim, bit });
+    let mut store = CkptStore::new();
+    let (observed, pass) = match run_sweep(&cells, &opts, &mut store) {
+        Ok(outcome) => {
+            let identical = outcome
+                .results
+                .iter()
+                .zip(&reference)
+                .all(|((_, got), want)| got == want);
+            let crc_caught = outcome
+                .losses
+                .iter()
+                .any(|why| why.contains("corrupt frame"));
+            (
+                format!(
+                    "rank {victim} bit {bit} flipped; respawns={} crc_caught={crc_caught} \
+                     identical={identical}",
+                    outcome.respawns
+                ),
+                outcome.respawns >= 1 && crc_caught && identical,
+            )
+        }
+        Err(e) => (format!("sweep did not complete: {e}"), false),
+    };
+    Scenario {
+        name: "wire-bitflip",
+        fault: "one bit flipped on the result wire",
+        expected: "frame CRC detects; backoff respawn; bit-identical",
+        observed,
+        pass,
+    }
+}
+
+/// Connects a worker to a coordinator that accepts and then never
+/// speaks. The worker's armed socket timeout must convert the stall
+/// into a typed `TimedOut`/`WouldBlock` error within the io budget —
+/// a silent peer may cost a timeout, never a wedged process.
+pub fn slow_peer_scenario(seed: u64) -> Scenario {
+    let verdict = (|| -> io::Result<(String, bool)> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?.to_string();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let mute = std::thread::spawn(move || {
+            // Accept, then hold the socket open without writing a byte.
+            let held = listener.accept();
+            let _ = release_rx.recv();
+            drop(held);
+        });
+        let budget = Duration::from_millis(100 + seed % 100);
+        let started = Instant::now();
+        let outcome = worker::run_with(&addr, 0, budget);
+        let waited = started.elapsed();
+        let _ = release_tx.send(());
+        let _ = mute.join();
+        match outcome {
+            Ok(()) => Ok((
+                "worker reported success against a silent coordinator".into(),
+                false,
+            )),
+            Err(err) => {
+                let typed = matches!(
+                    err.kind(),
+                    io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+                );
+                let bounded = waited < Duration::from_secs(10);
+                Ok((
+                    format!("budget {budget:?}: {:?} after {waited:?}", err.kind()),
+                    typed && bounded,
+                ))
+            }
+        }
+    })();
+    let (observed, pass) = match verdict {
+        Ok(v) => v,
+        Err(e) => (format!("scenario setup failed: {e}"), false),
+    };
+    Scenario {
+        name: "slow-peer",
+        fault: "coordinator accepts, then goes silent",
+        expected: "typed socket timeout within the io budget; no hang",
+        observed,
+        pass,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,5 +226,24 @@ mod tests {
         assert_eq!(scenario.name, "process-kill");
         assert!(!scenario.pass);
         assert!(scenario.observed.contains("did not complete"));
+    }
+
+    #[test]
+    fn a_flipped_wire_bit_is_detected_and_survived() {
+        for seed in [0, 1] {
+            let scenario = wire_bitflip_scenario(seed);
+            assert!(scenario.pass, "seed {seed}: {}", scenario.observed);
+            assert!(
+                scenario.observed.contains("crc_caught=true"),
+                "{}",
+                scenario.observed
+            );
+        }
+    }
+
+    #[test]
+    fn a_silent_coordinator_times_out_instead_of_hanging() {
+        let scenario = slow_peer_scenario(7);
+        assert!(scenario.pass, "{}", scenario.observed);
     }
 }

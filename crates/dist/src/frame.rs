@@ -1,23 +1,43 @@
-//! The wire protocol: length-prefixed binary frames.
+//! The wire protocol: length-prefixed binary frames with an integrity
+//! header.
 //!
 //! Every byte that crosses a process boundary is one [`Frame`]:
-//! `[tag: u8][len: u32 LE][payload: len bytes]`. Two frame kinds carry
-//! token traffic — [`Frame::Data`] for literal token batches and
-//! [`Frame::Run`] for run-length spans (the on-the-wire form of the
-//! quiescence fast-forward: a million idle cycles is 25 bytes, not 8 MB)
-//! — the rest are control-plane: handshake, plan distribution, link
-//! pairing, and result collection.
+//! `[magic: u16 LE][version: u8][tag: u8][len: u32 LE][crc32: u32 LE]`
+//! `[payload: len bytes]`. Two frame kinds carry token traffic —
+//! [`Frame::Data`] for literal token batches and [`Frame::Run`] for
+//! run-length spans (the on-the-wire form of the quiescence
+//! fast-forward: a million idle cycles is 36 bytes, not 8 MB) — the
+//! rest are control-plane: handshake, plan distribution, link pairing,
+//! and result collection.
 //!
 //! Frames carry *channel-absolute* start cycles so every hop re-checks
 //! the token protocol: a frame landing at the wrong cycle is a protocol
 //! violation surfaced as [`std::io::ErrorKind::InvalidData`], never a
 //! silently reordered simulation.
+//!
+//! Failure taxonomy (see [`FrameError`] / [`classify`]): clean EOF
+//! between frames is **peer loss**; EOF inside a frame is a **torn**
+//! write; a frame that arrives whole but fails the magic, version, or
+//! CRC32 check is **corrupt** — three distinct conditions with three
+//! distinct recovery stories, never conflated.
 
+use bsim_resilience::crc32;
 use std::io::{self, Read, Write};
 
 /// Upper bound on a frame payload. Nothing legitimate comes close; a
 /// corrupt length prefix must not turn into a multi-gigabyte allocation.
 pub const MAX_FRAME: usize = 64 << 20;
+
+/// First two bytes of every frame; a stream that does not open with the
+/// magic is not speaking this protocol (or a bit flipped in transit).
+pub const MAGIC: u16 = 0xB51D;
+
+/// Wire protocol version, bumped when the frame layout changes.
+/// Version 1 was the pre-guard `[tag][len]` header without integrity.
+pub const PROTO_VERSION: u8 = 2;
+
+/// Total bytes preceding the payload: magic + version + tag + len + crc.
+pub const HEADER_LEN: usize = 12;
 
 /// One message on a distributed-simulation socket.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -73,6 +93,61 @@ const TAG_ERR: u8 = 8;
 
 fn bad(msg: String) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Prefix every integrity failure so [`classify`] can tell corruption
+/// apart from a torn write without a new `io::ErrorKind`.
+const CORRUPT_PREFIX: &str = "corrupt frame: ";
+
+fn corrupt(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("{CORRUPT_PREFIX}{msg}"))
+}
+
+/// The typed failure classes a frame read can produce.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// Clean EOF between frames: the peer is gone, nothing was torn.
+    PeerClosed,
+    /// EOF or structural garbage inside a frame: a torn write.
+    Torn,
+    /// The frame arrived whole but failed the magic, version, or CRC32
+    /// check — data integrity, not framing.
+    Corrupt,
+    /// The socket's guard timeout expired before a frame arrived.
+    Timeout,
+    /// Any other transport error.
+    Io,
+}
+
+impl FrameError {
+    /// Stable lowercase label for telemetry and loss reporting.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FrameError::PeerClosed => "peer_closed",
+            FrameError::Torn => "torn",
+            FrameError::Corrupt => "corrupt",
+            FrameError::Timeout => "timeout",
+            FrameError::Io => "io",
+        }
+    }
+}
+
+/// Classifies an error returned by [`read_frame`] (or a write on the
+/// same socket) into the [`FrameError`] taxonomy. Total: anything the
+/// frame layer did not type lands in [`FrameError::Io`].
+pub fn classify(e: &io::Error) -> FrameError {
+    match e.kind() {
+        io::ErrorKind::UnexpectedEof => FrameError::PeerClosed,
+        io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock => FrameError::Timeout,
+        io::ErrorKind::InvalidData => {
+            if e.to_string().starts_with(CORRUPT_PREFIX) {
+                FrameError::Corrupt
+            } else {
+                FrameError::Torn
+            }
+        }
+        _ => FrameError::Io,
+    }
 }
 
 fn put_u32(buf: &mut Vec<u8>, v: u32) {
@@ -149,9 +224,12 @@ pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
             payload.len()
         )));
     }
-    let mut out = Vec::with_capacity(5 + payload.len());
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.push(PROTO_VERSION);
     out.push(tag);
     put_u32(&mut out, payload.len() as u32);
+    put_u32(&mut out, crc32(&payload));
     out.extend_from_slice(&payload);
     w.write_all(&out)
 }
@@ -159,9 +237,12 @@ pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
 /// Reads one frame, blocking. EOF *between* frames surfaces as
 /// `UnexpectedEof` with message `"peer closed"` — the launcher treats
 /// that as the peer's death; EOF *inside* a frame is a torn write and
-/// reads as a protocol error.
+/// reads as a protocol error; a bad magic, unsupported version, or
+/// CRC32 mismatch is a [`FrameError::Corrupt`] integrity failure. A
+/// socket read timeout propagates with its own kind so guard deadlines
+/// stay a typed condition, not a mislabeled tear.
 pub fn read_frame(r: &mut impl Read) -> io::Result<Frame> {
-    let mut head = [0u8; 5];
+    let mut head = [0u8; HEADER_LEN];
     let mut filled = 0;
     while filled < head.len() {
         let n = r.read(&mut head[filled..])?;
@@ -174,14 +255,40 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Frame> {
         }
         filled += n;
     }
-    let tag = head[0];
-    let len = u32::from_le_bytes(head[1..5].try_into().expect("4-byte slice")) as usize; // bsim: allow(AU002) slice width is structural
+    let magic = u16::from_le_bytes(head[0..2].try_into().expect("2-byte slice")); // bsim: allow(AU002) slice width is structural
+    if magic != MAGIC {
+        return Err(corrupt(format!("bad magic {magic:#06x}")));
+    }
+    if head[2] != PROTO_VERSION {
+        return Err(corrupt(format!(
+            "protocol version {} (this build speaks {PROTO_VERSION})",
+            head[2]
+        )));
+    }
+    let tag = head[3];
+    let len = u32::from_le_bytes(head[4..8].try_into().expect("4-byte slice")) as usize; // bsim: allow(AU002) slice width is structural
+    let want_crc = u32::from_le_bytes(head[8..12].try_into().expect("4-byte slice")); // bsim: allow(AU002) slice width is structural
     if len > MAX_FRAME {
-        return Err(bad(format!("{len}-byte frame exceeds MAX_FRAME")));
+        return Err(corrupt(format!("{len}-byte frame exceeds MAX_FRAME")));
     }
     let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)
-        .map_err(|_| bad("EOF inside a frame payload".into()))?;
+    r.read_exact(&mut payload).map_err(|e| {
+        // A timeout is a guard deadline, not a tear; keep its kind.
+        if matches!(
+            e.kind(),
+            io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+        ) {
+            e
+        } else {
+            bad("EOF inside a frame payload".into())
+        }
+    })?;
+    let got_crc = crc32(&payload);
+    if got_crc != want_crc {
+        return Err(corrupt(format!(
+            "payload CRC32 {got_crc:#010x} != header {want_crc:#010x}"
+        )));
+    }
     match tag {
         TAG_HELLO => Ok(Frame::Hello {
             rank: take_u32(&payload, 0)?,
@@ -217,7 +324,9 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Frame> {
         TAG_ERR => Ok(Frame::Err {
             msg: take_str(&payload, 0)?,
         }),
-        other => Err(bad(format!("unknown frame tag {other}"))),
+        // Magic and version already matched, so an unknown tag is a
+        // flipped bit in the header, not a foreign protocol.
+        other => Err(corrupt(format!("unknown frame tag {other}"))),
     }
 }
 
@@ -279,20 +388,31 @@ mod tests {
             },
         )
         .expect("vec write");
-        // 5-byte header + 24-byte payload: a million idle cycles in 29
-        // bytes is the point of run-length token traffic.
-        assert_eq!(wire.len(), 29);
+        // 12-byte integrity header + 24-byte payload: a million idle
+        // cycles in 36 bytes is the point of run-length token traffic.
+        assert_eq!(wire.len(), HEADER_LEN + 24);
+        assert_eq!(wire.len(), 36);
+    }
+
+    /// A valid header for `payload`, for hand-corrupting in tests.
+    fn header(tag: u8, payload: &[u8]) -> Vec<u8> {
+        let mut h = Vec::with_capacity(HEADER_LEN);
+        h.extend_from_slice(&MAGIC.to_le_bytes());
+        h.push(PROTO_VERSION);
+        h.push(tag);
+        h.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        h.extend_from_slice(&crc32(payload).to_le_bytes());
+        h
     }
 
     #[test]
     fn torn_and_corrupt_frames_are_protocol_errors_not_panics() {
-        // EOF mid-header.
-        let mut r: &[u8] = &[TAG_DATA, 9];
-        assert_eq!(
-            read_frame(&mut r).expect_err("torn header").kind(),
-            io::ErrorKind::InvalidData
-        );
-        // EOF mid-payload.
+        // EOF mid-header: torn, not corrupt.
+        let mut r: &[u8] = &[MAGIC.to_le_bytes()[0], MAGIC.to_le_bytes()[1], 9];
+        let e = read_frame(&mut r).expect_err("torn header");
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+        assert_eq!(classify(&e), FrameError::Torn);
+        // EOF mid-payload: torn.
         let mut wire = Vec::new();
         write_frame(
             &mut wire,
@@ -304,28 +424,135 @@ mod tests {
         .expect("vec write");
         wire.truncate(wire.len() - 1);
         let mut r = &wire[..];
+        let e = read_frame(&mut r).expect_err("torn payload");
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+        assert_eq!(classify(&e), FrameError::Torn);
+        // Absurd length prefix under a valid magic/version: corrupt.
+        let mut head = header(TAG_PLAN, b"");
+        head[4..8].copy_from_slice(&((MAX_FRAME + 1) as u32).to_le_bytes());
+        let mut r = &head[..];
+        let e = read_frame(&mut r).expect_err("oversized");
+        assert_eq!(classify(&e), FrameError::Corrupt);
+        // Unknown tag under a valid magic/version: corrupt.
+        let head = header(99, b"");
+        let mut r = &head[..];
+        let e = read_frame(&mut r).expect_err("unknown tag");
+        assert_eq!(classify(&e), FrameError::Corrupt);
+    }
+
+    #[test]
+    fn integrity_failures_are_typed_corrupt_distinct_from_torn() {
+        // Bad magic.
+        let mut head = header(TAG_DONE, b"");
+        head[0] ^= 0xFF;
+        let e = read_frame(&mut &head[..]).expect_err("bad magic");
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+        assert_eq!(classify(&e), FrameError::Corrupt);
+        assert!(e.to_string().contains("magic"), "{e}");
+        // Foreign protocol version.
+        let mut head = header(TAG_DONE, b"");
+        head[2] = PROTO_VERSION + 1;
+        let e = read_frame(&mut &head[..]).expect_err("bad version");
+        assert_eq!(classify(&e), FrameError::Corrupt);
+        assert!(e.to_string().contains("version"), "{e}");
+        // A single payload bit flipped: the CRC catches it.
+        let mut wire = Vec::new();
+        write_frame(
+            &mut wire,
+            &Frame::Cell {
+                index: 7,
+                json: r#"{"cycles":123456}"#.into(),
+            },
+        )
+        .expect("vec write");
+        for bit in 0..8 {
+            let mut flipped = wire.clone();
+            let last = flipped.len() - 1;
+            flipped[last] ^= 1 << bit;
+            let e = read_frame(&mut &flipped[..]).expect_err("flipped payload bit");
+            assert_eq!(classify(&e), FrameError::Corrupt, "bit {bit}: {e}");
+            assert!(e.to_string().contains("CRC32"), "{e}");
+        }
+        // Clean EOF stays its own class.
+        let e = read_frame(&mut &[][..]).expect_err("clean eof");
+        assert_eq!(classify(&e), FrameError::PeerClosed);
+        // Timeouts keep their kind through classification.
+        let t = io::Error::new(io::ErrorKind::TimedOut, "read timed out");
+        assert_eq!(classify(&t), FrameError::Timeout);
+        let w = io::Error::new(io::ErrorKind::WouldBlock, "read timed out");
+        assert_eq!(classify(&w), FrameError::Timeout);
         assert_eq!(
-            read_frame(&mut r).expect_err("torn payload").kind(),
-            io::ErrorKind::InvalidData
+            classify(&io::Error::new(io::ErrorKind::ConnectionReset, "rst")),
+            FrameError::Io
         );
-        // Absurd length prefix.
-        let huge = [(MAX_FRAME + 1) as u32];
-        let mut r: &[u8] = &[
-            TAG_PLAN,
-            huge[0].to_le_bytes()[0],
-            huge[0].to_le_bytes()[1],
-            huge[0].to_le_bytes()[2],
-            huge[0].to_le_bytes()[3],
+    }
+
+    #[test]
+    fn corruption_fuzz_never_panics_the_decoder() {
+        // Seeded 10k-round smoke: flip one bit or truncate a valid
+        // multi-frame wire at a pseudo-random point, then drain the
+        // decoder. Every round must end in a typed error or clean EOF —
+        // never a panic, never an unbounded allocation.
+        let frames = vec![
+            Frame::Hello { rank: 1 },
+            Frame::Plan {
+                json: r#"{"mode":"sweep","cells":3}"#.into(),
+            },
+            Frame::Data {
+                start: 64,
+                tokens: (0..32).collect(),
+            },
+            Frame::Run {
+                start: 96,
+                n: 1 << 30,
+                fill: 0,
+            },
+            Frame::Cell {
+                index: 2,
+                json: r#"{"platform":"milkv","cycles":987654}"#.into(),
+            },
+            Frame::Done,
         ];
-        assert_eq!(
-            read_frame(&mut r).expect_err("oversized").kind(),
-            io::ErrorKind::InvalidData
-        );
-        // Unknown tag.
-        let mut r: &[u8] = &[99, 0, 0, 0, 0];
-        assert_eq!(
-            read_frame(&mut r).expect_err("unknown tag").kind(),
-            io::ErrorKind::InvalidData
+        let mut clean = Vec::new();
+        for f in &frames {
+            write_frame(&mut clean, f).expect("vec write");
+        }
+        let mut state: u64 = 0xB51D_600D_F00D_5EED;
+        let mut rng = move || {
+            // splitmix64, inlined so the test is self-contained.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut corrupt_seen = 0u32;
+        for round in 0..10_000u32 {
+            let mut wire = clean.clone();
+            if round % 4 == 0 {
+                wire.truncate((rng() as usize) % (wire.len() + 1));
+            } else {
+                let at = (rng() as usize) % wire.len();
+                wire[at] ^= 1 << (rng() % 8);
+            }
+            let mut r = &wire[..];
+            loop {
+                match read_frame(&mut r) {
+                    Ok(_) => continue,
+                    Err(e) => {
+                        match classify(&e) {
+                            FrameError::Corrupt => corrupt_seen += 1,
+                            FrameError::PeerClosed | FrameError::Torn => {}
+                            other => panic!("round {round}: unexpected {other:?}: {e}"),
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+        assert!(
+            corrupt_seen > 1_000,
+            "bit flips barely ever tripped the CRC ({corrupt_seen}/10000)"
         );
     }
 

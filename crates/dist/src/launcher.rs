@@ -26,10 +26,10 @@ use crate::worker;
 use bsim_check::proto::{dist_cached, Tracker};
 use bsim_core::experiments::partition_cells;
 use bsim_engine::Harness;
-use bsim_resilience::{CkptStore, PeerWatchdog};
+use bsim_resilience::{Backoff, Breaker, BreakerState, CkptStore, PeerWatchdog};
 use serde::Value;
 use std::collections::HashMap;
-use std::io;
+use std::io::{self, Read};
 use std::net::{TcpListener, TcpStream};
 use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -57,6 +57,16 @@ pub struct KillSpec {
     pub after_cells: usize,
 }
 
+/// Deliberate wire corruption, for the fault campaign: flip one bit of
+/// rank `rank`'s post-plan result byte stream, exactly once. The frame
+/// CRC must catch it; the respawned replacement reads clean.
+#[derive(Clone, Copy, Debug)]
+pub struct WireFaultSpec {
+    pub rank: usize,
+    /// Bit offset from the first result byte the rank sends.
+    pub bit: u64,
+}
+
 /// Launcher configuration.
 #[derive(Clone, Debug)]
 pub struct LaunchOpts {
@@ -68,6 +78,12 @@ pub struct LaunchOpts {
     pub kill: Option<KillSpec>,
     /// Total respawn budget before the launcher gives up.
     pub max_respawns: usize,
+    /// Read/write timeout armed on every control and relay socket; zero
+    /// disables. A silent peer becomes a typed timeout error feeding
+    /// the normal Gone → respawn path, never a wedged thread.
+    pub io_timeout: Duration,
+    /// One-shot wire corruption injection (fault campaign only).
+    pub wire_fault: Option<WireFaultSpec>,
 }
 
 impl LaunchOpts {
@@ -79,6 +95,8 @@ impl LaunchOpts {
             silence_budget: Duration::from_secs(120),
             kill: None,
             max_respawns: 3,
+            io_timeout: Duration::from_secs(120),
+            wire_fault: None,
         }
     }
 
@@ -90,6 +108,8 @@ impl LaunchOpts {
             silence_budget: Duration::from_secs(120),
             kill: None,
             max_respawns: 3,
+            io_timeout: Duration::from_secs(120),
+            wire_fault: None,
         }
     }
 }
@@ -103,6 +123,58 @@ pub struct SweepOutcome {
     pub respawns: usize,
     /// Ranks actually used (after clamping to the cell count).
     pub ranks: usize,
+    /// Why each loss happened (`"rank N: <reason>"`), in event order —
+    /// the fault campaign asserts a flipped wire bit surfaces here as a
+    /// CRC failure, not as silently wrong results.
+    pub losses: Vec<String>,
+}
+
+/// Arms symmetric socket timeouts; zero means unbounded (std rejects a
+/// literal zero timeout).
+fn arm_io(stream: &TcpStream, timeout: Duration) {
+    let t = if timeout.is_zero() {
+        None
+    } else {
+        Some(timeout)
+    };
+    let _ = stream.set_read_timeout(t);
+    let _ = stream.set_write_timeout(t);
+}
+
+/// A `Read` adapter that flips one bit at a fixed byte offset of the
+/// wrapped stream — the [`WireFaultSpec`] injection point. Reads pass
+/// through untouched once the target byte has gone by.
+struct BitFlipReader<R> {
+    inner: R,
+    /// Bytes left until the target byte; `None` once flipped (or never
+    /// armed).
+    pending: Option<u64>,
+    mask: u8,
+}
+
+impl<R> BitFlipReader<R> {
+    fn new(inner: R, bit: Option<u64>) -> BitFlipReader<R> {
+        BitFlipReader {
+            inner,
+            pending: bit.map(|b| b / 8),
+            mask: bit.map_or(0, |b| 1 << (b % 8)),
+        }
+    }
+}
+
+impl<R: Read> Read for BitFlipReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        if let Some(offset) = self.pending {
+            if (offset as usize) < n {
+                buf[offset as usize] ^= self.mask;
+                self.pending = None;
+            } else {
+                self.pending = Some(offset - n as u64);
+            }
+        }
+        Ok(n)
+    }
 }
 
 /// A completed graph demo.
@@ -203,6 +275,7 @@ fn serve_conn(
     mut stream: TcpStream,
     sweep: Option<Arc<SweepShared>>,
     graph_plan: Option<Arc<dyn Fn(usize) -> PlanSpec + Send + Sync>>,
+    wire_fault: Arc<Mutex<Option<WireFaultSpec>>>,
     events: mpsc::Sender<Event>,
 ) {
     let Some(mut tracker) = Tracker::new(dist_cached(), "coordinator") else {
@@ -271,8 +344,22 @@ fn serve_conn(
         });
         return;
     }
+    // The fault campaign corrupts this rank's result stream at most
+    // once; after the `Plan` nothing is written back, so the stream can
+    // move into the (normally pass-through) flipping reader.
+    let flip = {
+        let mut slot = lock(&wire_fault);
+        match *slot {
+            Some(f) if f.rank == rank => {
+                *slot = None;
+                Some(f.bit)
+            }
+            _ => None,
+        }
+    };
+    let mut reader = BitFlipReader::new(stream, flip);
     loop {
-        let frame = match read_frame(&mut stream) {
+        let frame = match read_frame(&mut reader) {
             Ok(f) => f,
             Err(e) => {
                 let stepped = if e.kind() == io::ErrorKind::UnexpectedEof {
@@ -334,6 +421,8 @@ impl Acceptor {
     fn start(
         sweep: Option<Arc<SweepShared>>,
         graph_plan: Option<Arc<dyn Fn(usize) -> PlanSpec + Send + Sync>>,
+        io_timeout: Duration,
+        wire_fault: Arc<Mutex<Option<WireFaultSpec>>>,
         events: mpsc::Sender<Event>,
     ) -> io::Result<Acceptor> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
@@ -345,10 +434,16 @@ impl Acceptor {
                 if flag.load(Ordering::SeqCst) {
                     return;
                 }
+                // Control and relay sockets alike: a peer that stalls
+                // mid-frame is a typed timeout, not a wedged thread.
+                arm_io(&stream, io_timeout);
                 let sweep = sweep.clone();
                 let graph_plan = graph_plan.clone();
+                let wire_fault = Arc::clone(&wire_fault);
                 let events = events.clone();
-                std::thread::spawn(move || serve_conn(stream, sweep, graph_plan, events));
+                std::thread::spawn(move || {
+                    serve_conn(stream, sweep, graph_plan, wire_fault, events)
+                });
             }
         });
         Ok(Acceptor {
@@ -403,6 +498,7 @@ pub fn run_sweep(
                 .collect(),
             respawns: 0,
             ranks,
+            losses: Vec::new(),
         });
     }
 
@@ -412,11 +508,24 @@ pub fn run_sweep(
         done: Mutex::new(done),
     });
     let (events_tx, events) = mpsc::channel();
-    let mut acceptor = Acceptor::start(Some(Arc::clone(&shared)), None, events_tx)?;
+    let mut acceptor = Acceptor::start(
+        Some(Arc::clone(&shared)),
+        None,
+        opts.io_timeout,
+        Arc::new(Mutex::new(opts.wire_fault)),
+        events_tx,
+    )?;
 
     let mut children: HashMap<usize, Spawned> = HashMap::new();
+    let mut losses: Vec<String> = Vec::new();
     let mut result = (|| -> io::Result<usize> {
         let mut watchdog = PeerWatchdog::new(ranks, opts.silence_budget);
+        // Adaptive retry: every loss backs off with seeded jitter before
+        // the respawn, and a rank that keeps flapping trips its breaker
+        // so repeated trips sleep progressively longer (the replacement
+        // is the half-open probe; its first Cell closes the breaker).
+        let backoff = Backoff::new(0xB51D_6A2D);
+        let mut breakers: Vec<Breaker> = (0..ranks).map(|_| Breaker::new(3)).collect();
         let mut respawns = 0usize;
         let mut delivered = vec![0usize; ranks];
         let mut kill_pending = opts.kill;
@@ -440,6 +549,7 @@ pub fn run_sweep(
             match events.recv_timeout(Duration::from_millis(50)) {
                 Ok(Event::Cell { rank, index, json }) => {
                     watchdog.beat(rank);
+                    breakers[rank].record_success();
                     let label = cells[index as usize].label();
                     store.put(&label, &json);
                     lock(&shared.done)[index as usize] = Some(json);
@@ -460,6 +570,7 @@ pub fn run_sweep(
                     if !rank_pending(rank) {
                         continue;
                     }
+                    losses.push(format!("rank {rank}: {why}"));
                     respawns += 1;
                     if respawns > opts.max_respawns {
                         return Err(io::Error::other(format!(
@@ -472,6 +583,15 @@ pub fn run_sweep(
                         old.kill_and_reap();
                     }
                     watchdog.lost(rank);
+                    let tripped = breakers[rank].record_failure() != BreakerState::Closed;
+                    let attempt = breakers[rank].consecutive_failures().saturating_sub(1)
+                        + breakers[rank].opens() as u32;
+                    std::thread::sleep(Duration::from_millis(backoff.delay_ms(attempt)));
+                    if tripped {
+                        // The respawn below is the breaker's one
+                        // half-open probe.
+                        breakers[rank].try_probe();
+                    }
                     children.insert(rank, spawn_worker(opts, &acceptor.addr, rank)?);
                     watchdog.revive(rank);
                 }
@@ -524,6 +644,7 @@ pub fn run_sweep(
                 .collect(),
             respawns,
             ranks,
+            losses,
         }
     })
 }
@@ -565,7 +686,13 @@ pub fn run_graph_demo(
             rank,
         });
     let (events_tx, events) = mpsc::channel();
-    let mut acceptor = Acceptor::start(None, Some(graph_plan), events_tx)?;
+    let mut acceptor = Acceptor::start(
+        None,
+        Some(graph_plan),
+        opts.io_timeout,
+        Arc::new(Mutex::new(None)),
+        events_tx,
+    )?;
 
     let mut children: HashMap<usize, Spawned> = HashMap::new();
     let result = (|| -> io::Result<String> {

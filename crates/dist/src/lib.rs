@@ -38,7 +38,7 @@ pub mod plan;
 pub mod worker;
 
 pub use cells::WireCell;
-pub use frame::Frame;
+pub use frame::{Frame, FrameError};
 pub use graph::RankGraph;
 pub use launcher::{LaunchOpts, WorkerSpawn};
 pub use link::{RemoteReceiver, RemoteSender};

@@ -20,6 +20,25 @@ use bsim_resilience::snapshot::Snapshot;
 use serde::Value;
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
+use std::time::Duration;
+
+/// Socket timeout armed on every worker-side connection (control and
+/// token links). A coordinator that accepts and then goes silent is a
+/// typed [`io::ErrorKind::TimedOut`]/`WouldBlock` error, not a worker
+/// process wedged forever.
+pub const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// Arms symmetric read/write timeouts; zero means unbounded (std
+/// rejects a literal zero timeout).
+fn arm_io(stream: &TcpStream, timeout: Duration) {
+    let t = if timeout.is_zero() {
+        None
+    } else {
+        Some(timeout)
+    };
+    let _ = stream.set_read_timeout(t);
+    let _ = stream.set_write_timeout(t);
+}
 
 /// A protocol-table violation on the worker side is a bug in this file,
 /// not a peer failure: the table is the specification the code below is
@@ -66,8 +85,16 @@ pub fn run_from_env() -> io::Result<()> {
 /// and every frame received is gated by a `Recv` transition, so the
 /// runtime cannot silently diverge from the model the checker explored.
 pub fn run(addr: &str, rank: usize) -> io::Result<()> {
+    run_with(addr, rank, DEFAULT_IO_TIMEOUT)
+}
+
+/// [`run`] with an explicit socket timeout (the fault campaign shrinks
+/// it to prove a silent coordinator cannot hang a worker).
+pub fn run_with(addr: &str, rank: usize, io_timeout: Duration) -> io::Result<()> {
     let mut tracker = worker_tracker()?;
-    let mut control = TcpStream::connect(addr)?;
+    let control = TcpStream::connect(addr)?;
+    arm_io(&control, io_timeout);
+    let mut control = control;
     tracker.local("hello").map_err(drift)?;
     write_frame(&mut control, &Frame::Hello { rank: rank as u32 })?;
     let frame = match read_frame(&mut control) {
@@ -117,6 +144,7 @@ pub fn run(addr: &str, rank: usize) -> io::Result<()> {
             &mut control,
             &mut tracker,
             addr,
+            io_timeout,
             plan_rank,
             ring,
             latency,
@@ -166,6 +194,7 @@ fn run_graph(
     control: &mut TcpStream,
     tracker: &mut Tracker<'_>,
     addr: &str,
+    io_timeout: Duration,
     rank: usize,
     ring: usize,
     latency: u64,
@@ -188,6 +217,7 @@ fn run_graph(
         link.local("link").map_err(drift)?;
         debug_assert!(link.is_terminal());
         let mut s = TcpStream::connect(addr)?;
+        arm_io(&s, io_timeout);
         write_frame(&mut s, &Frame::Link { wire, producer })?;
         Ok(s)
     };

@@ -70,6 +70,21 @@ impl CkptStore {
         self.entries.iter().any(|(k, _)| k == key)
     }
 
+    /// Removes the entry under `key`, returning its tree. Later entries
+    /// keep their relative order, so a rewritten store stays byte-stable
+    /// minus the removed key — the scrub path relies on this.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        let at = self.entries.iter().position(|(k, _)| k == key)?;
+        Some(self.entries.remove(at).1)
+    }
+
+    /// Raw `(key, tree)` views in insertion order — the integrity scrub
+    /// walks these to re-verify entry checksums without interpreting
+    /// the trees.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
     /// Keys in insertion order.
     pub fn keys(&self) -> impl Iterator<Item = &str> {
         self.entries.iter().map(|(k, _)| k.as_str())

@@ -25,6 +25,9 @@ use serde::{Serialize, Value};
 /// | `HostThreadDelay` | **survives bit-identically**: host scheduling jitter is invisible to the token protocol |
 /// | `LinkDegrade` | **survives**: virtual time stretches, results stay sound |
 /// | `LinkZeroLatency` | **survives with diagnostic**: `NC002` warns that zero link latency breaks token-decoupling assumptions |
+/// | `WireBitFlip` | **survives**: the dist frame CRC32 detects the corruption, the connection is torn down as a typed loss, and the rank respawns from the checkpoint — the merged result stays byte-identical |
+/// | `SlowPeer` | **survives**: guard socket timeouts convert a silent peer into a typed timeout error within the deadline budget instead of pinning a worker forever |
+/// | `StoreCorrupt` | **survives**: the result-store entry checksum mismatches, the entry is quarantined (never served), and the value is recomputed |
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FaultKind {
     /// Sever a wire: the producer stops delivering tokens from the
@@ -58,6 +61,20 @@ pub enum FaultKind {
     },
     /// Zero the link latency while bandwidth stays finite (`NC002`).
     LinkZeroLatency,
+    /// XOR one bit into the raw byte stream of a dist socket link —
+    /// below the frame layer, so only the frame CRC can catch it.
+    WireBitFlip {
+        /// Bit index within the corrupted byte window.
+        bit: u32,
+    },
+    /// A peer that accepts the connection and then goes silent for this
+    /// many host milliseconds (slow-loris on the wire).
+    SlowPeer {
+        /// Host-time silence length in milliseconds.
+        millis: u64,
+    },
+    /// Flip bytes inside a serialized result-store entry at rest.
+    StoreCorrupt,
 }
 
 impl FaultKind {
@@ -72,6 +89,9 @@ impl FaultKind {
             FaultKind::HostThreadDelay { .. } => "host_thread_delay",
             FaultKind::LinkDegrade { .. } => "link_degrade",
             FaultKind::LinkZeroLatency => "link_zero_latency",
+            FaultKind::WireBitFlip { .. } => "wire_bit_flip",
+            FaultKind::SlowPeer { .. } => "slow_peer",
+            FaultKind::StoreCorrupt => "store_corrupt",
         }
     }
 }
@@ -114,7 +134,7 @@ pub struct FaultPlan {
 
 /// `splitmix64` step — the same tiny deterministic generator the
 /// workloads use for input synthesis; no dependence on host entropy.
-fn splitmix64(state: &mut u64) -> u64 {
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E3779B97F4A7C15);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
@@ -157,10 +177,12 @@ impl FaultPlan {
             let t = (splitmix64(&mut state) as usize) % targets.max(1);
             let c = splitmix64(&mut state) % horizon.max(1);
             let target = match kind {
-                FaultKind::ModelStall { .. } | FaultKind::HostThreadDelay { .. } => {
-                    FaultTarget::Model(t)
-                }
-                FaultKind::LinkDegrade { .. } | FaultKind::LinkZeroLatency => FaultTarget::Link,
+                FaultKind::ModelStall { .. }
+                | FaultKind::HostThreadDelay { .. }
+                | FaultKind::SlowPeer { .. } => FaultTarget::Model(t),
+                FaultKind::LinkDegrade { .. }
+                | FaultKind::LinkZeroLatency
+                | FaultKind::StoreCorrupt => FaultTarget::Link,
                 _ => FaultTarget::Wire(t),
             };
             plan.events.push(FaultEvent {
@@ -304,7 +326,7 @@ impl Serialize for FaultKind {
     fn to_value(&self) -> Value {
         let mut entries = vec![("kind".to_string(), Value::Str(self.label().to_string()))];
         match self {
-            FaultKind::PayloadBitFlip { bit } => {
+            FaultKind::PayloadBitFlip { bit } | FaultKind::WireBitFlip { bit } => {
                 entries.push(("bit".into(), Value::U64(*bit as u64)));
             }
             FaultKind::ModelStall { micros } | FaultKind::HostThreadDelay { micros } => {
@@ -313,7 +335,13 @@ impl Serialize for FaultKind {
             FaultKind::LinkDegrade { factor } => {
                 entries.push(("factor".into(), Value::U64(*factor as u64)));
             }
-            FaultKind::TokenDrop | FaultKind::TokenDuplicate | FaultKind::LinkZeroLatency => {}
+            FaultKind::SlowPeer { millis } => {
+                entries.push(("millis".into(), Value::U64(*millis)));
+            }
+            FaultKind::TokenDrop
+            | FaultKind::TokenDuplicate
+            | FaultKind::LinkZeroLatency
+            | FaultKind::StoreCorrupt => {}
         }
         Value::Map(entries)
     }

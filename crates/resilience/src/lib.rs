@@ -22,6 +22,10 @@
 //!   `bsim fig --resume <ckpt>`.
 //! * [`retry`] — [`RetryPolicy`] with exponential backoff and the
 //!   [`CellOutcome`] rows resilient sweeps record instead of aborting.
+//! * [`guard`] — bsim-guard hardening primitives: the [`crc32`] the
+//!   dist wire protocol and svc result store stamp over payloads,
+//!   seeded-jittered [`Backoff`], and the per-rank circuit [`Breaker`]
+//!   the dist launcher arms against flapping ranks.
 //!
 //! Config sanity is linted through `bsim-check` diagnostics under the
 //! `RS0xx` codes (see `crates/check/README.md`), and runtime events flow
@@ -34,6 +38,7 @@
 
 pub mod ckpt;
 pub mod fault;
+pub mod guard;
 pub mod peers;
 pub mod retry;
 pub mod snapshot;
@@ -41,6 +46,7 @@ pub mod watchdog;
 
 pub use ckpt::{CkptStore, CKPT_VERSION};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
+pub use guard::{crc32, Backoff, Breaker, BreakerState};
 pub use peers::PeerWatchdog;
 pub use retry::{CellOutcome, RetryPolicy};
 pub use snapshot::{CkptError, Snapshot};

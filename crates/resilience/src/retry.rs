@@ -11,6 +11,12 @@ use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Duration;
 
+/// Ceiling on any single retry backoff. Geometric growth with an
+/// aggressive factor can otherwise reach minutes within a handful of
+/// attempts; no transient host condition is worth waiting longer than
+/// this for (`GD003` lints configurations that dodge the cap).
+pub const BACKOFF_CAP_MS: u64 = 10_000;
+
 /// Bounded retry with exponential backoff.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RetryPolicy {
@@ -51,7 +57,11 @@ impl RetryPolicy {
             return Duration::ZERO; // no further attempt follows
         }
         let mult = self.factor.saturating_pow(attempt.saturating_sub(1)) as u64;
-        Duration::from_millis(self.base_backoff_ms.saturating_mul(mult))
+        Duration::from_millis(
+            self.base_backoff_ms
+                .saturating_mul(mult)
+                .min(BACKOFF_CAP_MS),
+        )
     }
 
     /// Run `cell`, retrying on panic. Panics are contained with
@@ -234,5 +244,15 @@ mod tests {
         assert_eq!(policy.backoff_after(3), Duration::from_millis(90));
         assert_eq!(policy.backoff_after(4), Duration::ZERO);
         assert_eq!(RetryPolicy::once().backoff_after(1), Duration::ZERO);
+        // Runaway growth clamps at the cap instead of sleeping minutes.
+        let runaway = RetryPolicy {
+            max_attempts: 10,
+            base_backoff_ms: 1000,
+            factor: 100,
+        };
+        assert_eq!(
+            runaway.backoff_after(5),
+            Duration::from_millis(BACKOFF_CAP_MS)
+        );
     }
 }

@@ -36,6 +36,21 @@
 //! `/shutdown` is the admin path, and the store is only ever written
 //! through [`ResultStore::flush`]'s temp-file + rename, so even a hard
 //! kill leaves the previous complete store behind.
+//!
+//! ## Admission control (bsim-guard)
+//!
+//! The pre-guard daemon spawned one unbounded handler thread per
+//! accepted connection — a connection burst *was* a thread burst. Now
+//! the accept loop only enqueues: accepted sockets land in a bounded
+//! backlog drained by a fixed pool of `conn_workers` connection
+//! threads, each read/write-timeout-armed so a slow-loris peer times
+//! out instead of pinning its worker. When the backlog is full the
+//! accept loop sheds inline with `503` + `Retry-After`; when the job
+//! queue is at `queue_cap` a well-formed `/submit` sheds with `429` +
+//! `Retry-After`. An optional per-request deadline rides each job into
+//! sweep execution: expired cells fail fast with a typed diagnostic
+//! instead of burning workers on work nobody is waiting for. All of it
+//! is visible as `host.guard.*` counters in `/metrics`.
 
 use crate::proto;
 use crate::request::{Cell, CellSpec, SvcRequest};
@@ -56,7 +71,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Locks a daemon mutex, recovering from poisoning. A cell or handler
 /// that panicked while holding a lock must not cascade into every
@@ -83,7 +98,7 @@ fn log_conn(context: &str, err: &io::Error) {
 /// Every counter `/metrics` exports. CI and the lifecycle tests assert
 /// each of these appears in the JSON export, so a renamed counter is a
 /// loud failure, not a silently vanished metric.
-pub const COUNTERS: [&str; 12] = [
+pub const COUNTERS: [&str; 18] = [
     "host.svc.requests.submitted",
     "host.svc.requests.rejected",
     "host.svc.requests.completed",
@@ -96,7 +111,18 @@ pub const COUNTERS: [&str; 12] = [
     "host.svc.cache.coalesced",
     "host.svc.cache.entries",
     "host.svc.rate.cells_per_sec",
+    "host.guard.conns.accepted",
+    "host.guard.conns.peak",
+    "host.guard.conns.shed",
+    "host.guard.requests.shed",
+    "host.guard.deadline.expired",
+    "host.guard.store.quarantined",
 ];
+
+/// `Retry-After` seconds advertised on every shed response. Small on
+/// purpose: shed load is transient (a burst outran the pool), so the
+/// honest advice is "come straight back".
+const RETRY_AFTER_SECS: u64 = 1;
 
 /// Daemon configuration, CLI-shaped.
 #[derive(Clone, Debug)]
@@ -118,10 +144,30 @@ pub struct DaemonConfig {
     /// argv spawned per rank (`bsim dist-worker`); empty runs the ranks
     /// as in-process threads instead — same wire protocol, no processes.
     pub dist_worker: Vec<String>,
+    /// Connection pool threads draining the accept backlog. The old
+    /// thread-per-connection daemon is `conn_workers = usize::MAX` in
+    /// spirit; bounding it is the overload protection.
+    pub conn_workers: usize,
+    /// Accepted connections queued ahead of the pool; beyond this the
+    /// accept loop sheds inline with `503` + `Retry-After`.
+    pub conn_backlog: usize,
+    /// Queued jobs admitted before a well-formed `/submit` sheds with
+    /// `429` + `Retry-After`.
+    pub queue_cap: usize,
+    /// Optional per-request deadline, stamped at submit time and
+    /// enforced inside sweep execution; `None` runs unbounded.
+    pub deadline: Option<Duration>,
+    /// Socket read timeout armed on every pooled connection; zero means
+    /// unbounded (see [`proto::WireTimeouts`]).
+    pub read_timeout: Duration,
+    /// Socket write timeout armed on every pooled connection; zero
+    /// means unbounded.
+    pub write_timeout: Duration,
 }
 
 impl Default for DaemonConfig {
     fn default() -> DaemonConfig {
+        let wire = proto::WireTimeouts::default();
         DaemonConfig {
             addr: "127.0.0.1:0".into(),
             store_path: None,
@@ -131,6 +177,48 @@ impl Default for DaemonConfig {
             retry: RetryPolicy::once(),
             dist_ranks: 0,
             dist_worker: Vec::new(),
+            conn_workers: 8,
+            conn_backlog: 32,
+            queue_cap: 64,
+            deadline: None,
+            read_timeout: wire.read,
+            write_timeout: wire.write,
+        }
+    }
+}
+
+impl DaemonConfig {
+    /// The guard-lint view of this configuration, preflighted by
+    /// [`Daemon::spawn`] so a misconfigured admission controller is a
+    /// `GD0xx` diagnostic before the first byte is accepted.
+    fn guard_spec(&self) -> bsim_check::guard::GuardSpec {
+        bsim_check::guard::GuardSpec {
+            conn_workers: self.conn_workers,
+            conn_backlog: self.conn_backlog,
+            queue_cap: self.queue_cap,
+            deadline_ms: self.deadline.map(|d| d.as_millis() as u64),
+            retry_max_attempts: self.retry.max_attempts,
+            // RetryPolicy clamps every backoff at this cap.
+            retry_backoff_cap_ms: Some(bsim_resilience::retry::BACKOFF_CAP_MS),
+            links: (0..self.dist_ranks)
+                .map(|r| bsim_check::guard::LinkGuard {
+                    name: format!("rank{r}.ctrl"),
+                    // Thread-spawned ranks share this address space;
+                    // argv-spawned ones cross a process boundary where
+                    // only the frame CRC catches corruption.
+                    remote: !self.dist_worker.is_empty(),
+                    // Wire protocol v2 CRCs every frame, both spawns.
+                    checksum: true,
+                })
+                .collect(),
+        }
+    }
+
+    /// The socket timeouts pooled connections are armed with.
+    fn wire_timeouts(&self) -> proto::WireTimeouts {
+        proto::WireTimeouts {
+            read: self.read_timeout,
+            write: self.write_timeout,
         }
     }
 }
@@ -168,6 +256,8 @@ struct Job {
     cells: Vec<Cell>,
     body: Option<String>,
     stats: Arc<JobStats>,
+    /// Absolute expiry stamped at submit; cells past it fail fast.
+    deadline: Option<Instant>,
 }
 
 #[derive(Default)]
@@ -186,6 +276,14 @@ struct Stats {
     cells_simulated: AtomicU64,
     cache_hits: AtomicU64,
     coalesced: AtomicU64,
+    // bsim-guard admission/integrity counters (`host.guard.*`).
+    conns_accepted: AtomicU64,
+    conns_active: AtomicU64,
+    conns_peak: AtomicU64,
+    conns_shed: AtomicU64,
+    requests_shed: AtomicU64,
+    deadline_expired: AtomicU64,
+    store_quarantined: AtomicU64,
 }
 
 struct Shared {
@@ -196,28 +294,45 @@ struct Shared {
     store: Mutex<ResultStore>,
     inflight: Mutex<HashSet<String>>,
     inflight_cv: Condvar,
+    /// Accepted-but-unserved connections, bounded at `conn_backlog`.
+    conns: Mutex<VecDeque<TcpStream>>,
+    conns_cv: Condvar,
     stats: Stats,
     shutdown: AtomicBool,
     started: Instant,
 }
 
-/// A running daemon: the ephemeral-port address plus the accept-loop
-/// and worker threads to join on shutdown.
+/// A running daemon: the ephemeral-port address plus the accept-loop,
+/// connection-pool, and job-worker threads to join on shutdown.
 pub struct Daemon {
     addr: SocketAddr,
     accept: JoinHandle<()>,
+    conn_pool: Vec<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    /// Tests pin races deterministically through the live state (claim
+    /// an inflight key, watch the backlog drain); production code only
+    /// reaches it through the wire.
+    #[cfg_attr(not(test), allow(dead_code))]
+    shared: Arc<Shared>,
 }
 
 impl Daemon {
-    /// Binds, opens (and possibly quarantines) the store, and starts
-    /// the worker pool and accept loop. The [`Report`] carries any
-    /// SV003/SV004 store findings — the daemon still starts, empty.
+    /// Binds, opens (and possibly quarantines/verifies) the store, and
+    /// starts the job workers, connection pool, and accept loop. The
+    /// [`Report`] carries any SV003–SV005 store findings plus the
+    /// `GD0xx` guard-config preflight — the daemon still starts (pool
+    /// sizes are clamped to at least 1), so a degraded configuration is
+    /// loud but not fatal.
     pub fn spawn(cfg: DaemonConfig) -> io::Result<(Daemon, Report)> {
-        let (store, report) = match &cfg.store_path {
+        let (store, mut report) = match &cfg.store_path {
             Some(path) => ResultStore::open(path),
             None => (ResultStore::ephemeral(), Report::new()),
         };
+        bsim_check::guard::guard_lints().run_into(&cfg.guard_spec(), "daemon.guard", &mut report);
+        let quarantined = ["SV003", "SV004", "SV005"]
+            .iter()
+            .map(|c| report.with_code(c).count())
+            .sum::<usize>() as u64;
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
@@ -228,35 +343,39 @@ impl Daemon {
             store: Mutex::new(store),
             inflight: Mutex::new(HashSet::new()),
             inflight_cv: Condvar::new(),
+            conns: Mutex::new(VecDeque::new()),
+            conns_cv: Condvar::new(),
             stats: Stats::default(),
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
         });
+        shared
+            .stats
+            .store_quarantined
+            .store(quarantined, Ordering::SeqCst);
         let workers = (0..shared.cfg.workers.max(1))
             .map(|_| {
                 let sh = Arc::clone(&shared);
                 std::thread::spawn(move || worker_loop(&sh))
             })
             .collect();
+        let conn_pool = (0..shared.cfg.conn_workers.max(1))
+            .map(|_| {
+                let sh = Arc::clone(&shared);
+                std::thread::spawn(move || conn_loop(&sh))
+            })
+            .collect();
         let accept = {
             let sh = Arc::clone(&shared);
-            std::thread::spawn(move || {
-                for conn in listener.incoming() {
-                    if sh.shutdown.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    if let Ok(stream) = conn {
-                        let sh = Arc::clone(&sh);
-                        std::thread::spawn(move || handle(&sh, stream));
-                    }
-                }
-            })
+            std::thread::spawn(move || accept_loop(&sh, &listener))
         };
         Ok((
             Daemon {
                 addr,
                 accept,
+                conn_pool,
                 workers,
+                shared,
             },
             report,
         ))
@@ -271,9 +390,83 @@ impl Daemon {
     /// threads — the body of `bsim serve`.
     pub fn join(self) {
         self.accept.join().ok();
+        for c in self.conn_pool {
+            c.join().ok();
+        }
         for w in self.workers {
             w.join().ok();
         }
+    }
+}
+
+/// The accept loop only ever *enqueues or sheds* — it never reads a
+/// byte. A slow or hostile peer therefore cannot stall accepting, and a
+/// connection burst is bounded by `conn_backlog` plus the pool instead
+/// of becoming a thread burst.
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    for conn in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(mut stream) = conn else { continue };
+        shared.stats.conns_accepted.fetch_add(1, Ordering::SeqCst);
+        {
+            let mut conns = lock(&shared.conns);
+            if conns.len() < shared.cfg.conn_backlog.max(1) {
+                conns.push_back(stream);
+                drop(conns);
+                shared.conns_cv.notify_one();
+                continue;
+            }
+        }
+        // Backlog full: shed inline with an honest 503 + Retry-After.
+        // No request byte has been read, so no protocol tracker is
+        // driven — in the PV model this connection never enters the
+        // exchange, the same shape as an OS-level reset.
+        shared.stats.conns_shed.fetch_add(1, Ordering::SeqCst);
+        shared.cfg.wire_timeouts().apply(&stream).ok();
+        let body = json_line(&[("error", Value::Str("connection backlog is full".into()))]);
+        if let Err(e) = proto::write_response_retry(
+            &mut stream,
+            503,
+            "Service Unavailable",
+            RETRY_AFTER_SECS,
+            &body,
+        ) {
+            log_conn("shedding connection", &e);
+        }
+    }
+    // Wake the pool so every thread observes the shutdown flag after
+    // draining whatever the backlog still holds.
+    shared.conns_cv.notify_all();
+}
+
+/// One connection-pool thread: pop, arm timeouts, serve, repeat. Exits
+/// when the daemon is shutting down and the backlog is drained.
+fn conn_loop(shared: &Arc<Shared>) {
+    loop {
+        let stream = {
+            let mut conns = lock(&shared.conns);
+            loop {
+                if let Some(s) = conns.pop_front() {
+                    break s;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                conns = wait(&shared.conns_cv, conns);
+            }
+        };
+        let active = shared.stats.conns_active.fetch_add(1, Ordering::SeqCst) + 1;
+        shared.stats.conns_peak.fetch_max(active, Ordering::SeqCst);
+        // Arm both socket directions before the first read: a slow-loris
+        // peer times out with a typed io error instead of pinning this
+        // pool thread forever.
+        if let Err(e) = shared.cfg.wire_timeouts().apply(&stream) {
+            log_conn("arming socket timeouts", &e);
+        }
+        handle(shared, stream);
+        shared.stats.conns_active.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -315,17 +508,18 @@ fn worker_loop(shared: &Arc<Shared>) {
 }
 
 fn run_job(shared: &Arc<Shared>, idx: usize) {
-    let (cells, stats) = {
+    let (cells, stats, deadline) = {
         let mut jobs = lock(&shared.jobs);
         let job = &mut jobs.table[idx];
         job.state = JobState::Running;
-        (job.cells.clone(), Arc::clone(&job.stats))
+        (job.cells.clone(), Arc::clone(&job.stats), job.deadline)
     };
-    if shared.cfg.dist_ranks > 0 {
+    let expired = deadline.is_some_and(|d| Instant::now() >= d);
+    if shared.cfg.dist_ranks > 0 && !expired {
         prewarm_dist(shared, &cells);
     }
     let sweep = run_grid_resilient(cells.len(), shared.cfg.par, &shared.cfg.retry, |i| {
-        exec_cell(shared, &stats, &cells[i])
+        exec_cell(shared, &stats, &cells[i], deadline)
     });
     let (state, body) = if sweep.all_ok() {
         shared.stats.completed.fetch_add(1, Ordering::SeqCst);
@@ -392,6 +586,8 @@ fn prewarm_dist(shared: &Shared, cells: &[Cell]) {
         silence_budget: std::time::Duration::from_secs(120),
         kill: None,
         max_respawns: 3,
+        io_timeout: std::time::Duration::from_secs(120),
+        wire_fault: None,
     };
     let mut scratch = CkptStore::new();
     match dist_sweep(&wire, &opts, &mut scratch) {
@@ -434,7 +630,7 @@ impl Drop for Claim<'_> {
     }
 }
 
-fn exec_cell(shared: &Shared, job: &JobStats, cell: &Cell) -> Value {
+fn exec_cell(shared: &Shared, job: &JobStats, cell: &Cell, deadline: Option<Instant>) -> Value {
     shared.stats.cells_total.fetch_add(1, Ordering::SeqCst);
     let hit = |tree: Value| {
         shared.stats.cache_hits.fetch_add(1, Ordering::SeqCst);
@@ -443,6 +639,14 @@ fn exec_cell(shared: &Shared, job: &JobStats, cell: &Cell) -> Value {
     };
     let mut counted_wait = false;
     loop {
+        // Deadline gate, re-checked after every coalesce wake: work
+        // nobody is waiting for anymore fails fast with a typed
+        // diagnostic (the retry layer renders the panic message into
+        // the job's failure body) instead of occupying a worker.
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            shared.stats.deadline_expired.fetch_add(1, Ordering::SeqCst);
+            panic!("request deadline exceeded");
+        }
         if let Some(tree) = lock(&shared.store).get(&cell.key) {
             return hit(tree);
         }
@@ -552,6 +756,12 @@ fn metrics_json(shared: &Shared) -> String {
         "host.svc.rate.cells_per_sec",
         get(&s.cells_total) * 1000 / ms,
     );
+    block.set_named("host.guard.conns.accepted", get(&s.conns_accepted));
+    block.set_named("host.guard.conns.peak", get(&s.conns_peak));
+    block.set_named("host.guard.conns.shed", get(&s.conns_shed));
+    block.set_named("host.guard.requests.shed", get(&s.requests_shed));
+    block.set_named("host.guard.deadline.expired", get(&s.deadline_expired));
+    block.set_named("host.guard.store.quarantined", get(&s.store_quarantined));
     let doc = Value::Map(
         block
             .counters()
@@ -579,12 +789,39 @@ fn respond_tracked(
     reason: &str,
     body: &str,
 ) {
+    track_response(tracker, status);
+    respond(stream, status, reason, body);
+}
+
+/// [`respond_tracked`] for shed responses: the same table step, but the
+/// response carries a `Retry-After` header so well-behaved clients back
+/// off instead of hammering a loaded daemon.
+fn respond_tracked_retry(
+    tracker: &mut Tracker<'_>,
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    retry_after_secs: u64,
+    body: &str,
+) {
+    track_response(tracker, status);
+    if let Err(e) = proto::write_response_retry(stream, status, reason, retry_after_secs, body) {
+        log_conn("writing response", &e);
+    }
+}
+
+/// Steps the tracker for a response about to be served: the daemon's
+/// current table state plus the response's message class name the
+/// `Local` transition that must exist for this response to be legal.
+fn track_response(tracker: &mut Tracker<'_>, status: u16) {
     let tag = match (tracker.state(), proto::response_event(status)) {
         ("submitted", "Ok") => "accept",
         ("submitted", "Busy") => "busy",
         ("submitted", _) => "reject",
         ("queried", "Ok") => "found",
+        ("queried", "Busy") => "shed",
         ("queried", _) => "missing",
+        ("admin", "Busy") => "shed",
         ("admin", _) => "ack",
         // Already terminal (the `Bad` transition responded on receipt).
         _ => "",
@@ -598,7 +835,6 @@ fn respond_tracked(
             }
         }
     }
-    respond(stream, status, reason, body);
 }
 
 fn json_line(fields: &[(&str, Value)]) -> String {
@@ -718,8 +954,24 @@ fn handle_submit(
     }
     let cells = request.cells();
     let cell_count = cells.len();
+    // Deadline is stamped at admission: it bounds the whole queued +
+    // running lifetime, which is what a waiting client experiences.
+    let deadline = shared.cfg.deadline.map(|d| Instant::now() + d);
     let id = {
         let mut jobs = lock(&shared.jobs);
+        if jobs.queue.len() >= shared.cfg.queue_cap.max(1) {
+            drop(jobs);
+            shared.stats.requests_shed.fetch_add(1, Ordering::SeqCst);
+            respond_tracked_retry(
+                tracker,
+                stream,
+                429,
+                "Too Many Requests",
+                RETRY_AFTER_SECS,
+                &json_line(&[("error", Value::Str("job queue is at capacity".into()))]),
+            );
+            return;
+        }
         let idx = jobs.table.len();
         let id = format!("job-{}", idx + 1);
         jobs.table.push(Job {
@@ -728,6 +980,7 @@ fn handle_submit(
             cells,
             body: None,
             stats: Arc::new(JobStats::default()),
+            deadline,
         });
         jobs.queue.push_back(idx);
         shared.stats.submitted.fetch_add(1, Ordering::SeqCst);
@@ -972,6 +1225,176 @@ mod tests {
             local, dist,
             "rank-dispatched results serve byte-identically"
         );
+    }
+
+    #[test]
+    fn bursts_beyond_the_backlog_shed_with_retry_after() {
+        use std::net::TcpStream;
+        let (d, report) = Daemon::spawn(DaemonConfig {
+            conn_workers: 1,
+            conn_backlog: 1,
+            ..DaemonConfig::default()
+        })
+        .unwrap();
+        assert!(report.is_clean(), "{report}");
+        // Pin the single pool worker with a connection that never sends
+        // a byte, then park a second one in the one-slot backlog.
+        let pinned = TcpStream::connect(d.addr()).unwrap();
+        while d.shared.stats.conns_active.load(Ordering::SeqCst) == 0 {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let parked = TcpStream::connect(d.addr()).unwrap();
+        while lock(&d.shared.conns).is_empty() {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // The third connection overflows the backlog: the accept loop
+        // sheds it with 503 + Retry-After without reading a byte.
+        let shed = TcpStream::connect(d.addr()).unwrap();
+        let (status, headers, body) = proto::read_response_full(&mut BufReader::new(shed)).unwrap();
+        assert_eq!(status, 503, "{body}");
+        assert_eq!(
+            headers
+                .iter()
+                .find(|(k, _)| k == "retry-after")
+                .map(|(_, v)| v.as_str()),
+            Some("1"),
+            "{headers:?}"
+        );
+        // Releasing the pinned sockets frees the pool (clean EOFs). Wait
+        // for the backlog to drain so the metrics probe below cannot
+        // itself be shed, then the daemon serves normally with the shed
+        // on the books.
+        drop(pinned);
+        drop(parked);
+        while !lock(&d.shared.conns).is_empty() {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let (_, metrics) = roundtrip(&d.addr(), "GET", "/metrics", "").unwrap();
+        assert!(
+            metrics.contains("\"host.guard.conns.shed\": 1"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("\"host.guard.conns.peak\": 1"),
+            "one pool worker caps concurrency at one: {metrics}"
+        );
+        roundtrip(&d.addr(), "POST", "/shutdown", "").unwrap();
+        d.join();
+    }
+
+    #[test]
+    fn a_full_job_queue_sheds_submits_with_429_and_admits_identically() {
+        let submit = "{\"kind\":\"sweep\",\"platforms\":[\"Rocket 1\"],\
+                      \"kernels\":[\"Cca\"],\"scale\":1}";
+        let (d, report) = Daemon::spawn(DaemonConfig {
+            workers: 1,
+            queue_cap: 1,
+            ..DaemonConfig::default()
+        })
+        .unwrap();
+        assert!(report.is_clean(), "{report}");
+        // Pre-claim the cell every copy of this request resolves to, so
+        // the single job worker blocks in the coalesce wait — pinning
+        // job 1 in Running and job 2 in the queue, deterministically.
+        let key = SvcRequest::parse(submit).unwrap().cells()[0].key.clone();
+        lock(&d.shared.inflight).insert(key.clone());
+        let (s1, _) = roundtrip(&d.addr(), "POST", "/submit", submit).unwrap();
+        assert_eq!(s1, 202);
+        while !lock(&d.shared.jobs).queue.is_empty() {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let (s2, _) = roundtrip(&d.addr(), "POST", "/submit", submit).unwrap();
+        assert_eq!(s2, 202);
+        // Queue is now at queue_cap: the next well-formed submit sheds.
+        let (s3, headers, body) = proto::roundtrip_with(
+            &d.addr(),
+            "POST",
+            "/submit",
+            submit,
+            proto::WireTimeouts::default(),
+        )
+        .unwrap();
+        assert_eq!(s3, 429, "{body}");
+        assert!(
+            headers.iter().any(|(k, v)| k == "retry-after" && v == "1"),
+            "{headers:?}"
+        );
+        // Release the claim: both admitted jobs complete, and the
+        // queued one serves byte-identically to the first.
+        lock(&d.shared.inflight).remove(&key);
+        d.shared.inflight_cv.notify_all();
+        let fetch = |job: &str| loop {
+            let (status, body) = roundtrip(&d.addr(), "GET", &format!("/fetch/{job}"), "").unwrap();
+            match status {
+                200 => break body,
+                202 => std::thread::sleep(Duration::from_millis(5)),
+                other => panic!("fetch answered {other}: {body}"),
+            }
+        };
+        assert_eq!(fetch("job-1"), fetch("job-2"));
+        let (_, metrics) = roundtrip(&d.addr(), "GET", "/metrics", "").unwrap();
+        assert!(
+            metrics.contains("\"host.guard.requests.shed\": 1"),
+            "{metrics}"
+        );
+        roundtrip(&d.addr(), "POST", "/shutdown", "").unwrap();
+        d.join();
+    }
+
+    #[test]
+    fn expired_deadlines_fail_fast_with_a_typed_diagnostic() {
+        let submit = "{\"kind\":\"sweep\",\"platforms\":[\"Rocket 1\"],\
+                      \"kernels\":[\"Cca\"],\"scale\":1}";
+        let (d, report) = Daemon::spawn(DaemonConfig {
+            workers: 1,
+            deadline: Some(Duration::from_millis(50)),
+            ..DaemonConfig::default()
+        })
+        .unwrap();
+        assert!(report.is_clean(), "{report}");
+        // Hold the job's cell claim until well past the deadline; the
+        // woken worker re-checks expiry and fails fast instead of
+        // simulating work nobody is waiting for.
+        let key = SvcRequest::parse(submit).unwrap().cells()[0].key.clone();
+        lock(&d.shared.inflight).insert(key.clone());
+        let (status, _) = roundtrip(&d.addr(), "POST", "/submit", submit).unwrap();
+        assert_eq!(status, 202);
+        std::thread::sleep(Duration::from_millis(80));
+        lock(&d.shared.inflight).remove(&key);
+        d.shared.inflight_cv.notify_all();
+        let body = loop {
+            let (status, body) = roundtrip(&d.addr(), "GET", "/fetch/job-1", "").unwrap();
+            match status {
+                500 => break body,
+                202 => std::thread::sleep(Duration::from_millis(5)),
+                other => panic!("an expired job must fail, got {other}: {body}"),
+            }
+        };
+        assert!(body.contains("request deadline exceeded"), "{body}");
+        let (_, metrics) = roundtrip(&d.addr(), "GET", "/metrics", "").unwrap();
+        assert!(
+            metrics.contains("\"host.guard.deadline.expired\": 1"),
+            "{metrics}"
+        );
+        roundtrip(&d.addr(), "POST", "/shutdown", "").unwrap();
+        d.join();
+    }
+
+    #[test]
+    fn spawn_preflights_guard_misconfiguration_but_still_serves() {
+        let (d, report) = Daemon::spawn(DaemonConfig {
+            conn_workers: 0,
+            deadline: Some(Duration::ZERO),
+            ..DaemonConfig::default()
+        })
+        .unwrap();
+        assert!(report.has_code("GD001"), "{report}");
+        assert!(report.has_code("GD002"), "{report}");
+        // Pool sizes clamp to one, so the degraded daemon still serves.
+        let (status, _) = roundtrip(&d.addr(), "GET", "/metrics", "").unwrap();
+        assert_eq!(status, 200);
+        roundtrip(&d.addr(), "POST", "/shutdown", "").unwrap();
+        d.join();
     }
 
     #[test]

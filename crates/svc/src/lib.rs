@@ -20,12 +20,14 @@
 //! | [`request`] | wire shapes, SV000–SV002 preflight, cell decomposition |
 //! | [`daemon`] | job queue, worker pool, exactly-once cell execution, `/shutdown` drain |
 //! | [`client`] | one-call helpers for the CLI and tests |
+//! | [`faults`] | the store-corruption row for the `bsim faults` matrix |
 //!
 //! See README.md "Simulation as a service" for the wire workflow and
 //! DESIGN.md §12 for the architecture.
 
 pub mod client;
 pub mod daemon;
+pub mod faults;
 pub mod key;
 pub mod proto;
 pub mod request;
@@ -33,5 +35,6 @@ pub mod store;
 
 pub use daemon::{Daemon, DaemonConfig, COUNTERS};
 pub use key::{micro_cell_key, CODE_VERSION, STORE_SCHEMA};
+pub use proto::WireTimeouts;
 pub use request::SvcRequest;
-pub use store::ResultStore;
+pub use store::{scrub, ResultStore, ScrubReport};

@@ -40,12 +40,54 @@ fn classify(method: &str, path: &str) -> &'static str {
 }
 
 /// The protocol-table message class of a response status: 2xx is `Ok`,
-/// 503 is `Busy` (drain/overload), everything else is `Reject`.
+/// 429/503 are `Busy` (shed/drain/overload — retry later), everything
+/// else is `Reject`.
 pub fn response_event(status: u16) -> &'static str {
     match status {
         200..=299 => "Ok",
-        503 => "Busy",
+        429 | 503 => "Busy",
         _ => "Reject",
+    }
+}
+
+/// Socket timeouts for one wire direction pair. Applied on **both**
+/// sides of the svc protocol (client round trips and pooled daemon
+/// connections) so a slow-loris peer — one that connects and then
+/// trickles or withholds bytes — cannot pin a worker thread forever.
+///
+/// A zero duration means "unbounded" (std rejects zero timeouts);
+/// the GD002 guard lint flags configs that disable the protection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WireTimeouts {
+    /// Read timeout for the whole request/response read.
+    pub read: Duration,
+    /// Write timeout for sending the request/response.
+    pub write: Duration,
+}
+
+impl Default for WireTimeouts {
+    /// The pre-guard hardcoded value, now symmetric: 120 s each way.
+    fn default() -> WireTimeouts {
+        WireTimeouts {
+            read: Duration::from_secs(120),
+            write: Duration::from_secs(120),
+        }
+    }
+}
+
+impl WireTimeouts {
+    /// Applies both timeouts to a connected socket.
+    pub fn apply(&self, stream: &TcpStream) -> io::Result<()> {
+        stream.set_read_timeout(if self.read.is_zero() {
+            None
+        } else {
+            Some(self.read)
+        })?;
+        stream.set_write_timeout(if self.write.is_zero() {
+            None
+        } else {
+            Some(self.write)
+        })
     }
 }
 
@@ -115,6 +157,25 @@ pub fn write_response(
     writer.flush()
 }
 
+/// Writes one shed response (`429`/`503`) carrying a `Retry-After`
+/// header, so clients under admission control know when to come back
+/// instead of hot-looping.
+pub fn write_response_retry(
+    writer: &mut impl Write,
+    status: u16,
+    reason: &str,
+    retry_after_secs: u64,
+    body: &str,
+) -> io::Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
+         Retry-After: {retry_after_secs}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    writer.flush()
+}
+
 /// Reads one framed response: status line, headers, body. A malformed
 /// `Content-Length` is a typed error (same contract as the server-side
 /// [`read_request`]), and a response that carries body bytes without
@@ -122,6 +183,18 @@ pub fn write_response(
 /// reinterpreted — the daemon always frames, so an unframed non-empty
 /// body means the wire is not speaking this protocol.
 pub fn read_response(reader: &mut impl BufRead) -> io::Result<(u16, String)> {
+    let (status, _, body) = read_response_full(reader)?;
+    Ok((status, body))
+}
+
+/// A parsed response: status code, `(lowercased-name, value)` header
+/// pairs, and the body.
+pub type FullResponse = (u16, Vec<(String, String)>, String);
+
+/// Like [`read_response`], but also returns the response headers as
+/// `(lowercased-name, value)` pairs — the shed path's `Retry-After`
+/// rides here.
+pub fn read_response_full(reader: &mut impl BufRead) -> io::Result<FullResponse> {
     let mut status_line = String::new();
     reader.read_line(&mut status_line)?;
     let status: u16 = status_line
@@ -130,6 +203,7 @@ pub fn read_response(reader: &mut impl BufRead) -> io::Result<(u16, String)> {
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| bad(format!("bad status line {status_line:?}")))?;
 
+    let mut headers = Vec::new();
     let mut content_length = None;
     loop {
         let mut header = String::new();
@@ -140,15 +214,15 @@ pub fn read_response(reader: &mut impl BufRead) -> io::Result<(u16, String)> {
         if header.is_empty() {
             break;
         }
-        if let Some(v) = header
-            .split_once(':')
-            .filter(|(k, _)| k.eq_ignore_ascii_case("content-length"))
-            .map(|(_, v)| v.trim())
-        {
-            content_length = Some(
-                v.parse::<usize>()
-                    .map_err(|_| bad(format!("bad Content-Length {v:?}")))?,
-            );
+        if let Some((k, v)) = header.split_once(':') {
+            let (k, v) = (k.trim().to_ascii_lowercase(), v.trim().to_string());
+            if k == "content-length" {
+                content_length = Some(
+                    v.parse::<usize>()
+                        .map_err(|_| bad(format!("bad Content-Length {v:?}")))?,
+                );
+            }
+            headers.push((k, v));
         }
     }
 
@@ -172,19 +246,35 @@ pub fn read_response(reader: &mut impl BufRead) -> io::Result<(u16, String)> {
     };
     Ok((
         status,
+        headers,
         String::from_utf8(body).map_err(|_| bad("response body is not UTF-8"))?,
     ))
 }
 
 /// Client side: one round trip — connect, send, read the framed
-/// response. Returns `(status, body)`. A read timeout keeps a wedged
-/// daemon from hanging the client forever.
+/// response, under the default [`WireTimeouts`]. Returns
+/// `(status, body)`.
+pub fn roundtrip(addr: &str, method: &str, path: &str, body: &str) -> io::Result<(u16, String)> {
+    let (status, _, body) = roundtrip_with(addr, method, path, body, WireTimeouts::default())?;
+    Ok((status, body))
+}
+
+/// Client side: one round trip — connect, send, read the framed
+/// response. Returns `(status, headers, body)`. The configured read
+/// *and* write timeouts keep a wedged daemon from hanging the client
+/// forever (the pre-guard wire had only a hardcoded 120 s read side).
 ///
 /// The exchange drives the `client` role of the PV-checked protocol
 /// table: the request classification and the response handling are both
 /// table transitions, so a client move the model does not allow fails
 /// here as a typed error instead of silently diverging from the model.
-pub fn roundtrip(addr: &str, method: &str, path: &str, body: &str) -> io::Result<(u16, String)> {
+pub fn roundtrip_with(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+    timeouts: WireTimeouts,
+) -> io::Result<FullResponse> {
     let mut tracker = Tracker::new(svc_cached(), "client").ok_or_else(|| {
         io::Error::new(io::ErrorKind::InvalidData, "svc table lacks a client role")
     })?;
@@ -198,7 +288,7 @@ pub fn roundtrip(addr: &str, method: &str, path: &str, body: &str) -> io::Result
     };
     tracker.local(tag).map_err(drift)?;
     let mut stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+    timeouts.apply(&stream)?;
     write!(
         stream,
         "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
@@ -206,11 +296,11 @@ pub fn roundtrip(addr: &str, method: &str, path: &str, body: &str) -> io::Result
         body.len()
     )?;
     stream.flush()?;
-    match read_response(&mut BufReader::new(stream)) {
-        Ok((status, body)) => {
+    match read_response_full(&mut BufReader::new(stream)) {
+        Ok((status, headers, body)) => {
             tracker.recv(response_event(status)).map_err(drift)?;
             debug_assert!(tracker.is_terminal());
-            Ok((status, body))
+            Ok((status, headers, body))
         }
         Err(e) => {
             // Peer loss: clean EOF between frames vs anything torn. Both
@@ -291,6 +381,55 @@ mod tests {
         let (status, body) = read_response(&mut Cursor::new(&out[..])).unwrap();
         assert_eq!(status, 200);
         assert_eq!(body, "{\"job\":\"job-1\"}");
+    }
+
+    #[test]
+    fn shed_responses_carry_retry_after() {
+        let mut out = Vec::new();
+        write_response_retry(
+            &mut out,
+            429,
+            "Too Many Requests",
+            2,
+            "{\"error\":\"shed\"}",
+        )
+        .unwrap();
+        let (status, headers, body) = read_response_full(&mut Cursor::new(&out[..])).unwrap();
+        assert_eq!(status, 429);
+        assert_eq!(
+            headers
+                .iter()
+                .find(|(k, _)| k == "retry-after")
+                .map(|(_, v)| v.as_str()),
+            Some("2")
+        );
+        assert_eq!(body, "{\"error\":\"shed\"}");
+        // Both shed statuses are Busy-class for the protocol table.
+        assert_eq!(response_event(429), "Busy");
+        assert_eq!(response_event(503), "Busy");
+    }
+
+    #[test]
+    fn zero_wire_timeouts_mean_unbounded_not_an_error() {
+        // std rejects Some(ZERO) timeouts; the guard maps zero to None.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let stream = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let zero = WireTimeouts {
+            read: Duration::ZERO,
+            write: Duration::ZERO,
+        };
+        zero.apply(&stream).unwrap();
+        assert_eq!(stream.read_timeout().unwrap(), None);
+        assert_eq!(stream.write_timeout().unwrap(), None);
+        WireTimeouts::default().apply(&stream).unwrap();
+        assert_eq!(
+            stream.read_timeout().unwrap(),
+            Some(Duration::from_secs(120))
+        );
+        assert_eq!(
+            stream.write_timeout().unwrap(),
+            Some(Duration::from_secs(120))
+        );
     }
 
     #[test]

@@ -70,7 +70,7 @@ use silicon_bridge::engine::{Harness, TickModel, Wire};
 use silicon_bridge::mpi::NetConfig;
 use silicon_bridge::resilience::CellOutcome;
 use silicon_bridge::soc::{configs, Soc, SocConfig};
-use silicon_bridge::svc::{client, Daemon, DaemonConfig};
+use silicon_bridge::svc::{client, faults as svc_faults, Daemon, DaemonConfig};
 use silicon_bridge::workloads::microbench;
 
 fn platforms() -> Vec<SocConfig> {
@@ -86,12 +86,14 @@ fn usage() -> ! {
         "usage:\n  bsim list\n  bsim table <1|2|4|5>\n  \
          bsim fig <1..7> [--smoke] [--par seq|auto|N] [--ckpt FILE] [--resume FILE] [--retries N]\n  \
          bsim micro <kernel> [platform]\n  bsim tune\n  \
-         bsim faults [--seed N] [--deny-unsurvived] [--in-process]\n  \
+         bsim faults [--seed N] [--deny-unsurvived] [--in-process] [--guard]\n  \
          bsim check [--deny-warnings] [--json] [--list] [--proto] [--plans] [--source] [platform ...]\n  \
+         bsim scrub --store FILE\n  \
          bsim bench [--json] [--out FILE] [--baseline FILE] [--iters N]\n  \
          bsim dist [--ranks N] [--figs 1,2] [--smoke] [--store FILE] [--json] [--kill-rank R --kill-after K]\n  \
          bsim dist --graph-demo CYCLES [--ranks N] [--ring N] [--latency L] [--quantum Q] [--seed N]\n  \
-         bsim serve [--addr H:P] [--store FILE] [--workers N] [--budget N] [--par seq|auto|N] [--dist-ranks N]\n  \
+         bsim serve [--addr H:P] [--store FILE] [--workers N] [--budget N] [--par seq|auto|N] [--dist-ranks N]\n       \
+         [--conn-workers N] [--conn-backlog N] [--queue-cap N] [--deadline-ms N] [--io-timeout-secs N]\n  \
          bsim submit ADDR fig <id> [--smoke] [--seed N] [--wait]\n  \
          bsim submit ADDR sweep --platforms A,B --kernels C,D [--scale N] [--seed N] [--wait]\n  \
          bsim submit ADDR tune [--scale N] [--seed N] [--wait]\n  \
@@ -137,6 +139,7 @@ fn run_check(args: &[String]) -> ! {
             ("ooo core", check::rules::ooo_lints().codes()),
             ("engine schedule", check::rules::engine_lints().codes()),
             ("soc", silicon_bridge::soc::preflight::soc_lints().codes()),
+            ("guard", check::guard::guard_lints().codes()),
         ];
         for (group, codes) in regs {
             for (code, summary) in codes {
@@ -158,6 +161,7 @@ fn run_check(args: &[String]) -> ! {
              SV002   [service] request cell count exceeds the per-request budget\n  \
              SV003   [service] result-store version mismatch: stale entries ignored, not served\n  \
              SV004   [service] torn/unreadable result store quarantined on restart\n  \
+             SV005   [service] entry checksum missing/mismatched: quarantined, not served\n  \
              DL001-DL006 [partition plan] rank bounds, orphan models, empty ranks, cut latency\n          \
              vs quantum, dangling relay endpoints\n  \
              PV001-PV007 [protocol] transition-table model checking: unreachable states,\n          \
@@ -664,17 +668,36 @@ fn main() {
                 }),
                 None => 42,
             };
-            let mut matrix = run_campaign(seed);
-            // The in-process campaign covers nine fault classes; the
-            // tenth — losing a whole worker process — needs real OS
-            // processes, so only the CLI (which knows its own argv)
-            // can append it. `--in-process` skips it for environments
-            // where spawning is off the table.
-            if !args.iter().any(|a| a == "--in-process") {
+            // `--guard` runs only the bsim-guard integrity rows (the CI
+            // guard job's fast path); the full matrix is the nine
+            // in-process classes plus the scale-out and service rows.
+            let mut matrix = if args.iter().any(|a| a == "--guard") {
+                silicon_bridge::core::campaign::SurvivalMatrix {
+                    seed,
+                    scenarios: Vec::new(),
+                    watchdog_trips: 0,
+                }
+            } else {
+                run_campaign(seed)
+            };
+            // Losing a whole worker process needs real OS processes, so
+            // only the CLI (which knows its own argv) can append that
+            // row. `--in-process` skips it for environments where
+            // spawning is off the table.
+            if !args.iter().any(|a| a == "--in-process" || a == "--guard") {
                 matrix
                     .scenarios
                     .push(dist_faults::process_kill_scenario(seed, worker_argv()));
             }
+            // The bsim-guard integrity rows are in-process-safe: thread
+            // ranks, a loopback listener, and a temp file.
+            matrix
+                .scenarios
+                .push(dist_faults::wire_bitflip_scenario(seed));
+            matrix.scenarios.push(dist_faults::slow_peer_scenario(seed));
+            matrix
+                .scenarios
+                .push(svc_faults::store_corrupt_scenario(seed));
             print!("{}", matrix.render());
             if args.iter().any(|a| a == "--deny-unsurvived") && !matrix.all_pass() {
                 std::process::exit(1);
@@ -731,6 +754,35 @@ fn main() {
             println!("selected: {}", out.best());
         }
         "check" => run_check(&args[1..]),
+        // `bsim scrub`: offline integrity audit of a result-store file —
+        // verify every entry checksum, quarantine failures, atomically
+        // rewrite the clean remainder. Exit 0 when nothing was wrong.
+        "scrub" => {
+            let Some(path) = flag_value(&args, "--store") else {
+                usage()
+            };
+            let (scrubbed, report) = silicon_bridge::svc::scrub(std::path::Path::new(path));
+            if !report.is_clean() {
+                eprint!("{}", report.render());
+            }
+            println!(
+                "{path}: {} entr{} scanned, {} ok, {} quarantined{}",
+                scrubbed.scanned,
+                if scrubbed.scanned == 1 { "y" } else { "ies" },
+                scrubbed.ok,
+                scrubbed.quarantined.len(),
+                if scrubbed.rewritten {
+                    "; clean remainder rewritten"
+                } else {
+                    ""
+                }
+            );
+            for key in &scrubbed.quarantined {
+                println!("  quarantined {key}");
+            }
+            let clean = scrubbed.quarantined.is_empty() && report.is_clean();
+            std::process::exit(if clean { 0 } else { 1 })
+        }
         "bench" => run_bench(&args[1..]),
         "dist" => run_dist(&args[1..]),
         // Hidden: the worker half of `bsim dist`. The launcher spawns
@@ -947,6 +999,28 @@ fn run_serve(args: &[String]) -> ! {
         } else {
             Vec::new()
         },
+        conn_workers: parse_usize("--conn-workers", defaults.conn_workers),
+        conn_backlog: parse_usize("--conn-backlog", defaults.conn_backlog),
+        queue_cap: parse_usize("--queue-cap", defaults.queue_cap),
+        // A deadline is opt-in: absent flag = no deadline. `0` is left
+        // to the GD002 preflight to reject loudly rather than silently
+        // dropped here.
+        deadline: flag_value(args, "--deadline-ms")
+            .map(|v| {
+                v.parse::<u64>().unwrap_or_else(|_| {
+                    eprintln!("--deadline-ms takes a non-negative integer");
+                    std::process::exit(2);
+                })
+            })
+            .map(std::time::Duration::from_millis),
+        read_timeout: std::time::Duration::from_secs(parse_usize(
+            "--io-timeout-secs",
+            defaults.read_timeout.as_secs() as usize,
+        ) as u64),
+        write_timeout: std::time::Duration::from_secs(parse_usize(
+            "--io-timeout-secs",
+            defaults.write_timeout.as_secs() as usize,
+        ) as u64),
     };
     match Daemon::spawn(cfg) {
         Ok((daemon, report)) => {

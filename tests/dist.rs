@@ -87,10 +87,11 @@ fn the_dist_cli_graph_demo_is_bit_identical() {
     assert!(stdout.contains("bit-identical"), "{stdout}");
 }
 
-/// `bsim faults` appends the process-kill row to the nine in-process
+/// `bsim faults` appends the scale-out and service rows (process-kill,
+/// wire-bitflip, slow-peer, store-corrupt) to the nine in-process
 /// scenarios and the full matrix passes under `--deny-unsurvived`.
 #[test]
-fn the_faults_matrix_reports_process_kill_survival() {
+fn the_faults_matrix_reports_scale_out_survival() {
     let out = Command::new(env!("CARGO_BIN_EXE_bsim"))
         .args(["faults", "--deny-unsurvived"])
         .output()
@@ -101,6 +102,8 @@ fn the_faults_matrix_reports_process_kill_survival() {
         "faults matrix failed:\n{stdout}\n{}",
         String::from_utf8_lossy(&out.stderr)
     );
-    assert!(stdout.contains("process-kill"), "{stdout}");
-    assert!(stdout.contains("10/10 scenarios"), "{stdout}");
+    for row in ["process-kill", "wire-bitflip", "slow-peer", "store-corrupt"] {
+        assert!(stdout.contains(row), "missing {row} row:\n{stdout}");
+    }
+    assert!(stdout.contains("13/13 scenarios"), "{stdout}");
 }

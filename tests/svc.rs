@@ -171,6 +171,141 @@ fn shutdown_drains_inflight_work_and_flushes_store() {
     std::fs::remove_file(&path).ok();
 }
 
+/// Tentpole: a 4× oversubscribed burst. Deterministic 503 shedding at
+/// the connection layer (one pool worker, one backlog slot, six
+/// overflow connections), then a burst of eight submits against a
+/// one-worker/one-slot job queue where shed submits honor Retry-After
+/// and resubmit — and every admitted request completes byte-identical
+/// to the same sweep on an unloaded sequential daemon.
+#[test]
+fn oversubscribed_bursts_shed_and_admitted_work_is_byte_identical() {
+    use silicon_bridge::svc::proto;
+    use std::io::BufReader;
+    use std::net::TcpStream;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    // -- Connection layer: pin the single pool worker with an idle
+    // connection, park another in the one-slot backlog, and every
+    // further connection is shed 503 + Retry-After by the accept loop
+    // without a byte read.
+    let daemon = ephemeral_daemon(DaemonConfig {
+        conn_workers: 1,
+        conn_backlog: 1,
+        workers: 1,
+        ..DaemonConfig::default()
+    });
+    let addr = daemon.addr();
+    let pinned = TcpStream::connect(&addr).unwrap();
+    std::thread::sleep(Duration::from_millis(300));
+    let parked = TcpStream::connect(&addr).unwrap();
+    std::thread::sleep(Duration::from_millis(300));
+    for _ in 0..6 {
+        let conn = TcpStream::connect(&addr).unwrap();
+        let (status, headers, body) = proto::read_response_full(&mut BufReader::new(conn)).unwrap();
+        assert_eq!(status, 503, "{body}");
+        assert!(
+            headers.iter().any(|(k, v)| k == "retry-after" && v == "1"),
+            "{headers:?}"
+        );
+    }
+    drop(pinned);
+    drop(parked);
+    std::thread::sleep(Duration::from_millis(300));
+    // The freed pool serves normally, the six sheds are on the books,
+    // and the pool cap held: one worker never ran two connections.
+    let (_, first) = submit_and_wait(&addr, SWEEP);
+    let (_, metrics) = client::metrics(&addr).unwrap();
+    assert!(
+        metrics.contains("\"host.guard.conns.shed\": 6"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("\"host.guard.conns.peak\": 1"),
+        "{metrics}"
+    );
+    client::shutdown(&addr).unwrap();
+    daemon.join();
+
+    // -- Queue layer: eight distinct single-cell sweeps (4× the
+    // worker+queue capacity) in one concurrent burst. A 429 carries
+    // Retry-After and the client resubmits until admitted.
+    const KERNELS: [&str; 8] = ["Cca", "CCh", "ED1", "EI", "EM5", "MD", "ML2", "DP1d"];
+    let body_for =
+        |k: &str| format!(r#"{{"kind":"sweep","platforms":["Rocket 1"],"kernels":["{k}"]}}"#);
+    let busy = ephemeral_daemon(DaemonConfig {
+        workers: 1,
+        queue_cap: 1,
+        ..DaemonConfig::default()
+    });
+    let busy_addr = busy.addr();
+    let sheds = AtomicU64::new(0);
+    let burst: Vec<(String, String)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = KERNELS
+            .iter()
+            .map(|k| {
+                let addr = busy_addr.clone();
+                let body = body_for(k);
+                let sheds = &sheds;
+                scope.spawn(move || {
+                    for _ in 0..600 {
+                        let (status, headers, response) = proto::roundtrip_with(
+                            &addr,
+                            "POST",
+                            "/submit",
+                            &body,
+                            proto::WireTimeouts::default(),
+                        )
+                        .unwrap();
+                        if status == 202 {
+                            let job = client::job_id(&response).expect("ticket");
+                            let (status, result) =
+                                client::wait(&addr, &job, Duration::from_secs(120)).unwrap();
+                            assert_eq!(status, 200, "{result}");
+                            return (body, result);
+                        }
+                        assert_eq!(status, 429, "{response}");
+                        assert!(
+                            headers.iter().any(|(k, _)| k == "retry-after"),
+                            "{headers:?}"
+                        );
+                        sheds.fetch_add(1, Ordering::Relaxed);
+                        // Honor Retry-After in spirit, scaled down to
+                        // keep the test quick.
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    panic!("submit for {body} was never admitted");
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let (_, busy_metrics) = client::metrics(&busy_addr).unwrap();
+    let observed = sheds.load(Ordering::Relaxed);
+    assert!(
+        busy_metrics.contains(&format!("\"host.guard.requests.shed\": {observed}")),
+        "client saw {observed} sheds: {busy_metrics}"
+    );
+    client::shutdown(&busy_addr).unwrap();
+    busy.join();
+
+    // -- Byte-identity: every burst response matches the same request
+    // served sequentially on a fresh, unloaded daemon (and the SWEEP
+    // from the connection-layer phase agrees too).
+    let calm = ephemeral_daemon(DaemonConfig::default());
+    let calm_addr = calm.addr();
+    let (_, calm_sweep) = submit_and_wait(&calm_addr, SWEEP);
+    assert_eq!(first, calm_sweep, "cross-daemon sweep differs");
+    for (body, burst_result) in &burst {
+        let (_, calm_result) = submit_and_wait(&calm_addr, body);
+        assert_eq!(
+            burst_result, &calm_result,
+            "burst-admitted result differs for {body}"
+        );
+    }
+    client::shutdown(&calm_addr).unwrap();
+    calm.join();
+}
+
 /// Satellite regression: a store torn mid-write (truncated file) is
 /// detected and quarantined on restart — never served — and the daemon
 /// still starts, empty.
