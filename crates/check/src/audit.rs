@@ -49,6 +49,7 @@ const HOT_PATHS: &[&str] = &[
     "crates/dist/src/graph.rs",
     "crates/svc/src/proto.rs",
     "crates/svc/src/daemon.rs",
+    "crates/sweepx/src/replay.rs",
 ];
 
 /// Crates whose code runs under virtual time; host clocks are banned there
@@ -62,6 +63,7 @@ const VIRTUAL_TIME_CRATES: &[&str] = &[
     "workloads",
     "mpi",
     "core",
+    "sweepx",
 ];
 
 const ITER_METHODS: &[&str] = &[

@@ -335,6 +335,12 @@ pub struct SweepRun<T> {
     pub rate: SimRate,
     /// Worker threads the sweep actually used.
     pub workers: usize,
+    /// Maximum configs ticked through one shared trace pass (0 when the
+    /// sweep ran scalar cells; set by the `bsim-sweepx` lane runners).
+    pub lanes: u64,
+    /// Trace segments fast-forwarded by sampled simulation across the
+    /// whole grid (0 when every cell ran in full detail).
+    pub sampled_segments: u64,
 }
 
 impl<T> SweepRun<T> {
@@ -344,6 +350,8 @@ impl<T> SweepRun<T> {
         self.rate.publish(block);
         block.set_named("host.sweep.workers", self.workers as u64);
         block.set_named("host.sweep.cells", self.results.len() as u64);
+        block.set_named("host.sweep.lanes", self.lanes);
+        block.set_named("host.sweep.sampled_segments", self.sampled_segments);
     }
 
     /// One-line host-sweep summary for figure notes.
@@ -378,6 +386,56 @@ where
         results,
         rate: meter.finish(),
         workers,
+        lanes: 0,
+        sampled_segments: 0,
+    }
+}
+
+/// [`run_grid_metered`] for sweeps whose natural scheduling unit is a
+/// *chunk* of grid cells rather than a single cell — the lane runner's
+/// unit is a [`bsim_sweepx`-style] lane group, which must stay together
+/// on one worker because its cells share a recorded trace and one SoA
+/// timing pass. `f(g, cells)` runs chunk `g` and returns one
+/// `(result, cycles)` per cell of `chunks[g]`, in chunk order; results
+/// come back **ordered by grid index**, so figures remain bit-identical
+/// however the cells were chunked.
+pub fn run_grid_chunks_metered<T, F>(chunks: &[Vec<usize>], par: Parallelism, f: F) -> SweepRun<T>
+where
+    T: Send,
+    F: Fn(usize, &[usize]) -> Vec<(T, u64)> + Sync,
+{
+    let workers = par.workers(chunks.len());
+    let mut meter = SimRateMeter::start();
+    let per_chunk = run_grid(chunks.len(), par, |g| f(g, &chunks[g]));
+    let total: usize = chunks.iter().map(Vec::len).sum();
+    let mut slots: Vec<Option<T>> = (0..total).map(|_| None).collect();
+    let mut cycles = 0u64;
+    for (g, outs) in per_chunk.into_iter().enumerate() {
+        assert_eq!(
+            outs.len(),
+            chunks[g].len(),
+            "chunk {g} must yield one result per cell"
+        );
+        for (&cell, (t, c)) in chunks[g].iter().zip(outs) {
+            cycles += c;
+            assert!(
+                slots[cell].replace(t).is_none(),
+                "cell {cell} appears in more than one chunk"
+            );
+        }
+    }
+    meter.add_cycles(cycles);
+    let results = slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| s.unwrap_or_else(|| panic!("cell {i} missing from every chunk")))
+        .collect();
+    SweepRun {
+        results,
+        rate: meter.finish(),
+        workers,
+        lanes: 0,
+        sampled_segments: 0,
     }
 }
 

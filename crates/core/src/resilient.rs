@@ -158,11 +158,25 @@ pub fn run_figure_with(
     sizes: Sizes,
     par: Parallelism,
     policy: &RetryPolicy,
-    mut store: Option<&mut CkptStore>,
-    mut on_ckpt: impl FnMut(&CkptStore),
+    store: Option<&mut CkptStore>,
+    on_ckpt: impl FnMut(&CkptStore),
 ) -> Result<Vec<(String, CellOutcome<FigureData>)>, CkptError> {
     let plan = figure_plan(id, sizes, par)
         .unwrap_or_else(|| panic!("unknown figure id {id}; valid: 1..7"));
+    run_plan_with(plan, policy, store, on_ckpt)
+}
+
+/// Runs an already-built subfigure plan through the retry/checkpoint
+/// machinery. Alternate planners — `bsim-sweepx` builds lane-grouped
+/// plans with the same stable `fig*` keys — share this path, so
+/// `--ckpt`/`--resume` behave identically whether a figure was produced
+/// by scalar cells or multi-lane replay.
+pub fn run_plan_with(
+    plan: Vec<crate::experiments::Subfigure>,
+    policy: &RetryPolicy,
+    mut store: Option<&mut CkptStore>,
+    mut on_ckpt: impl FnMut(&CkptStore),
+) -> Result<Vec<(String, CellOutcome<FigureData>)>, CkptError> {
     let mut out = Vec::with_capacity(plan.len());
     for (fig_key, gen) in plan {
         if let Some(store) = store.as_deref_mut() {

@@ -26,8 +26,10 @@
 
 pub mod net;
 pub mod procmap;
+pub mod record;
 pub mod world;
 
 pub use net::NetConfig;
 pub use procmap::RankMap;
+pub use record::{Ev, WorldTrace};
 pub use world::{MpiWorld, RankCtx, ReduceOp, WorldReport};

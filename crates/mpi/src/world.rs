@@ -1,6 +1,7 @@
 //! Rank execution, turn-taking scheduler, matching and collectives.
 
 use crate::net::NetConfig;
+use crate::record::{Recorder, WorldTrace};
 use bsim_soc::{RunReport, Soc, SocConfig};
 use bsim_uarch::MicroOp;
 use parking_lot::{Condvar, Mutex};
@@ -76,6 +77,11 @@ struct Shared {
     progress: AtomicU64,
     messages: AtomicU64,
     bytes: AtomicU64,
+    /// Present in recording mode: timing is skipped entirely and every
+    /// SoC-visible action is appended here instead (see `record.rs`).
+    /// Appends happen while the acting rank holds the turn, so the
+    /// event order equals the (deterministic) global schedule order.
+    rec: Option<Mutex<Recorder>>,
 }
 
 impl Shared {
@@ -170,18 +176,32 @@ impl RankCtx {
         self.compiler_overhead
     }
 
-    /// Current virtual time (cycles) of this rank's core.
+    /// Current virtual time (cycles) of this rank's core. Always 0 in
+    /// recording mode: a recorded trace must stay replayable against
+    /// any lane config, so rank programs must not branch on time (none
+    /// of the bundled workloads do).
     pub fn time(&self) -> u64 {
+        if self.shared.rec.is_some() {
+            return 0;
+        }
         self.shared.soc.lock().core_cycles(self.rank)
     }
 
     /// Feeds one micro-op to this rank's simulated core.
     pub fn consume(&mut self, uop: &MicroOp) {
+        if let Some(rec) = &self.shared.rec {
+            rec.lock().consume(self.rank, std::slice::from_ref(uop));
+            return;
+        }
         self.shared.soc.lock().consume(self.rank, uop);
     }
 
     /// Feeds a batch of micro-ops under one lock acquisition.
     pub fn consume_batch(&mut self, uops: &[MicroOp]) {
+        if let Some(rec) = &self.shared.rec {
+            rec.lock().consume(self.rank, uops);
+            return;
+        }
         let mut soc = self.shared.soc.lock();
         for u in uops {
             soc.consume(self.rank, u);
@@ -191,6 +211,10 @@ impl RankCtx {
     /// Advances this rank's clock by `cycles` of opaque work (used for
     /// costs that are modeled analytically rather than per-op).
     pub fn charge(&mut self, cycles: u64) {
+        if let Some(rec) = &self.shared.rec {
+            rec.lock().charge(self.rank, cycles);
+            return;
+        }
         let mut soc = self.shared.soc.lock();
         let t = soc.core_cycles(self.rank) + cycles;
         soc.advance_core(self.rank, t);
@@ -216,8 +240,13 @@ impl RankCtx {
             "invalid destination {dst}"
         );
         let nbytes = payload.len();
-        let arrival;
-        {
+        let mut arrival = 0;
+        if let Some(rec) = &self.shared.rec {
+            // Recording: the payload still travels (the receiver's
+            // numerics need it) but timing is recomputed per lane at
+            // replay, so the arrival stamp is unused.
+            rec.lock().send(self.rank, dst, tag, nbytes);
+        } else {
             let mut soc = self.shared.soc.lock();
             let local = soc.core_cycles(self.rank);
             let busy = self.shared.net.o_send + self.shared.net.transfer_cycles(nbytes);
@@ -257,11 +286,15 @@ impl RankCtx {
                 .get_mut(&(src, self.rank, tag))
                 .and_then(|q: &mut VecDeque<Msg>| q.pop_front());
             if let Some(m) = msg {
-                let mut soc = self.shared.soc.lock();
-                let local = soc.core_cycles(self.rank);
-                let done = m.arrival.max(local) + self.shared.net.o_recv;
-                soc.advance_core(self.rank, done);
-                self.tel_wait_cycles += done.saturating_sub(local);
+                if let Some(rec) = &self.shared.rec {
+                    rec.lock().recv(self.rank, src, tag);
+                } else {
+                    let mut soc = self.shared.soc.lock();
+                    let local = soc.core_cycles(self.rank);
+                    let done = m.arrival.max(local) + self.shared.net.o_recv;
+                    soc.advance_core(self.rank, done);
+                    self.tel_wait_cycles += done.saturating_sub(local);
+                }
                 self.shared.bump();
                 return m.payload;
             }
@@ -295,6 +328,10 @@ impl RankCtx {
         deposit: impl FnOnce(&mut CollState, usize),
     ) -> CollResult {
         let my_gen;
+        if let Some(rec) = &self.shared.rec {
+            // Entry times are per-lane state: replay recomputes them.
+            rec.lock().coll_enter(self.rank, bytes);
+        }
         {
             let my_time = self.time();
             let mut s = self.shared.sched.lock();
@@ -346,6 +383,10 @@ impl RankCtx {
                     let release = s.coll.release;
                     let result = s.coll.result.clone();
                     drop(s);
+                    if let Some(rec) = &self.shared.rec {
+                        rec.lock().coll_exit(self.rank);
+                        return result;
+                    }
                     let mut soc = self.shared.soc.lock();
                     let local = soc.core_cycles(self.rank);
                     soc.advance_core(self.rank, release);
@@ -391,6 +432,17 @@ impl RankCtx {
     /// Called once per rank, while the rank still holds the turn, so the
     /// registration order is as deterministic as the schedule itself.
     fn publish_telemetry(&mut self) {
+        if let Some(rec) = &self.shared.rec {
+            // Cycle counters are lane state; record only the
+            // timing-free message/byte counts. The event also marks the
+            // rank's completion point, which is where replay publishes
+            // the lane's recomputed `mpi.rank{r}.*` counters — same
+            // order as this scalar call site, so counter registration
+            // order (and thus export bytes) match per lane.
+            rec.lock()
+                .finish(self.rank, self.tel_messages, self.tel_bytes);
+            return;
+        }
         let mut soc = self.shared.soc.lock();
         let tel = soc.telemetry_mut();
         if !tel.enabled() {
@@ -449,6 +501,38 @@ impl MpiWorld {
     where
         F: Fn(&mut RankCtx) + Sync,
     {
+        Self::run_mode(cfg, ranks, net, false, program).0
+    }
+
+    /// Runs `program` once with timing simulation disabled and returns
+    /// the recorded [`WorldTrace`] (plus the — timing-free, and
+    /// therefore meaningless — world report, which callers keep only
+    /// for its functional side effects). The recorded event order is
+    /// identical to a timed run's because the turn scheduler never
+    /// consults virtual time; see `record.rs` for the argument.
+    pub fn record<F>(
+        cfg: SocConfig,
+        ranks: usize,
+        net: NetConfig,
+        program: F,
+    ) -> (WorldReport, WorldTrace)
+    where
+        F: Fn(&mut RankCtx) + Sync,
+    {
+        let (report, trace) = Self::run_mode(cfg, ranks, net, true, program);
+        (report, trace.expect("recording mode always yields a trace"))
+    }
+
+    fn run_mode<F>(
+        cfg: SocConfig,
+        ranks: usize,
+        net: NetConfig,
+        recording: bool,
+        program: F,
+    ) -> (WorldReport, Option<WorldTrace>)
+    where
+        F: Fn(&mut RankCtx) + Sync,
+    {
         assert!(
             ranks >= 1 && ranks <= cfg.cores,
             "ranks must fit the SoC cores"
@@ -461,6 +545,8 @@ impl MpiWorld {
         }
         let simd_lanes = cfg.simd_lanes;
         let compiler_overhead = cfg.compiler_overhead_per_mille;
+        let rec =
+            recording.then(|| Mutex::new(Recorder::new(ranks, simd_lanes, compiler_overhead)));
         let shared = Arc::new(Shared {
             soc: Mutex::new(Soc::new(cfg)),
             mail: Mutex::new(HashMap::new()),
@@ -486,6 +572,7 @@ impl MpiWorld {
             progress: AtomicU64::new(0),
             messages: AtomicU64::new(0),
             bytes: AtomicU64::new(0),
+            rec,
         });
 
         crossbeam::thread::scope(|scope| {
@@ -524,15 +611,21 @@ impl MpiWorld {
         })
         .unwrap_or_else(|_| panic!("MPI deadlock or rank failure (world poisoned)"));
 
+        let messages = shared.messages.load(Ordering::Relaxed);
+        let bytes = shared.bytes.load(Ordering::Relaxed);
+        let trace = shared.rec.as_ref().map(|m| m.lock().take(messages, bytes));
         let mut soc = shared.soc.lock();
         let rank_cycles: Vec<u64> = (0..ranks).map(|r| soc.core_cycles(r)).collect();
         let run = soc.report(None);
-        WorldReport {
-            run,
-            rank_cycles,
-            messages: shared.messages.load(Ordering::Relaxed),
-            bytes: shared.bytes.load(Ordering::Relaxed),
-        }
+        (
+            WorldReport {
+                run,
+                rank_cycles,
+                messages,
+                bytes,
+            },
+            trace,
+        )
     }
 }
 

@@ -1,0 +1,50 @@
+//! Calibration harness for the sweepx ablation (dev tool, not shipped
+//! in any gate): prints speedups, error, and measured fraction for a
+//! given CG size so the bench defaults can be tuned.
+
+fn main() {
+    let a: Vec<String> = std::env::args().skip(1).collect();
+    let n: usize = a.first().and_then(|v| v.parse().ok()).unwrap_or(1024);
+    let nnz: usize = a.get(1).and_then(|v| v.parse().ok()).unwrap_or(11);
+    let iters: usize = a.get(2).and_then(|v| v.parse().ok()).unwrap_or(15);
+    let grid: usize = a.get(3).and_then(|v| v.parse().ok()).unwrap_or(12);
+    let tol: f64 = a.get(4).and_then(|v| v.parse().ok()).unwrap_or(0.05);
+    let maxk: usize = a.get(5).and_then(|v| v.parse().ok()).unwrap_or(64);
+    let wl = bsim_workloads::npb::cg::CgConfig {
+        n,
+        nnz_per_row: nnz,
+        iters,
+    };
+    let ab = bsim_sweepx::run_ablation(2, grid, wl);
+    print!("{}", ab.render());
+
+    // Sampling detail for a grid-sized replay with the given knobs.
+    let cfgs = bsim_sweepx::cache_tuning_grid(2, grid);
+    let net = bsim_mpi::NetConfig::shared_memory();
+    let t = std::time::Instant::now();
+    let (_, trace) = bsim_workloads::npb::cg::record(cfgs[0].clone(), 2, wl, net);
+    println!(
+        "record: {} ms, {} uops",
+        t.elapsed().as_millis(),
+        trace.uops.len()
+    );
+    let scfg = bsim_sweepx::SampleCfg {
+        quiesce_tol: tol,
+        max_clusters: maxk,
+        extra_rate: 0.02,
+        ..bsim_sweepx::SampleCfg::default()
+    };
+    let t = std::time::Instant::now();
+    let out = bsim_sweepx::replay_world(&trace, &cfgs, net, Some(&scfg));
+    println!("sampled replay: {} ms", t.elapsed().as_millis());
+    if let Some(rep) = &out[0].sample {
+        println!("lane0: {}", rep.describe());
+        println!(
+            "segments {} measured {} clusters {} uop-frac {:.3}",
+            rep.segments,
+            rep.measured_segments,
+            rep.clusters,
+            rep.measured_uops as f64 / rep.total_uops.max(1) as f64
+        );
+    }
+}

@@ -1,0 +1,215 @@
+//! Lane-group partitioning: which platform configs may share one
+//! recorded trace.
+//!
+//! A [`crate::WorldTrace`] is valid for every config whose *trace-shaping*
+//! knobs match the recording run: the MPI rank count, the vector width
+//! (`simd_lanes` changes how many dynamic ops the auto-vectorized trace
+//! regions emit), and the compiler-overhead dial (same reason). Every
+//! other knob — core model, cache geometry, DRAM timing, bus width,
+//! clock — is pure timing and may differ per lane. [`TraceKey`] captures
+//! exactly the trace-shaping triple; [`partition`] groups a config grid
+//! by it so the sweep kernel ticks each group through one trace pass.
+
+use bsim_check::{Diagnostic, Report};
+use bsim_soc::SocConfig;
+
+/// The trace-shaping knobs: two configs with equal keys (for a given
+/// rank count) produce byte-identical operation traces and may ride the
+/// same recorded trace as lanes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TraceKey {
+    /// MPI ranks the workload is decomposed over.
+    pub ranks: usize,
+    /// Vector-unit width (changes dynamic op counts in vectorizable
+    /// trace regions).
+    pub simd_lanes: u32,
+    /// Compiler codegen overhead dial (changes dynamic op counts
+    /// everywhere).
+    pub compiler_overhead_per_mille: u32,
+}
+
+impl TraceKey {
+    /// The key of `cfg` when run over `ranks` ranks.
+    pub fn of(cfg: &SocConfig, ranks: usize) -> TraceKey {
+        TraceKey {
+            ranks,
+            simd_lanes: cfg.simd_lanes,
+            compiler_overhead_per_mille: cfg.compiler_overhead_per_mille,
+        }
+    }
+}
+
+/// One shareable-trace group: indices into the caller's config grid.
+#[derive(Clone, Debug)]
+pub struct LaneGroup {
+    /// The trace-shaping key every member shares.
+    pub key: TraceKey,
+    /// Grid-cell indices, in first-appearance order.
+    pub cells: Vec<usize>,
+}
+
+/// Partitions a config grid into lane groups of at most `max_lanes`
+/// configs each. Groups appear in first-appearance order of their key
+/// and cells keep grid order within a group, so the partition is a
+/// deterministic function of the grid — every worker, checkpoint
+/// restore, and A/B rerun computes the same chunking. (A linear scan
+/// over a `Vec` rather than a hash map: group count is tiny and the
+/// order must not depend on hasher state.)
+pub fn partition(cfgs: &[SocConfig], ranks: usize, max_lanes: usize) -> Vec<LaneGroup> {
+    let cap = max_lanes.max(1);
+    let mut groups: Vec<LaneGroup> = Vec::new();
+    for (i, cfg) in cfgs.iter().enumerate() {
+        let key = TraceKey::of(cfg, ranks);
+        match groups
+            .iter_mut()
+            .find(|g| g.key == key && g.cells.len() < cap)
+        {
+            Some(g) => g.cells.push(i),
+            None => groups.push(LaneGroup {
+                key,
+                cells: vec![i],
+            }),
+        }
+    }
+    groups
+}
+
+/// CL080: every config in a lane group must share the trace-shaping key
+/// and have enough cores to host every rank. Violations are errors: a
+/// mismatched lane would replay a trace its own compiler/vector settings
+/// would never have produced, and a core-starved lane would index a
+/// nonexistent tile.
+pub fn lint_lane_group(cfgs: &[SocConfig], ranks: usize, span: &str) -> Report {
+    let mut report = Report::new();
+    let Some(first) = cfgs.first() else {
+        report.push(
+            Diagnostic::error("CL080", span, "lane group is empty")
+                .with_help("a lane group needs at least one platform config"),
+        );
+        return report;
+    };
+    let key = TraceKey::of(first, ranks);
+    for cfg in cfgs {
+        let k = TraceKey::of(cfg, ranks);
+        if k != key {
+            report.push(
+                Diagnostic::error(
+                    "CL080",
+                    span,
+                    format!(
+                        "config '{}' (simd_lanes {}, compiler overhead {}‰) cannot share a lane \
+                         group keyed (simd_lanes {}, compiler overhead {}‰)",
+                        cfg.name,
+                        k.simd_lanes,
+                        k.compiler_overhead_per_mille,
+                        key.simd_lanes,
+                        key.compiler_overhead_per_mille
+                    ),
+                )
+                .with_help(
+                    "simd_lanes and compiler_overhead_per_mille shape the operation trace; \
+                     only timing knobs (core model, caches, DRAM, clock) may differ per lane",
+                ),
+            );
+        }
+        if cfg.cores < ranks {
+            report.push(
+                Diagnostic::error(
+                    "CL080",
+                    span,
+                    format!(
+                        "config '{}' has {} core(s) but the trace was recorded over {ranks} ranks",
+                        cfg.name, cfg.cores
+                    ),
+                )
+                .with_help("every lane must instantiate one tile per MPI rank"),
+            );
+        }
+    }
+    report
+}
+
+/// CL081: warns when a lane plan degenerates to scalar execution —
+/// either the lane cap disables grouping or the grid's keys are all
+/// distinct, so every group is a singleton and the sweep pays recording
+/// overhead with no amortization.
+pub fn lint_lane_plan(cfgs: &[SocConfig], ranks: usize, max_lanes: usize, span: &str) -> Report {
+    let mut report = Report::new();
+    if max_lanes < 2 {
+        report.push(
+            Diagnostic::warning(
+                "CL081",
+                span,
+                format!("lane cap {max_lanes} disables multi-lane grouping"),
+            )
+            .with_help("pass --lanes 2 or more to amortize trace decode across configs"),
+        );
+        return report;
+    }
+    let groups = partition(cfgs, ranks, max_lanes);
+    if cfgs.len() > 1 && groups.iter().all(|g| g.cells.len() < 2) {
+        report.push(
+            Diagnostic::warning(
+                "CL081",
+                span,
+                format!(
+                    "all {} configs land in singleton lane groups (no two share a trace key)",
+                    cfgs.len()
+                ),
+            )
+            .with_help(
+                "grids that vary only timing knobs (cache geometry, core model, DRAM) form \
+                 multi-config groups; grids that vary simd_lanes/compiler overhead cannot",
+            ),
+        );
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsim_soc::configs;
+
+    #[test]
+    fn sim_models_share_a_group_and_hw_is_singleton() {
+        let cfgs = [
+            configs::banana_pi_hw(1),
+            configs::rocket1(1),
+            configs::rocket2(1),
+            configs::large_boom(1),
+        ];
+        let groups = partition(&cfgs, 1, 8);
+        assert_eq!(groups.len(), 2, "{groups:?}");
+        assert_eq!(groups[0].cells, vec![0], "silicon records its own trace");
+        assert_eq!(groups[1].cells, vec![1, 2, 3], "sims share one trace");
+        assert!(lint_lane_group(&[configs::rocket1(2), configs::large_boom(2)], 2, "g").is_clean());
+    }
+
+    #[test]
+    fn max_lanes_splits_groups_deterministically() {
+        let cfgs: Vec<_> = (0..5).map(|_| configs::rocket1(1)).collect();
+        let groups = partition(&cfgs, 1, 2);
+        let cells: Vec<_> = groups.iter().map(|g| g.cells.clone()).collect();
+        assert_eq!(cells, vec![vec![0, 1], vec![2, 3], vec![4]]);
+    }
+
+    #[test]
+    fn cl080_flags_trace_shaping_mismatch_and_core_starvation() {
+        let r = lint_lane_group(&[configs::rocket1(4), configs::banana_pi_hw(4)], 4, "g");
+        assert!(r.has_errors());
+        assert!(r.has_code("CL080"));
+        let starved = lint_lane_group(&[configs::rocket1(1)], 4, "g");
+        assert!(starved.has_errors(), "1 core cannot host 4 ranks");
+        assert!(lint_lane_group(&[], 1, "g").has_errors(), "empty group");
+    }
+
+    #[test]
+    fn cl081_flags_degenerate_plans() {
+        let cfgs = [configs::rocket1(1), configs::rocket2(1)];
+        assert!(lint_lane_plan(&cfgs, 1, 1, "p").has_code("CL081"));
+        let distinct = [configs::banana_pi_hw(1), configs::milkv_hw(1)];
+        assert!(lint_lane_plan(&distinct, 1, 8, "p").has_code("CL081"));
+        assert!(lint_lane_plan(&cfgs, 1, 8, "p").is_clean());
+    }
+}

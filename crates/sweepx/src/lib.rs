@@ -1,0 +1,48 @@
+//! # bsim-sweepx — vectorized multi-lane sweeps and sampled simulation
+//!
+//! The scalar pipeline simulates one platform config per run, so a
+//! config-grid sweep (`bsim fig`, `ablation_cache_tuning`) repeats the
+//! expensive, config-*independent* work — functional execution, trace
+//! decode, workload segment iteration — once per cell. This crate
+//! splits that work out:
+//!
+//! * **Recording** (`bsim_mpi::MpiWorld::record`, [`record_program`])
+//!   runs a workload once with timing bypassed, capturing the retired
+//!   micro-op stream and the communication event schedule as a
+//!   [`bsim_mpi::WorldTrace`] / [`ProgTrace`].
+//! * **Multi-lane replay** ([`replay_world`], [`replay_program`])
+//!   ticks N compatible configs ("lanes") through one struct-of-lanes
+//!   pass over the shared trace: the decode/iteration happens once per
+//!   quantum while per-lane cache tags, LRU state, DRAM bank/row
+//!   state, and stat counters live in each lane's own `Soc`. Full
+//!   replay is **bit-identical** to the scalar path, A/B-checked in
+//!   tests and in `bsim bench --sweepx`.
+//! * **Lane grouping** ([`TraceKey`], [`partition`]) decides which
+//!   grid cells may share a recording: configs agree on rank count and
+//!   on everything the *functional* side observes (SIMD lanes,
+//!   compiler overhead). CL080/CL081 lints reject or flag unsound
+//!   plans.
+//! * **SimPoint-style sampling** ([`SampleCfg`], [`SamplePlan`]) cuts
+//!   the trace into segments, clusters their op-mix/stride signatures
+//!   with a k-means-lite pass, runs detailed timing only on cluster
+//!   representatives, fast-forwards the rest, and reports stratified
+//!   error bounds in a [`SampleReport`] (CL085–CL087 lint the budget).
+//!
+//! [`figure_plan_lanes`] mirrors `bsim_core`'s figure plan on top of
+//! the lane kernel (`bsim fig --lanes N [--sample]`), and
+//! [`run_ablation`] is the `bsim bench --sweepx` harness proving the
+//! ≥10x grid speedup with the correctness evidence attached.
+
+pub mod bench;
+pub mod figure;
+pub mod lane;
+pub mod prog;
+pub mod replay;
+pub mod sample;
+
+pub use bench::{cache_tuning_grid, run_ablation, Ablation, AblationRow};
+pub use figure::{figure_plan_lanes, LaneOpts, SampleAgg};
+pub use lane::{lint_lane_group, lint_lane_plan, partition, LaneGroup, TraceKey};
+pub use prog::{record_program, replay_program, ProgTrace};
+pub use replay::{replay_world, replay_world_isolated, LaneOutcome};
+pub use sample::{SampleCfg, SampleMetric, SamplePlan, SampleReport};

@@ -1,0 +1,313 @@
+//! End-to-end A/B coverage for the multi-lane sweep kernel: bit-identity
+//! against scalar runs across workloads, seeded config grids, and
+//! fault-degraded links; sampled-replay determinism and error bounds;
+//! checkpoint/resume interop with the scalar figure plan; and the
+//! `host.sweep.*` telemetry counters riding the JSON/CSV exports.
+
+use bsim_core::experiments::{figure_plan, Parallelism, Sizes};
+use bsim_core::{run_grid_chunks_metered, run_plan_with, CellOutcome, CkptStore, RetryPolicy};
+use bsim_mpi::NetConfig;
+use bsim_resilience::fault::{FaultKind, FaultPlan, FaultTarget};
+use bsim_soc::{configs, SocConfig, TelemetryConfig};
+use bsim_sweepx::{cache_tuning_grid, figure_plan_lanes, replay_world, LaneOpts, SampleCfg};
+use bsim_telemetry::{Telemetry, TelemetryConfig as TelCfg};
+use bsim_workloads::npb::{cg, is, mg};
+use proptest::prelude::*;
+
+fn json<T: serde::Serialize>(v: &T) -> String {
+    serde_json::to_string(v).expect("reports serialize")
+}
+
+/// A small cache-geometry grid around Large BOOM, including one config
+/// with hardware telemetry counters enabled — instrumentation must not
+/// perturb lane timing.
+fn small_grid(ranks: usize) -> Vec<SocConfig> {
+    let mut grid = cache_tuning_grid(ranks, 3);
+    let mut tele = configs::large_boom(ranks).with_telemetry(TelemetryConfig::counters());
+    tele.name = "Large BOOM (counters)".to_string();
+    grid.push(tele);
+    grid
+}
+
+/// Applies a [`FaultPlan`]'s link events to the world's [`NetConfig`],
+/// the way the MPI layer maps `LinkDegrade`/`LinkZeroLatency` faults.
+fn faulted_net(base: NetConfig, plan: &FaultPlan) -> NetConfig {
+    plan.link_events().fold(base, |net, ev| match ev.kind {
+        FaultKind::LinkDegrade { factor } => net.degrade(factor),
+        FaultKind::LinkZeroLatency => net.zero_latency(),
+        _ => net,
+    })
+}
+
+/// CG, IS, and MG each record once and replay bit-identical to their
+/// scalar runs across a mixed grid (telemetry-instrumented lane
+/// included).
+#[test]
+fn lane_replay_matches_scalar_across_npb_workloads() {
+    let ranks = 2;
+    let cfgs = small_grid(ranks);
+    let net = NetConfig::shared_memory();
+
+    let cg_wl = cg::CgConfig {
+        n: 192,
+        nnz_per_row: 5,
+        iters: 2,
+    };
+    let (_, trace) = cg::record(cfgs[0].clone(), ranks, cg_wl, net);
+    for (cfg, lane) in cfgs.iter().zip(replay_world(&trace, &cfgs, net, None)) {
+        let scalar = cg::run(cfg.clone(), ranks, cg_wl, net);
+        assert_eq!(
+            json(&scalar.report),
+            json(&lane.report),
+            "CG lane '{}' drifted from scalar",
+            cfg.name
+        );
+    }
+
+    let is_wl = is::IsConfig {
+        keys_per_rank: 1 << 10,
+        max_key: 1024,
+        iterations: 1,
+    };
+    let (_, trace) = is::record(cfgs[0].clone(), ranks, is_wl, net);
+    for (cfg, lane) in cfgs.iter().zip(replay_world(&trace, &cfgs, net, None)) {
+        let scalar = is::run(cfg.clone(), ranks, is_wl, net);
+        assert!(scalar.sorted, "IS must verify on {}", cfg.name);
+        assert_eq!(
+            json(&scalar.report),
+            json(&lane.report),
+            "IS lane '{}' drifted from scalar",
+            cfg.name
+        );
+    }
+
+    let mg_wl = mg::MgConfig {
+        n: 16,
+        levels: 3,
+        cycles: 1,
+    };
+    let (_, trace) = mg::record(cfgs[0].clone(), ranks, mg_wl, net);
+    for (cfg, lane) in cfgs.iter().zip(replay_world(&trace, &cfgs, net, None)) {
+        let scalar = mg::run(cfg.clone(), ranks, mg_wl, net);
+        assert_eq!(
+            json(&scalar.report),
+            json(&lane.report),
+            "MG lane '{}' drifted from scalar",
+            cfg.name
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Bit-identity must hold for *any* cache geometry in the sweepable
+    /// envelope, and for worlds whose link carries a seeded
+    /// [`FaultPlan`]'s degradation faults — replay shares the scalar
+    /// path's `NetConfig`, so a fault that stretches (or zeroes) the
+    /// link must stretch every lane exactly like every scalar cell.
+    #[test]
+    fn lane_bit_identity_over_seeded_geometry_and_faulted_links(
+        l1_exp in 5u32..9,
+        l2_exp in 9u32..12,
+        pf in 0u32..3,
+        fault in 0usize..3,
+        factor in 2u32..5,
+        seed in 0u64..1024,
+    ) {
+        let ranks = 2;
+        let mut grid = Vec::new();
+        for bump in 0u32..3 {
+            let mut cfg = configs::large_boom(ranks);
+            cfg.hierarchy.l1d.sets = 1 << (l1_exp + bump % 2);
+            cfg.hierarchy.l1i.sets = 1 << l1_exp;
+            cfg.hierarchy.l2.sets = 1 << l2_exp;
+            cfg.hierarchy.prefetch_degree = pf + bump;
+            cfg.name = format!("boom l1e{l1_exp}+{bump} l2e{l2_exp} pf{}", pf + bump);
+            grid.push(cfg);
+        }
+        let plan = match fault {
+            0 => FaultPlan::new(seed),
+            1 => FaultPlan::new(seed).inject(
+                FaultTarget::Link,
+                0,
+                FaultKind::LinkDegrade { factor },
+            ),
+            _ => FaultPlan::new(seed).inject(FaultTarget::Link, 0, FaultKind::LinkZeroLatency),
+        };
+        let net = faulted_net(NetConfig::shared_memory(), &plan);
+        let wl = cg::CgConfig { n: 96, nnz_per_row: 4, iters: 2 };
+        let (_, trace) = cg::record(grid[0].clone(), ranks, wl, net);
+        let lanes = replay_world(&trace, &grid, net, None);
+        for (cfg, lane) in grid.iter().zip(&lanes) {
+            let scalar = cg::run(cfg.clone(), ranks, wl, net);
+            prop_assert_eq!(
+                json(&scalar.report),
+                json(&lane.report),
+                "lane '{}' (fault mode {}) drifted from scalar",
+                cfg.name,
+                fault
+            );
+        }
+    }
+}
+
+/// Sampling with a fixed seed is a pure function of the trace and the
+/// budget: two runs produce byte-identical reports, and the estimate
+/// stays inside a sane envelope of the full replay with a finite
+/// reported bound.
+#[test]
+fn sampled_replay_is_deterministic_and_within_bounds() {
+    let ranks = 2;
+    let cfgs = cache_tuning_grid(ranks, 4);
+    let net = NetConfig::shared_memory();
+    let wl = cg::CgConfig {
+        n: 256,
+        nnz_per_row: 6,
+        iters: 8,
+    };
+    let (_, trace) = cg::record(cfgs[0].clone(), ranks, wl, net);
+    let full = replay_world(&trace, &cfgs, net, None);
+    let scfg = SampleCfg::default();
+    let a = replay_world(&trace, &cfgs, net, Some(&scfg));
+    let b = replay_world(&trace, &cfgs, net, Some(&scfg));
+    for ((fa, sa), sb) in full.iter().zip(&a).zip(&b) {
+        assert_eq!(
+            json(&sa.report),
+            json(&sb.report),
+            "sampled replay must be deterministic (fixed seed)"
+        );
+        let (ra, rb) = (
+            sa.sample.as_ref().expect("sampling was on"),
+            sb.sample.as_ref().expect("sampling was on"),
+        );
+        assert_eq!(json(ra), json(rb), "sample reports must be deterministic");
+        let fc = fa.report.run.cycles.max(1) as f64;
+        let rel = (sa.report.run.cycles as f64 - fc).abs() / fc;
+        assert!(rel < 0.25, "sampled err {rel:.3} out of envelope");
+        let stderr = ra.rel_stderr("cycles").expect("cycles bound reported");
+        assert!(
+            stderr.is_finite() && stderr >= 0.0,
+            "reported bound must be finite, got {stderr}"
+        );
+    }
+}
+
+/// The lane plan and the scalar plan share stable subfigure keys, so
+/// `--ckpt`/`--resume` interoperate: a store written by the lane plan
+/// (through `save_atomic`/`load`, the CLI's on-disk round trip) answers
+/// the scalar plan without resimulating a single cell.
+#[test]
+fn ckpt_resume_interops_between_lane_and_scalar_plans() {
+    let sizes = Sizes::smoke();
+    let par = Parallelism::Sequential;
+    let policy = RetryPolicy::once();
+
+    let lane_plan =
+        figure_plan_lanes("6", sizes, par, LaneOpts::default()).expect("fig 6 exists on lanes");
+    let mut store = CkptStore::new();
+    let lane_out = run_plan_with(lane_plan, &policy, Some(&mut store), |_| {})
+        .expect("lane plan checkpoints cleanly");
+    assert!(lane_out.iter().all(|(_, o)| o.is_ok()));
+
+    let path = std::env::temp_dir().join(format!("sweepx_lane_ab_{}.ckpt", std::process::id()));
+    store.save_atomic(&path).expect("store persists");
+    let mut resumed = CkptStore::load(&path).expect("store loads");
+    std::fs::remove_file(&path).ok();
+
+    let scalar_plan = figure_plan("6", sizes, par).expect("fig 6 exists scalar");
+    let scalar_out = run_plan_with(scalar_plan, &policy, Some(&mut resumed), |_| {})
+        .expect("scalar plan resumes cleanly");
+    for ((lk, lo), (sk, so)) in lane_out.iter().zip(&scalar_out) {
+        assert_eq!(lk, sk, "subfigure keys must match between plans");
+        match so {
+            CellOutcome::Ok { value, attempts } => {
+                assert_eq!(*attempts, 0, "{sk} must restore from the lane checkpoint");
+                assert_eq!(
+                    json(lo.value().expect("lane cell ok")),
+                    json(value),
+                    "{sk} resumed bytes drifted"
+                );
+            }
+            other => panic!("{sk} did not resume: {other:?}"),
+        }
+    }
+}
+
+/// A lane-chunked sweep's `host.sweep.lanes` and
+/// `host.sweep.sampled_segments` counters ride the normal telemetry
+/// export, appearing in both the JSON and CSV run dumps.
+#[test]
+fn lane_sweep_counters_ride_the_json_and_csv_exports() {
+    let ranks = 2;
+    let cfgs = cache_tuning_grid(ranks, 3);
+    let net = NetConfig::shared_memory();
+    let wl = cg::CgConfig {
+        n: 256,
+        nnz_per_row: 6,
+        iters: 6,
+    };
+    let (_, trace) = cg::record(cfgs[0].clone(), ranks, wl, net);
+    let scfg = SampleCfg::default();
+    let chunks = vec![(0..cfgs.len()).collect::<Vec<_>>()];
+    let mut sweep = run_grid_chunks_metered(&chunks, Parallelism::Sequential, |_, cells| {
+        let group: Vec<SocConfig> = cells.iter().map(|&c| cfgs[c].clone()).collect();
+        replay_world(&trace, &group, net, Some(&scfg))
+            .into_iter()
+            .map(|o| {
+                let cycles = o.report.run.cycles;
+                (o.sample, cycles)
+            })
+            .collect()
+    });
+    sweep.lanes = chunks.iter().map(Vec::len).max().unwrap_or(0) as u64;
+    sweep.sampled_segments = sweep
+        .results
+        .iter()
+        .flatten()
+        .map(|rep| (rep.segments - rep.measured_segments) as u64)
+        .sum();
+    assert_eq!(sweep.lanes, 3);
+    assert!(
+        sweep.sampled_segments > 0,
+        "a sampled sweep must fast-forward some segments"
+    );
+
+    let mut tel = Telemetry::new(TelCfg::counters());
+    sweep.publish(tel.counters_mut());
+    tel.tick(1_000);
+    let snap = tel.snapshot().expect("counters enabled");
+    assert_eq!(snap.counter("host.sweep.lanes"), Some(3));
+    assert_eq!(
+        snap.counter("host.sweep.sampled_segments"),
+        Some(sweep.sampled_segments)
+    );
+    let js = snap.to_json();
+    let csv = snap.counters_csv();
+    for name in ["host.sweep.lanes", "host.sweep.sampled_segments"] {
+        assert!(js.contains(name), "{name} missing from JSON export");
+        assert!(csv.contains(name), "{name} missing from CSV export");
+    }
+}
+
+/// Every figure id builds the same subfigure key set on lanes as on the
+/// scalar plan — the invariant the checkpoint interop above rests on.
+#[test]
+fn lane_plan_keys_match_scalar_plan_keys_for_every_figure() {
+    let sizes = Sizes::smoke();
+    let par = Parallelism::Sequential;
+    for id in ["1", "2", "3", "4", "5", "6", "7"] {
+        let scalar: Vec<&str> = figure_plan(id, sizes, par)
+            .expect("scalar plan exists")
+            .iter()
+            .map(|(k, _)| *k)
+            .collect();
+        let lanes: Vec<&str> = figure_plan_lanes(id, sizes, par, LaneOpts::default())
+            .expect("lane plan exists")
+            .iter()
+            .map(|(k, _)| *k)
+            .collect();
+        assert_eq!(scalar, lanes, "fig {id} key sets diverge");
+    }
+    assert!(figure_plan_lanes("9", sizes, par, LaneOpts::default()).is_none());
+}

@@ -11,7 +11,7 @@ use crate::md::common::{
     sc_lattice, trace_force, trace_integrate, trace_pair, CellList, MdAddrs, System,
 };
 use crate::trace::{rank_base, with_trace};
-use bsim_mpi::{MpiWorld, NetConfig, RankCtx, ReduceOp, WorldReport};
+use bsim_mpi::{MpiWorld, NetConfig, RankCtx, ReduceOp, WorldReport, WorldTrace};
 use bsim_soc::SocConfig;
 use serde::{Deserialize, Serialize};
 
@@ -84,11 +84,34 @@ fn fene_bond(r2: f64) -> (f64, f64) {
 
 /// Runs the Chain benchmark on `ranks` ranks of the given platform.
 pub fn run(soc: SocConfig, ranks: usize, cfg: ChainConfig, net: NetConfig) -> ChainResult {
+    run_mode(soc, ranks, cfg, net, false).0
+}
+
+/// Runs the polymer chain once with timing disabled, capturing the rank
+/// programs as a timing-free [`WorldTrace`] for multi-lane replay
+/// (`bsim-sweepx`).
+pub fn record(
+    soc: SocConfig,
+    ranks: usize,
+    cfg: ChainConfig,
+    net: NetConfig,
+) -> (ChainResult, WorldTrace) {
+    let (r, t) = run_mode(soc, ranks, cfg, net, true);
+    (r, t.expect("recording mode always yields a trace"))
+}
+
+fn run_mode(
+    soc: SocConfig,
+    ranks: usize,
+    cfg: ChainConfig,
+    net: NetConfig,
+    record: bool,
+) -> (ChainResult, Option<WorldTrace>) {
     use std::sync::Mutex;
     let out: Mutex<(f64, f64, f64)> = Mutex::new((0.0, 0.0, 0.0));
     let atoms = cfg.cells * cfg.cells * cfg.cells;
 
-    let report = MpiWorld::run(soc, ranks, net, |ctx: &mut RankCtx| {
+    let program = |ctx: &mut RankCtx| {
         let rank = ctx.rank();
         let mut sys: System = sc_lattice(cfg.cells, cfg.density);
         let n = sys.len();
@@ -240,17 +263,26 @@ pub fn run(soc: SocConfig, ranks: usize, cfg: ChainConfig, net: NetConfig) -> Ch
         if rank == 0 {
             *out.lock().unwrap_or_else(|e| e.into_inner()) = (e_first, e_last, mb);
         }
-    });
+    };
+    let (report, trace) = if record {
+        let (rep, tr) = MpiWorld::record(soc, ranks, net, program);
+        (rep, Some(tr))
+    } else {
+        (MpiWorld::run(soc, ranks, net, program), None)
+    };
 
     let (initial_energy, final_energy, max_bond) =
         out.into_inner().unwrap_or_else(|e| e.into_inner());
-    ChainResult {
-        report,
-        initial_energy,
-        final_energy,
-        atoms,
-        max_bond,
-    }
+    (
+        ChainResult {
+            report,
+            initial_energy,
+            final_energy,
+            atoms,
+            max_bond,
+        },
+        trace,
+    )
 }
 
 #[cfg(test)]

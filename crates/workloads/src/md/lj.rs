@@ -10,7 +10,7 @@ use crate::md::common::{
     fcc_lattice, trace_force, trace_integrate, trace_pair, CellList, MdAddrs, System,
 };
 use crate::trace::{rank_base, with_trace};
-use bsim_mpi::{MpiWorld, NetConfig, RankCtx, ReduceOp, WorldReport};
+use bsim_mpi::{MpiWorld, NetConfig, RankCtx, ReduceOp, WorldReport, WorldTrace};
 use bsim_soc::SocConfig;
 use serde::{Deserialize, Serialize};
 
@@ -105,11 +105,34 @@ fn compute_forces(
 
 /// Runs the LJ melt on `ranks` ranks of the given platform.
 pub fn run(soc: SocConfig, ranks: usize, cfg: LjConfig, net: NetConfig) -> LjResult {
+    run_mode(soc, ranks, cfg, net, false).0
+}
+
+/// Runs the LJ melt once with timing disabled, capturing the rank
+/// programs as a timing-free [`WorldTrace`] for multi-lane replay
+/// (`bsim-sweepx`).
+pub fn record(
+    soc: SocConfig,
+    ranks: usize,
+    cfg: LjConfig,
+    net: NetConfig,
+) -> (LjResult, WorldTrace) {
+    let (r, t) = run_mode(soc, ranks, cfg, net, true);
+    (r, t.expect("recording mode always yields a trace"))
+}
+
+fn run_mode(
+    soc: SocConfig,
+    ranks: usize,
+    cfg: LjConfig,
+    net: NetConfig,
+    record: bool,
+) -> (LjResult, Option<WorldTrace>) {
     use std::sync::Mutex;
     let out: Mutex<(f64, f64)> = Mutex::new((0.0, 0.0));
     let atoms = 4 * cfg.cells * cfg.cells * cfg.cells;
 
-    let report = MpiWorld::run(soc, ranks, net, |ctx: &mut RankCtx| {
+    let program = |ctx: &mut RankCtx| {
         let rank = ctx.rank();
         let mut sys = fcc_lattice(cfg.cells, cfg.density);
         let n = sys.len();
@@ -205,15 +228,24 @@ pub fn run(soc: SocConfig, ranks: usize, cfg: LjConfig, net: NetConfig) -> LjRes
         if rank == 0 {
             *out.lock().unwrap_or_else(|e| e.into_inner()) = (energy_first, energy_last);
         }
-    });
+    };
+    let (report, trace) = if record {
+        let (rep, tr) = MpiWorld::record(soc, ranks, net, program);
+        (rep, Some(tr))
+    } else {
+        (MpiWorld::run(soc, ranks, net, program), None)
+    };
 
     let (initial_energy, final_energy) = out.into_inner().unwrap_or_else(|e| e.into_inner());
-    LjResult {
-        report,
-        initial_energy,
-        final_energy,
-        atoms,
-    }
+    (
+        LjResult {
+            report,
+            initial_energy,
+            final_energy,
+            atoms,
+        },
+        trace,
+    )
 }
 
 #[cfg(test)]

@@ -9,7 +9,7 @@
 //! an allgather of the updated direction vector.
 
 use crate::trace::{rank_base, with_trace};
-use bsim_mpi::{MpiWorld, NetConfig, RankCtx, ReduceOp, WorldReport};
+use bsim_mpi::{MpiWorld, NetConfig, RankCtx, ReduceOp, WorldReport, WorldTrace};
 use bsim_soc::SocConfig;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -130,12 +130,36 @@ pub fn reference(cfg: CgConfig) -> (f64, f64) {
 
 /// Runs CG on `ranks` ranks of the given platform.
 pub fn run(soc: SocConfig, ranks: usize, cfg: CgConfig, net: NetConfig) -> CgResult {
+    run_mode(soc, ranks, cfg, net, false).0
+}
+
+/// Runs CG once with timing disabled, capturing the rank programs as a
+/// timing-free [`WorldTrace`] for multi-lane replay (`bsim-sweepx`).
+/// The returned result's report carries no meaningful timing; its
+/// functional fields (residuals) are exact.
+pub fn record(
+    soc: SocConfig,
+    ranks: usize,
+    cfg: CgConfig,
+    net: NetConfig,
+) -> (CgResult, WorldTrace) {
+    let (r, t) = run_mode(soc, ranks, cfg, net, true);
+    (r, t.expect("recording mode always yields a trace"))
+}
+
+fn run_mode(
+    soc: SocConfig,
+    ranks: usize,
+    cfg: CgConfig,
+    net: NetConfig,
+    record: bool,
+) -> (CgResult, Option<WorldTrace>) {
     use std::sync::Mutex;
     let out: Mutex<(f64, f64)> = Mutex::new((0.0, 0.0));
     let a = build_matrix(cfg);
     let a = &a;
 
-    let report = MpiWorld::run(soc, ranks, net, |ctx: &mut RankCtx| {
+    let program = |ctx: &mut RankCtx| {
         let rank = ctx.rank();
         let n = cfg.n;
         let rows_per = n.div_ceil(ranks);
@@ -263,14 +287,23 @@ pub fn run(soc: SocConfig, ranks: usize, cfg: CgConfig, net: NetConfig) -> CgRes
         if rank == 0 {
             *out.lock().unwrap_or_else(|e| e.into_inner()) = (initial, rho.sqrt());
         }
-    });
+    };
+    let (report, trace) = if record {
+        let (rep, tr) = MpiWorld::record(soc, ranks, net, program);
+        (rep, Some(tr))
+    } else {
+        (MpiWorld::run(soc, ranks, net, program), None)
+    };
 
     let (initial, residual) = out.into_inner().unwrap_or_else(|e| e.into_inner());
-    CgResult {
-        report,
-        residual,
-        initial_residual: initial,
-    }
+    (
+        CgResult {
+            report,
+            residual,
+            initial_residual: initial,
+        },
+        trace,
+    )
 }
 
 #[cfg(test)]

@@ -10,7 +10,7 @@
 //! are very close to those of the MILK-V hardware").
 
 use crate::trace::{rank_base, with_trace};
-use bsim_mpi::{MpiWorld, NetConfig, RankCtx, ReduceOp, WorldReport};
+use bsim_mpi::{MpiWorld, NetConfig, RankCtx, ReduceOp, WorldReport, WorldTrace};
 use bsim_soc::SocConfig;
 use serde::{Deserialize, Serialize};
 
@@ -89,10 +89,32 @@ pub fn reference(cfg: EpConfig, ranks: usize) -> (f64, f64, [f64; 10], u64) {
 
 /// Runs EP on `ranks` ranks of the given platform.
 pub fn run(soc: SocConfig, ranks: usize, cfg: EpConfig, net: NetConfig) -> EpResult {
+    run_mode(soc, ranks, cfg, net, false).0
+}
+
+/// Runs EP once with timing disabled, capturing the rank programs as a
+/// timing-free [`WorldTrace`] for multi-lane replay (`bsim-sweepx`).
+pub fn record(
+    soc: SocConfig,
+    ranks: usize,
+    cfg: EpConfig,
+    net: NetConfig,
+) -> (EpResult, WorldTrace) {
+    let (r, t) = run_mode(soc, ranks, cfg, net, true);
+    (r, t.expect("recording mode always yields a trace"))
+}
+
+fn run_mode(
+    soc: SocConfig,
+    ranks: usize,
+    cfg: EpConfig,
+    net: NetConfig,
+    record: bool,
+) -> (EpResult, Option<WorldTrace>) {
     use std::sync::Mutex;
     let tallies: Mutex<(f64, f64, [f64; 10], u64)> = Mutex::new((0.0, 0.0, [0.0; 10], 0));
 
-    let report = MpiWorld::run(soc, ranks, net, |ctx: &mut RankCtx| {
+    let program = |ctx: &mut RankCtx| {
         let rank = ctx.rank();
         let base = rank_base(rank);
         let mut state = 0x2709_0409u64 ^ ((rank as u64) << 32);
@@ -158,16 +180,25 @@ pub fn run(soc: SocConfig, ranks: usize, cfg: EpConfig, net: NetConfig) -> EpRes
             t.3 = total[2] as u64;
             t.2.copy_from_slice(&total[3..13]);
         }
-    });
+    };
+    let (report, trace) = if record {
+        let (rep, tr) = MpiWorld::record(soc, ranks, net, program);
+        (rep, Some(tr))
+    } else {
+        (MpiWorld::run(soc, ranks, net, program), None)
+    };
 
     let t = tallies.into_inner().unwrap_or_else(|e| e.into_inner());
-    EpResult {
-        report,
-        sx: t.0,
-        sy: t.1,
-        counts: t.2,
-        accepted: t.3,
-    }
+    (
+        EpResult {
+            report,
+            sx: t.0,
+            sy: t.1,
+            counts: t.2,
+            accepted: t.3,
+        },
+        trace,
+    )
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@
 //! ranks its keys locally (the bandwidth component).
 
 use crate::trace::{rank_base, with_trace};
-use bsim_mpi::{MpiWorld, NetConfig, RankCtx, ReduceOp, WorldReport};
+use bsim_mpi::{MpiWorld, NetConfig, RankCtx, ReduceOp, WorldReport, WorldTrace};
 use bsim_soc::SocConfig;
 use serde::{Deserialize, Serialize};
 
@@ -58,10 +58,32 @@ fn gen_keys(rank: usize, cfg: IsConfig) -> Vec<u32> {
 
 /// Runs IS on `ranks` ranks of the given platform.
 pub fn run(soc: SocConfig, ranks: usize, cfg: IsConfig, net: NetConfig) -> IsResult {
+    run_mode(soc, ranks, cfg, net, false).0
+}
+
+/// Runs IS once with timing disabled, capturing the rank programs as a
+/// timing-free [`WorldTrace`] for multi-lane replay (`bsim-sweepx`).
+pub fn record(
+    soc: SocConfig,
+    ranks: usize,
+    cfg: IsConfig,
+    net: NetConfig,
+) -> (IsResult, WorldTrace) {
+    let (r, t) = run_mode(soc, ranks, cfg, net, true);
+    (r, t.expect("recording mode always yields a trace"))
+}
+
+fn run_mode(
+    soc: SocConfig,
+    ranks: usize,
+    cfg: IsConfig,
+    net: NetConfig,
+    record: bool,
+) -> (IsResult, Option<WorldTrace>) {
     use std::sync::Mutex;
     let outcome: Mutex<(bool, usize)> = Mutex::new((true, 0));
 
-    let report = MpiWorld::run(soc, ranks, net, |ctx: &mut RankCtx| {
+    let program = |ctx: &mut RankCtx| {
         let rank = ctx.rank();
         let base = rank_base(rank);
         let addr_keys = base;
@@ -164,14 +186,23 @@ pub fn run(soc: SocConfig, ranks: usize, cfg: IsConfig, net: NetConfig) -> IsRes
         let mut o = outcome.lock().unwrap_or_else(|e| e.into_inner());
         o.0 &= sorted_ok && range_ok;
         o.1 += final_slice.len();
-    });
+    };
+    let (report, trace) = if record {
+        let (rep, tr) = MpiWorld::record(soc, ranks, net, program);
+        (rep, Some(tr))
+    } else {
+        (MpiWorld::run(soc, ranks, net, program), None)
+    };
 
     let (sorted, total_keys) = outcome.into_inner().unwrap_or_else(|e| e.into_inner());
-    IsResult {
-        report,
-        sorted,
-        total_keys,
-    }
+    (
+        IsResult {
+            report,
+            sorted,
+            total_keys,
+        },
+        trace,
+    )
 }
 
 #[cfg(test)]

@@ -8,7 +8,7 @@
 //! (one plane per neighbor per sweep) its communication pattern.
 
 use crate::trace::{rank_base, with_trace};
-use bsim_mpi::{MpiWorld, NetConfig, RankCtx, ReduceOp, WorldReport};
+use bsim_mpi::{MpiWorld, NetConfig, RankCtx, ReduceOp, WorldReport, WorldTrace};
 use bsim_soc::SocConfig;
 use serde::{Deserialize, Serialize};
 
@@ -180,10 +180,32 @@ fn smooth(u: &mut Slab, f: &Slab, omega: f64) -> f64 {
 
 /// Runs MG on `ranks` ranks of the given platform.
 pub fn run(soc: SocConfig, ranks: usize, cfg: MgConfig, net: NetConfig) -> MgResult {
+    run_mode(soc, ranks, cfg, net, false).0
+}
+
+/// Runs MG once with timing disabled, capturing the rank programs as a
+/// timing-free [`WorldTrace`] for multi-lane replay (`bsim-sweepx`).
+pub fn record(
+    soc: SocConfig,
+    ranks: usize,
+    cfg: MgConfig,
+    net: NetConfig,
+) -> (MgResult, WorldTrace) {
+    let (r, t) = run_mode(soc, ranks, cfg, net, true);
+    (r, t.expect("recording mode always yields a trace"))
+}
+
+fn run_mode(
+    soc: SocConfig,
+    ranks: usize,
+    cfg: MgConfig,
+    net: NetConfig,
+    record: bool,
+) -> (MgResult, Option<WorldTrace>) {
     use std::sync::Mutex;
     let out: Mutex<(f64, f64)> = Mutex::new((0.0, 0.0));
 
-    let report = MpiWorld::run(soc, ranks, net, |ctx: &mut RankCtx| {
+    let program = |ctx: &mut RankCtx| {
         let rank = ctx.rank();
         let n = cfg.n;
         assert!(
@@ -231,14 +253,23 @@ pub fn run(soc: SocConfig, ranks: usize, cfg: MgConfig, net: NetConfig) -> MgRes
         if rank == 0 {
             *out.lock().unwrap_or_else(|e| e.into_inner()) = (initial, final_res);
         }
-    });
+    };
+    let (report, trace) = if record {
+        let (rep, tr) = MpiWorld::record(soc, ranks, net, program);
+        (rep, Some(tr))
+    } else {
+        (MpiWorld::run(soc, ranks, net, program), None)
+    };
 
     let (initial_residual, final_residual) = out.into_inner().unwrap_or_else(|e| e.into_inner());
-    MgResult {
-        report,
-        initial_residual,
-        final_residual,
-    }
+    (
+        MgResult {
+            report,
+            initial_residual,
+            final_residual,
+        },
+        trace,
+    )
 }
 
 #[cfg(test)]

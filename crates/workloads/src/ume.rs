@@ -16,7 +16,7 @@
 //! reported by the paper (Figure 5) are the sum of the three kernels.
 
 use crate::trace::{rank_base, with_trace};
-use bsim_mpi::{MpiWorld, NetConfig, RankCtx, ReduceOp, WorldReport};
+use bsim_mpi::{MpiWorld, NetConfig, RankCtx, ReduceOp, WorldReport, WorldTrace};
 use bsim_soc::SocConfig;
 use serde::{Deserialize, Serialize};
 
@@ -158,12 +158,34 @@ fn quad_area(p: [[f64; 3]; 4]) -> f64 {
 
 /// Runs UME on `ranks` ranks of the given platform.
 pub fn run(soc: SocConfig, ranks: usize, cfg: UmeConfig, net: NetConfig) -> UmeResult {
+    run_mode(soc, ranks, cfg, net, false).0
+}
+
+/// Runs UME once with timing disabled, capturing the rank programs as a
+/// timing-free [`WorldTrace`] for multi-lane replay (`bsim-sweepx`).
+pub fn record(
+    soc: SocConfig,
+    ranks: usize,
+    cfg: UmeConfig,
+    net: NetConfig,
+) -> (UmeResult, WorldTrace) {
+    let (r, t) = run_mode(soc, ranks, cfg, net, true);
+    (r, t.expect("recording mode always yields a trace"))
+}
+
+fn run_mode(
+    soc: SocConfig,
+    ranks: usize,
+    cfg: UmeConfig,
+    net: NetConfig,
+    record: bool,
+) -> (UmeResult, Option<WorldTrace>) {
     use std::sync::Mutex;
     let out: Mutex<(f64, f64, f64)> = Mutex::new((0.0, 0.0, 0.0));
     let mesh = build_mesh(cfg.n);
     let mesh = &mesh;
 
-    let report = MpiWorld::run(soc, ranks, net, |ctx: &mut RankCtx| {
+    let program = |ctx: &mut RankCtx| {
         let rank = ctx.rank();
         let nz = mesh.zone_corners.len();
         let zper = nz.div_ceil(ranks);
@@ -273,16 +295,25 @@ pub fn run(soc: SocConfig, ranks: usize, cfg: UmeConfig, net: NetConfig) -> UmeR
         if rank == 0 {
             *out.lock().unwrap_or_else(|e| e.into_inner()) = (totals[0], totals[1], totals[2]);
         }
-    });
+    };
+    let (report, trace) = if record {
+        let (rep, tr) = MpiWorld::record(soc, ranks, net, program);
+        (rep, Some(tr))
+    } else {
+        (MpiWorld::run(soc, ranks, net, program), None)
+    };
 
     let (gather_sum, inverted_sum, total_face_area) =
         out.into_inner().unwrap_or_else(|e| e.into_inner());
-    UmeResult {
-        report,
-        gather_sum,
-        inverted_sum,
-        total_face_area,
-    }
+    (
+        UmeResult {
+            report,
+            gather_sum,
+            inverted_sum,
+            total_face_area,
+        },
+        trace,
+    )
 }
 
 #[cfg(test)]

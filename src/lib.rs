@@ -26,6 +26,7 @@
 //! | [`core`] | `bsim-core` | relative-speedup metrics, figure generators, tuning |
 //! | [`svc`] | `bsim-svc` | `bsimd` service daemon + content-addressed result cache |
 //! | [`dist`] | `bsim-dist` | multi-process scale-out: socket token links, rank partitioning, process-loss recovery |
+//! | [`sweepx`] | `bsim-sweepx` | vectorized multi-lane config sweeps and SimPoint-style sampled simulation |
 //!
 //! See `examples/quickstart.rs` for a five-minute tour, and the
 //! `bsim-bench` crate for the harnesses that regenerate Figures 1–7 and
@@ -41,6 +42,7 @@ pub use bsim_mpi as mpi;
 pub use bsim_resilience as resilience;
 pub use bsim_soc as soc;
 pub use bsim_svc as svc;
+pub use bsim_sweepx as sweepx;
 pub use bsim_telemetry as telemetry;
 pub use bsim_uarch as uarch;
 pub use bsim_workloads as workloads;
